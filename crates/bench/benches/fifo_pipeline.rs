@@ -1,0 +1,53 @@
+//! Criterion bench of the cycle-accurate two-phase FIFO pipeline
+//! (Figures 2/3), including the DESIGN.md ablation: throughput versus
+//! FIFO slack depth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netfi_core::corrupt::CorruptUnit;
+use netfi_core::fifo::FifoPipeline;
+use netfi_core::trigger::CompareUnit;
+use netfi_phy::clock::ClockGenerator;
+use std::hint::black_box;
+
+fn bench_pipeline_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fifo_pipeline/two_phase_cycles");
+    let input: Vec<u32> = (0..4096u32).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
+    group.throughput(Throughput::Bytes((input.len() * 4) as u64));
+    for &slack in &[1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("slack", slack), &input, |b, input| {
+            b.iter(|| {
+                let mut p = FifoPipeline::new(
+                    16,
+                    slack,
+                    CompareUnit::new(0xDEAD_BEEF, u32::MAX),
+                    CorruptUnit::toggle(0x1),
+                    ClockGenerator::from_hz(200_000_000),
+                );
+                black_box(p.run(black_box(input)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pipeline_stepping(c: &mut Criterion) {
+    c.bench_function("fifo_pipeline/single_odd_even_cycle", |b| {
+        let mut p = FifoPipeline::new(
+            64,
+            2,
+            CompareUnit::new(0xFFFF_FFFF, u32::MAX),
+            CorruptUnit::toggle(0),
+            ClockGenerator::from_hz(200_000_000),
+        );
+        let mut x = 0u32;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            let out = p.step_odd(Some(black_box(x)));
+            let injected = p.step_even();
+            black_box((out, injected))
+        });
+    });
+}
+
+criterion_group!(benches, bench_pipeline_run, bench_pipeline_stepping);
+criterion_main!(benches);

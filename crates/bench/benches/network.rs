@@ -1,0 +1,70 @@
+//! Criterion benches of the network simulator itself: how many simulated
+//! events per second the engine sustains, with and without the injector in
+//! the path (§3.5 transparency at the simulation level), plus switch
+//! forwarding cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netfi_myrinet::addr::EthAddr;
+use netfi_netstack::{build_testbed, TestbedOptions, Workload};
+use netfi_sim::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn run_slice(with_injector: bool) -> u64 {
+    let mut tb = build_testbed(
+        TestbedOptions {
+            hosts: 3,
+            intercept_host: with_injector.then_some(1),
+            ..TestbedOptions::default()
+        },
+        |i, host| {
+            if i == 0 {
+                host.add_workload(Workload::Sender {
+                    dest: EthAddr::myricom(2),
+                    interval: SimDuration::from_ms(1),
+                    payload_len: 256,
+                    forbidden: vec![],
+                    burst: 4,
+                });
+            }
+        },
+    );
+    tb.engine.run_until(SimTime::from_ms(1_500));
+    tb.engine.events_processed()
+}
+
+fn bench_testbed_slice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network/testbed_1500ms_sim");
+    group.sample_size(10);
+    for &with_injector in &[false, true] {
+        group.bench_with_input(
+            BenchmarkId::new("with_injector", with_injector),
+            &with_injector,
+            |b, &w| {
+                b.iter(|| black_box(run_slice(w)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_packet_encode_decode(c: &mut Criterion) {
+    use netfi_myrinet::packet::{route_to_host, wire, Packet, PacketType};
+    let pkt = Packet::new(
+        vec![route_to_host(3)],
+        PacketType::DATA,
+        vec![0x5A; 512],
+    );
+    c.bench_function("network/packet_encode", |b| {
+        b.iter(|| black_box(black_box(&pkt).encode()));
+    });
+    let w = pkt.encode();
+    c.bench_function("network/packet_parse_delivered", |b| {
+        b.iter(|| black_box(Packet::parse_delivered(black_box(&w))));
+    });
+    c.bench_function("network/route_strip_recompute", |b| {
+        b.iter(|| black_box(wire::strip_route_byte(black_box(&w))));
+    });
+}
+
+criterion_group!(benches, bench_testbed_slice, bench_packet_encode_decode);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation (DESIGN.md §5): error-tolerant control-symbol decoding on/off
+//! under random bit noise.
+//!
+//! §4.3.1 notes the control symbols sit at Hamming distance ≥ 2 and that
+//! some single 1→0 faults still decode correctly. This Monte Carlo
+//! measures how often a noisy control symbol survives under strict
+//! (exact-match) versus tolerant decoding, per number of flipped bits.
+
+use netfi_nftape::Table;
+use netfi_phy::ControlSymbol;
+use netfi_sim::DetRng;
+
+fn main() {
+    let mut rng = DetRng::new(0x66757a7a);
+    let trials = 100_000;
+
+    let mut table = Table::new(
+        "Control-symbol survival under k random bit flips (100k trials each)",
+        &["Flipped bits", "Strict decode ok", "Tolerant decode ok", "Misdecoded (tolerant)"],
+    );
+    for k in 1..=3u32 {
+        let mut strict_ok = 0u64;
+        let mut tolerant_ok = 0u64;
+        let mut tolerant_wrong = 0u64;
+        for _ in 0..trials {
+            let sym = *rng
+                .choose(&[ControlSymbol::Gap, ControlSymbol::Go, ControlSymbol::Stop])
+                .expect("non-empty");
+            let mut code = sym.encode();
+            // k distinct bit flips.
+            let mut bits: Vec<u8> = (0..8).collect();
+            rng.shuffle(&mut bits);
+            for &b in bits.iter().take(k as usize) {
+                code ^= 1 << b;
+            }
+            if ControlSymbol::decode_exact(code) == Some(sym) {
+                strict_ok += 1;
+            }
+            match ControlSymbol::decode_tolerant(code) {
+                Some(decoded) if decoded == sym => tolerant_ok += 1,
+                Some(_) => tolerant_wrong += 1,
+                None => {}
+            }
+        }
+        let pct = |n: u64| format!("{:.1}%", n as f64 / trials as f64 * 100.0);
+        table.row(&[k.to_string(), pct(strict_ok), pct(tolerant_ok), pct(tolerant_wrong)]);
+    }
+    println!("{table}");
+    println!(
+        "tolerant decoding recovers a useful fraction of single-bit faults\n\
+         (at the cost of occasional misdecodes at 2+ flips) — the trade-off\n\
+         behind Myrinet's distance-2 control code."
+    );
+}

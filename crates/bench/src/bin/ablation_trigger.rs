@@ -1,0 +1,42 @@
+//! Ablation (DESIGN.md §5): trigger window width versus false-trigger
+//! rate on random payloads.
+//!
+//! The compare mask selects "any arbitrary number of bits between 0 and
+//! 32" (§3.3). Narrow masks fire spuriously on random traffic; this sweep
+//! measures the empirical false-match rate per byte position against the
+//! analytic 2⁻ᵏ.
+
+use netfi_core::trigger::CompareUnit;
+use netfi_nftape::Table;
+use netfi_sim::DetRng;
+
+fn main() {
+    let mut rng = DetRng::new(0x74726967);
+    let mut stream = vec![0u8; 1 << 20];
+    rng.fill_bytes(&mut stream);
+    let windows = (stream.len() - 3) as f64;
+
+    let mut table = Table::new(
+        "Trigger mask width vs. false-trigger rate on 1 MiB of random traffic",
+        &["Mask bits", "Matches", "Rate/window", "Analytic 2^-k"],
+    );
+    for k in [4u32, 8, 12, 16, 20, 24, 28, 32] {
+        let mask = if k == 32 { u32::MAX } else { ((1u64 << k) - 1) as u32 } << (32 - k);
+        let cmp = CompareUnit::new(0x1818_1818 & mask, mask);
+        let matches = cmp.scan(&stream).len();
+        let rate = matches as f64 / windows;
+        let analytic = 2f64.powi(-(k as i32));
+        table.row(&[
+            k.to_string(),
+            matches.to_string(),
+            format!("{rate:.2e}"),
+            format!("{analytic:.2e}"),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "a campaign that wants exactly one victim pattern needs >= ~24 mask\n\
+         bits on gigabit traffic; the paper's 16-bit 0x1818 example relies on\n\
+         payload control (its messages avoided the victim bytes)."
+    );
+}

@@ -1,0 +1,37 @@
+//! Ablation (DESIGN.md §5): slack-buffer headroom above the high
+//! watermark versus overflow loss when STOP symbols are eaten.
+//!
+//! The high watermark stays at 3072 bytes; the sweep varies the capacity
+//! above it. Small headroom loses heavily the moment flow control is
+//! corrupted; large headroom absorbs the overrun (and costs SRAM — the
+//! board-level trade the slack buffer's name refers to).
+
+use netfi_bench::arg;
+use netfi_nftape::scenarios::control::{control_symbol_row, ControlCampaignOptions};
+use netfi_nftape::Table;
+use netfi_phy::ControlSymbol;
+use netfi_sim::SimDuration;
+
+fn main() {
+    let window = arg("--window", 6u64);
+    let mut table = Table::new(
+        "NIC slack headroom vs. loss under STOP->IDLE corruption",
+        &["Capacity", "Headroom", "Loss", "NIC overflows"],
+    );
+    for capacity in [3700usize, 4100, 4608, 5600, 7200, 9300] {
+        let opts = ControlCampaignOptions {
+            window: SimDuration::from_secs(window),
+            nic_rx_capacity: capacity,
+            ..ControlCampaignOptions::default()
+        };
+        eprintln!("  capacity {capacity} …");
+        let row = control_symbol_row(ControlSymbol::Stop, ControlSymbol::Idle, &opts);
+        table.row(&[
+            capacity.to_string(),
+            (capacity - 3072).to_string(),
+            format!("{:.1}%", row.loss_rate() * 100.0),
+            format!("{:.0}", row.extra("nic_overflow_drops").unwrap_or(0.0)),
+        ]);
+    }
+    println!("{table}");
+}

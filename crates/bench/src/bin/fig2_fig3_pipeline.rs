@@ -1,0 +1,85 @@
+//! Figures 2 and 3: the FIFO injector's two-phase clock operation, traced
+//! cycle by cycle.
+//!
+//! "On the first clock cycle (Figure 2), the data is both read and pushed
+//! onto the FIFO stack. … The incoming 32-bit data stream is also shifted
+//! into the compare registers … On the second clock cycle (Figure 3), the
+//! result of the compare operation is available, and if any data needs to
+//! be corrupted, it will be overwritten in the FIFO."
+
+use netfi_core::corrupt::CorruptUnit;
+use netfi_core::fifo::FifoPipeline;
+use netfi_core::trigger::CompareUnit;
+use netfi_nftape::Table;
+use netfi_phy::clock::ClockGenerator;
+
+fn main() {
+    // The §3.3 typical scenario at segment granularity: match 0x1818xxxx,
+    // replace with 0x1918xxxx.
+    let mut pipeline = FifoPipeline::new(
+        8,
+        2, // FIFO slack: two segments buffered before output
+        CompareUnit::new(0x1818_0000, 0xFFFF_0000),
+        CorruptUnit::replace(0x1918_0000, 0xFFFF_0000),
+        ClockGenerator::from_hz(200_000_000), // Virtex-class clock, 5 ns
+    );
+
+    let stream: [u32; 6] = [
+        0xAAAA_0001,
+        0xBBBB_0002,
+        0x1818_CAFE, // the victim segment
+        0xCCCC_0003,
+        0xDDDD_0004,
+        0xEEEE_0005,
+    ];
+
+    let mut table = Table::new(
+        "Figures 2/3: odd (push/pull + compare) and even (inject) cycles",
+        &["Cycle", "Phase", "Input pushed", "Output pulled", "Even-cycle action", "Occupancy"],
+    );
+    let mut cycle = 0u64;
+    let mut outputs = Vec::new();
+    for &seg in &stream {
+        cycle += 1;
+        let out = pipeline.step_odd(Some(seg));
+        let out_text = match out {
+            Some(v) => {
+                outputs.push(v);
+                format!("{v:08X}")
+            }
+            None => "-".into(),
+        };
+        table.row(&[
+            cycle.to_string(),
+            "odd".into(),
+            format!("{seg:08X}"),
+            out_text,
+            String::new(),
+            pipeline.occupancy().to_string(),
+        ]);
+        cycle += 1;
+        let injected = pipeline.step_even();
+        table.row(&[
+            cycle.to_string(),
+            "even".into(),
+            String::new(),
+            String::new(),
+            if injected {
+                "compare HIT -> segment overwritten in FIFO".into()
+            } else {
+                "compare miss".into()
+            },
+            pipeline.occupancy().to_string(),
+        ]);
+    }
+    outputs.extend(pipeline.flush());
+    println!("{table}");
+    println!("output stream: {outputs:08X?}");
+    assert_eq!(outputs[2], 0x1918_CAFE);
+    println!(
+        "\nthe victim segment 1818CAFE left the device as 1918CAFE: the even\n\
+         cycle overwrote it in the FIFO before the pull reached it — exactly\n\
+         the Figure 2/3 mechanism, {} cycles at 5 ns per cycle.",
+        pipeline.cycles()
+    );
+}

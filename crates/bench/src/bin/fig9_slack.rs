@@ -1,0 +1,63 @@
+//! Figure 9: slack-buffer behaviour — occupancy against the high/low
+//! watermarks with STOP/GO generation, driven by a saturating arrival
+//! pattern against a slower drain.
+
+use netfi_myrinet::sbuf::{Accept, SlackBuffer};
+
+fn main() {
+    let mut buf = SlackBuffer::new(2048, 1536, 512);
+    println!("slack buffer: capacity=2048 high=1536 low=512");
+    println!("arrivals: 128-byte frames every tick for 20 ticks, then silence");
+    println!("drain: 96 bytes per tick (three quarters of the arrival rate)");
+    println!();
+    println!("{:>4}  {:>9}  {:<32}  events", "tick", "occupancy", "fill");
+
+    let mut pending_drain = 0usize;
+    for tick in 0..40 {
+        let mut events = Vec::new();
+        if tick < 20 {
+            match buf.try_accept(128) {
+                Accept::Stored => {}
+                Accept::Overflow => events.push("OVERFLOW (frame lost)".to_string()),
+            }
+        }
+        pending_drain += 96;
+        let drained = pending_drain.min(buf.occupancy());
+        if drained > 0 {
+            buf.drain(drained);
+            pending_drain -= drained;
+        }
+        while let Some(sym) = buf.poll_flow() {
+            events.push(format!("sends {sym} upstream"));
+        }
+        let bars = buf.occupancy() * 32 / buf.capacity();
+        let mut fill = "#".repeat(bars);
+        fill.push_str(&" ".repeat(32 - bars));
+        // Mark the watermarks within the bar.
+        let hi = 1536 * 32 / 2048;
+        let lo = 512 * 32 / 2048;
+        let mut chars: Vec<char> = fill.chars().collect();
+        if chars[hi] == ' ' {
+            chars[hi] = '|';
+        }
+        if chars[lo] == ' ' {
+            chars[lo] = '|';
+        }
+        let fill: String = chars.into_iter().collect();
+        println!(
+            "{:>4}  {:>9}  [{}]  {}",
+            tick,
+            buf.occupancy(),
+            fill,
+            events.join(", ")
+        );
+    }
+    println!();
+    println!(
+        "totals: STOPs sent = {}, GOs sent = {}, overflows = {}, peak = {}",
+        buf.stops_sent(),
+        buf.gos_sent(),
+        buf.overflows(),
+        buf.peak()
+    );
+}

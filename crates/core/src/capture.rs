@@ -1,0 +1,175 @@
+//! Data monitoring: capture of the injection environment.
+//!
+//! "The FPGA can be programmed to keep the bytes surrounding the fault
+//! injection event, thus giving the user sufficient dynamic state
+//! information about the environment in which the fault injection was
+//! performed" (§3.2). The capture memory is backed by the board's SDRAM in
+//! hardware; here a bounded [`TraceBuffer`] plays that role.
+
+use std::fmt;
+
+use netfi_sim::trace::TraceBuffer;
+use netfi_sim::SimTime;
+
+/// How many context bytes to keep on each side of an injection site.
+pub const CONTEXT_BYTES: usize = 8;
+
+/// One captured injection event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CaptureRecord {
+    /// Byte offset of the corrupted window within the packet.
+    pub offset: usize,
+    /// The window before corruption.
+    pub before: [u8; 4],
+    /// The window after corruption.
+    pub after: [u8; 4],
+    /// Packet bytes surrounding the injection site (±[`CONTEXT_BYTES`]).
+    pub context: Vec<u8>,
+}
+
+impl CaptureRecord {
+    /// Builds a record from the original and corrupted packet images.
+    pub fn new(original: &[u8], corrupted: &[u8], offset: usize) -> CaptureRecord {
+        let mut before = [0u8; 4];
+        let mut after = [0u8; 4];
+        for k in 0..4 {
+            if let Some(&b) = original.get(offset + k) {
+                before[k] = b;
+            }
+            if let Some(&b) = corrupted.get(offset + k) {
+                after[k] = b;
+            }
+        }
+        let start = offset.saturating_sub(CONTEXT_BYTES);
+        let end = (offset + 4 + CONTEXT_BYTES).min(original.len());
+        CaptureRecord {
+            offset,
+            before,
+            after,
+            context: original[start..end].to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for CaptureRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "@{}: {:02X}{:02X}{:02X}{:02X} -> {:02X}{:02X}{:02X}{:02X} ctx[",
+            self.offset,
+            self.before[0],
+            self.before[1],
+            self.before[2],
+            self.before[3],
+            self.after[0],
+            self.after[1],
+            self.after[2],
+            self.after[3],
+        )?;
+        for (i, b) in self.context.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{b:02X}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// The capture memory for one direction of the device.
+#[derive(Debug, Clone)]
+pub struct CaptureBuffer {
+    buf: TraceBuffer<CaptureRecord>,
+}
+
+impl CaptureBuffer {
+    /// Creates a capture memory holding up to `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> CaptureBuffer {
+        CaptureBuffer {
+            buf: TraceBuffer::new(capacity),
+        }
+    }
+
+    /// Records an injection event.
+    pub fn record(&mut self, time: SimTime, record: CaptureRecord) {
+        self.buf.push(time, record);
+    }
+
+    /// Records held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// `true` when nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Iterates over captured records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &CaptureRecord> {
+        self.buf.iter().map(|r| &r.value)
+    }
+
+    /// The most recent capture.
+    pub fn last(&self) -> Option<&CaptureRecord> {
+        self.buf.last().map(|r| &r.value)
+    }
+
+    /// Renders all records, one per line.
+    pub fn render(&self) -> String {
+        self.buf.render()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_extracts_windows_and_context() {
+        let original: Vec<u8> = (0..32).collect();
+        let mut corrupted = original.clone();
+        corrupted[12] ^= 0xFF;
+        let rec = CaptureRecord::new(&original, &corrupted, 12);
+        assert_eq!(rec.before, [12, 13, 14, 15]);
+        assert_eq!(rec.after, [12 ^ 0xFF, 13, 14, 15]);
+        // context spans 4..24
+        assert_eq!(rec.context, (4..24).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    fn record_clamps_at_packet_edges() {
+        let original = vec![1u8, 2, 3];
+        let corrupted = vec![1u8, 2, 0xFF];
+        let rec = CaptureRecord::new(&original, &corrupted, 2);
+        assert_eq!(rec.before, [3, 0, 0, 0]);
+        assert_eq!(rec.after, [0xFF, 0, 0, 0]);
+        assert_eq!(rec.context, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn buffer_keeps_most_recent() {
+        let mut cap = CaptureBuffer::new(2);
+        for i in 0..3u8 {
+            let orig = vec![i; 8];
+            cap.record(
+                SimTime::from_ns(i as u64),
+                CaptureRecord::new(&orig, &orig, 0),
+            );
+        }
+        assert_eq!(cap.len(), 2);
+        assert_eq!(cap.last().unwrap().before[0], 2);
+        assert_eq!(cap.iter().count(), 2);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let rec = CaptureRecord::new(&[0x18, 0x18, 0xAA, 0xBB], &[0x19, 0x18, 0xAA, 0xBB], 0);
+        let s = rec.to_string();
+        assert!(s.contains("1818AABB -> 1918AABB"), "{s}");
+    }
+}

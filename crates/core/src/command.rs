@@ -1,0 +1,365 @@
+//! The serial command protocol: UART → SPI → command decoder FSM.
+//!
+//! "In a typical fault injection campaign, the user uploads a series of
+//! commands to the Command Decoder via a standard serial interface"
+//! (§3.3). "The command decoder is a large finite-state machine (FSM),
+//! which receives data from the communication handler and applies
+//! configuration information to the injector circuitry. It also generates
+//! error and acknowledgment signals that are interpreted by the output
+//! generator for configuration feedback."
+//!
+//! The ASCII command language (one command per line, terminated by `\n` or
+//! `;`):
+//!
+//! | Command | Meaning |
+//! |---|---|
+//! | `DA` / `DB` / `D*` | select direction A→B, B→A, or both |
+//! | `M0` / `M1` / `MO` | match mode off / on / once |
+//! | `Cxxxxxxxx` | compare data (8 hex digits) |
+//! | `Kxxxxxxxx` | compare mask |
+//! | `T` / `R` | corrupt mode toggle / replace |
+//! | `Vxxxxxxxx` | corrupt data |
+//! | `Xxxxxxxx…` | corrupt mask (8 hex digits) |
+//! | `G0` / `G1` | CRC recompute off / on |
+//! | `Sffmmtt` | control swap: from, mask, to (2 hex digits each) |
+//! | `s` | control injection off |
+//! | `Nxxxxxxxx` | random-SEU threshold out of 2³² (0 disables) |
+//! | `L0` / `L1` | full-traffic capture off / on |
+//! | `I` | inject now |
+//! | `A` | re-arm the `once` latch |
+//! | `Q` | query statistics |
+//! | `Z` | zero statistics |
+//!
+//! The output generator answers `+` (ack), `?` (error), or a text report
+//! for queries.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::corrupt::CorruptMode;
+use crate::trigger::MatchMode;
+
+/// Which direction(s) a configuration command applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DirSelect {
+    /// The A→B channel only.
+    A,
+    /// The B→A channel only.
+    B,
+    /// Both channels.
+    #[default]
+    Both,
+}
+
+/// A decoded configuration command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Select the direction subsequent commands apply to.
+    SelectDirection(DirSelect),
+    /// Set the match mode.
+    MatchMode(MatchMode),
+    /// Set the 32-bit compare data.
+    CompareData(u32),
+    /// Set the 32-bit compare mask.
+    CompareMask(u32),
+    /// Set the corruption mode.
+    CorruptMode(CorruptMode),
+    /// Set the 32-bit corrupt data.
+    CorruptData(u32),
+    /// Set the 32-bit corrupt mask.
+    CorruptMask(u32),
+    /// Enable/disable CRC-8 recomputation.
+    CrcRecompute(bool),
+    /// Install a control-symbol swap (from, mask, to).
+    ControlSwap {
+        /// Code to match.
+        from: u8,
+        /// Match mask.
+        mask: u8,
+        /// Replacement code.
+        to: u8,
+    },
+    /// Remove the control-symbol injection.
+    ControlOff,
+    /// Set the random-SEU threshold (numerator over 2³²; 0 disables).
+    RandomRate(u32),
+    /// Enable/disable full-traffic capture into the SDRAM model.
+    TrafficLog(bool),
+    /// Force one injection on the next segment.
+    InjectNow,
+    /// Re-arm the `once` latch.
+    Rearm,
+    /// Ask the output generator for statistics.
+    QueryStats,
+    /// Zero the statistics counters.
+    ResetStats,
+}
+
+/// A command the decoder could not parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CommandError {
+    line: String,
+}
+
+impl CommandError {
+    /// The offending line.
+    pub fn line(&self) -> &str {
+        &self.line
+    }
+}
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unrecognized command {:?}", self.line)
+    }
+}
+
+impl Error for CommandError {}
+
+fn parse_hex_u32(s: &str) -> Option<u32> {
+    (s.len() == 8).then(|| u32::from_str_radix(s, 16).ok()).flatten()
+}
+
+fn parse_hex_u8(s: &str) -> Option<u8> {
+    (s.len() == 2).then(|| u8::from_str_radix(s, 16).ok()).flatten()
+}
+
+/// Parses one command line (without terminator).
+///
+/// # Errors
+///
+/// [`CommandError`] echoing the unrecognized line.
+pub fn parse_command(line: &str) -> Result<Command, CommandError> {
+    let line = line.trim();
+    let err = || CommandError {
+        line: line.to_string(),
+    };
+    let mut chars = line.chars();
+    let head = chars.next().ok_or_else(err)?;
+    let rest: &str = &line[head.len_utf8()..];
+    let cmd = match head {
+        'D' => match rest {
+            "A" => Command::SelectDirection(DirSelect::A),
+            "B" => Command::SelectDirection(DirSelect::B),
+            "*" => Command::SelectDirection(DirSelect::Both),
+            _ => return Err(err()),
+        },
+        'M' => match rest {
+            "0" => Command::MatchMode(MatchMode::Off),
+            "1" => Command::MatchMode(MatchMode::On),
+            "O" => Command::MatchMode(MatchMode::Once),
+            _ => return Err(err()),
+        },
+        'C' => Command::CompareData(parse_hex_u32(rest).ok_or_else(err)?),
+        'K' => Command::CompareMask(parse_hex_u32(rest).ok_or_else(err)?),
+        'T' if rest.is_empty() => Command::CorruptMode(CorruptMode::Toggle),
+        'R' if rest.is_empty() => Command::CorruptMode(CorruptMode::Replace),
+        'V' => Command::CorruptData(parse_hex_u32(rest).ok_or_else(err)?),
+        'X' => Command::CorruptMask(parse_hex_u32(rest).ok_or_else(err)?),
+        'G' => match rest {
+            "0" => Command::CrcRecompute(false),
+            "1" => Command::CrcRecompute(true),
+            _ => return Err(err()),
+        },
+        'S' => {
+            if rest.len() != 6 {
+                return Err(err());
+            }
+            Command::ControlSwap {
+                from: parse_hex_u8(&rest[0..2]).ok_or_else(err)?,
+                mask: parse_hex_u8(&rest[2..4]).ok_or_else(err)?,
+                to: parse_hex_u8(&rest[4..6]).ok_or_else(err)?,
+            }
+        }
+        's' if rest.is_empty() => Command::ControlOff,
+        'N' => Command::RandomRate(parse_hex_u32(rest).ok_or_else(err)?),
+        'L' => match rest {
+            "0" => Command::TrafficLog(false),
+            "1" => Command::TrafficLog(true),
+            _ => return Err(err()),
+        },
+        'I' if rest.is_empty() => Command::InjectNow,
+        'A' if rest.is_empty() => Command::Rearm,
+        'Q' if rest.is_empty() => Command::QueryStats,
+        'Z' if rest.is_empty() => Command::ResetStats,
+        _ => return Err(err()),
+    };
+    Ok(cmd)
+}
+
+/// Streaming line assembler: feed serial bytes, get commands out at each
+/// terminator.
+#[derive(Debug, Clone, Default)]
+pub struct CommandDecoder {
+    line: Vec<u8>,
+}
+
+impl CommandDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> CommandDecoder {
+        CommandDecoder::default()
+    }
+
+    /// Feeds one serial byte. Returns a parse result when a line
+    /// terminator (`\n`, `\r` or `;`) completes a non-empty line.
+    pub fn feed(&mut self, byte: u8) -> Option<Result<Command, CommandError>> {
+        match byte {
+            b'\n' | b'\r' | b';' => {
+                if self.line.is_empty() {
+                    return None;
+                }
+                let line = String::from_utf8_lossy(&self.line).into_owned();
+                self.line.clear();
+                Some(parse_command(&line))
+            }
+            _ => {
+                // Bound the line buffer: a runaway stream without
+                // terminators must not grow memory.
+                if self.line.len() < 64 {
+                    self.line.push(byte);
+                }
+                None
+            }
+        }
+    }
+}
+
+/// Renders a command back into its wire syntax (for campaign scripting).
+pub fn render_command(cmd: &Command) -> String {
+    match cmd {
+        Command::SelectDirection(DirSelect::A) => "DA".into(),
+        Command::SelectDirection(DirSelect::B) => "DB".into(),
+        Command::SelectDirection(DirSelect::Both) => "D*".into(),
+        Command::MatchMode(MatchMode::Off) => "M0".into(),
+        Command::MatchMode(MatchMode::On) => "M1".into(),
+        Command::MatchMode(MatchMode::Once) => "MO".into(),
+        Command::CompareData(v) => format!("C{v:08X}"),
+        Command::CompareMask(v) => format!("K{v:08X}"),
+        Command::CorruptMode(CorruptMode::Toggle) => "T".into(),
+        Command::CorruptMode(CorruptMode::Replace) => "R".into(),
+        Command::CorruptData(v) => format!("V{v:08X}"),
+        Command::CorruptMask(v) => format!("X{v:08X}"),
+        Command::CrcRecompute(false) => "G0".into(),
+        Command::CrcRecompute(true) => "G1".into(),
+        Command::ControlSwap { from, mask, to } => format!("S{from:02X}{mask:02X}{to:02X}"),
+        Command::ControlOff => "s".into(),
+        Command::RandomRate(v) => format!("N{v:08X}"),
+        Command::TrafficLog(false) => "L0".into(),
+        Command::TrafficLog(true) => "L1".into(),
+        Command::InjectNow => "I".into(),
+        Command::Rearm => "A".into(),
+        Command::QueryStats => "Q".into(),
+        Command::ResetStats => "Z".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_full_vocabulary() {
+        let cases = [
+            ("DA", Command::SelectDirection(DirSelect::A)),
+            ("DB", Command::SelectDirection(DirSelect::B)),
+            ("D*", Command::SelectDirection(DirSelect::Both)),
+            ("M0", Command::MatchMode(MatchMode::Off)),
+            ("M1", Command::MatchMode(MatchMode::On)),
+            ("MO", Command::MatchMode(MatchMode::Once)),
+            ("C18180000", Command::CompareData(0x1818_0000)),
+            ("KFFFF0000", Command::CompareMask(0xFFFF_0000)),
+            ("T", Command::CorruptMode(CorruptMode::Toggle)),
+            ("R", Command::CorruptMode(CorruptMode::Replace)),
+            ("V19180000", Command::CorruptData(0x1918_0000)),
+            ("XFFFF0000", Command::CorruptMask(0xFFFF_0000)),
+            ("G0", Command::CrcRecompute(false)),
+            ("G1", Command::CrcRecompute(true)),
+            (
+                "S0FFF0C",
+                Command::ControlSwap {
+                    from: 0x0F,
+                    mask: 0xFF,
+                    to: 0x0C,
+                },
+            ),
+            ("s", Command::ControlOff),
+            ("I", Command::InjectNow),
+            ("A", Command::Rearm),
+            ("Q", Command::QueryStats),
+            ("Z", Command::ResetStats),
+        ];
+        for (text, expected) in cases {
+            assert_eq!(parse_command(text), Ok(expected), "{text}");
+        }
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let cmds = [
+            Command::SelectDirection(DirSelect::Both),
+            Command::CompareData(0xDEAD_BEEF),
+            Command::ControlSwap {
+                from: 0x0C,
+                mask: 0xFF,
+                to: 0x03,
+            },
+            Command::MatchMode(MatchMode::Once),
+            Command::InjectNow,
+        ];
+        for cmd in cmds {
+            assert_eq!(parse_command(&render_command(&cmd)), Ok(cmd));
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        for bad in ["", "D", "DX", "M2", "C123", "CZZZZZZZZ", "S0F0C", "foo", "I2"] {
+            assert!(parse_command(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn decoder_assembles_lines() {
+        let mut dec = CommandDecoder::new();
+        let mut results = Vec::new();
+        for &b in b"M1\nC18180000;V19180000\n" {
+            if let Some(r) = dec.feed(b) {
+                results.push(r);
+            }
+        }
+        assert_eq!(
+            results,
+            vec![
+                Ok(Command::MatchMode(MatchMode::On)),
+                Ok(Command::CompareData(0x1818_0000)),
+                Ok(Command::CorruptData(0x1918_0000)),
+            ]
+        );
+    }
+
+    #[test]
+    fn decoder_skips_blank_lines_and_reports_errors() {
+        let mut dec = CommandDecoder::new();
+        assert_eq!(dec.feed(b'\n'), None);
+        assert_eq!(dec.feed(b';'), None);
+        for &b in b"nope" {
+            assert_eq!(dec.feed(b), None);
+        }
+        let err = dec.feed(b'\n').unwrap().unwrap_err();
+        assert_eq!(err.line(), "nope");
+    }
+
+    #[test]
+    fn decoder_bounds_runaway_lines() {
+        let mut dec = CommandDecoder::new();
+        for _ in 0..10_000 {
+            assert_eq!(dec.feed(b'x'), None);
+        }
+        // Still functional after the flood.
+        assert!(dec.feed(b'\n').unwrap().is_err());
+        for &b in b"Q" {
+            dec.feed(b);
+        }
+        assert_eq!(dec.feed(b'\n'), Some(Ok(Command::QueryStats)));
+    }
+}

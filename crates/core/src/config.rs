@@ -1,0 +1,213 @@
+//! Injector configuration (the "Injector Control Inputs" of Figure 3).
+//!
+//! One [`InjectorConfig`] governs one direction of the device — "because
+//! the injector is bi-directional, the injector can execute different and
+//! independent commands on data traveling in different directions."
+
+use crate::corrupt::{ControlCorrupt, CorruptUnit};
+use crate::random::RandomInject;
+use crate::trigger::{CompareUnit, ControlCompare, MatchMode};
+
+/// Trigger + corruption for control symbols (GAP / GO / STOP), which travel
+/// outside the 32-bit data path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlInject {
+    /// What to match.
+    pub compare: ControlCompare,
+    /// How to corrupt it.
+    pub corrupt: ControlCorrupt,
+    /// Whether the corruption also applies to packet-terminating GAPs (as
+    /// opposed to standalone control symbols only).
+    pub include_terminators: bool,
+}
+
+/// Per-direction injector configuration.
+///
+/// # Example
+///
+/// Reproducing the paper's "typical injection scenario": match the data
+/// stream `0x1818` and replace it with `0x1918`:
+///
+/// ```
+/// use netfi_core::config::InjectorConfig;
+/// use netfi_core::trigger::MatchMode;
+///
+/// let config = InjectorConfig::builder()
+///     .match_mode(MatchMode::On)
+///     .compare(0x1818_0000, 0xFFFF_0000)
+///     .corrupt_replace(0x1918_0000, 0xFFFF_0000)
+///     .recompute_crc(true)
+///     .build();
+/// assert_eq!(config.match_mode, MatchMode::On);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InjectorConfig {
+    /// Trigger mode: off / on / once.
+    pub match_mode: MatchMode,
+    /// The 32-bit data-path trigger.
+    pub compare: CompareUnit,
+    /// The 32-bit corruption unit.
+    pub corrupt: CorruptUnit,
+    /// Recompute the trailing CRC-8 after injection, "recalculating the
+    /// correct CRC value to transmit immediately before the end-of-frame
+    /// character" — on for campaigns that must sneak errors past the CRC,
+    /// off for campaigns that study CRC-detected corruption.
+    pub crc_recompute: bool,
+    /// Optional control-symbol injection.
+    pub control: Option<ControlInject>,
+    /// Optional random (SEU) bit-flip injection — §3.1's "random faults
+    /// causing bit flip errors".
+    pub random: Option<RandomInject>,
+}
+
+impl Default for InjectorConfig {
+    fn default() -> Self {
+        InjectorConfig {
+            match_mode: MatchMode::Off,
+            compare: CompareUnit::default(),
+            corrupt: CorruptUnit::default(),
+            crc_recompute: false,
+            control: None,
+            random: None,
+        }
+    }
+}
+
+impl InjectorConfig {
+    /// A pass-through configuration (trigger off).
+    pub fn passthrough() -> InjectorConfig {
+        InjectorConfig::default()
+    }
+
+    /// Starts building a configuration.
+    pub fn builder() -> InjectorConfigBuilder {
+        InjectorConfigBuilder::default()
+    }
+
+    /// Convenience: a control-symbol swap campaign entry, e.g.
+    /// STOP → GAP for Table 4 rows. Matches the exact `from` code and
+    /// replaces it with `to`, on every occurrence, including packet
+    /// terminators.
+    pub fn control_swap(from: u8, to: u8) -> InjectorConfig {
+        InjectorConfig {
+            match_mode: MatchMode::On,
+            control: Some(ControlInject {
+                compare: ControlCompare::exact(from),
+                corrupt: ControlCorrupt::replace_with(to),
+                include_terminators: true,
+            }),
+            ..InjectorConfig::default()
+        }
+    }
+}
+
+/// Builder for [`InjectorConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct InjectorConfigBuilder {
+    config: InjectorConfig,
+}
+
+impl InjectorConfigBuilder {
+    /// Sets the match mode.
+    pub fn match_mode(mut self, mode: MatchMode) -> Self {
+        self.config.match_mode = mode;
+        self
+    }
+
+    /// Sets the compare data and mask.
+    pub fn compare(mut self, data: u32, mask: u32) -> Self {
+        self.config.compare = CompareUnit::new(data, mask);
+        self
+    }
+
+    /// Uses toggle-mode corruption with the given corrupt-data vector.
+    pub fn corrupt_toggle(mut self, data: u32) -> Self {
+        self.config.corrupt = CorruptUnit::toggle(data);
+        self
+    }
+
+    /// Uses replace-mode corruption with the given data and mask.
+    pub fn corrupt_replace(mut self, data: u32, mask: u32) -> Self {
+        self.config.corrupt = CorruptUnit::replace(data, mask);
+        self
+    }
+
+    /// Enables or disables CRC-8 recomputation after injection.
+    pub fn recompute_crc(mut self, on: bool) -> Self {
+        self.config.crc_recompute = on;
+        self
+    }
+
+    /// Adds a control-symbol swap (exact match on `from`, replace with
+    /// `to`), including packet terminators.
+    pub fn control_swap(mut self, from: u8, to: u8) -> Self {
+        self.config.control = Some(ControlInject {
+            compare: ControlCompare::exact(from),
+            corrupt: ControlCorrupt::replace_with(to),
+            include_terminators: true,
+        });
+        self
+    }
+
+    /// Adds a fully specified control-symbol injection.
+    pub fn control_inject(mut self, inject: ControlInject) -> Self {
+        self.config.control = Some(inject);
+        self
+    }
+
+    /// Enables random SEU injection with the given per-segment flip
+    /// probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn random_seu(mut self, p: f64) -> Self {
+        self.config.random = Some(RandomInject::with_probability(p));
+        self
+    }
+
+    /// Finishes building.
+    pub fn build(self) -> InjectorConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corrupt::CorruptMode;
+
+    #[test]
+    fn default_is_passthrough() {
+        let c = InjectorConfig::default();
+        assert_eq!(c.match_mode, MatchMode::Off);
+        assert!(c.control.is_none());
+        assert!(!c.crc_recompute);
+        assert_eq!(c, InjectorConfig::passthrough());
+    }
+
+    #[test]
+    fn builder_composes() {
+        let c = InjectorConfig::builder()
+            .match_mode(MatchMode::Once)
+            .compare(0xAABB_0000, 0xFFFF_0000)
+            .corrupt_toggle(0x0100_0000)
+            .recompute_crc(true)
+            .build();
+        assert_eq!(c.match_mode, MatchMode::Once);
+        assert!(c.compare.matches(0xAABB_1234));
+        assert_eq!(c.corrupt.mode, CorruptMode::Toggle);
+        assert!(c.crc_recompute);
+    }
+
+    #[test]
+    fn control_swap_config() {
+        let c = InjectorConfig::control_swap(0x0F, 0x03); // STOP -> GO
+        assert_eq!(c.match_mode, MatchMode::On);
+        let ctl = c.control.unwrap();
+        assert!(ctl.compare.matches(0x0F));
+        assert!(!ctl.compare.matches(0x0C));
+        assert_eq!(ctl.corrupt.apply(0x0F), 0x03);
+        assert!(ctl.include_terminators);
+    }
+}

@@ -1,0 +1,371 @@
+//! The second-generation architecture: media abstraction.
+//!
+//! Footnote 1 of the paper: "We are currently working on a second
+//! generation device that abstracts the interface logic away from the
+//! injector logic and allows much more flexibility in this regard." This
+//! module realizes that design: [`MediaInterface`] captures everything
+//! medium-specific — integrity-code repair and traffic classification —
+//! while the injector logic ([`FifoInjector`])
+//! stays byte-oriented and medium-blind. [`Gen2Injector`] composes the two.
+//!
+//! Two interfaces ship, matching the board's two PHYs: [`MyrinetMedia`]
+//! (trailing CRC-8, route/type/Ethernet-header layout) and
+//! [`FibreChannelMedia`] (trailing CRC-32, FC header layout).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use netfi_myrinet::interface::EthHeader;
+use netfi_myrinet::packet::PacketType;
+
+use crate::config::InjectorConfig;
+use crate::fifo::{FifoInjector, PacketReport};
+
+/// What a medium's interface logic learned about one passing packet.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MediaClass {
+    /// Medium-specific kind label ("DATA", "MAPPING", "FC type 0x08", …).
+    pub kind: Option<String>,
+    /// Source/destination identifiers, as opaque 64-bit values.
+    pub endpoints: Option<(u64, u64)>,
+}
+
+/// Medium-specific interface logic, separated from the injector logic.
+///
+/// This trait is the crate's extension point for new media: implement it
+/// and the whole injector — triggers, corruption, match modes, random SEU
+/// injection, capture — works on the new network unchanged.
+pub trait MediaInterface: fmt::Debug + 'static {
+    /// The medium's name (for reports).
+    fn name(&self) -> &str;
+
+    /// Repairs the medium's end-to-end integrity code in place after a
+    /// corruption (the gen-1 device's "recalculate the correct CRC value
+    /// to transmit immediately before the EOF", generalized).
+    fn repair_integrity(&self, bytes: &mut [u8]);
+
+    /// `true` if the integrity code currently verifies.
+    fn integrity_ok(&self, bytes: &[u8]) -> bool;
+
+    /// Classifies a packet for the statistics unit.
+    fn classify(&self, bytes: &[u8]) -> MediaClass;
+}
+
+/// Myrinet SAN interface logic (the MyriPHY side of the board).
+#[derive(Debug, Clone)]
+pub struct MyrinetMedia {
+    /// Leading route bytes before the type field at this observation
+    /// point (1 on a host link in this model).
+    pub route_bytes: usize,
+}
+
+impl Default for MyrinetMedia {
+    fn default() -> Self {
+        MyrinetMedia { route_bytes: 1 }
+    }
+}
+
+impl MediaInterface for MyrinetMedia {
+    fn name(&self) -> &str {
+        "Myrinet"
+    }
+
+    fn repair_integrity(&self, bytes: &mut [u8]) {
+        if bytes.len() >= 2 {
+            let last = bytes.len() - 1;
+            bytes[last] = netfi_myrinet::crc8::checksum(&bytes[..last]);
+        }
+    }
+
+    fn integrity_ok(&self, bytes: &[u8]) -> bool {
+        netfi_myrinet::crc8::verify(bytes)
+    }
+
+    fn classify(&self, bytes: &[u8]) -> MediaClass {
+        let Some(ptype) = PacketType::from_slice(bytes.get(self.route_bytes..).unwrap_or(&[]))
+        else {
+            return MediaClass::default();
+        };
+        let endpoints = (ptype == PacketType::DATA)
+            .then(|| EthHeader::from_slice(bytes.get(self.route_bytes + 4..).unwrap_or(&[])))
+            .flatten()
+            .map(|h| (eth_to_u64(h.src), eth_to_u64(h.dest)));
+        MediaClass {
+            kind: Some(ptype.to_string()),
+            endpoints,
+        }
+    }
+}
+
+fn eth_to_u64(addr: netfi_myrinet::addr::EthAddr) -> u64 {
+    let o = addr.octets();
+    u64::from_be_bytes([0, 0, o[0], o[1], o[2], o[3], o[4], o[5]])
+}
+
+/// Fibre Channel interface logic (the FCPHY side of the board). Operates
+/// on frame *bodies* (header + payload + CRC-32, between the SOF and EOF
+/// ordered sets), which is what the device sees behind its 8b/10b PHY.
+#[derive(Debug, Clone, Default)]
+pub struct FibreChannelMedia;
+
+impl MediaInterface for FibreChannelMedia {
+    fn name(&self) -> &str {
+        "Fibre Channel"
+    }
+
+    fn repair_integrity(&self, bytes: &mut [u8]) {
+        if bytes.len() >= 4 {
+            let body_len = bytes.len() - 4;
+            let crc = netfi_fc_crc32(&bytes[..body_len]);
+            bytes[body_len..].copy_from_slice(&crc.to_le_bytes());
+        }
+    }
+
+    fn integrity_ok(&self, bytes: &[u8]) -> bool {
+        netfi_fc_verify(bytes)
+    }
+
+    fn classify(&self, bytes: &[u8]) -> MediaClass {
+        if bytes.len() < 24 {
+            return MediaClass::default();
+        }
+        let header: [u8; 24] = bytes[..24].try_into().expect("checked length");
+        let d_id = u64::from(u32::from_be_bytes([0, header[1], header[2], header[3]]));
+        let s_id = u64::from(u32::from_be_bytes([0, header[5], header[6], header[7]]));
+        MediaClass {
+            kind: Some(format!("FC type 0x{:02x}", header[8])),
+            endpoints: Some((s_id, d_id)),
+        }
+    }
+}
+
+// Thin local aliases so this module reads independently of the fc crate's
+// module layout.
+fn netfi_fc_crc32(data: &[u8]) -> u32 {
+    netfi_fc::crc32::checksum(data)
+}
+
+fn netfi_fc_verify(data: &[u8]) -> bool {
+    netfi_fc::crc32::verify(data)
+}
+
+/// Statistics gathered by a [`Gen2Injector`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Gen2Stats {
+    /// Packets processed.
+    pub packets: u64,
+    /// Packets corrupted.
+    pub injected_packets: u64,
+    /// Integrity codes repaired after corruption.
+    pub repairs: u64,
+    /// Packet counts per kind label.
+    pub kind_counts: BTreeMap<String, u64>,
+    /// Packet counts per (source, destination) identifier pair.
+    pub endpoint_counts: BTreeMap<(u64, u64), u64>,
+}
+
+/// The gen-2 injector: medium-blind injector logic + pluggable interface
+/// logic.
+///
+/// # Example
+///
+/// ```
+/// use netfi_core::media::{FibreChannelMedia, Gen2Injector, MediaInterface};
+/// use netfi_core::config::InjectorConfig;
+/// use netfi_core::trigger::MatchMode;
+///
+/// let config = InjectorConfig::builder()
+///     .match_mode(MatchMode::On)
+///     .compare(u32::from_be_bytes(*b"SCSI"), 0xFFFF_FFFF)
+///     .corrupt_toggle(0x0000_0001)
+///     .recompute_crc(true) // repaired with the *medium's* code: CRC-32
+///     .build();
+/// let mut injector = Gen2Injector::new(FibreChannelMedia, config);
+/// assert_eq!(injector.media().name(), "Fibre Channel");
+/// ```
+#[derive(Debug)]
+pub struct Gen2Injector<M: MediaInterface> {
+    media: M,
+    fifo: FifoInjector,
+    /// Whether injected packets get their integrity code repaired — the
+    /// gen-1 `crc_recompute` flag, honoured at the media layer.
+    repair_enabled: bool,
+    stats: Gen2Stats,
+}
+
+impl<M: MediaInterface> Gen2Injector<M> {
+    /// Composes injector logic with a medium's interface logic.
+    pub fn new(media: M, config: InjectorConfig) -> Gen2Injector<M> {
+        // Integrity repair belongs to the media layer here; disable the
+        // gen-1 datapath's built-in CRC-8 fixer and honour the flag at
+        // this level instead.
+        let mut inner = config;
+        inner.crc_recompute = false;
+        Gen2Injector {
+            media,
+            fifo: FifoInjector::new(inner),
+            repair_enabled: config.crc_recompute,
+            stats: Gen2Stats::default(),
+        }
+    }
+
+    /// The medium's interface logic.
+    pub fn media(&self) -> &M {
+        &self.media
+    }
+
+    /// The injector logic, read-only (counters, armed state).
+    pub fn fifo(&self) -> &FifoInjector {
+        &self.fifo
+    }
+
+    /// Mutable injector logic (for `inject_now` and re-arming).
+    pub fn fifo_mut(&mut self) -> &mut FifoInjector {
+        &mut self.fifo
+    }
+
+    /// Reconfigures the injector logic.
+    pub fn set_config(&mut self, config: InjectorConfig) {
+        let mut inner = config;
+        inner.crc_recompute = false;
+        self.fifo.set_config(inner);
+        self.repair_enabled = config.crc_recompute;
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &Gen2Stats {
+        &self.stats
+    }
+
+    /// Pushes one packet (wire image for Myrinet; frame body for FC)
+    /// through the datapath.
+    pub fn process(&mut self, bytes: &mut [u8]) -> PacketReport {
+        self.stats.packets += 1;
+        let class = self.media.classify(bytes);
+        if let Some(kind) = class.kind {
+            *self.stats.kind_counts.entry(kind).or_insert(0) += 1;
+        }
+        if let Some(pair) = class.endpoints {
+            *self.stats.endpoint_counts.entry(pair).or_insert(0) += 1;
+        }
+        let report = self.fifo.process_packet(bytes);
+        if report.injected() {
+            self.stats.injected_packets += 1;
+            if self.repair_enabled {
+                self.media.repair_integrity(bytes);
+                self.stats.repairs += 1;
+            }
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trigger::MatchMode;
+    use netfi_fc::frame::{FcAddress, FcFrame};
+    use netfi_myrinet::packet::{route_to_host, Packet};
+
+    fn trigger_config(pattern: &[u8; 4], repair: bool) -> InjectorConfig {
+        InjectorConfig::builder()
+            .match_mode(MatchMode::On)
+            .compare(u32::from_be_bytes(*pattern), 0xFFFF_FFFF)
+            .corrupt_toggle(0x0000_00FF)
+            .recompute_crc(repair)
+            .build()
+    }
+
+    #[test]
+    fn myrinet_media_repairs_crc8() {
+        let mut injector = Gen2Injector::new(MyrinetMedia::default(), trigger_config(b"BEEF", true));
+        let pkt = Packet::new(
+            vec![route_to_host(1)],
+            PacketType::DATA,
+            b"some BEEF here".to_vec(),
+        );
+        let mut wire = pkt.encode();
+        let report = injector.process(&mut wire);
+        assert!(report.injected());
+        assert!(injector.media().integrity_ok(&wire), "CRC-8 repaired");
+        assert_eq!(injector.stats().repairs, 1);
+    }
+
+    #[test]
+    fn fc_media_repairs_crc32() {
+        // The gen-1 device could only repair the Myrinet CRC-8; the gen-2
+        // media abstraction repairs whatever the medium uses.
+        let mut injector = Gen2Injector::new(FibreChannelMedia, trigger_config(b"BEEF", true));
+        let frame = FcFrame::data(
+            FcAddress::new(0x111111),
+            FcAddress::new(0x222222),
+            0,
+            b"fc BEEF payload".to_vec(),
+        );
+        let mut body = frame.body();
+        let report = injector.process(&mut body);
+        assert!(report.injected());
+        assert!(injector.media().integrity_ok(&body), "CRC-32 repaired");
+    }
+
+    #[test]
+    fn repair_disabled_leaves_integrity_broken() {
+        let mut injector = Gen2Injector::new(FibreChannelMedia, trigger_config(b"BEEF", false));
+        let frame = FcFrame::data(FcAddress::new(1), FcAddress::new(2), 0, b"xx BEEF".to_vec());
+        let mut body = frame.body();
+        assert!(injector.process(&mut body).injected());
+        assert!(!injector.media().integrity_ok(&body));
+        assert_eq!(injector.stats().repairs, 0);
+    }
+
+    #[test]
+    fn classification_is_medium_specific() {
+        let mut myri = Gen2Injector::new(
+            MyrinetMedia::default(),
+            InjectorConfig::passthrough(),
+        );
+        let pkt = Packet::new(vec![route_to_host(1)], PacketType::MAPPING, vec![1, 2, 3]);
+        let mut wire = pkt.encode();
+        myri.process(&mut wire);
+        assert_eq!(myri.stats().kind_counts.get("MAPPING"), Some(&1));
+
+        let mut fc = Gen2Injector::new(FibreChannelMedia, InjectorConfig::passthrough());
+        let frame = FcFrame::data(FcAddress::new(0xA), FcAddress::new(0xB), 0, vec![]);
+        let mut body = frame.body();
+        fc.process(&mut body);
+        assert_eq!(fc.stats().kind_counts.get("FC type 0x08"), Some(&1));
+        // classify reports (source, destination) = (s_id, d_id).
+        assert_eq!(fc.stats().endpoint_counts.get(&(0xB, 0xA)), Some(&1));
+    }
+
+    #[test]
+    fn myrinet_endpoint_counting_matches_gen1() {
+        use netfi_myrinet::addr::EthAddr;
+        use netfi_myrinet::interface::EthHeader;
+        let mut injector =
+            Gen2Injector::new(MyrinetMedia::default(), InjectorConfig::passthrough());
+        let header = EthHeader {
+            dest: EthAddr::myricom(2),
+            src: EthAddr::myricom(1),
+        };
+        let mut payload = header.encode().to_vec();
+        payload.extend_from_slice(b"data");
+        let pkt = Packet::new(vec![route_to_host(1)], PacketType::DATA, payload);
+        let mut wire = pkt.encode();
+        injector.process(&mut wire);
+        let src = super::eth_to_u64(EthAddr::myricom(1));
+        let dst = super::eth_to_u64(EthAddr::myricom(2));
+        assert_eq!(injector.stats().endpoint_counts.get(&(src, dst)), Some(&1));
+    }
+
+    #[test]
+    fn random_seu_works_through_gen2() {
+        let config = InjectorConfig::builder().random_seu(1.0).recompute_crc(true).build();
+        let mut injector = Gen2Injector::new(FibreChannelMedia, config);
+        let frame = FcFrame::data(FcAddress::new(1), FcAddress::new(2), 0, vec![0u8; 64]);
+        let mut body = frame.body();
+        let report = injector.process(&mut body);
+        assert!(report.injected(), "p=1.0 must flip bits");
+        assert!(injector.media().integrity_ok(&body), "CRC-32 repaired after SEU");
+    }
+}

@@ -1,0 +1,162 @@
+//! The real-time triggering mechanism (paper §3.2–3.3).
+//!
+//! "Incoming data is compared with the compare data (bit-wise XOR)
+//! operation. The trigger line is asserted if they all match. … The compare
+//! mask enables the use of 'don't care' bits" — so a window matches when
+//! `(window XOR compare_data) AND compare_mask == 0`. The hardware shifts
+//! the incoming stream through 32-bit compare registers one character at a
+//! time, so the window slides *byte-wise* over the stream; "by using the
+//! mask commands, we can specify any arbitrary number of bits between 0
+//! and 32".
+
+/// Match-mode of the trigger (paper: "on, off, and once").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchMode {
+    /// The trigger is disabled.
+    #[default]
+    Off,
+    /// The trigger fires on every match.
+    On,
+    /// The trigger fires on the first match, then ignores all subsequent
+    /// matches — "useful if the user wants to inject only one controlled,
+    /// synchronous error and study its effects over a relatively long
+    /// time".
+    Once,
+}
+
+/// The 32-bit compare unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompareUnit {
+    /// Pattern the stream is compared against.
+    pub compare_data: u32,
+    /// Which bits must match (1 = must match, 0 = don't care).
+    pub compare_mask: u32,
+}
+
+impl CompareUnit {
+    /// Creates a compare unit.
+    pub fn new(compare_data: u32, compare_mask: u32) -> CompareUnit {
+        CompareUnit {
+            compare_data,
+            compare_mask,
+        }
+    }
+
+    /// `true` if a 32-bit window matches.
+    ///
+    /// A mask of zero matches everything — all 32 bits are "don't care".
+    pub fn matches(&self, window: u32) -> bool {
+        (window ^ self.compare_data) & self.compare_mask == 0
+    }
+
+    /// Scans a byte stream with a byte-sliding 32-bit window (big-endian,
+    /// matching transmission order) and returns every matching offset.
+    ///
+    /// The scan always runs over the *original* data: in the hardware, the
+    /// compare registers see the incoming stream, while corruption is
+    /// applied later, in the FIFO — so earlier injections never perturb
+    /// later comparisons.
+    pub fn scan(&self, bytes: &[u8]) -> Vec<usize> {
+        if bytes.len() < 4 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        for i in 0..=bytes.len() - 4 {
+            let window = u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
+            if self.matches(window) {
+                out.push(i);
+            }
+        }
+        out
+    }
+}
+
+/// An 8-bit compare unit for control symbols, which travel outside the
+/// 32-bit data path (they are single 9-bit characters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlCompare {
+    /// Code the control character is compared against.
+    pub compare_code: u8,
+    /// Which bits must match.
+    pub compare_mask: u8,
+}
+
+impl ControlCompare {
+    /// A comparator matching `code` exactly.
+    pub fn exact(code: u8) -> ControlCompare {
+        ControlCompare {
+            compare_code: code,
+            compare_mask: 0xFF,
+        }
+    }
+
+    /// `true` if a control code matches.
+    pub fn matches(&self, code: u8) -> bool {
+        (code ^ self.compare_code) & self.compare_mask == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_mask_requires_exact_match() {
+        let cmp = CompareUnit::new(0xDEADBEEF, 0xFFFF_FFFF);
+        assert!(cmp.matches(0xDEADBEEF));
+        assert!(!cmp.matches(0xDEADBEEE));
+    }
+
+    #[test]
+    fn zero_mask_matches_everything() {
+        let cmp = CompareUnit::new(0x12345678, 0);
+        assert!(cmp.matches(0));
+        assert!(cmp.matches(u32::MAX));
+    }
+
+    #[test]
+    fn partial_mask_ignores_dont_care_bits() {
+        // The paper's scenario: match the 16 bits 0x1818 at the head of a
+        // window, ignore the low 16.
+        let cmp = CompareUnit::new(0x1818_0000, 0xFFFF_0000);
+        assert!(cmp.matches(0x1818_0000));
+        assert!(cmp.matches(0x1818_FFFF));
+        assert!(!cmp.matches(0x1918_0000));
+    }
+
+    #[test]
+    fn scan_finds_byte_aligned_positions() {
+        let cmp = CompareUnit::new(0x1818_0000, 0xFFFF_0000);
+        let data = [0x00, 0x18, 0x18, 0x55, 0x66, 0x18, 0x18, 0x77, 0x88];
+        assert_eq!(cmp.scan(&data), vec![1, 5]);
+    }
+
+    #[test]
+    fn scan_short_buffers() {
+        let cmp = CompareUnit::new(0, 0);
+        assert!(cmp.scan(&[1, 2, 3]).is_empty());
+        assert_eq!(cmp.scan(&[1, 2, 3, 4]), vec![0]);
+    }
+
+    #[test]
+    fn scan_overlapping_matches() {
+        let cmp = CompareUnit::new(0x1818_0000, 0xFFFF_0000);
+        let data = [0x18, 0x18, 0x18, 0x18, 0x18, 0x00];
+        // Windows at 0,1,2 all start with 0x1818.
+        assert_eq!(cmp.scan(&data), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn control_compare() {
+        let c = ControlCompare::exact(0x0C);
+        assert!(c.matches(0x0C));
+        assert!(!c.matches(0x0F));
+        let loose = ControlCompare {
+            compare_code: 0x0C,
+            compare_mask: 0x0C,
+        };
+        assert!(loose.matches(0x0C));
+        assert!(loose.matches(0x0D)); // low bits don't care
+        assert!(!loose.matches(0x08));
+    }
+}

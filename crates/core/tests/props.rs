@@ -1,0 +1,203 @@
+//! Property-based tests for the injector core.
+
+use proptest::prelude::*;
+
+use netfi_core::command::{parse_command, render_command, Command, DirSelect};
+use netfi_core::config::InjectorConfig;
+use netfi_core::corrupt::{CorruptMode, CorruptUnit};
+use netfi_core::fifo::{FifoInjector, FifoPipeline};
+use netfi_core::trigger::{CompareUnit, MatchMode};
+use netfi_myrinet::crc8;
+use netfi_phy::clock::ClockGenerator;
+
+fn arb_command() -> impl Strategy<Value = Command> {
+    prop_oneof![
+        prop_oneof![
+            Just(DirSelect::A),
+            Just(DirSelect::B),
+            Just(DirSelect::Both)
+        ]
+        .prop_map(Command::SelectDirection),
+        prop_oneof![
+            Just(MatchMode::Off),
+            Just(MatchMode::On),
+            Just(MatchMode::Once)
+        ]
+        .prop_map(Command::MatchMode),
+        any::<u32>().prop_map(Command::CompareData),
+        any::<u32>().prop_map(Command::CompareMask),
+        prop_oneof![Just(CorruptMode::Toggle), Just(CorruptMode::Replace)]
+            .prop_map(Command::CorruptMode),
+        any::<u32>().prop_map(Command::CorruptData),
+        any::<u32>().prop_map(Command::CorruptMask),
+        any::<bool>().prop_map(Command::CrcRecompute),
+        (any::<u8>(), any::<u8>(), any::<u8>())
+            .prop_map(|(from, mask, to)| Command::ControlSwap { from, mask, to }),
+        Just(Command::ControlOff),
+        any::<u32>().prop_map(Command::RandomRate),
+        Just(Command::InjectNow),
+        Just(Command::Rearm),
+        Just(Command::QueryStats),
+        Just(Command::ResetStats),
+    ]
+}
+
+/// Reference implementation of the byte-sliding window scan.
+fn naive_scan(compare: CompareUnit, bytes: &[u8]) -> Vec<usize> {
+    let mut out = Vec::new();
+    for i in 0..bytes.len().saturating_sub(3) {
+        let w = u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
+        if (w ^ compare.compare_data) & compare.compare_mask == 0 {
+            out.push(i);
+        }
+    }
+    out
+}
+
+proptest! {
+    /// The trigger scan agrees with the naive reference for any pattern,
+    /// mask and stream.
+    #[test]
+    fn scan_matches_reference(
+        data in any::<u32>(),
+        mask in any::<u32>(),
+        stream in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let cmp = CompareUnit::new(data, mask);
+        prop_assert_eq!(cmp.scan(&stream), naive_scan(cmp, &stream));
+    }
+
+    /// Toggle corruption is an involution; replace is idempotent.
+    #[test]
+    fn corruption_algebra(data in any::<u32>(), mask in any::<u32>(), window in any::<u32>()) {
+        let toggle = CorruptUnit::toggle(data);
+        prop_assert_eq!(toggle.apply(toggle.apply(window)), window);
+        let replace = CorruptUnit::replace(data, mask);
+        prop_assert_eq!(replace.apply(replace.apply(window)), replace.apply(window));
+        // Replace only changes masked bits.
+        prop_assert_eq!(replace.apply(window) & !mask, window & !mask);
+    }
+
+    /// apply_at never writes outside the window or the buffer.
+    #[test]
+    fn apply_at_is_contained(
+        buf in proptest::collection::vec(any::<u8>(), 1..64),
+        offset in any::<usize>(),
+        data in any::<u32>()
+    ) {
+        let unit = CorruptUnit::toggle(data);
+        let offset = offset % (buf.len() + 4);
+        let mut out = buf.clone();
+        unit.apply_at(&mut out, offset);
+        for (i, (&a, &b)) in buf.iter().zip(&out).enumerate() {
+            if i < offset || i >= offset + 4 {
+                prop_assert_eq!(a, b, "byte {} outside the window changed", i);
+            }
+        }
+    }
+
+    /// With CRC recomputation enabled, any triggered corruption still
+    /// yields a CRC-valid image ("recalculating the correct CRC value to
+    /// transmit immediately before the end-of-frame character").
+    #[test]
+    fn crc_fix_always_repairs(
+        payload in proptest::collection::vec(any::<u8>(), 4..128),
+        pattern_at in any::<proptest::sample::Index>(),
+        corrupt in any::<u32>()
+    ) {
+        // Build a wire image with a known CRC, plant a pattern, corrupt it.
+        let mut wire = payload;
+        let crc = crc8::checksum(&wire);
+        wire.push(crc);
+        let at = pattern_at.index(wire.len() - 4);
+        let window = u32::from_be_bytes([wire[at], wire[at+1], wire[at+2], wire[at+3]]);
+        let config = InjectorConfig::builder()
+            .match_mode(MatchMode::Once)
+            .compare(window, 0xFFFF_FFFF)
+            .corrupt_toggle(corrupt)
+            .recompute_crc(true)
+            .build();
+        let mut injector = FifoInjector::new(config);
+        let report = injector.process_packet(&mut wire);
+        prop_assert!(report.injected());
+        prop_assert!(crc8::verify(&wire), "CRC not repaired");
+    }
+
+    /// Once mode injects at most one window per arming, across any number
+    /// of packets.
+    #[test]
+    fn once_mode_fires_at_most_once(
+        packets in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..64),
+            1..8
+        )
+    ) {
+        let config = InjectorConfig::builder()
+            .match_mode(MatchMode::Once)
+            .compare(0, 0) // matches every window
+            .corrupt_toggle(0xFF)
+            .build();
+        let mut injector = FifoInjector::new(config);
+        let mut total = 0;
+        for mut p in packets {
+            total += injector.process_packet(&mut p).injected_offsets.len();
+        }
+        prop_assert!(total <= 1, "once-mode injected {} times", total);
+    }
+
+    /// Off mode never corrupts anything.
+    #[test]
+    fn off_mode_is_identity(
+        stream in proptest::collection::vec(any::<u8>(), 0..128),
+        data in any::<u32>(),
+        mask in any::<u32>()
+    ) {
+        let config = InjectorConfig::builder()
+            .match_mode(MatchMode::Off)
+            .compare(data, mask)
+            .corrupt_toggle(0xFFFF_FFFF)
+            .build();
+        let mut injector = FifoInjector::new(config);
+        let mut out = stream.clone();
+        let report = injector.process_packet(&mut out);
+        prop_assert!(!report.injected());
+        prop_assert_eq!(out, stream);
+    }
+
+    /// The command language roundtrips: render then parse is identity.
+    #[test]
+    fn command_render_parse_roundtrip(cmd in arb_command()) {
+        prop_assert_eq!(parse_command(&render_command(&cmd)), Ok(cmd));
+    }
+
+    /// The cycle-accurate pipeline is a faithful FIFO when nothing
+    /// matches: output equals input, in order, for any stream and slack.
+    #[test]
+    fn pipeline_is_transparent_fifo(
+        stream in proptest::collection::vec(any::<u32>(), 0..128),
+        slack in 1usize..7
+    ) {
+        let mut p = FifoPipeline::new(
+            8,
+            slack,
+            CompareUnit::new(0xDEAD_BEEF, u32::MAX),
+            CorruptUnit::replace(0, u32::MAX),
+            ClockGenerator::from_hz(100_000_000),
+        );
+        // Ensure the match value never occurs.
+        let stream: Vec<u32> = stream.into_iter().map(|x| x ^ 0xDEAD_BEEF).collect();
+        let stream: Vec<u32> =
+            stream.into_iter().map(|x| if x == 0xDEAD_BEEF { 0 } else { x }).collect();
+        let out = p.run(&stream);
+        prop_assert_eq!(out, stream);
+    }
+
+    /// Latency scales inversely with the link rate and is always the
+    /// paper's five segment times.
+    #[test]
+    fn latency_is_five_segments(rate in 1_000_000u64..10_000_000_000) {
+        let injector = FifoInjector::new(InjectorConfig::passthrough());
+        let seg = netfi_sim::SimDuration::from_bits(32, rate);
+        prop_assert_eq!(injector.latency(rate), seg * 5);
+    }
+}

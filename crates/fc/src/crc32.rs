@@ -1,0 +1,141 @@
+//! CRC-32 (IEEE 802.3 / FC-PH), the frame check sequence of Fibre Channel.
+//!
+//! Reflected algorithm, polynomial `0x04C11DB7`, initial value and final
+//! XOR of all-ones — the exact CRC Fibre Channel frames carry between
+//! header and EOF.
+
+const POLY_REFLECTED: u32 = 0xEDB8_8320;
+
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY_REFLECTED
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Computes the CRC-32 of `data`.
+///
+/// # Example
+///
+/// ```
+/// use netfi_fc::crc32::checksum;
+/// assert_eq!(checksum(b"123456789"), 0xCBF4_3926); // the standard check value
+/// ```
+pub fn checksum(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+/// Verifies `data` whose last four bytes are its little-endian CRC-32.
+pub fn verify(data_with_crc: &[u8]) -> bool {
+    if data_with_crc.len() < 4 {
+        return false;
+    }
+    let (body, crc_bytes) = data_with_crc.split_at(data_with_crc.len() - 4);
+    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+    checksum(body) == stored
+}
+
+/// A streaming CRC-32 accumulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crc32 {
+    crc: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32 {
+    /// Creates an accumulator at the initial state.
+    pub fn new() -> Crc32 {
+        Crc32 { crc: 0xFFFF_FFFF }
+    }
+
+    /// Feeds more bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.crc = (self.crc >> 8) ^ TABLE[((self.crc ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// The CRC of everything fed so far.
+    pub fn finish(self) -> u32 {
+        self.crc ^ 0xFFFF_FFFF
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_check_value() {
+        assert_eq!(checksum(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(checksum(&[]), 0);
+    }
+
+    #[test]
+    fn verify_roundtrip() {
+        let mut buf = b"fibre channel frame".to_vec();
+        let crc = checksum(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        assert!(verify(&buf));
+        buf[3] ^= 0x80;
+        assert!(!verify(&buf));
+    }
+
+    #[test]
+    fn verify_rejects_short() {
+        assert!(!verify(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..200).collect();
+        for split in [0usize, 1, 99, 200] {
+            let mut acc = Crc32::new();
+            acc.update(&data[..split]);
+            acc.update(&data[split..]);
+            assert_eq!(acc.finish(), checksum(&data));
+        }
+    }
+
+    #[test]
+    fn all_single_bit_errors_detected() {
+        let mut buf = vec![0x5Au8; 64];
+        let crc = checksum(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                let mut corrupted = buf.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(!verify(&corrupted), "missed {byte}:{bit}");
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the Fibre Channel substrate.
+
+use proptest::prelude::*;
+
+use netfi_fc::crc32;
+use netfi_fc::frame::{decode_line, FcAddress, FcError, FcFrame, FcHeader};
+use netfi_fc::NPort;
+use netfi_phy::b8b10::{Decoder, Encoder};
+
+fn arb_header() -> impl Strategy<Value = FcHeader> {
+    (
+        any::<u8>(),
+        any::<u32>(),
+        any::<u32>(),
+        any::<u8>(),
+        any::<u8>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<u16>(),
+    )
+        .prop_map(|(r_ctl, d, s, ty, seq_id, seq_cnt, ox, rx)| FcHeader {
+            r_ctl,
+            d_id: FcAddress::new(d),
+            s_id: FcAddress::new(s),
+            type_field: ty,
+            seq_id,
+            seq_cnt,
+            ox_id: ox,
+            rx_id: rx,
+        })
+}
+
+proptest! {
+    /// CRC-32 detects any single bit flip.
+    #[test]
+    fn crc32_detects_single_flip(
+        data in proptest::collection::vec(any::<u8>(), 1..256),
+        bit in any::<usize>()
+    ) {
+        let mut buf = data;
+        let crc = crc32::checksum(&buf);
+        buf.extend_from_slice(&crc.to_le_bytes());
+        let bit = bit % (buf.len() * 8);
+        buf[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(!crc32::verify(&buf));
+    }
+
+    /// Streaming CRC-32 equals one-shot for any split.
+    #[test]
+    fn crc32_streaming_equivalence(
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+        split in any::<proptest::sample::Index>()
+    ) {
+        let cut = if data.is_empty() { 0 } else { split.index(data.len()) };
+        let mut acc = crc32::Crc32::new();
+        acc.update(&data[..cut]);
+        acc.update(&data[cut..]);
+        prop_assert_eq!(acc.finish(), crc32::checksum(&data));
+    }
+
+    /// Headers roundtrip for arbitrary field values (addresses masked to
+    /// 24 bits by construction).
+    #[test]
+    fn header_roundtrip(h in arb_header()) {
+        prop_assert_eq!(FcHeader::decode(&h.encode()), h);
+    }
+
+    /// Whole frames survive the full 8b/10b line roundtrip for arbitrary
+    /// headers and payloads, including back-to-back frames sharing one
+    /// running disparity.
+    #[test]
+    fn frame_line_roundtrip(
+        frames in proptest::collection::vec(
+            (arb_header(), proptest::collection::vec(any::<u8>(), 0..128)),
+            1..4
+        )
+    ) {
+        let mut enc = Encoder::new();
+        let mut dec = Decoder::new();
+        for (header, payload) in frames {
+            let frame = FcFrame {
+                sof: netfi_fc::frame::Sof::Normal3,
+                header,
+                payload,
+                eof: netfi_fc::frame::Eof::Normal,
+            };
+            let line = frame.to_line(&mut enc).unwrap();
+            let (decoded, consumed) = decode_line(&line, &mut dec).unwrap();
+            prop_assert_eq!(decoded, frame);
+            prop_assert_eq!(consumed, line.len());
+        }
+    }
+
+    /// Corrupting any body byte (without fixing the CRC) is detected.
+    #[test]
+    fn frame_body_corruption_detected(
+        payload in proptest::collection::vec(any::<u8>(), 1..128),
+        at in any::<proptest::sample::Index>(),
+        flip in 1u8..=255
+    ) {
+        let frame = FcFrame::data(FcAddress::new(1), FcAddress::new(2), 0, payload);
+        let mut body = frame.body();
+        let idx = at.index(body.len());
+        body[idx] ^= flip;
+        let mut enc = Encoder::new();
+        let mut chars: Vec<netfi_phy::b8b10::Byte8> = Vec::new();
+        chars.extend(netfi_fc::OrderedSet::Sof(frame.sof).chars());
+        chars.extend(body.iter().map(|&b| netfi_phy::b8b10::Byte8::Data(b)));
+        chars.extend(netfi_fc::OrderedSet::Eof(frame.eof).chars());
+        let line: Vec<u16> = chars.into_iter().map(|c| enc.push(c).unwrap()).collect();
+        let mut dec = Decoder::new();
+        prop_assert_eq!(decode_line(&line, &mut dec), Err(FcError::BadCrc));
+    }
+
+    /// Credit conservation: frames in flight never exceed BB_Credit, and
+    /// every credit returned is eventually usable.
+    #[test]
+    fn bb_credit_conservation(
+        credit in 1u32..8,
+        ops in proptest::collection::vec(any::<bool>(), 1..100)
+    ) {
+        let mut port = NPort::new(credit);
+        let mut in_flight: u32 = 0;
+        let mut seq = 0u16;
+        for send in ops {
+            if send {
+                let released = port.send(FcFrame::data(
+                    FcAddress::new(1),
+                    FcAddress::new(2),
+                    seq,
+                    vec![],
+                ));
+                seq = seq.wrapping_add(1);
+                in_flight += released.len() as u32;
+            } else if in_flight > 0 {
+                in_flight -= 1;
+                in_flight += port.on_r_rdy().len() as u32;
+            } else {
+                let _ = port.on_r_rdy();
+            }
+            prop_assert!(in_flight <= credit, "in flight {} > credit {}", in_flight, credit);
+            prop_assert!(port.credits() <= credit);
+        }
+    }
+}

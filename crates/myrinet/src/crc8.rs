@@ -1,0 +1,184 @@
+//! The Myrinet trailing CRC-8.
+//!
+//! Every Myrinet packet ends with a single CRC byte covering the whole
+//! packet (source route, packet type and payload). Because switches strip
+//! one route byte per hop, "after each byte is removed, the trailing CRC-8
+//! is recomputed" (paper §4.1) — so this module provides both one-shot and
+//! streaming computation. The polynomial is the CCITT ATM-HEC polynomial
+//! x⁸ + x² + x + 1 (`0x07`), the code Myrinet uses.
+
+/// The CRC-8 generator polynomial, x⁸ + x² + x + 1.
+pub const POLYNOMIAL: u8 = 0x07;
+
+/// Lookup table for byte-at-a-time computation, built at compile time.
+const TABLE: [u8; 256] = build_table();
+
+const fn build_table() -> [u8; 256] {
+    let mut table = [0u8; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u8;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 0x80 != 0 {
+                (crc << 1) ^ POLYNOMIAL
+            } else {
+                crc << 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// Computes the CRC-8 of `data` (initial value 0).
+///
+/// # Example
+///
+/// ```
+/// use netfi_myrinet::crc8;
+/// let crc = crc8::checksum(b"123456789");
+/// assert_eq!(crc, 0xF4); // the CRC-8/ATM check value
+/// ```
+pub fn checksum(data: &[u8]) -> u8 {
+    let mut crc = 0u8;
+    for &b in data {
+        crc = TABLE[(crc ^ b) as usize];
+    }
+    crc
+}
+
+/// Verifies a buffer whose final byte is its CRC.
+///
+/// A property of this CRC: appending the correct CRC byte drives the
+/// register to zero.
+pub fn verify(data_with_crc: &[u8]) -> bool {
+    !data_with_crc.is_empty() && checksum(data_with_crc) == 0
+}
+
+/// A streaming CRC-8 accumulator.
+///
+/// # Example
+///
+/// ```
+/// use netfi_myrinet::crc8::{self, Crc8};
+/// let mut acc = Crc8::new();
+/// acc.update(b"1234");
+/// acc.update(b"56789");
+/// assert_eq!(acc.finish(), crc8::checksum(b"123456789"));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Crc8 {
+    crc: u8,
+}
+
+impl Crc8 {
+    /// Creates an accumulator at the initial state.
+    pub fn new() -> Crc8 {
+        Crc8 { crc: 0 }
+    }
+
+    /// Feeds more bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.crc = TABLE[(self.crc ^ b) as usize];
+        }
+    }
+
+    /// The CRC of everything fed so far.
+    pub fn finish(self) -> u8 {
+        self.crc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_check_value() {
+        // CRC-8 (poly 0x07, init 0, no reflection, no xor-out) of
+        // "123456789" is 0xF4.
+        assert_eq!(checksum(b"123456789"), 0xF4);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(checksum(&[]), 0);
+    }
+
+    #[test]
+    fn appended_crc_verifies() {
+        let mut buf = b"hello myrinet".to_vec();
+        let crc = checksum(&buf);
+        buf.push(crc);
+        assert!(verify(&buf));
+    }
+
+    #[test]
+    fn verify_rejects_empty() {
+        assert!(!verify(&[]));
+    }
+
+    #[test]
+    fn single_bit_errors_always_detected() {
+        // CRC-8 detects all single-bit errors.
+        let mut buf = b"some packet payload data".to_vec();
+        let crc = checksum(&buf);
+        buf.push(crc);
+        for byte in 0..buf.len() {
+            for bit in 0..8 {
+                let mut corrupted = buf.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert!(!verify(&corrupted), "missed flip at {byte}:{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn burst_errors_up_to_8_bits_detected() {
+        // CRC-8 detects all burst errors of length <= 8.
+        let mut buf = vec![0xA5; 32];
+        let crc = checksum(&buf);
+        buf.push(crc);
+        for start in 0..(buf.len() * 8 - 8) {
+            // an 8-bit burst with both endpoints flipped
+            let mut corrupted = buf.clone();
+            for offset in [0usize, 3, 7] {
+                let bit = start + offset;
+                corrupted[bit / 8] ^= 1 << (bit % 8);
+            }
+            assert!(!verify(&corrupted), "missed burst at {start}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_one_shot() {
+        let data: Vec<u8> = (0..=255).collect();
+        for split in [0usize, 1, 17, 128, 255, 256] {
+            let mut acc = Crc8::new();
+            acc.update(&data[..split]);
+            acc.update(&data[split..]);
+            assert_eq!(acc.finish(), checksum(&data));
+        }
+    }
+
+    #[test]
+    fn route_byte_strip_recompute() {
+        // The switch behaviour: strip the leading byte, recompute.
+        let packet = b"\x81\x00\x00\x00\x04payload".to_vec();
+        let crc_full = checksum(&packet);
+        let stripped = &packet[1..];
+        let crc_stripped = checksum(stripped);
+        // Both are valid CRCs of their respective contents.
+        let mut full = packet.clone();
+        full.push(crc_full);
+        assert!(verify(&full));
+        let mut short = stripped.to_vec();
+        short.push(crc_stripped);
+        assert!(verify(&short));
+        assert_ne!(crc_full, crc_stripped);
+    }
+}

@@ -1,0 +1,226 @@
+//! The event vocabulary shared by every component in a Myrinet simulation.
+//!
+//! The engine is instantiated as `Engine<Ev>`; switches, host interfaces,
+//! the fault injector and traffic generators all exchange [`Ev`] values.
+//! Wiring is by *ports*: each component numbers its link attachment points,
+//! and [`connect`] ties two ports together over a [`Link`], after which the
+//! sender schedules `Ev::Rx` events at the peer with serialization plus
+//! propagation delay.
+
+use std::any::Any;
+use std::fmt;
+
+use netfi_phy::Link;
+use netfi_sim::{ComponentId, Engine, SimDuration};
+
+use crate::frame::Frame;
+
+/// An event delivered to a component.
+pub enum Ev {
+    /// A frame arriving on one of the component's input ports.
+    Rx {
+        /// The receiving port on the destination component.
+        port: u8,
+        /// The arriving frame.
+        frame: Frame,
+    },
+    /// A timer the component scheduled for itself. `kind` namespaces the
+    /// timer, `gen` is a generation counter for cancellation-by-staleness.
+    Timer {
+        /// Component-defined timer class.
+        kind: u32,
+        /// Generation at scheduling time; stale generations are ignored.
+        gen: u64,
+    },
+    /// A byte arriving on a serial (RS-232) configuration line.
+    Serial(u8),
+    /// An application-level event; hosts downcast to their own types.
+    App(Box<dyn Any>),
+}
+
+impl fmt::Debug for Ev {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ev::Rx { port, frame } => f.debug_struct("Rx").field("port", port).field("frame", frame).finish(),
+            Ev::Timer { kind, gen } => f.debug_struct("Timer").field("kind", kind).field("gen", gen).finish(),
+            Ev::Serial(b) => f.debug_tuple("Serial").field(b).finish(),
+            Ev::App(_) => f.write_str("App(..)"),
+        }
+    }
+}
+
+/// The far side of a wired port.
+#[derive(Debug, Clone)]
+pub struct PortPeer {
+    /// Component on the other end of the link.
+    pub dst: ComponentId,
+    /// The peer's port number.
+    pub dst_port: u8,
+    /// The link's physical parameters (bandwidth, propagation, BER).
+    pub link: Link,
+}
+
+impl PortPeer {
+    /// Serialization time for `chars` characters on this link.
+    pub fn tx_time(&self, chars: usize) -> SimDuration {
+        self.link.transfer_time(chars)
+    }
+
+    /// One-way propagation delay of the link.
+    pub fn propagation(&self) -> SimDuration {
+        self.link.propagation_delay()
+    }
+}
+
+/// Implemented by every component that exposes wirable ports.
+pub trait Attach: 'static {
+    /// Installs the peer for `port`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `port` is out of range for the component.
+    fn attach_port(&mut self, port: u8, peer: PortPeer);
+}
+
+/// Wires `a.port_a` to `b.port_b` over `link`, in both directions.
+///
+/// # Panics
+///
+/// Panics if either component id does not refer to a component of the given
+/// concrete type.
+pub fn connect<A: Attach, B: Attach>(
+    engine: &mut Engine<Ev>,
+    (a, port_a): (ComponentId, u8),
+    (b, port_b): (ComponentId, u8),
+    link: &Link,
+) {
+    {
+        let ca = engine
+            .component_as_mut::<A>(a)
+            .unwrap_or_else(|| panic!("component {a} is not the expected type"));
+        ca.attach_port(
+            port_a,
+            PortPeer {
+                dst: b,
+                dst_port: port_b,
+                link: link.clone(),
+            },
+        );
+    }
+    {
+        let cb = engine
+            .component_as_mut::<B>(b)
+            .unwrap_or_else(|| panic!("component {b} is not the expected type"));
+        cb.attach_port(
+            port_b,
+            PortPeer {
+                dst: a,
+                dst_port: port_a,
+                link: link.clone(),
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netfi_phy::ControlSymbol;
+    use netfi_sim::{Component, Context};
+
+    struct Probe {
+        ports: Vec<Option<PortPeer>>,
+        rx: Vec<(u8, Frame)>,
+    }
+
+    impl Probe {
+        fn new(nports: usize) -> Probe {
+            Probe {
+                ports: vec![None; nports],
+                rx: Vec::new(),
+            }
+        }
+    }
+
+    impl Attach for Probe {
+        fn attach_port(&mut self, port: u8, peer: PortPeer) {
+            self.ports[port as usize] = Some(peer);
+        }
+    }
+
+    impl Component<Ev> for Probe {
+        fn on_event(&mut self, _ctx: &mut Context<'_, Ev>, ev: Ev) {
+            if let Ev::Rx { port, frame } = ev {
+                self.rx.push((port, frame));
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn connect_wires_both_directions() {
+        let mut engine: Engine<Ev> = Engine::new();
+        let a = engine.add_component(Box::new(Probe::new(2)));
+        let b = engine.add_component(Box::new(Probe::new(1)));
+        let link = Link::myrinet_san(3.0);
+        connect::<Probe, Probe>(&mut engine, (a, 1), (b, 0), &link);
+
+        let pa = engine.component_as::<Probe>(a).unwrap();
+        let peer = pa.ports[1].as_ref().unwrap();
+        assert_eq!(peer.dst, b);
+        assert_eq!(peer.dst_port, 0);
+
+        let pb = engine.component_as::<Probe>(b).unwrap();
+        let peer = pb.ports[0].as_ref().unwrap();
+        assert_eq!(peer.dst, a);
+        assert_eq!(peer.dst_port, 1);
+    }
+
+    #[test]
+    fn port_peer_timing() {
+        let peer = PortPeer {
+            dst: {
+                let mut e: Engine<Ev> = Engine::new();
+                e.add_component(Box::new(Probe::new(1)))
+            },
+            dst_port: 0,
+            link: Link::myrinet_san(2.0),
+        };
+        assert_eq!(peer.propagation().as_ps(), 10_000);
+        assert_eq!(peer.tx_time(16).as_ps(), 100_000);
+    }
+
+    #[test]
+    fn rx_event_delivery() {
+        let mut engine: Engine<Ev> = Engine::new();
+        let a = engine.add_component(Box::new(Probe::new(1)));
+        engine.schedule(
+            netfi_sim::SimTime::ZERO,
+            a,
+            Ev::Rx {
+                port: 0,
+                frame: Frame::control(ControlSymbol::Go),
+            },
+        );
+        engine.run();
+        let p = engine.component_as::<Probe>(a).unwrap();
+        assert_eq!(p.rx.len(), 1);
+        assert_eq!(p.rx[0].0, 0);
+        assert_eq!(p.rx[0].1.as_control(), Some(ControlSymbol::Go));
+    }
+
+    #[test]
+    fn ev_debug_representations() {
+        let s = format!("{:?}", Ev::Serial(0x41));
+        assert!(s.contains("Serial"));
+        let t = format!("{:?}", Ev::Timer { kind: 3, gen: 9 });
+        assert!(t.contains("Timer"));
+        let a = format!("{:?}", Ev::App(Box::new(5u32)));
+        assert!(a.contains("App"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Link transmission units.
+//!
+//! At frame granularity a Myrinet link carries two kinds of unit (paper
+//! Figure 8): data packets — each normally terminated by a GAP control
+//! symbol — and standalone control symbols (STOP / GO / IDLE) interleaved
+//! with the packet stream by the flow-control hardware.
+//!
+//! The terminator travels *with* the packet frame here, as a raw control
+//! code, so the fault injector can corrupt it exactly as the hardware
+//! device corrupts the GAP character on the wire: a packet whose
+//! terminator no longer decodes as GAP leaves its wormhole path occupied
+//! (§4.3.1, "source blocking").
+
+use netfi_phy::ControlSymbol;
+
+/// A packet as it travels a link: its raw wire image plus the control
+/// symbol that terminates it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PacketFrame {
+    /// The wire image: route bytes, type, payload, trailing CRC.
+    pub bytes: Vec<u8>,
+    /// Raw code of the terminating control symbol, if one was transmitted.
+    /// Normally `Some(0x0C)` (GAP); the injector may corrupt or swallow it.
+    pub terminator: Option<u8>,
+}
+
+impl PacketFrame {
+    /// A packet frame with the normal GAP terminator.
+    pub fn new(bytes: Vec<u8>) -> PacketFrame {
+        PacketFrame {
+            bytes,
+            terminator: Some(ControlSymbol::Gap.encode()),
+        }
+    }
+
+    /// `true` if the terminator still decodes (tolerantly) as GAP.
+    pub fn gap_terminated(&self) -> bool {
+        self.terminator
+            .and_then(ControlSymbol::decode_tolerant)
+            == Some(ControlSymbol::Gap)
+    }
+
+    /// Wire length in characters: packet bytes plus the terminator.
+    pub fn wire_len(&self) -> usize {
+        self.bytes.len() + usize::from(self.terminator.is_some())
+    }
+}
+
+/// One unit on a link.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A data packet (with its terminator).
+    Packet(PacketFrame),
+    /// A standalone control symbol, as a raw 8-bit code.
+    Control(u8),
+}
+
+impl Frame {
+    /// A standalone control-symbol frame with the canonical encoding.
+    pub fn control(sym: ControlSymbol) -> Frame {
+        Frame::Control(sym.encode())
+    }
+
+    /// A GAP-terminated packet frame.
+    pub fn packet(bytes: Vec<u8>) -> Frame {
+        Frame::Packet(PacketFrame::new(bytes))
+    }
+
+    /// Wire length in characters.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            Frame::Packet(p) => p.wire_len(),
+            Frame::Control(_) => 1,
+        }
+    }
+
+    /// Decodes a standalone control frame (tolerantly).
+    pub fn as_control(&self) -> Option<ControlSymbol> {
+        match self {
+            Frame::Control(code) => ControlSymbol::decode_tolerant(*code),
+            Frame::Packet(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packet_frame_defaults_to_gap() {
+        let f = PacketFrame::new(vec![1, 2, 3]);
+        assert!(f.gap_terminated());
+        assert_eq!(f.wire_len(), 4);
+    }
+
+    #[test]
+    fn corrupted_terminator_not_gap() {
+        let mut f = PacketFrame::new(vec![1, 2, 3]);
+        f.terminator = Some(ControlSymbol::Stop.encode());
+        assert!(!f.gap_terminated());
+        // A tolerated single 1->0 fault on GAP still reads as GAP.
+        f.terminator = Some(0x04); // one bit from GAP (0x0C)
+        assert!(f.gap_terminated());
+    }
+
+    #[test]
+    fn swallowed_terminator() {
+        let mut f = PacketFrame::new(vec![1, 2, 3]);
+        f.terminator = None;
+        assert!(!f.gap_terminated());
+        assert_eq!(f.wire_len(), 3);
+    }
+
+    #[test]
+    fn control_frame_decoding() {
+        assert_eq!(
+            Frame::control(ControlSymbol::Stop).as_control(),
+            Some(ControlSymbol::Stop)
+        );
+        assert_eq!(Frame::Control(0xAA).as_control(), None);
+        assert_eq!(Frame::packet(vec![1]).as_control(), None);
+    }
+
+    #[test]
+    fn wire_lengths() {
+        assert_eq!(Frame::control(ControlSymbol::Go).wire_len(), 1);
+        assert_eq!(Frame::packet(vec![0; 10]).wire_len(), 11);
+    }
+}

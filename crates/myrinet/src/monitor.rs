@@ -1,0 +1,200 @@
+//! `mmon`-style monitoring.
+//!
+//! The paper's campaign watched "the status of the network and the
+//! associated information (like routing tables and control registers) …
+//! with the Myrinet monitoring program mmon" (§4.1). This module defines
+//! the snapshot structures that experiment harnesses fill from live
+//! components and render for inspection.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::addr::{EthAddr, NodeAddress};
+use crate::interface::{HostInterface, InterfaceStats};
+use crate::mapper::NetworkMap;
+use crate::switch::{Switch, SwitchStats};
+
+/// Snapshot of one host interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceSnapshot {
+    /// The MCP address.
+    pub addr: NodeAddress,
+    /// Current physical-address register.
+    pub eth: EthAddr,
+    /// Whether this node currently holds the mapper role.
+    pub is_mapper: bool,
+    /// Routing table contents.
+    pub routes: BTreeMap<EthAddr, Vec<u8>>,
+    /// Interface counters.
+    pub stats: InterfaceStats,
+    /// Nodes present per the last Routes broadcast.
+    pub present: Vec<EthAddr>,
+}
+
+impl InterfaceSnapshot {
+    /// Captures a snapshot from a live interface.
+    pub fn capture(nic: &HostInterface) -> InterfaceSnapshot {
+        InterfaceSnapshot {
+            addr: nic.node_addr(),
+            eth: nic.eth_addr(),
+            is_mapper: nic.is_mapper(),
+            routes: nic.routing_table().clone(),
+            stats: nic.stats(),
+            present: nic.present_nodes().to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for InterfaceSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "node {} eth={}{}",
+            self.addr,
+            self.eth,
+            if self.is_mapper { " [mapper]" } else { "" }
+        )?;
+        writeln!(
+            f,
+            "  rx: delivered={} crc_drops={} misaddr={} route_err={} unknown_type={}",
+            self.stats.rx_delivered,
+            self.stats.rx_crc_drops,
+            self.stats.rx_misaddressed,
+            self.stats.rx_route_errors,
+            self.stats.rx_unknown_type
+        )?;
+        writeln!(
+            f,
+            "  tx: data={} no_route={}",
+            self.stats.tx_data, self.stats.tx_no_route
+        )?;
+        for (dest, route) in &self.routes {
+            let hops: Vec<String> = route.iter().map(|b| format!("{b:02x}")).collect();
+            writeln!(f, "  route {dest} via [{}]", hops.join(" "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Snapshot of one switch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwitchSnapshot {
+    /// Switch name.
+    pub name: String,
+    /// Aggregate counters.
+    pub stats: SwitchStats,
+    /// Slack-buffer overflow total.
+    pub sbuf_overflows: u64,
+    /// STOP symbols generated toward senders.
+    pub stops_generated: u64,
+}
+
+impl SwitchSnapshot {
+    /// Captures a snapshot from a live switch.
+    pub fn capture(sw: &Switch) -> SwitchSnapshot {
+        SwitchSnapshot {
+            name: sw.name().to_string(),
+            stats: sw.stats(),
+            sbuf_overflows: sw.total_sbuf_overflows(),
+            stops_generated: sw.total_stops_generated(),
+        }
+    }
+}
+
+impl fmt::Display for SwitchSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "switch {}: forwarded={} overflow={} framing={} misroute={} long_timeouts={}",
+            self.name,
+            self.stats.forwarded,
+            self.stats.overflow_drops,
+            self.stats.framing_drops,
+            self.stats.misroute_drops,
+            self.stats.long_timeout_releases
+        )
+    }
+}
+
+/// A full `mmon`-style view: all interfaces, all switches, plus the
+/// mapper's network map if one exists.
+#[derive(Debug, Clone, Default)]
+pub struct MmonReport {
+    /// Per-interface snapshots.
+    pub interfaces: Vec<InterfaceSnapshot>,
+    /// Per-switch snapshots.
+    pub switches: Vec<SwitchSnapshot>,
+    /// The mapper's latest map.
+    pub map: Option<NetworkMap>,
+}
+
+impl fmt::Display for MmonReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "=== mmon report ===")?;
+        for nic in &self.interfaces {
+            write!(f, "{nic}")?;
+        }
+        for sw in &self.switches {
+            write!(f, "{sw}")?;
+        }
+        if let Some(map) = &self.map {
+            writeln!(f, "{map}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::InterfaceConfig;
+    use crate::mapper::Topology;
+    use crate::switch::SwitchConfig;
+
+    #[test]
+    fn interface_snapshot_captures_registers() {
+        let nic = HostInterface::new(InterfaceConfig::new(
+            NodeAddress(7),
+            EthAddr::myricom(1),
+            (0, 0),
+            Topology::single_switch(8),
+        ));
+        let snap = InterfaceSnapshot::capture(&nic);
+        assert_eq!(snap.addr, NodeAddress(7));
+        assert_eq!(snap.eth, EthAddr::myricom(1));
+        assert!(snap.is_mapper); // can_map defaults to true
+        assert!(snap.routes.is_empty());
+        let text = snap.to_string();
+        assert!(text.contains("eth=00:60:dd:00:00:01"));
+        assert!(text.contains("[mapper]"));
+    }
+
+    #[test]
+    fn switch_snapshot_captures_counters() {
+        let sw = Switch::new("swX", 4, SwitchConfig::default());
+        let snap = SwitchSnapshot::capture(&sw);
+        assert_eq!(snap.name, "swX");
+        assert_eq!(snap.stats.forwarded, 0);
+        assert!(snap.to_string().contains("switch swX"));
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let sw = Switch::new("s", 4, SwitchConfig::default());
+        let nic = HostInterface::new(InterfaceConfig::new(
+            NodeAddress(1),
+            EthAddr::myricom(2),
+            (0, 1),
+            Topology::single_switch(4),
+        ));
+        let report = MmonReport {
+            interfaces: vec![InterfaceSnapshot::capture(&nic)],
+            switches: vec![SwitchSnapshot::capture(&sw)],
+            map: Some(NetworkMap::new(3)),
+        };
+        let text = report.to_string();
+        assert!(text.contains("mmon report"));
+        assert!(text.contains("switch s"));
+        assert!(text.contains("epoch=3") || text.contains("epoch 3") || text.contains("map[epoch=3"));
+    }
+}

@@ -1,0 +1,734 @@
+//! The Myrinet crossbar switch.
+//!
+//! Packets are routed with relative addressing: "at each switch, the first
+//! byte of the header designates the outgoing port. Once the packet is
+//! routed, the byte used by the current switch is stripped off … after each
+//! byte is removed, the trailing CRC-8 is recomputed" (§4.1). A route byte
+//! with its MSB set targets another switch and is stripped here; the final
+//! route byte (MSB clear) is left for the destination interface to consume.
+//!
+//! Each input port has a slack buffer (paper Figure 9) that generates
+//! STOP/GO flow control toward its upstream sender. Output ports implement
+//! wormhole path reclamation: a packet that arrives without its terminating
+//! GAP leaves its output path *held* — "the path followed by the packet
+//! will remain occupied since it is normally reclaimed with the terminating
+//! GAP" — until a GAP arrives on the same input or the long-period timeout
+//! (~4 million character periods, ≈50 ms at 80 MB/s) fires and the path is
+//! reclaimed (§4.3.1).
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use netfi_phy::ControlSymbol;
+use netfi_sim::{Component, Context, SimDuration};
+
+use crate::egress::{split_timer_kind, timer_class, timer_kind, EgressPort, FlowState};
+use crate::event::{Attach, Ev, PortPeer};
+use crate::frame::{Frame, PacketFrame};
+use crate::packet::{wire, ROUTE_SWITCH_FLAG};
+use crate::sbuf::{Accept, SlackBuffer};
+
+/// Configuration for a [`Switch`].
+#[derive(Debug, Clone)]
+pub struct SwitchConfig {
+    /// Slack buffer capacity per input port, bytes.
+    pub sbuf_capacity: usize,
+    /// High watermark (STOP threshold).
+    pub sbuf_high: usize,
+    /// Low watermark (GO threshold).
+    pub sbuf_low: usize,
+    /// Long-period forward-progress timeout for held paths. The paper gives
+    /// roughly four million character transmission periods, ~50 ms at
+    /// 80 MB/s.
+    pub long_timeout: SimDuration,
+}
+
+impl Default for SwitchConfig {
+    fn default() -> Self {
+        // Headroom above the high watermark must absorb frames already in
+        // flight when STOP reaches the sender (at frame granularity that is
+        // a couple of maximum-size frames).
+        SwitchConfig {
+            sbuf_capacity: 8192,
+            sbuf_high: 4096,
+            sbuf_low: 1024,
+            long_timeout: SimDuration::from_ms(50),
+        }
+    }
+}
+
+/// Aggregate switch counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SwitchStats {
+    /// Packets forwarded to an output port.
+    pub forwarded: u64,
+    /// Packets lost to input slack-buffer overflow.
+    pub overflow_drops: u64,
+    /// Packets lost to head/tail misinterpretation after a missing GAP.
+    pub framing_drops: u64,
+    /// Packets truncated by a spurious GAP landing inside them.
+    pub truncation_drops: u64,
+    /// Packets lost to a route byte naming an unwired port.
+    pub misroute_drops: u64,
+    /// Packets too short to route.
+    pub malformed_drops: u64,
+    /// Held paths reclaimed by the long-period timeout.
+    pub long_timeout_releases: u64,
+    /// Held paths reclaimed by a late GAP.
+    pub gap_releases: u64,
+}
+
+#[derive(Debug)]
+struct InputPort {
+    sbuf: SlackBuffer,
+    queue: VecDeque<PacketFrame>,
+    awaiting_gap: bool,
+    /// Output port currently held open by an unterminated packet from this
+    /// input.
+    holding: Option<u8>,
+    /// Arrival time of the last standalone GAP character on this input.
+    /// Standalone GAPs only arise from corrupted flow symbols or late
+    /// terminator retransmissions; one arriving *during* a packet's
+    /// serialization window truncates that packet (a GAP inside a packet
+    /// ends it early).
+    last_standalone_gap: Option<netfi_sim::SimTime>,
+}
+
+/// An N-port Myrinet crossbar switch.
+#[derive(Debug)]
+pub struct Switch {
+    name: String,
+    inputs: Vec<InputPort>,
+    egress: Vec<EgressPort>,
+    hold_gen: Vec<u64>,
+    refresh_armed: Vec<bool>,
+    config: SwitchConfig,
+    stats: SwitchStats,
+    rr_cursor: usize,
+}
+
+impl Switch {
+    /// Creates a switch with `ports` ports (the paper's test bed uses an
+    /// 8-port switch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero or exceeds 64 (the route-byte port space).
+    pub fn new(name: impl Into<String>, ports: usize, config: SwitchConfig) -> Switch {
+        assert!(ports > 0 && ports <= 64, "switch ports must be 1..=64");
+        Switch {
+            name: name.into(),
+            inputs: (0..ports)
+                .map(|_| InputPort {
+                    sbuf: SlackBuffer::new(
+                        config.sbuf_capacity,
+                        config.sbuf_high,
+                        config.sbuf_low,
+                    ),
+                    queue: VecDeque::new(),
+                    awaiting_gap: false,
+                    holding: None,
+                    last_standalone_gap: None,
+                })
+                .collect(),
+            egress: (0..ports).map(|p| EgressPort::new(p as u8)).collect(),
+            hold_gen: vec![0; ports],
+            refresh_armed: vec![false; ports],
+            config,
+            stats: SwitchStats::default(),
+            rr_cursor: 0,
+        }
+    }
+
+    /// The switch's name (for monitoring output).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of ports.
+    pub fn port_count(&self) -> usize {
+        self.egress.len()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SwitchStats {
+        self.stats
+    }
+
+    /// Slack-buffer overflow count summed over inputs.
+    pub fn total_sbuf_overflows(&self) -> u64 {
+        self.inputs.iter().map(|i| i.sbuf.overflows()).sum()
+    }
+
+    /// Flow-control symbols generated toward upstream senders.
+    pub fn total_stops_generated(&self) -> u64 {
+        self.inputs.iter().map(|i| i.sbuf.stops_sent()).sum()
+    }
+
+    /// Whether the given output port is currently held.
+    pub fn output_held(&self, port: u8) -> bool {
+        self.egress[port as usize].is_held()
+    }
+
+    /// Per-input `(peak occupancy, overflow count)` of the slack buffers.
+    pub fn input_buffer_stats(&self) -> Vec<(usize, u64)> {
+        self.inputs
+            .iter()
+            .map(|i| (i.sbuf.peak(), i.sbuf.overflows()))
+            .collect()
+    }
+
+    fn on_control(&mut self, ctx: &mut Context<'_, Ev>, port: usize, code: u8) {
+        match ControlSymbol::decode_tolerant(code) {
+            Some(ControlSymbol::Stop) => self.egress[port].on_flow(ctx, ControlSymbol::Stop),
+            Some(ControlSymbol::Go) => {
+                self.egress[port].on_flow(ctx, ControlSymbol::Go);
+                self.service(ctx);
+            }
+            Some(ControlSymbol::Gap) => {
+                // A late GAP reclaims the path this input was holding and
+                // resynchronizes framing. Its arrival time is remembered:
+                // if a packet was mid-serialization on this input, the GAP
+                // physically landed inside it (see on_packet).
+                self.inputs[port].last_standalone_gap = Some(ctx.now());
+                self.inputs[port].awaiting_gap = false;
+                if let Some(out) = self.inputs[port].holding.take() {
+                    self.hold_gen[out as usize] += 1; // cancel pending timeout
+                    self.egress[out as usize].release(ctx);
+                    self.stats.gap_releases += 1;
+                }
+                self.service(ctx);
+            }
+            Some(ControlSymbol::Idle) | None => {}
+        }
+    }
+
+    fn on_packet(&mut self, ctx: &mut Context<'_, Ev>, port: usize, pf: PacketFrame) {
+        let gap_ok = pf.gap_terminated();
+        // A standalone GAP that arrived while this packet was still
+        // serializing landed *inside* the packet: the characters before it
+        // form a truncated packet (bad CRC) and the rest a garbage head.
+        // Both are lost.
+        if let Some(gap_at) = self.inputs[port].last_standalone_gap {
+            let window = self
+                .egress
+                .get(port)
+                .and_then(|e| e.peer())
+                .map(|p| p.link.transfer_time(pf.wire_len()))
+                .unwrap_or_default();
+            if gap_at > ctx.now().saturating_sub_duration(window) {
+                self.inputs[port].last_standalone_gap = None;
+                self.stats.truncation_drops += 1;
+                return;
+            }
+        }
+        {
+            let input = &mut self.inputs[port];
+            if input.awaiting_gap {
+                // The head of this packet is misinterpreted as the tail of
+                // the unterminated predecessor (§4.3.1): it is lost. Its
+                // own GAP, if present, resynchronizes the stream.
+                self.stats.framing_drops += 1;
+                if gap_ok {
+                    input.awaiting_gap = false;
+                    if let Some(out) = input.holding.take() {
+                        self.hold_gen[out as usize] += 1;
+                        self.egress[out as usize].release(ctx);
+                        self.stats.gap_releases += 1;
+                    }
+                }
+                return;
+            }
+            match input.sbuf.try_accept(pf.wire_len()) {
+                Accept::Overflow => {
+                    self.stats.overflow_drops += 1;
+                    return;
+                }
+                Accept::Stored => {}
+            }
+            if !gap_ok {
+                input.awaiting_gap = true;
+            }
+            input.queue.push_back(pf);
+            if let Some(sym) = input.sbuf.poll_flow() {
+                self.egress[port].enqueue_control(ctx, sym.encode());
+            }
+        }
+        self.arm_stop_refresh(ctx, port);
+        self.service(ctx);
+    }
+
+    /// While an input's slack buffer holds its sender stopped, the STOP
+    /// must be repeated faster than the sender's 16-character timeout —
+    /// the frame-level rendering of Myrinet's continuous control-symbol
+    /// stream. One refresh timer per input port, re-armed until the buffer
+    /// drains below its low watermark.
+    fn arm_stop_refresh(&mut self, ctx: &mut Context<'_, Ev>, port: usize) {
+        if self.refresh_armed[port] || !self.inputs[port].sbuf.upstream_stopped() {
+            return;
+        }
+        self.refresh_armed[port] = true;
+        let period = self.stop_refresh_period(port);
+        ctx.send_self(
+            period,
+            Ev::Timer {
+                kind: timer_kind(timer_class::STOP_REFRESH, port as u8),
+                gen: 0,
+            },
+        );
+    }
+
+    /// Refresh period: 12 character periods, comfortably inside the
+    /// sender's 16-character STOP timeout.
+    fn stop_refresh_period(&self, port: usize) -> SimDuration {
+        match self.egress[port].peer() {
+            Some(peer) => peer.link.char_period() * 12,
+            None => SimDuration::from_ns(150),
+        }
+    }
+
+    /// Moves forwardable packets from input queues to output ports,
+    /// round-robin over inputs. After each successful forward the scan
+    /// restarts at the next input, so no input can monopolize an output.
+    fn service(&mut self, ctx: &mut Context<'_, Ev>) {
+        let nports = self.inputs.len();
+        let mut progress = true;
+        while progress {
+            progress = false;
+            let start = self.rr_cursor;
+            for offset in 0..nports {
+                let i = (start + offset) % nports;
+                if self.try_forward(ctx, i) {
+                    self.rr_cursor = (i + 1) % nports;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Attempts to forward the head packet of input `i`. Returns `true` on
+    /// progress (including drops).
+    fn try_forward(&mut self, ctx: &mut Context<'_, Ev>, i: usize) -> bool {
+        let Some(head) = self.inputs[i].queue.front() else {
+            return false;
+        };
+        let Some(route_byte) = wire::peek_route_byte(&head.bytes) else {
+            let pf = self.inputs[i].queue.pop_front().expect("checked");
+            self.drain_input(ctx, i, pf.wire_len());
+            self.stats.malformed_drops += 1;
+            return true;
+        };
+        let out = (route_byte & !ROUTE_SWITCH_FLAG) as usize;
+        if out >= self.egress.len() || !self.egress[out].is_attached() {
+            // "directing packets to the wrong ports on the switch … resulted
+            // in the expected packet losses" (§4.3.2).
+            let pf = self.inputs[i].queue.pop_front().expect("checked");
+            self.drain_input(ctx, i, pf.wire_len());
+            self.stats.misroute_drops += 1;
+            return true;
+        }
+        // Backpressure: forward only when the output is idle, in GO state
+        // and not held, so congestion accumulates in the input slack buffer
+        // and propagates STOP upstream.
+        let eg = &self.egress[out];
+        if eg.is_held() || eg.flow_state() != FlowState::Go || eg.queue_len() > 0 {
+            return false;
+        }
+        let pf = self.inputs[i].queue.pop_front().expect("checked");
+        let chars = pf.wire_len();
+        // Strip switch-bound route bytes; leave the final (host) byte.
+        let bytes = if route_byte & ROUTE_SWITCH_FLAG != 0 {
+            match wire::strip_route_byte(&pf.bytes) {
+                Ok(b) => b,
+                Err(_) => {
+                    self.drain_input(ctx, i, chars);
+                    self.stats.malformed_drops += 1;
+                    return true;
+                }
+            }
+        } else {
+            pf.bytes.clone()
+        };
+        let forwarded = PacketFrame {
+            bytes,
+            terminator: pf.terminator,
+        };
+        if !forwarded.gap_terminated() {
+            // Hold the wormhole path until a GAP or the long timeout.
+            self.egress[out].hold();
+            self.inputs[i].holding = Some(out as u8);
+            self.hold_gen[out] += 1;
+            let gen = self.hold_gen[out];
+            ctx.send_self(
+                self.config.long_timeout,
+                Ev::Timer {
+                    kind: timer_kind(timer_class::HOLD_RELEASE, out as u8),
+                    gen,
+                },
+            );
+        }
+        self.egress[out].enqueue(ctx, Frame::Packet(forwarded));
+        self.drain_input(ctx, i, chars);
+        self.stats.forwarded += 1;
+        true
+    }
+
+    fn drain_input(&mut self, ctx: &mut Context<'_, Ev>, i: usize, chars: usize) {
+        self.inputs[i].sbuf.drain(chars);
+        if let Some(sym) = self.inputs[i].sbuf.poll_flow() {
+            self.egress[i].enqueue_control(ctx, sym.encode());
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_, Ev>, kind: u32, gen: u64) {
+        let (class, port) = split_timer_kind(kind);
+        let port = port as usize;
+        match class {
+            timer_class::TX_DONE => {
+                self.egress[port].on_tx_done(ctx);
+                self.service(ctx);
+            }
+            timer_class::STOP_TIMEOUT => {
+                self.egress[port].on_stop_timeout(ctx, gen);
+                self.service(ctx);
+            }
+            timer_class::STOP_REFRESH => {
+                self.refresh_armed[port] = false;
+                if self.inputs[port].sbuf.upstream_stopped() {
+                    self.egress[port]
+                        .enqueue_control(ctx, ControlSymbol::Stop.encode());
+                    self.arm_stop_refresh(ctx, port);
+                }
+            }
+            timer_class::HOLD_RELEASE
+                if gen == self.hold_gen[port] && self.egress[port].is_held() => {
+                    // "The network will recover from this occurrence with a
+                    // long-period timeout" (§4.3.1).
+                    self.egress[port].release(ctx);
+                    self.stats.long_timeout_releases += 1;
+                    for input in &mut self.inputs {
+                        if input.holding == Some(port as u8) {
+                            input.holding = None;
+                            input.awaiting_gap = false;
+                        }
+                    }
+                    self.service(ctx);
+                }
+            _ => {}
+        }
+    }
+}
+
+impl Attach for Switch {
+    fn attach_port(&mut self, port: u8, peer: PortPeer) {
+        self.egress[port as usize].attach(peer);
+    }
+}
+
+impl Component<Ev> for Switch {
+    fn on_event(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+        match ev {
+            Ev::Rx { port, frame } => match frame {
+                Frame::Control(code) => self.on_control(ctx, port as usize, code),
+                Frame::Packet(pf) => self.on_packet(ctx, port as usize, pf),
+            },
+            Ev::Timer { kind, gen } => self.on_timer(ctx, kind, gen),
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::connect;
+    use crate::packet::{route_to_host, route_to_switch, Packet, PacketType};
+    use netfi_phy::Link;
+    use netfi_sim::{ComponentId, Engine, SimTime};
+
+    /// A host-like endpoint that records everything it receives and can be
+    /// told to send packets.
+    struct Endpoint {
+        egress: EgressPort,
+        rx_packets: Vec<PacketFrame>,
+        rx_controls: Vec<u8>,
+    }
+
+    impl Endpoint {
+        fn new() -> Endpoint {
+            Endpoint {
+                egress: EgressPort::new(0),
+                rx_packets: Vec::new(),
+                rx_controls: Vec::new(),
+            }
+        }
+    }
+
+    impl Attach for Endpoint {
+        fn attach_port(&mut self, port: u8, peer: PortPeer) {
+            assert_eq!(port, 0);
+            self.egress.attach(peer);
+        }
+    }
+
+    impl Component<Ev> for Endpoint {
+        fn on_event(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+            match ev {
+                Ev::Rx { frame, .. } => match frame {
+                    Frame::Packet(pf) => self.rx_packets.push(pf),
+                    Frame::Control(c) => {
+                        if let Some(sym) = ControlSymbol::decode_tolerant(c) {
+                            self.egress.on_flow(ctx, sym);
+                        }
+                        self.rx_controls.push(c);
+                    }
+                },
+                Ev::Timer { kind, gen } => {
+                    let (class, _) = split_timer_kind(kind);
+                    match class {
+                        timer_class::TX_DONE => self.egress.on_tx_done(ctx),
+                        timer_class::STOP_TIMEOUT => self.egress.on_stop_timeout(ctx, gen),
+                        _ => {}
+                    }
+                }
+                Ev::App(frame) => {
+                    if let Ok(f) = frame.downcast::<Frame>() {
+                        self.egress.enqueue(ctx, *f);
+                    }
+                }
+                _ => {}
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    /// Engine with hosts a,b,c on switch ports 0,1,2.
+    fn three_host_net() -> (Engine<Ev>, ComponentId, [ComponentId; 3]) {
+        let mut engine: Engine<Ev> = Engine::new();
+        let sw = engine.add_component(Box::new(Switch::new(
+            "sw0",
+            8,
+            SwitchConfig::default(),
+        )));
+        let link = Link::myrinet_640(1.0);
+        let hosts = [(); 3].map(|_| engine.add_component(Box::new(Endpoint::new())));
+        for (i, &h) in hosts.iter().enumerate() {
+            connect::<Endpoint, Switch>(&mut engine, (h, 0), (sw, i as u8), &link);
+        }
+        (engine, sw, hosts)
+    }
+
+    fn send_from(engine: &mut Engine<Ev>, host: ComponentId, frame: Frame) {
+        engine.schedule(engine.now(), host, Ev::App(Box::new(frame)));
+    }
+
+    fn data_packet(dest_port: u8, payload: &[u8]) -> Frame {
+        let pkt = Packet::new(
+            vec![route_to_host(dest_port)],
+            PacketType::DATA,
+            payload.to_vec(),
+        );
+        Frame::packet(pkt.encode())
+    }
+
+    #[test]
+    fn forwards_packet_between_hosts() {
+        let (mut engine, sw, hosts) = three_host_net();
+        send_from(&mut engine, hosts[0], data_packet(1, b"hello"));
+        engine.run();
+        let h1 = engine.component_as::<Endpoint>(hosts[1]).unwrap();
+        assert_eq!(h1.rx_packets.len(), 1);
+        let delivered = Packet::parse_delivered(&h1.rx_packets[0].bytes).unwrap();
+        assert_eq!(delivered.payload, b"hello");
+        let s = engine.component_as::<Switch>(sw).unwrap();
+        assert_eq!(s.stats().forwarded, 1);
+    }
+
+    #[test]
+    fn final_route_byte_is_not_stripped() {
+        let (mut engine, _, hosts) = three_host_net();
+        send_from(&mut engine, hosts[0], data_packet(2, b"x"));
+        engine.run();
+        let h2 = engine.component_as::<Endpoint>(hosts[2]).unwrap();
+        // Host sees [route, type(4), payload, crc].
+        assert_eq!(h2.rx_packets[0].bytes[0], route_to_host(2));
+        assert!(wire::crc_ok(&h2.rx_packets[0].bytes));
+    }
+
+    #[test]
+    fn switch_bound_byte_stripped_and_crc_recomputed() {
+        // Two switches in a row.
+        let mut engine: Engine<Ev> = Engine::new();
+        let link = Link::myrinet_640(1.0);
+        let sw0 = engine.add_component(Box::new(Switch::new("sw0", 4, SwitchConfig::default())));
+        let sw1 = engine.add_component(Box::new(Switch::new("sw1", 4, SwitchConfig::default())));
+        let src = engine.add_component(Box::new(Endpoint::new()));
+        let dst = engine.add_component(Box::new(Endpoint::new()));
+        connect::<Endpoint, Switch>(&mut engine, (src, 0), (sw0, 0), &link);
+        connect::<Switch, Switch>(&mut engine, (sw0, 3), (sw1, 3), &link);
+        connect::<Endpoint, Switch>(&mut engine, (dst, 0), (sw1, 1), &link);
+        let pkt = Packet::new(
+            vec![route_to_switch(3), route_to_host(1)],
+            PacketType::DATA,
+            b"across".to_vec(),
+        );
+        send_from(&mut engine, src, Frame::packet(pkt.encode()));
+        engine.run();
+        let d = engine.component_as::<Endpoint>(dst).unwrap();
+        assert_eq!(d.rx_packets.len(), 1);
+        let delivered = Packet::parse_delivered(&d.rx_packets[0].bytes).unwrap();
+        assert_eq!(delivered.payload, b"across");
+        assert_eq!(delivered.route, vec![route_to_host(1)]);
+    }
+
+    #[test]
+    fn misrouted_packet_dropped_without_propagation() {
+        let (mut engine, sw, hosts) = three_host_net();
+        // Port 7 is unwired.
+        send_from(&mut engine, hosts[0], data_packet(7, b"lost"));
+        engine.run();
+        let s = engine.component_as::<Switch>(sw).unwrap();
+        assert_eq!(s.stats().misroute_drops, 1);
+        assert_eq!(s.stats().forwarded, 0);
+        for h in hosts {
+            assert!(engine.component_as::<Endpoint>(h).unwrap().rx_packets.is_empty());
+        }
+    }
+
+    #[test]
+    fn unterminated_packet_holds_path_until_long_timeout() {
+        let (mut engine, sw, hosts) = three_host_net();
+        let mut f = data_packet(1, b"no gap");
+        if let Frame::Packet(pf) = &mut f {
+            pf.terminator = None;
+        }
+        send_from(&mut engine, hosts[0], f);
+        engine.run_until(SimTime::from_ms(1));
+        // Packet delivered but path held.
+        assert!(engine.component_as::<Switch>(sw).unwrap().output_held(1));
+        // A second packet to the same output is stuck.
+        send_from(&mut engine, hosts[2], data_packet(1, b"queued"));
+        engine.run_until(SimTime::from_ms(10));
+        let h1 = engine.component_as::<Endpoint>(hosts[1]).unwrap();
+        assert_eq!(h1.rx_packets.len(), 1, "second packet must be blocked");
+        // After the 50 ms long timeout the path is reclaimed.
+        engine.run_until(SimTime::from_ms(60));
+        let s = engine.component_as::<Switch>(sw).unwrap();
+        assert!(!s.output_held(1));
+        assert_eq!(s.stats().long_timeout_releases, 1);
+        let h1 = engine.component_as::<Endpoint>(hosts[1]).unwrap();
+        assert_eq!(h1.rx_packets.len(), 2, "blocked packet flows after reclaim");
+    }
+
+    #[test]
+    fn late_gap_releases_held_path() {
+        let (mut engine, sw, hosts) = three_host_net();
+        let mut f = data_packet(1, b"no gap");
+        if let Frame::Packet(pf) = &mut f {
+            pf.terminator = None;
+        }
+        send_from(&mut engine, hosts[0], f);
+        engine.run_until(SimTime::from_ms(1));
+        assert!(engine.component_as::<Switch>(sw).unwrap().output_held(1));
+        // The sender eventually transmits the missing GAP.
+        send_from(&mut engine, hosts[0], Frame::control(ControlSymbol::Gap));
+        engine.run_until(SimTime::from_ms(2));
+        let s = engine.component_as::<Switch>(sw).unwrap();
+        assert!(!s.output_held(1));
+        assert_eq!(s.stats().gap_releases, 1);
+        assert_eq!(s.stats().long_timeout_releases, 0);
+    }
+
+    #[test]
+    fn head_after_missing_gap_is_lost() {
+        let (mut engine, sw, hosts) = three_host_net();
+        let mut f = data_packet(1, b"no gap");
+        if let Frame::Packet(pf) = &mut f {
+            pf.terminator = None;
+        }
+        send_from(&mut engine, hosts[0], f);
+        engine.run_until(SimTime::from_us(100));
+        // Next packet from the same input: its head is misread as the tail
+        // of the previous packet.
+        send_from(&mut engine, hosts[0], data_packet(2, b"casualty"));
+        engine.run_until(SimTime::from_ms(1));
+        let s = engine.component_as::<Switch>(sw).unwrap();
+        assert_eq!(s.stats().framing_drops, 1);
+        let h2 = engine.component_as::<Endpoint>(hosts[2]).unwrap();
+        assert!(h2.rx_packets.is_empty());
+        // But its GAP resynchronized the stream: a third packet flows
+        // (to an unheld output).
+        send_from(&mut engine, hosts[0], data_packet(2, b"survivor"));
+        engine.run_until(SimTime::from_ms(2));
+        let h2 = engine.component_as::<Endpoint>(hosts[2]).unwrap();
+        assert_eq!(h2.rx_packets.len(), 1);
+    }
+
+    #[test]
+    fn spurious_gap_inside_serialization_window_truncates() {
+        let (mut engine, sw, hosts) = three_host_net();
+        // A 200-byte packet serializes for ~2.6 µs at 640 Mb/s. A GAP
+        // landing mid-window (as an interleaved corrupted flow symbol
+        // would) truncates it.
+        send_from(&mut engine, hosts[0], data_packet(1, &[0x55; 200]));
+        // The control frame interleaves past the packet (sent immediately)
+        // so it arrives first — i.e. inside the packet's window.
+        send_from(&mut engine, hosts[0], Frame::control(ControlSymbol::Gap));
+        engine.run();
+        let s = engine.component_as::<Switch>(sw).unwrap();
+        assert_eq!(s.stats().truncation_drops, 1);
+        let h1 = engine.component_as::<Endpoint>(hosts[1]).unwrap();
+        assert!(h1.rx_packets.is_empty(), "truncated packet must be lost");
+        // A GAP long before the next packet is harmless.
+        send_from(&mut engine, hosts[0], Frame::control(ControlSymbol::Gap));
+        engine.run_for(netfi_sim::SimDuration::from_ms(1));
+        send_from(&mut engine, hosts[0], data_packet(1, &[0x66; 32]));
+        engine.run();
+        let s = engine.component_as::<Switch>(sw).unwrap();
+        assert_eq!(s.stats().truncation_drops, 1);
+        let h1 = engine.component_as::<Endpoint>(hosts[1]).unwrap();
+        assert_eq!(h1.rx_packets.len(), 1);
+    }
+
+    #[test]
+    fn contention_generates_stop_and_go() {
+        let (mut engine, sw, hosts) = three_host_net();
+        // Hosts 0 and 2 flood host 1 with large packets; the output port
+        // saturates and input buffers fill, generating STOPs upstream.
+        for round in 0..40 {
+            let payload = vec![round as u8; 900];
+            send_from(&mut engine, hosts[0], data_packet(1, &payload));
+            send_from(&mut engine, hosts[2], data_packet(1, &payload));
+        }
+        engine.run_until(SimTime::from_ms(5));
+        let s = engine.component_as::<Switch>(sw).unwrap();
+        assert!(
+            s.total_stops_generated() > 0,
+            "contention must generate STOP symbols"
+        );
+        engine.run_until(SimTime::from_ms(100));
+        let h1 = engine.component_as::<Endpoint>(hosts[1]).unwrap();
+        // With backpressure (and senders honouring STOP) nothing is lost.
+        assert_eq!(h1.rx_packets.len(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64")]
+    fn rejects_too_many_ports() {
+        let _ = Switch::new("bad", 65, SwitchConfig::default());
+    }
+}

@@ -1,0 +1,233 @@
+//! Property-based tests for the Myrinet substrate.
+
+use proptest::prelude::*;
+
+use netfi_myrinet::addr::{EthAddr, NodeAddress};
+use netfi_myrinet::crc8;
+use netfi_myrinet::frame::{Frame, PacketFrame};
+use netfi_myrinet::mapper::Topology;
+use netfi_myrinet::mcp::MapMsg;
+use netfi_myrinet::packet::{
+    route_to_host, route_to_switch, wire, Packet, PacketError, PacketType,
+};
+use netfi_myrinet::sbuf::{Accept, SlackBuffer};
+
+fn arb_eth() -> impl Strategy<Value = EthAddr> {
+    any::<[u8; 6]>().prop_map(EthAddr::new)
+}
+
+fn arb_route() -> impl Strategy<Value = Vec<u8>> {
+    (proptest::collection::vec(0u8..0x3F, 0..4), 0u8..0x3F).prop_map(|(hops, last)| {
+        let mut route: Vec<u8> = hops.into_iter().map(route_to_switch).collect();
+        route.push(route_to_host(last));
+        route
+    })
+}
+
+proptest! {
+    /// CRC-8 detects any single bit flip anywhere in a packet.
+    #[test]
+    fn crc8_detects_any_single_flip(
+        data in proptest::collection::vec(any::<u8>(), 1..128),
+        bit in any::<usize>()
+    ) {
+        let mut buf = data;
+        let crc = crc8::checksum(&buf);
+        buf.push(crc);
+        let bit = bit % (buf.len() * 8);
+        buf[bit / 8] ^= 1 << (bit % 8);
+        prop_assert!(!crc8::verify(&buf));
+    }
+
+    /// Streaming CRC equals one-shot CRC for any split.
+    #[test]
+    fn crc8_streaming_equivalence(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        split in any::<proptest::sample::Index>()
+    ) {
+        let cut = if data.is_empty() { 0 } else { split.index(data.len()) };
+        let mut acc = crc8::Crc8::new();
+        acc.update(&data[..cut]);
+        acc.update(&data[cut..]);
+        prop_assert_eq!(acc.finish(), crc8::checksum(&data));
+    }
+
+    /// Any packet encodes to a CRC-valid wire image, and after stripping
+    /// every switch-bound route byte the destination interface parses it
+    /// back with the original type and payload.
+    #[test]
+    fn packet_route_consumption_roundtrip(
+        route in arb_route(),
+        ptype in any::<u32>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256)
+    ) {
+        let hops = route.len() - 1;
+        let pkt = Packet::new(route.clone(), PacketType(ptype), payload.clone());
+        let mut w = pkt.encode();
+        prop_assert!(wire::crc_ok(&w));
+        for _ in 0..hops {
+            w = wire::strip_route_byte(&w).unwrap();
+            prop_assert!(wire::crc_ok(&w));
+        }
+        let delivered = Packet::parse_delivered(&w).unwrap();
+        prop_assert_eq!(delivered.ptype, PacketType(ptype));
+        prop_assert_eq!(delivered.payload, payload);
+        prop_assert_eq!(delivered.route, vec![*route.last().unwrap()]);
+    }
+
+    /// A corrupted byte anywhere in the delivered image is rejected
+    /// (BadCrc), unless it is the route byte's MSB region where the MSB
+    /// rule fires first — either way, never silently accepted.
+    #[test]
+    fn corrupted_delivery_never_accepted(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        byte in any::<proptest::sample::Index>(),
+        bit in 0u8..8
+    ) {
+        let pkt = Packet::new(vec![route_to_host(1)], PacketType::DATA, payload);
+        let mut w = pkt.encode();
+        let idx = byte.index(w.len());
+        w[idx] ^= 1 << bit;
+        match Packet::parse_delivered(&w) {
+            Err(PacketError::BadCrc) | Err(PacketError::RouteMsbSet) => {}
+            Ok(_) => prop_assert!(false, "corruption accepted"),
+            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+        }
+    }
+
+    /// Mapping messages roundtrip for arbitrary field values.
+    #[test]
+    fn mapmsg_scout_roundtrip(
+        epoch in any::<u32>(),
+        mapper in any::<u64>(),
+        target in (any::<u8>(), any::<u8>()),
+        reply_route in proptest::collection::vec(any::<u8>(), 0..16)
+    ) {
+        let msg = MapMsg::Scout {
+            epoch,
+            mapper: NodeAddress(mapper),
+            target,
+            reply_route,
+        };
+        prop_assert_eq!(MapMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    #[test]
+    fn mapmsg_routes_roundtrip(
+        epoch in any::<u32>(),
+        mapper in any::<u64>(),
+        entries in proptest::collection::vec(
+            (arb_eth(), proptest::collection::vec(any::<u8>(), 0..8)),
+            0..8
+        ),
+        present in proptest::collection::vec(arb_eth(), 0..8)
+    ) {
+        let msg = MapMsg::Routes {
+            epoch,
+            mapper: NodeAddress(mapper),
+            entries,
+            present,
+        };
+        prop_assert_eq!(MapMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    /// Truncating any mapping message is always detected.
+    #[test]
+    fn mapmsg_truncation_detected(
+        epoch in any::<u32>(),
+        addr in any::<u64>(),
+        eth in arb_eth(),
+        cut in any::<proptest::sample::Index>()
+    ) {
+        let msg = MapMsg::Reply {
+            epoch,
+            target: (0, 1),
+            addr: NodeAddress(addr),
+            eth,
+        };
+        let bytes = msg.encode();
+        let cut = cut.index(bytes.len());
+        prop_assert!(MapMsg::decode(&bytes[..cut]).is_err());
+    }
+
+    /// Slack-buffer invariants: occupancy never exceeds capacity, STOP is
+    /// pending whenever an accept leaves occupancy at/above the high
+    /// watermark, GO whenever a drain reaches the low watermark from a
+    /// stopped state.
+    #[test]
+    fn sbuf_invariants(ops in proptest::collection::vec((any::<bool>(), 1usize..512), 1..200)) {
+        let mut buf = SlackBuffer::new(4096, 3072, 1024);
+        let mut modeled = 0usize;
+        for (is_accept, size) in ops {
+            if is_accept {
+                match buf.try_accept(size) {
+                    Accept::Stored => {
+                        modeled += size;
+                        if modeled >= 3072 {
+                            prop_assert_eq!(
+                                buf.poll_flow(),
+                                Some(netfi_phy::ControlSymbol::Stop)
+                            );
+                        }
+                    }
+                    Accept::Overflow => {
+                        prop_assert!(modeled + size > 4096, "spurious overflow");
+                    }
+                }
+            } else {
+                let drain = size.min(buf.occupancy());
+                let was_stopped = buf.upstream_stopped();
+                if drain > 0 {
+                    buf.drain(drain);
+                    modeled -= drain;
+                    if was_stopped && modeled <= 1024 {
+                        prop_assert_eq!(
+                            buf.poll_flow(),
+                            Some(netfi_phy::ControlSymbol::Go)
+                        );
+                    }
+                }
+            }
+            prop_assert_eq!(buf.occupancy(), modeled);
+            prop_assert!(buf.occupancy() <= buf.capacity());
+        }
+    }
+
+    /// Route computation: any two distinct attachments on a connected
+    /// topology produce a route ending with a host byte (MSB clear) whose
+    /// switch hops all carry the MSB.
+    #[test]
+    fn topology_routes_well_formed(
+        from_port in 0u8..6,
+        to_port in 0u8..6,
+        from_sw in 0u8..2,
+        to_sw in 0u8..2
+    ) {
+        let topo = Topology::dual_switch(8, 7, 7);
+        let from = (from_sw, from_port);
+        let to = (to_sw, to_port);
+        match topo.route_between(from, to) {
+            None => prop_assert_eq!(from, to),
+            Some(route) => {
+                prop_assert!(!route.is_empty());
+                let (last, hops) = route.split_last().unwrap();
+                prop_assert_eq!(last & 0x80, 0, "final byte targets a host");
+                for h in hops {
+                    prop_assert_eq!(h & 0x80, 0x80, "intermediate hops target switches");
+                }
+                prop_assert_eq!(last & 0x3F, to.1);
+            }
+        }
+    }
+
+    /// Frame wire length equals packet bytes plus terminator presence.
+    #[test]
+    fn frame_wire_len(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+        term in proptest::option::of(any::<u8>())
+    ) {
+        let pf = PacketFrame { bytes: bytes.clone(), terminator: term };
+        prop_assert_eq!(pf.wire_len(), bytes.len() + usize::from(term.is_some()));
+        prop_assert_eq!(Frame::Packet(pf).wire_len(), bytes.len() + usize::from(term.is_some()));
+    }
+}

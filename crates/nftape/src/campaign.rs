@@ -1,0 +1,299 @@
+//! Declarative campaign specifications.
+//!
+//! NFTAPE separates *what to inject* from *how to run it*: an operator
+//! writes a campaign description, the framework programs the injector and
+//! collects results. [`CampaignSpec`] is that description — serializable
+//! (serde), so campaigns can be stored, diffed and replayed — and
+//! [`run_campaign`] executes it against the prebuilt scenarios.
+
+use serde::{Deserialize, Serialize};
+
+use netfi_phy::ControlSymbol;
+use netfi_sim::SimDuration;
+
+use crate::results::RunResult;
+use crate::scenarios::{address, control, latency, ptype, random, udpcheck};
+
+/// A control symbol, in serializable form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "UPPERCASE")]
+pub enum SymbolSpec {
+    /// Packet separator.
+    Gap,
+    /// Flow-control resume.
+    Go,
+    /// Flow-control pause.
+    Stop,
+    /// Idle filler.
+    Idle,
+}
+
+impl From<SymbolSpec> for ControlSymbol {
+    fn from(s: SymbolSpec) -> ControlSymbol {
+        match s {
+            SymbolSpec::Gap => ControlSymbol::Gap,
+            SymbolSpec::Go => ControlSymbol::Go,
+            SymbolSpec::Stop => ControlSymbol::Stop,
+            SymbolSpec::Idle => ControlSymbol::Idle,
+        }
+    }
+}
+
+/// What to inject — one variant per campaign family of the paper's
+/// evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum FaultSpec {
+    /// §4.3.1 Table 4: corrupt one control symbol into another.
+    ControlSymbol {
+        /// Symbol to match.
+        mask: SymbolSpec,
+        /// Symbol to produce.
+        replacement: SymbolSpec,
+    },
+    /// §4.3.1: faulty STOP conditions against a request/response program.
+    FaultyStop,
+    /// §4.3.1: GAP loss and the long-period timeout.
+    GapLoss,
+    /// §4.3.2: corrupt mapping packets (`0x0005`).
+    MappingType,
+    /// §4.3.2: corrupt data packets (`0x0004`).
+    DataType,
+    /// §4.3.2: set the source-route MSB at the destination interface.
+    RouteMsb,
+    /// §4.3.2: misroute packets to an unwired switch port.
+    Misroute,
+    /// §4.3.3: corrupt the destination physical address in flight.
+    DestinationAddress {
+        /// Repair the Myrinet CRC-8 after corruption.
+        fix_crc: bool,
+    },
+    /// §4.3.3: corrupt a node's own address register to another node's.
+    OwnAddress,
+    /// §4.3.3: corrupt a node's address to a non-existent one.
+    NonexistentAddress,
+    /// §4.3.4: checksum-aliasing UDP payload corruption.
+    UdpAliasing,
+    /// §3.1: random SEU bit flips at the given per-segment probability.
+    RandomSeu {
+        /// Per-32-bit-segment flip probability.
+        probability: f64,
+        /// Repair the CRC-8 so corruption reaches higher layers.
+        fix_crc: bool,
+    },
+    /// Table 2: pass-through latency measurement (no fault).
+    Latency {
+        /// Ping-pong packets per arm.
+        packets: u64,
+    },
+}
+
+/// A complete campaign: a fault, a seed, and a measurement window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Campaign name (reports).
+    pub name: String,
+    /// The fault to inject.
+    pub fault: FaultSpec,
+    /// RNG seed (campaigns are exactly reproducible).
+    pub seed: u64,
+    /// Measurement window in seconds, where the scenario takes one.
+    #[serde(default = "default_window")]
+    pub window_secs: u64,
+}
+
+fn default_window() -> u64 {
+    6
+}
+
+impl CampaignSpec {
+    /// Creates a campaign with the default window.
+    pub fn new(name: impl Into<String>, fault: FaultSpec, seed: u64) -> CampaignSpec {
+        CampaignSpec {
+            name: name.into(),
+            fault,
+            seed,
+            window_secs: default_window(),
+        }
+    }
+}
+
+/// Executes a campaign and returns its result rows (most campaigns yield
+/// one row; latency yields one per experiment arm pair).
+pub fn run_campaign(spec: &CampaignSpec) -> Vec<RunResult> {
+    let window = SimDuration::from_secs(spec.window_secs);
+    let mut results = match &spec.fault {
+        FaultSpec::ControlSymbol { mask, replacement } => {
+            let opts = control::ControlCampaignOptions {
+                window,
+                seed: spec.seed,
+                ..control::ControlCampaignOptions::default()
+            };
+            vec![control::control_symbol_row(
+                (*mask).into(),
+                (*replacement).into(),
+                &opts,
+            )]
+        }
+        FaultSpec::FaultyStop => vec![
+            control::stop_throughput(false, window, spec.seed),
+            control::stop_throughput(true, window, spec.seed),
+        ],
+        FaultSpec::GapLoss => vec![
+            control::gap_timeout(false, window, spec.seed),
+            control::gap_timeout(true, window, spec.seed),
+        ],
+        FaultSpec::MappingType => vec![ptype::mapping_packet_corruption(spec.seed)],
+        FaultSpec::DataType => vec![ptype::data_packet_corruption(spec.seed)],
+        FaultSpec::RouteMsb => vec![ptype::route_msb_corruption(spec.seed)],
+        FaultSpec::Misroute => vec![ptype::route_misroute(spec.seed)],
+        FaultSpec::DestinationAddress { fix_crc } => {
+            vec![address::destination_corruption(spec.seed, *fix_crc)]
+        }
+        FaultSpec::OwnAddress => vec![address::sender_address_corruption(spec.seed)],
+        FaultSpec::NonexistentAddress => vec![address::nonexistent_address(spec.seed)],
+        FaultSpec::UdpAliasing => vec![
+            udpcheck::aliasing_corruption(spec.seed),
+            udpcheck::detected_corruption(spec.seed),
+        ],
+        FaultSpec::RandomSeu {
+            probability,
+            fix_crc,
+        } => vec![random::seu_arm(*probability, *fix_crc, spec.seed)],
+        FaultSpec::Latency { packets } => latency::latency_table2(*packets, 1, spec.seed)
+            .into_iter()
+            .map(|row| {
+                RunResult::new(format!("{} (experiment {})", spec.name, row.experiment), 0, 0, 0.0)
+                    .with_extra("without_ns", row.without_ns)
+                    .with_extra("with_ns", row.with_ns)
+                    .with_extra("added_ns", row.added_ns())
+            })
+            .collect(),
+    };
+    for r in &mut results {
+        r.name = format!("{}: {}", spec.name, r.name);
+    }
+    results
+}
+
+/// The paper's whole evaluation, as a campaign list (Table 4's nine rows
+/// plus every §4.3 experiment).
+pub fn paper_campaigns(seed: u64) -> Vec<CampaignSpec> {
+    let mut out = Vec::new();
+    for (i, (mask, replacement)) in control::table4_rows().into_iter().enumerate() {
+        let to_spec = |s: ControlSymbol| match s {
+            ControlSymbol::Gap => SymbolSpec::Gap,
+            ControlSymbol::Go => SymbolSpec::Go,
+            ControlSymbol::Stop => SymbolSpec::Stop,
+            ControlSymbol::Idle => SymbolSpec::Idle,
+        };
+        out.push(CampaignSpec::new(
+            format!("table4 row {}", i + 1),
+            FaultSpec::ControlSymbol {
+                mask: to_spec(mask),
+                replacement: to_spec(replacement),
+            },
+            seed,
+        ));
+    }
+    out.push(CampaignSpec::new("faulty stop", FaultSpec::FaultyStop, seed));
+    out.push(CampaignSpec::new("gap loss", FaultSpec::GapLoss, seed));
+    out.push(CampaignSpec::new("mapping type", FaultSpec::MappingType, seed));
+    out.push(CampaignSpec::new("data type", FaultSpec::DataType, seed));
+    out.push(CampaignSpec::new("route msb", FaultSpec::RouteMsb, seed));
+    out.push(CampaignSpec::new("misroute", FaultSpec::Misroute, seed));
+    out.push(CampaignSpec::new(
+        "destination address",
+        FaultSpec::DestinationAddress { fix_crc: false },
+        seed,
+    ));
+    out.push(CampaignSpec::new("own address", FaultSpec::OwnAddress, seed));
+    out.push(CampaignSpec::new(
+        "nonexistent address",
+        FaultSpec::NonexistentAddress,
+        seed,
+    ));
+    out.push(CampaignSpec::new("udp aliasing", FaultSpec::UdpAliasing, seed));
+    out
+}
+
+/// Executes many campaigns concurrently (each campaign owns its own
+/// engine, so they parallelize perfectly) and returns results in spec
+/// order.
+pub fn run_campaigns_parallel(specs: &[CampaignSpec]) -> Vec<Vec<RunResult>> {
+    let results = parking_lot::Mutex::new(vec![Vec::new(); specs.len()]);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(specs.len().max(1));
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let rows = run_campaign(spec);
+                results.lock()[i] = rows;
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+    results.into_inner()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_execute_and_label_results() {
+        let spec = CampaignSpec::new("demo", FaultSpec::UdpAliasing, 77);
+        let results = run_campaign(&spec);
+        assert_eq!(results.len(), 2);
+        assert!(results[0].name.starts_with("demo: "));
+        // The aliasing arm delivers everything corrupt; the detected arm
+        // drops everything.
+        assert_eq!(results[0].received, results[0].sent);
+        assert_eq!(results[1].received, 0);
+    }
+
+    #[test]
+    fn paper_campaign_list_is_complete() {
+        let list = paper_campaigns(1);
+        assert_eq!(list.len(), 9 + 10);
+        assert!(list.iter().any(|c| matches!(c.fault, FaultSpec::GapLoss)));
+    }
+
+    #[test]
+    fn random_seu_campaign_runs() {
+        let spec = CampaignSpec::new(
+            "seu",
+            FaultSpec::RandomSeu {
+                probability: 0.05,
+                fix_crc: false,
+            },
+            5,
+        );
+        let results = run_campaign(&spec);
+        assert_eq!(results.len(), 1);
+        assert!(results[0].loss_rate() > 0.05);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let specs = vec![
+            CampaignSpec::new("a", FaultSpec::UdpAliasing, 3),
+            CampaignSpec::new("b", FaultSpec::DataType, 4),
+            CampaignSpec::new("c", FaultSpec::Misroute, 5),
+        ];
+        let parallel = run_campaigns_parallel(&specs);
+        let serial: Vec<Vec<RunResult>> = specs.iter().map(run_campaign).collect();
+        assert_eq!(parallel, serial);
+    }
+
+    #[test]
+    fn campaigns_are_reproducible() {
+        let spec = CampaignSpec::new("repro", FaultSpec::DataType, 9);
+        assert_eq!(run_campaign(&spec), run_campaign(&spec));
+    }
+}

@@ -1,0 +1,29 @@
+//! `netfi-nftape` — an NFTAPE-style campaign framework for the `netfi`
+//! fault injector.
+//!
+//! The paper closes its loop with NFTAPE (\[Sto00\]): "the system-level
+//! impact of faults can be evaluated in an automated fashion employing the
+//! proposed fault injection hardware and an external management and
+//! control framework". This crate plays that role in simulation:
+//!
+//! - [`runner`]: programs the injector over its *serial command protocol*
+//!   (the real control path), schedules duty-cycled injection phases.
+//! - [`results`] / [`report`]: run records in the paper's units and the
+//!   ASCII tables the regenerators print.
+//! - [`scenarios`]: one prebuilt scenario per table/figure of the paper's
+//!   evaluation — Table 2 (latency), Table 4 (control symbols), the STOP
+//!   and GAP throughput experiments, packet-type corruption, physical-
+//!   address corruption (including Figure 11) and UDP checksum aliasing.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod campaign;
+pub mod report;
+pub mod results;
+pub mod runner;
+pub mod scenarios;
+
+pub use campaign::{run_campaign, CampaignSpec, FaultSpec};
+pub use report::Table;
+pub use results::RunResult;

@@ -1,0 +1,173 @@
+//! Campaign execution helpers.
+//!
+//! NFTAPE (\[Sto00\]) drives the injector from an external control host over
+//! the serial line; these helpers do the same in simulation — they turn an
+//! [`InjectorConfig`] into its serial command script and schedule the bytes
+//! as [`Ev::Serial`] events, so campaigns exercise the device's real
+//! command decoder rather than poking its state directly.
+
+use netfi_core::command::{render_command, Command, DirSelect};
+use netfi_core::config::InjectorConfig;
+use netfi_core::corrupt::CorruptMode;
+use netfi_core::trigger::MatchMode;
+use netfi_myrinet::event::Ev;
+use netfi_phy::serial::UartConfig;
+use netfi_sim::{ComponentId, Engine, SimDuration, SimTime};
+
+/// Builds the serial command sequence that programs `config` on the
+/// selected direction(s).
+pub fn commands_for_config(dir: DirSelect, config: &InjectorConfig) -> Vec<Command> {
+    let mut out = vec![Command::SelectDirection(dir)];
+    out.push(Command::CompareData(config.compare.compare_data));
+    out.push(Command::CompareMask(config.compare.compare_mask));
+    out.push(Command::CorruptMode(config.corrupt.mode));
+    out.push(Command::CorruptData(config.corrupt.corrupt_data));
+    match config.corrupt.mode {
+        CorruptMode::Replace => out.push(Command::CorruptMask(config.corrupt.corrupt_mask)),
+        CorruptMode::Toggle => {}
+    }
+    out.push(Command::CrcRecompute(config.crc_recompute));
+    match config.control {
+        Some(ctl) => out.push(Command::ControlSwap {
+            from: ctl.compare.compare_code,
+            mask: ctl.compare.compare_mask,
+            to: ctl.corrupt.corrupt_code,
+        }),
+        None => out.push(Command::ControlOff),
+    }
+    out.push(Command::RandomRate(
+        config.random.map(|r| r.threshold).unwrap_or(0),
+    ));
+    // Match mode last, so the trigger arms only once fully configured.
+    out.push(Command::MatchMode(config.match_mode));
+    out
+}
+
+/// Renders commands to the byte stream the UART carries.
+pub fn script_bytes(commands: &[Command]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for cmd in commands {
+        out.extend_from_slice(render_command(cmd).as_bytes());
+        out.push(b'\n');
+    }
+    out
+}
+
+/// Schedules a command script at the device, one byte per UART frame time
+/// starting at `at`. Returns the time the last byte arrives.
+pub fn schedule_script(
+    engine: &mut Engine<Ev>,
+    device: ComponentId,
+    at: SimTime,
+    commands: &[Command],
+) -> SimTime {
+    let uart = UartConfig::rs232_115200();
+    let mut t = at;
+    for byte in script_bytes(commands) {
+        engine.schedule(t, device, Ev::Serial(byte));
+        t += uart.frame_duration();
+    }
+    t
+}
+
+/// Schedules the full programming of `config` (direction `dir`) at `at`.
+pub fn program_injector(
+    engine: &mut Engine<Ev>,
+    device: ComponentId,
+    at: SimTime,
+    dir: DirSelect,
+    config: &InjectorConfig,
+) -> SimTime {
+    schedule_script(engine, device, at, &commands_for_config(dir, config))
+}
+
+/// Schedules a duty-cycled campaign: the trigger is switched ON at the
+/// start of each period and OFF after `on_for`, from `from` until `until`.
+/// The configuration itself must already be programmed.
+pub fn schedule_duty_cycle(
+    engine: &mut Engine<Ev>,
+    device: ComponentId,
+    from: SimTime,
+    until: SimTime,
+    period: SimDuration,
+    on_for: SimDuration,
+    mode_when_on: MatchMode,
+) {
+    assert!(on_for <= period, "on_for must not exceed the period");
+    let mut t = from;
+    while t < until {
+        schedule_script(engine, device, t, &[Command::MatchMode(mode_when_on)]);
+        let off_at = t + on_for;
+        if off_at < until {
+            schedule_script(engine, device, off_at, &[Command::MatchMode(MatchMode::Off)]);
+        }
+        t += period;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netfi_core::trigger::MatchMode;
+
+    #[test]
+    fn config_script_roundtrip() {
+        let config = InjectorConfig::builder()
+            .match_mode(MatchMode::Once)
+            .compare(0x1818_0000, 0xFFFF_0000)
+            .corrupt_replace(0x1918_0000, 0xFFFF_0000)
+            .recompute_crc(true)
+            .control_swap(0x0F, 0x0C)
+            .build();
+        let commands = commands_for_config(DirSelect::A, &config);
+        // Feeding the script into a device must install exactly `config`.
+        let mut device = netfi_core::InjectorDevice::with_name("t");
+        device.feed_serial(&script_bytes(&commands));
+        let installed = device.config_of(netfi_core::Direction::AToB);
+        assert_eq!(installed, &config);
+        // And the other direction stays pass-through.
+        let other = device.config_of(netfi_core::Direction::BToA);
+        assert_eq!(other.match_mode, MatchMode::Off);
+        // All commands acked.
+        let acks = device.take_serial_output();
+        assert_eq!(acks.len(), commands.len() * 2); // "+\n" each
+    }
+
+    #[test]
+    fn toggle_config_skips_corrupt_mask() {
+        let config = InjectorConfig::builder()
+            .match_mode(MatchMode::On)
+            .corrupt_toggle(0xFF00_0000)
+            .build();
+        let commands = commands_for_config(DirSelect::Both, &config);
+        assert!(!commands
+            .iter()
+            .any(|c| matches!(c, Command::CorruptMask(_))));
+        let mut device = netfi_core::InjectorDevice::with_name("t");
+        device.feed_serial(&script_bytes(&commands));
+        assert_eq!(device.config_of(netfi_core::Direction::BToA), &config);
+    }
+
+    #[test]
+    fn match_mode_is_programmed_last() {
+        let config = InjectorConfig::builder().match_mode(MatchMode::On).build();
+        let commands = commands_for_config(DirSelect::A, &config);
+        assert_eq!(*commands.last().unwrap(), Command::MatchMode(MatchMode::On));
+    }
+
+    #[test]
+    #[should_panic(expected = "on_for")]
+    fn duty_cycle_validates_period() {
+        let mut engine: Engine<Ev> = Engine::new();
+        let dev = engine.add_component(Box::new(netfi_core::InjectorDevice::with_name("x")));
+        schedule_duty_cycle(
+            &mut engine,
+            dev,
+            SimTime::ZERO,
+            SimTime::from_secs(1),
+            SimDuration::from_ms(10),
+            SimDuration::from_ms(20),
+            MatchMode::On,
+        );
+    }
+}

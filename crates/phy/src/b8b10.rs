@@ -1,0 +1,594 @@
+//! A complete 8b/10b encoder/decoder with running disparity.
+//!
+//! Fibre Channel (FC-PH, \[ANS94\] in the paper) transmits 10-bit transmission
+//! characters produced from 8-bit bytes by the Widmer–Franaszek 8b/10b code.
+//! The injector's Fibre Channel interface must encode and decode this line
+//! code to observe and corrupt frames, so we implement the full code here:
+//! the 5b/6b and 3b/4b sub-block tables, the alternate D.x.A7 encoding, the
+//! twelve valid special (K) characters, and running-disparity tracking and
+//! checking.
+//!
+//! Bit order: a 6-bit sub-block is stored as `abcdei` with `a` as bit 5; a
+//! 4-bit sub-block as `fghj` with `f` as bit 3. A transmission character is
+//! `(six << 4) | four`, i.e. `abcdei fghj` reading from bit 9 to bit 0.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// Running disparity: the sign of the cumulative ones-minus-zeros balance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Disparity {
+    /// Negative running disparity (the initial state on a link).
+    Minus,
+    /// Positive running disparity.
+    Plus,
+}
+
+impl Disparity {
+    fn flipped(self) -> Disparity {
+        match self {
+            Disparity::Minus => Disparity::Plus,
+            Disparity::Plus => Disparity::Minus,
+        }
+    }
+}
+
+/// An 8-bit character to encode: either data (`D.x.y`) or special (`K.x.y`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Byte8 {
+    /// An ordinary data byte.
+    Data(u8),
+    /// A special character; only the twelve valid K codes are encodable.
+    Special(u8),
+}
+
+/// The comma special character K28.5, used for synchronization and as the
+/// first character of Fibre Channel ordered sets.
+pub const K28_5: Byte8 = Byte8::Special(0xBC);
+
+/// Errors from [`encode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EncodeError {
+    /// The requested special character is not one of the twelve valid
+    /// K codes.
+    InvalidSpecial(u8),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::InvalidSpecial(b) => {
+                write!(f, "byte {b:#04x} is not a valid 8b/10b special character")
+            }
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+/// Errors from [`decode`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The 10-bit code is not a valid transmission character.
+    InvalidCode(u16),
+    /// The code is valid but violates the current running disparity.
+    DisparityViolation(u16),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::InvalidCode(c) => write!(f, "invalid 10-bit code {c:#05x}"),
+            DecodeError::DisparityViolation(c) => {
+                write!(f, "code {c:#05x} violates running disparity")
+            }
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// 5b/6b table indexed by the low five input bits (`EDCBA`); entries are
+/// `(code for RD−, code for RD+)` in `abcdei` order.
+const D_5B6B: [(u8, u8); 32] = [
+    (0b100111, 0b011000), // D.00
+    (0b011101, 0b100010), // D.01
+    (0b101101, 0b010010), // D.02
+    (0b110001, 0b110001), // D.03
+    (0b110101, 0b001010), // D.04
+    (0b101001, 0b101001), // D.05
+    (0b011001, 0b011001), // D.06
+    (0b111000, 0b000111), // D.07
+    (0b111001, 0b000110), // D.08
+    (0b100101, 0b100101), // D.09
+    (0b010101, 0b010101), // D.10
+    (0b110100, 0b110100), // D.11
+    (0b001101, 0b001101), // D.12
+    (0b101100, 0b101100), // D.13
+    (0b011100, 0b011100), // D.14
+    (0b010111, 0b101000), // D.15
+    (0b011011, 0b100100), // D.16
+    (0b100011, 0b100011), // D.17
+    (0b010011, 0b010011), // D.18
+    (0b110010, 0b110010), // D.19
+    (0b001011, 0b001011), // D.20
+    (0b101010, 0b101010), // D.21
+    (0b011010, 0b011010), // D.22
+    (0b111010, 0b000101), // D.23
+    (0b110011, 0b001100), // D.24
+    (0b100110, 0b100110), // D.25
+    (0b010110, 0b010110), // D.26
+    (0b110110, 0b001001), // D.27
+    (0b001110, 0b001110), // D.28
+    (0b101110, 0b010001), // D.29
+    (0b011110, 0b100001), // D.30
+    (0b101011, 0b010100), // D.31
+];
+
+/// K.28 5b/6b code, `(RD−, RD+)`.
+const K28_6B: (u8, u8) = (0b001111, 0b110000);
+
+/// 3b/4b table for data, indexed by the high three input bits (`HGF`);
+/// entries are `(RD−, RD+)` in `fghj` order. Index 7 holds the *primary*
+/// D.x.P7 encoding; the alternate D.x.A7 is selected contextually.
+const D_3B4B: [(u8, u8); 8] = [
+    (0b1011, 0b0100), // D.x.0
+    (0b1001, 0b1001), // D.x.1
+    (0b0101, 0b0101), // D.x.2
+    (0b1100, 0b0011), // D.x.3
+    (0b1101, 0b0010), // D.x.4
+    (0b1010, 0b1010), // D.x.5
+    (0b0110, 0b0110), // D.x.6
+    (0b1110, 0b0001), // D.x.P7
+];
+
+/// Alternate D.x.A7 encoding, `(RD−, RD+)`.
+const D_A7: (u8, u8) = (0b0111, 0b1000);
+
+/// 3b/4b table for special characters, `(RD−, RD+)`.
+const K_3B4B: [(u8, u8); 8] = [
+    (0b1011, 0b0100), // K.x.0
+    (0b0110, 0b1001), // K.x.1
+    (0b1010, 0b0101), // K.x.2
+    (0b1100, 0b0011), // K.x.3
+    (0b1101, 0b0010), // K.x.4
+    (0b0101, 0b1010), // K.x.5
+    (0b1001, 0b0110), // K.x.6
+    (0b0111, 0b1000), // K.x.7
+];
+
+/// The twelve valid special characters.
+const VALID_K: [u8; 12] = [
+    0x1C, 0x3C, 0x5C, 0x7C, 0x9C, 0xBC, 0xDC, 0xFC, // K28.0..K28.7
+    0xF7, 0xFB, 0xFD, 0xFE, // K23.7 K27.7 K29.7 K30.7
+];
+
+fn sub_disparity(code: u16, width: u32) -> i32 {
+    let ones = (code as u32).count_ones() as i32;
+    2 * ones - width as i32
+}
+
+fn rd_after(rd: Disparity, d: i32) -> Disparity {
+    match d {
+        0 => rd,
+        _ => rd.flipped(),
+    }
+}
+
+/// `true` if the alternate D.x.A7 encoding must be used instead of the
+/// primary, to avoid a run of five identical bits across the sub-block
+/// boundary.
+fn use_a7(x: u8, rd: Disparity) -> bool {
+    matches!(
+        (rd, x),
+        (Disparity::Minus, 17) | (Disparity::Minus, 18) | (Disparity::Minus, 20)
+            | (Disparity::Plus, 11) | (Disparity::Plus, 13) | (Disparity::Plus, 14)
+    )
+}
+
+/// Encodes one byte into a 10-bit transmission character.
+///
+/// Returns the code (in `abcdei fghj` order, bit 9 first on the wire) and
+/// the running disparity after the character.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::InvalidSpecial`] for a K byte outside the twelve
+/// valid special characters.
+///
+/// # Example
+///
+/// ```
+/// use netfi_phy::b8b10::{encode, Byte8, Disparity, K28_5};
+/// // K28.5 with RD−: 001111 1010.
+/// let (code, rd) = encode(K28_5, Disparity::Minus)?;
+/// assert_eq!(code, 0b0011111010);
+/// assert_eq!(rd, Disparity::Plus);
+/// # Ok::<(), netfi_phy::b8b10::EncodeError>(())
+/// ```
+pub fn encode(byte: Byte8, rd: Disparity) -> Result<(u16, Disparity), EncodeError> {
+    match byte {
+        Byte8::Data(b) => {
+            let x = b & 0x1F;
+            let y = (b >> 5) as usize;
+            let (six_m, six_p) = D_5B6B[x as usize];
+            let six = match rd {
+                Disparity::Minus => six_m,
+                Disparity::Plus => six_p,
+            };
+            let rd_mid = rd_after(rd, sub_disparity(six as u16, 6));
+            let (four_m, four_p) = if y == 7 && use_a7(x, rd_mid) {
+                D_A7
+            } else {
+                D_3B4B[y]
+            };
+            let four = match rd_mid {
+                Disparity::Minus => four_m,
+                Disparity::Plus => four_p,
+            };
+            let rd_out = rd_after(rd_mid, sub_disparity(four as u16, 4));
+            Ok((((six as u16) << 4) | four as u16, rd_out))
+        }
+        Byte8::Special(b) => {
+            if !VALID_K.contains(&b) {
+                return Err(EncodeError::InvalidSpecial(b));
+            }
+            let x = b & 0x1F;
+            let y = (b >> 5) as usize;
+            let (six_m, six_p) = if x == 28 {
+                K28_6B
+            } else {
+                // K23/K27/K29/K30 reuse the data 5b/6b codes.
+                D_5B6B[x as usize]
+            };
+            let six = match rd {
+                Disparity::Minus => six_m,
+                Disparity::Plus => six_p,
+            };
+            let rd_mid = rd_after(rd, sub_disparity(six as u16, 6));
+            let (four_m, four_p) = K_3B4B[y];
+            let four = match rd_mid {
+                Disparity::Minus => four_m,
+                Disparity::Plus => four_p,
+            };
+            let rd_out = rd_after(rd_mid, sub_disparity(four as u16, 4));
+            Ok((((six as u16) << 4) | four as u16, rd_out))
+        }
+    }
+}
+
+fn decode_table() -> &'static HashMap<u16, Byte8> {
+    static TABLE: OnceLock<HashMap<u16, Byte8>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut map = HashMap::new();
+        for b in 0..=255u8 {
+            for rd in [Disparity::Minus, Disparity::Plus] {
+                let (code, _) = encode(Byte8::Data(b), rd).expect("data always encodes");
+                if let Some(prev) = map.insert(code, Byte8::Data(b)) {
+                    assert_eq!(prev, Byte8::Data(b), "8b/10b code collision at {code:#05x}");
+                }
+            }
+        }
+        for &k in &VALID_K {
+            for rd in [Disparity::Minus, Disparity::Plus] {
+                let (code, _) = encode(Byte8::Special(k), rd).expect("valid special");
+                if let Some(prev) = map.insert(code, Byte8::Special(k)) {
+                    assert_eq!(
+                        prev,
+                        Byte8::Special(k),
+                        "8b/10b K/D collision at {code:#05x}"
+                    );
+                }
+            }
+        }
+        map
+    })
+}
+
+/// Decodes one 10-bit transmission character.
+///
+/// Returns the decoded byte and the running disparity after the character.
+///
+/// # Errors
+///
+/// - [`DecodeError::InvalidCode`] if the code is not in the 8b/10b codebook
+///   (how a receiver detects many transmission errors).
+/// - [`DecodeError::DisparityViolation`] if the code is valid but its
+///   disparity does not match the running disparity (the other detection
+///   mechanism).
+pub fn decode(code: u16, rd: Disparity) -> Result<(Byte8, Disparity), DecodeError> {
+    if code >= 1 << 10 {
+        return Err(DecodeError::InvalidCode(code));
+    }
+    let byte = *decode_table()
+        .get(&code)
+        .ok_or(DecodeError::InvalidCode(code))?;
+    let d = sub_disparity(code, 10);
+    match (rd, d) {
+        (_, 0) => Ok((byte, rd)),
+        (Disparity::Minus, 2) => Ok((byte, Disparity::Plus)),
+        (Disparity::Plus, -2) => Ok((byte, Disparity::Minus)),
+        _ => Err(DecodeError::DisparityViolation(code)),
+    }
+}
+
+/// A streaming encoder that tracks running disparity across characters.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    rd: Disparity,
+}
+
+impl Default for Encoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Encoder {
+    /// Creates an encoder at the initial RD− state.
+    pub fn new() -> Encoder {
+        Encoder {
+            rd: Disparity::Minus,
+        }
+    }
+
+    /// Current running disparity.
+    pub fn disparity(&self) -> Disparity {
+        self.rd
+    }
+
+    /// Encodes one character, advancing the running disparity.
+    ///
+    /// # Errors
+    ///
+    /// See [`encode`].
+    pub fn push(&mut self, byte: Byte8) -> Result<u16, EncodeError> {
+        let (code, rd) = encode(byte, self.rd)?;
+        self.rd = rd;
+        Ok(code)
+    }
+
+    /// Encodes a data slice.
+    ///
+    /// # Errors
+    ///
+    /// Infallible for data bytes; the `Result` mirrors [`push`](Self::push).
+    pub fn push_data(&mut self, data: &[u8]) -> Result<Vec<u16>, EncodeError> {
+        data.iter().map(|&b| self.push(Byte8::Data(b))).collect()
+    }
+}
+
+/// A streaming decoder that tracks and checks running disparity.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    rd: Disparity,
+}
+
+impl Default for Decoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Decoder {
+    /// Creates a decoder at the initial RD− state.
+    pub fn new() -> Decoder {
+        Decoder {
+            rd: Disparity::Minus,
+        }
+    }
+
+    /// Current running disparity.
+    pub fn disparity(&self) -> Disparity {
+        self.rd
+    }
+
+    /// Decodes one character, advancing the running disparity.
+    ///
+    /// # Errors
+    ///
+    /// See [`decode`].
+    pub fn push(&mut self, code: u16) -> Result<Byte8, DecodeError> {
+        let (byte, rd) = decode(code, self.rd)?;
+        self.rd = rd;
+        Ok(byte)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_data_bytes_roundtrip_both_disparities() {
+        for b in 0..=255u8 {
+            for rd in [Disparity::Minus, Disparity::Plus] {
+                let (code, rd_out) = encode(Byte8::Data(b), rd).unwrap();
+                let (decoded, rd_dec) = decode(code, rd).unwrap();
+                assert_eq!(decoded, Byte8::Data(b), "byte {b:#04x} rd {rd:?}");
+                assert_eq!(rd_out, rd_dec, "disparity divergence for {b:#04x}");
+            }
+        }
+    }
+
+    #[test]
+    fn all_specials_roundtrip() {
+        for &k in &VALID_K {
+            for rd in [Disparity::Minus, Disparity::Plus] {
+                let (code, _) = encode(Byte8::Special(k), rd).unwrap();
+                let (decoded, _) = decode(code, rd).unwrap();
+                assert_eq!(decoded, Byte8::Special(k));
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_special_rejected() {
+        assert_eq!(
+            encode(Byte8::Special(0x00), Disparity::Minus),
+            Err(EncodeError::InvalidSpecial(0x00))
+        );
+    }
+
+    #[test]
+    fn k28_5_known_codewords() {
+        // The comma: RD− 001111 1010, RD+ 110000 0101.
+        let (m, rd_m) = encode(K28_5, Disparity::Minus).unwrap();
+        assert_eq!(m, 0b0011111010);
+        assert_eq!(rd_m, Disparity::Plus);
+        let (p, rd_p) = encode(K28_5, Disparity::Plus).unwrap();
+        assert_eq!(p, 0b1100000101);
+        assert_eq!(rd_p, Disparity::Minus);
+    }
+
+    #[test]
+    fn d0_0_known_codewords() {
+        // D.0.0: RD− 100111 0100, RD+ 011000 1011.
+        let (m, _) = encode(Byte8::Data(0x00), Disparity::Minus).unwrap();
+        assert_eq!(m, 0b1001110100);
+        let (p, _) = encode(Byte8::Data(0x00), Disparity::Plus).unwrap();
+        assert_eq!(p, 0b0110001011);
+    }
+
+    #[test]
+    fn every_codeword_is_dc_balanced_or_off_by_two() {
+        for b in 0..=255u8 {
+            for rd in [Disparity::Minus, Disparity::Plus] {
+                let (code, _) = encode(Byte8::Data(b), rd).unwrap();
+                let d = sub_disparity(code, 10);
+                assert!(d == 0 || d == 2 || d == -2, "byte {b:#04x}: disparity {d}");
+                // An unbalanced codeword must move RD toward zero.
+                if d != 0 {
+                    match rd {
+                        Disparity::Minus => assert_eq!(d, 2),
+                        Disparity::Plus => assert_eq!(d, -2),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_run_of_six_in_stream() {
+        // Encode every byte value in sequence and check max run length <= 5
+        // (8b/10b guarantees runs of at most 5 identical bits).
+        let mut enc = Encoder::new();
+        let mut bits: Vec<bool> = Vec::new();
+        for b in 0..=255u8 {
+            let code = enc.push(Byte8::Data(b)).unwrap();
+            for i in (0..10).rev() {
+                bits.push(code & (1 << i) != 0);
+            }
+        }
+        let mut run = 1usize;
+        let mut max_run = 1usize;
+        for w in bits.windows(2) {
+            if w[0] == w[1] {
+                run += 1;
+                max_run = max_run.max(run);
+            } else {
+                run = 1;
+            }
+        }
+        assert!(max_run <= 5, "max run {max_run}");
+    }
+
+    #[test]
+    fn running_disparity_stays_bounded() {
+        let mut enc = Encoder::new();
+        let mut cum: i32 = 0;
+        for b in 0..=255u8 {
+            let code = enc.push(Byte8::Data(b)).unwrap();
+            cum += sub_disparity(code, 10);
+            assert!(cum.abs() <= 2, "cumulative disparity {cum}");
+        }
+    }
+
+    #[test]
+    fn decoder_detects_invalid_codes() {
+        // 0b0000000000 and 0b1111111111 are never valid.
+        assert!(matches!(
+            decode(0, Disparity::Minus),
+            Err(DecodeError::InvalidCode(_))
+        ));
+        assert!(matches!(
+            decode(0x3FF, Disparity::Minus),
+            Err(DecodeError::InvalidCode(_))
+        ));
+    }
+
+    #[test]
+    fn decoder_detects_disparity_violation() {
+        // A +2 codeword arriving while RD is already + is a violation.
+        // D.3.0 at RD−: balanced six (110001) + unbalanced four (1011) = +2.
+        let (code_plus2, _) = encode(Byte8::Data(0x03), Disparity::Minus).unwrap();
+        assert_eq!(sub_disparity(code_plus2, 10), 2);
+        assert!(matches!(
+            decode(code_plus2, Disparity::Plus),
+            Err(DecodeError::DisparityViolation(_))
+        ));
+    }
+
+    #[test]
+    fn streaming_roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        let mut enc = Encoder::new();
+        let mut dec = Decoder::new();
+        for &b in &data {
+            let code = enc.push(Byte8::Data(b)).unwrap();
+            assert_eq!(dec.push(code).unwrap(), Byte8::Data(b));
+        }
+        assert_eq!(enc.disparity(), dec.disparity());
+    }
+
+    #[test]
+    fn single_bit_errors_are_mostly_detected() {
+        // Flip each of the 10 bits of each codeword; the decoder must catch
+        // at least half immediately (invalid code or disparity violation) at
+        // the single-character level. 8b/10b does not guarantee detection of
+        // every single-bit error within one character — a flip that turns a
+        // balanced code into a valid ±2 code consistent with the current RD
+        // is only caught later, when the running disparity drifts.
+        let mut total = 0;
+        let mut detected = 0;
+        for b in 0..=255u8 {
+            for rd in [Disparity::Minus, Disparity::Plus] {
+                let (code, _) = encode(Byte8::Data(b), rd).unwrap();
+                for bit in 0..10 {
+                    total += 1;
+                    if decode(code ^ (1 << bit), rd).is_err() {
+                        detected += 1;
+                    }
+                }
+            }
+        }
+        let frac = detected as f64 / total as f64;
+        assert!(frac > 0.5, "only {frac:.2} of single-bit errors detected");
+    }
+
+    #[test]
+    fn a7_alternate_avoids_false_commas() {
+        // D.11.7, D.13.7, D.14.7 at RD+ and D.17.7, D.18.7, D.20.7 at RD−
+        // must use the alternate A7 four-bit block.
+        for (x, rd) in [
+            (11u8, Disparity::Plus),
+            (13, Disparity::Plus),
+            (14, Disparity::Plus),
+            (17, Disparity::Minus),
+            (18, Disparity::Minus),
+            (20, Disparity::Minus),
+        ] {
+            let byte = (7 << 5) | x;
+            let (code, _) = encode(Byte8::Data(byte), rd).unwrap();
+            let four = (code & 0xF) as u8;
+            // The A7 block for the rd *after* the six-bit block; both A7
+            // variants are 0b0111 / 0b1000.
+            assert!(
+                four == 0b0111 || four == 0b1000,
+                "D.{x}.7 at {rd:?} used primary block {four:04b}"
+            );
+        }
+    }
+}

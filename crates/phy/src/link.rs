@@ -1,0 +1,223 @@
+//! Point-to-point link model.
+//!
+//! A [`Link`] describes one full-duplex network segment: its signalling
+//! rate, cable length (hence propagation delay), and an optional Bernoulli
+//! bit-error process modelling the electromagnetic/radiation phenomena the
+//! paper's introduction motivates. The link is a passive descriptor —
+//! higher layers (the Myrinet network builder, the injector device) consult
+//! it to schedule deliveries and to decide which bits to flip.
+
+use netfi_sim::{DetRng, SimDuration};
+
+/// Signal propagation speed in copper, ~5 ns/m (0.2 m/ns).
+pub const PROPAGATION_PS_PER_METER: u64 = 5_000;
+
+/// A full-duplex point-to-point link.
+///
+/// # Example
+///
+/// ```
+/// use netfi_phy::Link;
+/// // The paper's Myrinet LAN: 1.28 Gb/s links, ~3 m cables.
+/// let link = Link::myrinet_san(3.0);
+/// assert_eq!(link.data_rate_bps(), 1_280_000_000);
+/// assert_eq!(link.propagation_delay().as_ps(), 15_000); // 15 ns
+/// // One 8-bit character at 1.28 Gb/s: 6.25 ns.
+/// assert_eq!(link.char_period().as_ps(), 6_250);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Link {
+    data_rate_bps: u64,
+    cable_meters: f64,
+    bit_error_rate: f64,
+}
+
+impl Link {
+    /// Creates a link with the given data rate and cable length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_rate_bps` is zero or `cable_meters` is negative/NaN.
+    pub fn new(data_rate_bps: u64, cable_meters: f64) -> Link {
+        assert!(data_rate_bps > 0, "data rate must be non-zero");
+        assert!(
+            cable_meters >= 0.0 && cable_meters.is_finite(),
+            "cable length must be a non-negative finite number"
+        );
+        Link {
+            data_rate_bps,
+            cable_meters,
+            bit_error_rate: 0.0,
+        }
+    }
+
+    /// The paper's primary target: Myrinet SAN at 1.28 Gb/s.
+    pub fn myrinet_san(cable_meters: f64) -> Link {
+        Link::new(1_280_000_000, cable_meters)
+    }
+
+    /// The paper's footnote-5 configuration: 640 Mb/s data rate (80 MB/s),
+    /// where a character period is ~12.5 ns.
+    pub fn myrinet_640(cable_meters: f64) -> Link {
+        Link::new(640_000_000, cable_meters)
+    }
+
+    /// Fibre Channel full speed (1.0625 Gbaud line rate).
+    pub fn fibre_channel(cable_meters: f64) -> Link {
+        Link::new(1_062_500_000, cable_meters)
+    }
+
+    /// Returns this link with a Bernoulli per-bit error probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ber` is outside `[0, 1]`.
+    pub fn with_bit_error_rate(mut self, ber: f64) -> Link {
+        assert!((0.0..=1.0).contains(&ber), "BER must be in [0,1]");
+        self.bit_error_rate = ber;
+        self
+    }
+
+    /// Data rate in bits per second.
+    pub fn data_rate_bps(&self) -> u64 {
+        self.data_rate_bps
+    }
+
+    /// Cable length in meters.
+    pub fn cable_meters(&self) -> f64 {
+        self.cable_meters
+    }
+
+    /// Configured bit-error rate.
+    pub fn bit_error_rate(&self) -> f64 {
+        self.bit_error_rate
+    }
+
+    /// One-way propagation delay down the cable.
+    pub fn propagation_delay(&self) -> SimDuration {
+        SimDuration::from_ps((self.cable_meters * PROPAGATION_PS_PER_METER as f64).round() as u64)
+    }
+
+    /// The time one 8-bit character occupies the wire.
+    pub fn char_period(&self) -> SimDuration {
+        SimDuration::from_bits(8, self.data_rate_bps)
+    }
+
+    /// The time `bytes` occupy the wire (serialization delay).
+    pub fn transfer_time(&self, bytes: usize) -> SimDuration {
+        SimDuration::from_bits(bytes as u64 * 8, self.data_rate_bps)
+    }
+
+    /// Total first-bit-in to last-bit-out latency for a `bytes`-long frame.
+    pub fn frame_latency(&self, bytes: usize) -> SimDuration {
+        self.propagation_delay() + self.transfer_time(bytes)
+    }
+
+    /// Applies the link's bit-error process to a buffer in place, returning
+    /// the number of bits flipped. With a zero BER this is free.
+    pub fn apply_noise(&self, rng: &mut DetRng, buf: &mut [u8]) -> u32 {
+        if self.bit_error_rate == 0.0 || buf.is_empty() {
+            return 0;
+        }
+        let mut flipped = 0;
+        for byte in buf.iter_mut() {
+            for bit in 0..8 {
+                if rng.gen_bool(self.bit_error_rate) {
+                    *byte ^= 1 << bit;
+                    flipped += 1;
+                }
+            }
+        }
+        flipped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_rates() {
+        assert_eq!(Link::myrinet_san(1.0).data_rate_bps(), 1_280_000_000);
+        assert_eq!(Link::myrinet_640(1.0).data_rate_bps(), 640_000_000);
+        assert_eq!(Link::fibre_channel(1.0).data_rate_bps(), 1_062_500_000);
+    }
+
+    #[test]
+    fn char_period_matches_paper_footnote() {
+        // Paper: at 80 MB/s (640 Mb/s) a character period is roughly 12.5 ns.
+        assert_eq!(Link::myrinet_640(1.0).char_period().as_ps(), 12_500);
+    }
+
+    #[test]
+    fn propagation_scales_with_length() {
+        // Paper: "the latency caused by the extra 1 m of cable (which is
+        // negligible)" — 5 ns here.
+        assert_eq!(Link::myrinet_san(1.0).propagation_delay().as_ps(), 5_000);
+        assert_eq!(Link::myrinet_san(10.0).propagation_delay().as_ps(), 50_000);
+        assert_eq!(Link::myrinet_san(0.0).propagation_delay().as_ps(), 0);
+    }
+
+    #[test]
+    fn transfer_time_is_linear_in_bytes() {
+        let link = Link::myrinet_san(0.0);
+        assert_eq!(link.transfer_time(0), SimDuration::ZERO);
+        assert_eq!(link.transfer_time(16).as_ps(), 100_000); // 128 bits @ 1.28Gb/s
+        assert_eq!(
+            link.frame_latency(16),
+            link.transfer_time(16) + link.propagation_delay()
+        );
+    }
+
+    #[test]
+    fn zero_ber_flips_nothing() {
+        let link = Link::myrinet_san(1.0);
+        let mut rng = DetRng::new(1);
+        let mut buf = [0xA5u8; 64];
+        let orig = buf;
+        assert_eq!(link.apply_noise(&mut rng, &mut buf), 0);
+        assert_eq!(buf, orig);
+    }
+
+    #[test]
+    fn ber_one_flips_everything() {
+        let link = Link::myrinet_san(1.0).with_bit_error_rate(1.0);
+        let mut rng = DetRng::new(1);
+        let mut buf = [0x00u8; 8];
+        let flipped = link.apply_noise(&mut rng, &mut buf);
+        assert_eq!(flipped, 64);
+        assert!(buf.iter().all(|&b| b == 0xFF));
+    }
+
+    #[test]
+    fn ber_statistics_are_roughly_right() {
+        let link = Link::myrinet_san(1.0).with_bit_error_rate(0.01);
+        let mut rng = DetRng::new(42);
+        let mut buf = vec![0u8; 100_000];
+        let flipped = link.apply_noise(&mut rng, &mut buf) as f64;
+        let expected = 800_000.0 * 0.01;
+        assert!((flipped - expected).abs() / expected < 0.05, "flipped={flipped}");
+    }
+
+    #[test]
+    fn noise_is_deterministic_per_seed() {
+        let link = Link::myrinet_san(1.0).with_bit_error_rate(0.1);
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        link.apply_noise(&mut DetRng::new(9), &mut a);
+        link.apply_noise(&mut DetRng::new(9), &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "BER")]
+    fn rejects_invalid_ber() {
+        let _ = Link::myrinet_san(1.0).with_bit_error_rate(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn rejects_zero_rate() {
+        let _ = Link::new(0, 1.0);
+    }
+}

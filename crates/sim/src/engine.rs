@@ -1,0 +1,472 @@
+//! The discrete-event engine.
+//!
+//! An [`Engine`] owns a set of components (network hosts, switches, the fault
+//! injector, traffic sources, …) and a time-ordered event queue. Events carry
+//! a domain-defined payload type `M`; delivery order is `(time, sequence)`
+//! where the sequence number is assigned at scheduling time, so runs are
+//! fully deterministic.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a component registered with an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ComponentId(u32);
+
+impl ComponentId {
+    /// The raw index of this component within its engine.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// A simulated entity that reacts to events.
+///
+/// Implementors also supply the `as_any` hooks so experiment harnesses can
+/// downcast components back to their concrete types after a run (see
+/// [`Engine::component_as`]).
+pub trait Component<M>: 'static {
+    /// Called when an event addressed to this component becomes due.
+    fn on_event(&mut self, ctx: &mut Context<'_, M>, payload: M);
+
+    /// Upcast for downcasting by harnesses.
+    fn as_any(&self) -> &dyn Any;
+
+    /// Mutable upcast for downcasting by harnesses.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+struct QueuedEvent<M> {
+    time: SimTime,
+    seq: u64,
+    dst: ComponentId,
+    payload: M,
+}
+
+impl<M> PartialEq for QueuedEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for QueuedEvent<M> {}
+impl<M> PartialOrd for QueuedEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for QueuedEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// Scheduling context handed to a component while it handles an event.
+///
+/// All side effects a component can have on the simulation — scheduling
+/// future events, stopping the run — go through the context.
+pub struct Context<'a, M> {
+    now: SimTime,
+    self_id: ComponentId,
+    seq: &'a mut u64,
+    outbox: &'a mut Vec<QueuedEvent<M>>,
+    stop_requested: &'a mut bool,
+}
+
+impl<M> fmt::Debug for Context<'_, M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Context")
+            .field("now", &self.now)
+            .field("self_id", &self.self_id)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<M> Context<'_, M> {
+    /// The current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the component currently handling an event.
+    pub fn self_id(&self) -> ComponentId {
+        self.self_id
+    }
+
+    /// Schedules `payload` for delivery to `dst` after `delay`.
+    pub fn send(&mut self, dst: ComponentId, delay: SimDuration, payload: M) {
+        let seq = *self.seq;
+        *self.seq += 1;
+        self.outbox.push(QueuedEvent {
+            time: self.now + delay,
+            seq,
+            dst,
+            payload,
+        });
+    }
+
+    /// Schedules `payload` for delivery back to the current component.
+    pub fn send_self(&mut self, delay: SimDuration, payload: M) {
+        self.send(self.self_id, delay, payload);
+    }
+
+    /// Schedules `payload` for immediate (same-time) delivery to `dst`.
+    ///
+    /// Same-time events are delivered in scheduling order.
+    pub fn send_now(&mut self, dst: ComponentId, payload: M) {
+        self.send(dst, SimDuration::ZERO, payload);
+    }
+
+    /// Asks the engine to stop after the current event completes.
+    pub fn stop(&mut self) {
+        *self.stop_requested = true;
+    }
+}
+
+/// The event-driven simulation engine.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+pub struct Engine<M> {
+    components: Vec<Box<dyn Component<M>>>,
+    queue: BinaryHeap<QueuedEvent<M>>,
+    now: SimTime,
+    seq: u64,
+    events_processed: u64,
+    stop_requested: bool,
+}
+
+impl<M> fmt::Debug for Engine<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("components", &self.components.len())
+            .field("queued", &self.queue.len())
+            .field("now", &self.now)
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl<M: 'static> Default for Engine<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: 'static> Engine<M> {
+    /// Creates an empty engine at time zero.
+    pub fn new() -> Self {
+        Engine {
+            components: Vec::new(),
+            queue: BinaryHeap::new(),
+            now: SimTime::ZERO,
+            seq: 0,
+            events_processed: 0,
+            stop_requested: false,
+        }
+    }
+
+    /// Registers a component and returns its id.
+    pub fn add_component(&mut self, component: Box<dyn Component<M>>) -> ComponentId {
+        let id = ComponentId(u32::try_from(self.components.len()).expect("too many components"));
+        self.components.push(component);
+        id
+    }
+
+    /// The current simulated time (the time of the last delivered event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The total number of events delivered so far.
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The number of events still queued.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `payload` for delivery to `dst` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past or `dst` is not registered.
+    pub fn schedule(&mut self, time: SimTime, dst: ComponentId, payload: M) {
+        assert!(time >= self.now, "cannot schedule into the past");
+        assert!(dst.index() < self.components.len(), "unknown component {dst}");
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(QueuedEvent {
+            time,
+            seq,
+            dst,
+            payload,
+        });
+    }
+
+    /// Schedules `payload` for delivery to `dst` after `delay` from now.
+    pub fn schedule_after(&mut self, delay: SimDuration, dst: ComponentId, payload: M) {
+        self.schedule(self.now + delay, dst, payload);
+    }
+
+    /// Delivers the next event. Returns `false` if the queue was empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event addresses a component that was never registered
+    /// (unreachable if events were created through the checked APIs).
+    pub fn step(&mut self) -> bool {
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.now);
+        self.now = ev.time;
+        self.events_processed += 1;
+
+        let mut outbox = Vec::new();
+        {
+            let component = &mut self.components[ev.dst.index()];
+            let mut ctx = Context {
+                now: self.now,
+                self_id: ev.dst,
+                seq: &mut self.seq,
+                outbox: &mut outbox,
+                stop_requested: &mut self.stop_requested,
+            };
+            component.on_event(&mut ctx, ev.payload);
+        }
+        for out in outbox {
+            assert!(
+                out.dst.index() < self.components.len(),
+                "event addressed to unknown component {}",
+                out.dst
+            );
+            self.queue.push(out);
+        }
+        true
+    }
+
+    /// Runs until the queue drains or a component calls [`Context::stop`].
+    pub fn run(&mut self) {
+        self.stop_requested = false;
+        while !self.stop_requested && self.step() {}
+    }
+
+    /// Runs until simulated time would exceed `deadline`, the queue drains,
+    /// or a component requests a stop. Events at exactly `deadline` are
+    /// delivered; the engine clock never passes `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.stop_requested = false;
+        while !self.stop_requested {
+            match self.queue.peek() {
+                Some(ev) if ev.time <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if self.now < deadline && !self.stop_requested {
+            self.now = deadline;
+        }
+    }
+
+    /// Runs for `span` of simulated time from now.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now + span;
+        self.run_until(deadline);
+    }
+
+    /// Borrows a component by id.
+    ///
+    /// Returns `None` if `id` is stale/unknown.
+    pub fn component(&self, id: ComponentId) -> Option<&dyn Component<M>> {
+        self.components.get(id.index()).map(|b| b.as_ref())
+    }
+
+    /// Downcasts a component to its concrete type.
+    ///
+    /// # Example
+    ///
+    /// See the [crate-level documentation](crate).
+    pub fn component_as<T: 'static>(&self, id: ComponentId) -> Option<&T> {
+        self.components
+            .get(id.index())
+            .and_then(|c| c.as_any().downcast_ref::<T>())
+    }
+
+    /// Mutably downcasts a component to its concrete type.
+    pub fn component_as_mut<T: 'static>(&mut self, id: ComponentId) -> Option<&mut T> {
+        self.components
+            .get_mut(id.index())
+            .and_then(|c| c.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Number of registered components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Default)]
+    struct Recorder {
+        seen: Vec<(u64, u32)>, // (time in ns, value)
+    }
+
+    impl Component<u32> for Recorder {
+        fn on_event(&mut self, ctx: &mut Context<'_, u32>, payload: u32) {
+            self.seen.push((ctx.now().as_ps() / 1000, payload));
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[derive(Debug)]
+    struct PingPong {
+        peer: Option<ComponentId>,
+        remaining: u32,
+        bounces: u32,
+    }
+
+    impl Component<u32> for PingPong {
+        fn on_event(&mut self, ctx: &mut Context<'_, u32>, payload: u32) {
+            self.bounces += 1;
+            if payload > 0 {
+                if let Some(peer) = self.peer {
+                    ctx.send(peer, SimDuration::from_ns(5), payload - 1);
+                }
+            } else {
+                ctx.stop();
+            }
+            self.remaining = payload;
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn events_deliver_in_time_order() {
+        let mut e = Engine::new();
+        let r = e.add_component(Box::new(Recorder::default()));
+        e.schedule(SimTime::from_ns(30), r, 3);
+        e.schedule(SimTime::from_ns(10), r, 1);
+        e.schedule(SimTime::from_ns(20), r, 2);
+        e.run();
+        let rec = e.component_as::<Recorder>(r).unwrap();
+        assert_eq!(rec.seen, vec![(10, 1), (20, 2), (30, 3)]);
+    }
+
+    #[test]
+    fn same_time_events_deliver_in_schedule_order() {
+        let mut e = Engine::new();
+        let r = e.add_component(Box::new(Recorder::default()));
+        for v in 0..10 {
+            e.schedule(SimTime::from_ns(5), r, v);
+        }
+        e.run();
+        let rec = e.component_as::<Recorder>(r).unwrap();
+        let values: Vec<u32> = rec.seen.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn ping_pong_terminates_and_counts() {
+        let mut e = Engine::new();
+        let a = e.add_component(Box::new(PingPong { peer: None, remaining: 0, bounces: 0 }));
+        let b = e.add_component(Box::new(PingPong { peer: Some(a), remaining: 0, bounces: 0 }));
+        e.component_as_mut::<PingPong>(a).unwrap().peer = Some(b);
+        e.schedule(SimTime::ZERO, a, 10);
+        e.run();
+        let ta = e.component_as::<PingPong>(a).unwrap().bounces;
+        let tb = e.component_as::<PingPong>(b).unwrap().bounces;
+        assert_eq!(ta + tb, 11);
+        assert_eq!(e.now(), SimTime::from_ns(50));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e = Engine::new();
+        let r = e.add_component(Box::new(Recorder::default()));
+        e.schedule(SimTime::from_ns(10), r, 1);
+        e.schedule(SimTime::from_ns(100), r, 2);
+        e.run_until(SimTime::from_ns(50));
+        assert_eq!(e.now(), SimTime::from_ns(50));
+        assert_eq!(e.pending_events(), 1);
+        let rec = e.component_as::<Recorder>(r).unwrap();
+        assert_eq!(rec.seen.len(), 1);
+    }
+
+    #[test]
+    fn run_until_delivers_events_at_exact_deadline() {
+        let mut e = Engine::new();
+        let r = e.add_component(Box::new(Recorder::default()));
+        e.schedule(SimTime::from_ns(50), r, 1);
+        e.run_until(SimTime::from_ns(50));
+        assert_eq!(e.component_as::<Recorder>(r).unwrap().seen.len(), 1);
+    }
+
+    #[test]
+    fn run_for_advances_clock_even_when_idle() {
+        let mut e: Engine<u32> = Engine::new();
+        let _ = e.add_component(Box::new(Recorder::default()));
+        e.run_for(SimDuration::from_ms(5));
+        assert_eq!(e.now(), SimTime::from_ms(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule into the past")]
+    fn schedule_in_the_past_panics() {
+        let mut e = Engine::new();
+        let r = e.add_component(Box::new(Recorder::default()));
+        e.schedule(SimTime::from_ns(10), r, 1);
+        e.run();
+        e.schedule(SimTime::from_ns(5), r, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown component")]
+    fn schedule_to_unknown_component_panics() {
+        let mut e: Engine<u32> = Engine::new();
+        e.schedule(SimTime::ZERO, ComponentId(7), 1);
+    }
+
+    #[test]
+    fn step_on_empty_queue_returns_false() {
+        let mut e: Engine<u32> = Engine::new();
+        assert!(!e.step());
+        assert_eq!(e.events_processed(), 0);
+    }
+
+    #[test]
+    fn stop_request_halts_run() {
+        let mut e = Engine::new();
+        let a = e.add_component(Box::new(PingPong { peer: None, remaining: 0, bounces: 0 }));
+        // Self-loop would run 4 events then stop (payload counts down from 3).
+        e.component_as_mut::<PingPong>(a).unwrap().peer = Some(a);
+        e.schedule(SimTime::ZERO, a, 3);
+        e.run();
+        assert_eq!(e.events_processed(), 4);
+    }
+}

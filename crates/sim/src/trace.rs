@@ -1,0 +1,172 @@
+//! Bounded event tracing.
+//!
+//! [`TraceBuffer`] is the software analogue of the injector's SDRAM capture
+//! memory: a bounded ring that keeps the most recent records. Experiments use
+//! it to capture the environment around an injection event, mirroring the
+//! paper's "keep the bytes surrounding the fault injection event" feature.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// One timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord<T> {
+    /// When the record was captured.
+    pub time: SimTime,
+    /// The captured value.
+    pub value: T,
+}
+
+/// A bounded ring buffer of timestamped records.
+///
+/// # Example
+///
+/// ```
+/// use netfi_sim::trace::TraceBuffer;
+/// use netfi_sim::SimTime;
+///
+/// let mut buf = TraceBuffer::new(2);
+/// buf.push(SimTime::from_ns(1), "a");
+/// buf.push(SimTime::from_ns(2), "b");
+/// buf.push(SimTime::from_ns(3), "c"); // evicts "a"
+/// let values: Vec<_> = buf.iter().map(|r| r.value).collect();
+/// assert_eq!(values, ["b", "c"]);
+/// assert_eq!(buf.dropped(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBuffer<T> {
+    capacity: usize,
+    records: VecDeque<TraceRecord<T>>,
+    dropped: u64,
+}
+
+impl<T> TraceBuffer<T> {
+    /// Creates a buffer holding at most `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace buffer capacity must be non-zero");
+        TraceBuffer {
+            capacity,
+            records: VecDeque::with_capacity(capacity.min(1024)),
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest if full.
+    pub fn push(&mut self, time: SimTime, value: T) {
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(TraceRecord { time, value });
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Maximum number of records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of records evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates oldest-to-newest.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord<T>> {
+        self.records.iter()
+    }
+
+    /// The most recent record, if any.
+    pub fn last(&self) -> Option<&TraceRecord<T>> {
+        self.records.back()
+    }
+
+    /// Removes all records (eviction counter is preserved).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+
+    /// Drains all records oldest-to-newest.
+    pub fn drain(&mut self) -> impl Iterator<Item = TraceRecord<T>> + '_ {
+        self.records.drain(..)
+    }
+}
+
+impl<T: fmt::Display> TraceBuffer<T> {
+    /// Renders the buffer as one line per record, oldest first.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for r in &self.records {
+            let _ = writeln!(out, "[{}] {}", r.time, r.value);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_most_recent() {
+        let mut buf = TraceBuffer::new(3);
+        for i in 0..5u32 {
+            buf.push(SimTime::from_ns(i as u64), i);
+        }
+        let vals: Vec<u32> = buf.iter().map(|r| r.value).collect();
+        assert_eq!(vals, vec![2, 3, 4]);
+        assert_eq!(buf.dropped(), 2);
+        assert_eq!(buf.last().unwrap().value, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = TraceBuffer::<u8>::new(0);
+    }
+
+    #[test]
+    fn clear_preserves_dropped_counter() {
+        let mut buf = TraceBuffer::new(1);
+        buf.push(SimTime::ZERO, 1);
+        buf.push(SimTime::ZERO, 2);
+        buf.clear();
+        assert!(buf.is_empty());
+        assert_eq!(buf.dropped(), 1);
+    }
+
+    #[test]
+    fn drain_empties_in_order() {
+        let mut buf = TraceBuffer::new(4);
+        buf.push(SimTime::from_ns(1), "x");
+        buf.push(SimTime::from_ns(2), "y");
+        let drained: Vec<&str> = buf.drain().map(|r| r.value).collect();
+        assert_eq!(drained, vec!["x", "y"]);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn render_includes_timestamps() {
+        let mut buf = TraceBuffer::new(4);
+        buf.push(SimTime::from_ns(1), "hello");
+        let s = buf.render();
+        assert!(s.contains("1.000ns"));
+        assert!(s.contains("hello"));
+    }
+}

@@ -1,0 +1,42 @@
+//! A miniature Table 4 campaign: corrupt Myrinet control symbols crossing
+//! one link and measure UDP message loss, exactly as §4.3.1 does.
+//!
+//! Run with `cargo run --release --example control_symbol_campaign`.
+
+use netfi::nftape::scenarios::control::{control_symbol_row, ControlCampaignOptions};
+use netfi::nftape::Table;
+use netfi::phy::ControlSymbol;
+use netfi::sim::SimDuration;
+
+fn main() {
+    let opts = ControlCampaignOptions {
+        window: SimDuration::from_secs(5),
+        ..ControlCampaignOptions::default()
+    };
+    println!("running three campaign rows (5 s windows) — see");
+    println!("`cargo run -p netfi-bench --bin table4_control_symbols` for all nine\n");
+
+    let rows = [
+        (ControlSymbol::Stop, ControlSymbol::Idle),
+        (ControlSymbol::Gap, ControlSymbol::Go),
+        (ControlSymbol::Go, ControlSymbol::Stop),
+    ];
+    let mut table = Table::new(
+        "Control-symbol corruption (model)",
+        &["Mask", "Replacement", "Sent", "Received", "Loss rate"],
+    );
+    for (mask, replacement) in rows {
+        eprintln!("  {mask} -> {replacement} …");
+        let r = control_symbol_row(mask, replacement, &opts);
+        table.row(&[
+            mask.to_string(),
+            replacement.to_string(),
+            r.sent.to_string(),
+            r.received.to_string(),
+            format!("{:.1}%", r.loss_rate() * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!("paper (Table 4): loss rates between 7% and 15%; eaten STOPs overflow");
+    println!("slack buffers, corrupted GAPs leave wormhole paths blocked.");
+}

@@ -1,0 +1,104 @@
+//! The dual-media claim (§3.4): "the current board has interfaces for
+//! Myrinet and FibreChannel … the injection logic is general and not
+//! customized to any one network." And footnote 1's second-generation
+//! design: interface logic abstracted away from injector logic.
+//!
+//! This example drives the gen-2 injector ([`Gen2Injector`]) with the
+//! Fibre Channel media interface: FC frames are encoded through 8b/10b,
+//! decoded at the PHY boundary, pushed through the *same* datapath used on
+//! Myrinet, and — when integrity repair is on — have their **CRC-32**
+//! recomputed by the media layer, so the corruption survives to the
+//! receiving N_Port.
+//!
+//! Run with `cargo run --example fc_monitor`.
+
+use netfi::fc::frame::{decode_line, FcAddress, FcError, FcFrame};
+use netfi::injector::config::InjectorConfig;
+use netfi::injector::media::{FibreChannelMedia, Gen2Injector};
+use netfi::injector::MatchMode;
+use netfi::phy::b8b10::{Byte8, Decoder, Encoder};
+
+fn line_from_body(frame: &FcFrame, body: &[u8], enc: &mut Encoder) -> Vec<u16> {
+    let mut chars: Vec<Byte8> = Vec::new();
+    chars.extend(netfi::fc::OrderedSet::Sof(frame.sof).chars());
+    chars.extend(body.iter().map(|&b| Byte8::Data(b)));
+    chars.extend(netfi::fc::OrderedSet::Eof(frame.eof).chars());
+    chars.into_iter().map(|c| enc.push(c).expect("valid")).collect()
+}
+
+fn run(repair: bool) {
+    println!(
+        "--- gen-2 injector on Fibre Channel, CRC-32 repair {} ---",
+        if repair { "ON" } else { "OFF" }
+    );
+    let mut injector = Gen2Injector::new(
+        FibreChannelMedia,
+        InjectorConfig::builder()
+            .match_mode(MatchMode::On)
+            .compare(u32::from_be_bytes(*b"SCSI"), 0xFFFF_FFFF)
+            .corrupt_toggle(0x0000_0100)
+            .recompute_crc(repair)
+            .build(),
+    );
+
+    let mut enc = Encoder::new();
+    let mut dec = Decoder::new();
+    let mut rx_port = netfi::fc::NPort::new(4);
+
+    for seq in 0..5u16 {
+        let payload = if seq == 2 {
+            b"SCSI write command 42".to_vec()
+        } else {
+            format!("frame {seq} payload").into_bytes()
+        };
+        let frame = FcFrame::data(FcAddress::new(0x0101), FcAddress::new(0x0202), seq, payload);
+
+        // The PHY hands the frame body to the injector; the media layer
+        // repairs the CRC-32 if configured.
+        let mut body = frame.body();
+        let report = injector.process(&mut body);
+
+        let line = line_from_body(&frame, &body, &mut enc);
+        match decode_line(&line, &mut dec) {
+            Ok((rx, _)) => {
+                rx_port.receive(rx.clone());
+                let corrupted = report.injected();
+                println!(
+                    "frame {seq}: delivered ({} bytes){}",
+                    rx.payload.len(),
+                    if corrupted {
+                        "  <- CORRUPTED yet CRC-valid: the repair hid it"
+                    } else {
+                        ""
+                    }
+                );
+                let _ = rx_port.deliver();
+            }
+            Err(FcError::BadCrc) => {
+                println!(
+                    "frame {seq}: CRC-32 FAILED — corruption at byte offsets {:?}",
+                    report.injected_offsets
+                );
+            }
+            Err(e) => println!("frame {seq}: rejected ({e})"),
+        }
+    }
+    let stats = injector.stats();
+    println!(
+        "stats: {} frames, {} injected, {} repairs; kinds: {:?}\n",
+        stats.packets,
+        stats.injected_packets,
+        stats.repairs,
+        stats.kind_counts
+    );
+}
+
+fn main() {
+    println!(
+        "the same injector logic, two integrity codes: without repair the\n\
+         medium's CRC catches the fault; with repair the corruption sails\n\
+         through to the application — on Fibre Channel exactly as on Myrinet.\n"
+    );
+    run(false);
+    run(true);
+}

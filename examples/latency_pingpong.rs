@@ -1,0 +1,24 @@
+//! The Table 2 methodology in miniature: measure the device's added
+//! latency by UDP ping-pong, with and without the injector in the path.
+//!
+//! Run with `cargo run --release --example latency_pingpong`.
+
+use netfi::nftape::scenarios::latency::latency_table2;
+
+fn main() {
+    println!("running 2 experiments × 2 arms × 5000 ping-pong packets …\n");
+    let rows = latency_table2(5_000, 2, 42);
+    for row in &rows {
+        println!(
+            "experiment {}: {:.0} ns/packet without, {:.0} ns with, added {:+.0} ns",
+            row.experiment, row.without_ns, row.with_ns,
+            row.added_ns()
+        );
+    }
+    println!(
+        "\nthe true model latency is 255 ns (a 3-cycle pipeline plus two FIFO\n\
+         slack segments at 640 Mb/s = 250 ns, plus 5 ns of extra cable); the\n\
+         rest is interrupt-granularity measurement noise — the paper reports\n\
+         75–1407 ns for the same reason."
+    );
+}

@@ -1,0 +1,60 @@
+//! A tour of the injector's serial command protocol — the path NFTAPE
+//! uses to reconfigure the device at run time ("the injector can be
+//! reconfigured by an external system at any time through the RS-232
+//! interface").
+//!
+//! Run with `cargo run --example serial_console`.
+
+use netfi::injector::{Direction, InjectorDevice, MatchMode};
+
+fn console(device: &mut InjectorDevice, line: &str) {
+    device.feed_serial(line.as_bytes());
+    device.feed_serial(b"\n");
+    let response = String::from_utf8_lossy(&device.take_serial_output()).into_owned();
+    for resp in response.lines() {
+        println!("  > {line:<12} <  {resp}");
+    }
+}
+
+fn main() {
+    let mut device = InjectorDevice::with_name("console-demo");
+    println!("injector serial console ('>' sent, '<' device response)\n");
+
+    // The paper's §3.3 typical scenario, keyed in by hand.
+    console(&mut device, "DA"); // select the A->B direction
+    console(&mut device, "C18180000"); // compare data: the 16 bits 0x1818
+    console(&mut device, "KFFFF0000"); // compare mask: top 16 bits matter
+    console(&mut device, "R"); // replace mode
+    console(&mut device, "V19180000"); // corrupt data: 0x1918
+    console(&mut device, "XFFFF0000"); // corrupt mask
+    console(&mut device, "G1"); // recompute the CRC-8 before EOF
+    console(&mut device, "MO"); // match mode: once
+    println!();
+
+    // A typo gets the error response from the output generator.
+    console(&mut device, "Q99");
+    println!();
+
+    // The trigger fires exactly once.
+    let mut stream = vec![0x00, 0x18, 0x18, 0x55, 0x18, 0x18, 0x99];
+    println!("stream in : {stream:02x?}");
+    // (driving the datapath directly; on a link this happens in flight)
+    let report = {
+        let cfg = *device.config_of(Direction::AToB);
+        let mut injector = netfi::injector::FifoInjector::new(cfg);
+        injector.process_packet(&mut stream)
+    };
+    println!("stream out: {stream:02x?}");
+    println!(
+        "matches at {:?}, injected at {:?} — 'once' stopped after the first\n",
+        report.match_offsets, report.injected_offsets
+    );
+
+    // Ask the device for its statistics.
+    console(&mut device, "Q");
+    println!();
+
+    assert_eq!(device.config_of(Direction::AToB).match_mode, MatchMode::Once);
+    println!("(direction B->A was never touched: its trigger is still Off)");
+    assert_eq!(device.config_of(Direction::BToA).match_mode, MatchMode::Off);
+}

@@ -1,0 +1,82 @@
+//! Integration tests over the campaign scenarios — quick versions of the
+//! paper's experiments, asserting the qualitative results the paper
+//! reports.
+
+use netfi::nftape::scenarios::{address, control, ptype, udpcheck};
+use netfi::phy::ControlSymbol;
+use netfi::sim::SimDuration;
+
+#[test]
+fn table4_stop_row_loses_messages_via_overflow() {
+    let opts = control::ControlCampaignOptions {
+        window: SimDuration::from_secs(4),
+        ..control::ControlCampaignOptions::default()
+    };
+    let row = control::control_symbol_row(ControlSymbol::Stop, ControlSymbol::Go, &opts);
+    assert!(row.sent > 1_000);
+    assert!(
+        row.loss_rate() > 0.02 && row.loss_rate() < 0.30,
+        "loss {:.3}",
+        row.loss_rate()
+    );
+    assert!(row.extra("nic_overflow_drops").unwrap_or(0.0) > 0.0);
+}
+
+#[test]
+fn table4_gap_row_loses_messages_via_framing() {
+    let opts = control::ControlCampaignOptions {
+        window: SimDuration::from_secs(4),
+        ..control::ControlCampaignOptions::default()
+    };
+    let row = control::control_symbol_row(ControlSymbol::Gap, ControlSymbol::Stop, &opts);
+    assert!(
+        row.loss_rate() > 0.02 && row.loss_rate() < 0.40,
+        "loss {:.3}",
+        row.loss_rate()
+    );
+    assert!(row.extra("framing_drops").unwrap() > 0.0);
+}
+
+#[test]
+fn gap_long_timeout_collapses_throughput_to_near_12_percent() {
+    let window = SimDuration::from_secs(5);
+    let normal = control::gap_timeout(false, window, 9);
+    let faulty = control::gap_timeout(true, window, 9);
+    let ratio = faulty.received as f64 / normal.received.max(1) as f64;
+    assert!((0.06..0.20).contains(&ratio), "ratio {ratio:.3}");
+    assert!(faulty.extra("long_timeout_releases").unwrap() > 10.0);
+    assert_eq!(normal.lost(), 0);
+}
+
+#[test]
+fn faulty_stop_collapses_request_response_rate() {
+    let window = SimDuration::from_secs(5);
+    let normal = control::stop_throughput(false, window, 9);
+    let faulty = control::stop_throughput(true, window, 9);
+    let ratio = faulty.throughput() / normal.throughput().max(1e-9);
+    // Paper: ~10% of normal; we accept the same order of magnitude.
+    assert!(ratio < 0.25, "ratio {ratio:.3}");
+    assert!(faulty.received > 0, "some messages still complete");
+}
+
+#[test]
+fn mapping_type_corruption_round_trip() {
+    let r = ptype::mapping_packet_corruption(31);
+    assert_eq!(r.extra("removed"), Some(1.0));
+    assert_eq!(r.extra("restored"), Some(1.0));
+}
+
+#[test]
+fn destination_corruption_caught_by_crc8() {
+    let r = address::destination_corruption(33, false);
+    assert_eq!(r.received, 0);
+    assert_eq!(r.extra("received_by_wrong_node"), Some(0.0));
+    assert!(r.extra("crc_drops").unwrap() as u64 >= r.sent.saturating_sub(2));
+}
+
+#[test]
+fn udp_word_swap_reaches_application() {
+    let r = udpcheck::aliasing_corruption(35);
+    assert_eq!(r.received, r.sent);
+    assert_eq!(r.extra("delivered_intact"), Some(0.0));
+}
