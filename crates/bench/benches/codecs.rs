@@ -1,7 +1,8 @@
-//! Criterion benches of the line codes and checksums the substrates use:
-//! Myrinet CRC-8, FC CRC-32, the Internet checksum, and the 8b/10b codec.
+//! Benches of the line codes and checksums the substrates use: Myrinet
+//! CRC-8, FC CRC-32, the Internet checksum, and the 8b/10b codec. Runs on
+//! the dependency-free harness in `netfi_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netfi_bench::harness::Bench;
 use netfi_phy::b8b10::{Byte8, Decoder, Encoder};
 use std::hint::black_box;
 
@@ -9,79 +10,69 @@ fn data(len: usize) -> Vec<u8> {
     (0..len).map(|i| (i * 131 % 256) as u8).collect()
 }
 
-fn bench_crc8(c: &mut Criterion) {
-    let mut group = c.benchmark_group("codecs/crc8");
+fn bench_crc8() {
     for &len in &[64usize, 1024, 65536] {
         let d = data(len);
-        group.throughput(Throughput::Bytes(len as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(len), &d, |b, d| {
-            b.iter(|| black_box(netfi_myrinet::crc8::checksum(black_box(d))));
-        });
+        let iters = (1 << 22) / len as u64;
+        let m = Bench::new(format!("codecs/crc8/{len}"))
+            .iters(iters.max(4))
+            .run(|| black_box(netfi_myrinet::crc8::checksum(black_box(&d))));
+        println!("{}", m.report());
     }
-    group.finish();
 }
 
-fn bench_crc32(c: &mut Criterion) {
-    let mut group = c.benchmark_group("codecs/crc32");
+fn bench_crc32() {
     for &len in &[64usize, 1024, 65536] {
         let d = data(len);
-        group.throughput(Throughput::Bytes(len as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(len), &d, |b, d| {
-            b.iter(|| black_box(netfi_fc::crc32::checksum(black_box(d))));
-        });
+        let iters = (1 << 22) / len as u64;
+        let m = Bench::new(format!("codecs/crc32/{len}"))
+            .iters(iters.max(4))
+            .run(|| black_box(netfi_fc::crc32::checksum(black_box(&d))));
+        println!("{}", m.report());
     }
-    group.finish();
 }
 
-fn bench_inet_checksum(c: &mut Criterion) {
-    let mut group = c.benchmark_group("codecs/ones_complement");
+fn bench_inet_checksum() {
     for &len in &[64usize, 1024, 65536] {
         let d = data(len);
-        group.throughput(Throughput::Bytes(len as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(len), &d, |b, d| {
-            b.iter(|| black_box(netfi_netstack::checksum::checksum(black_box(d))));
-        });
+        let iters = (1 << 22) / len as u64;
+        let m = Bench::new(format!("codecs/ones_complement/{len}"))
+            .iters(iters.max(4))
+            .run(|| black_box(netfi_netstack::checksum::checksum(black_box(&d))));
+        println!("{}", m.report());
     }
-    group.finish();
 }
 
-fn bench_8b10b(c: &mut Criterion) {
+fn bench_8b10b() {
     let d = data(4096);
-    let mut group = c.benchmark_group("codecs/8b10b");
-    group.throughput(Throughput::Bytes(d.len() as u64));
-    group.bench_function("encode", |b| {
-        b.iter(|| {
-            let mut enc = Encoder::new();
-            let out: Vec<u16> = d
-                .iter()
-                .map(|&byte| enc.push(Byte8::Data(byte)).expect("data encodes"))
-                .collect();
-            black_box(out)
-        });
+    let m = Bench::new("codecs/8b10b/encode").iters(64).run(|| {
+        let mut enc = Encoder::new();
+        let out: Vec<u16> = d
+            .iter()
+            .map(|&byte| enc.push(Byte8::Data(byte)).expect("data encodes"))
+            .collect();
+        black_box(out)
     });
+    println!("{}", m.report());
     let mut enc = Encoder::new();
     let line: Vec<u16> = d
         .iter()
         .map(|&byte| enc.push(Byte8::Data(byte)).expect("data encodes"))
         .collect();
-    group.bench_function("decode", |b| {
-        b.iter(|| {
-            let mut dec = Decoder::new();
-            let out: Vec<Byte8> = line
-                .iter()
-                .map(|&code| dec.push(code).expect("valid line"))
-                .collect();
-            black_box(out)
-        });
+    let m = Bench::new("codecs/8b10b/decode").iters(64).run(|| {
+        let mut dec = Decoder::new();
+        let out: Vec<Byte8> = line
+            .iter()
+            .map(|&code| dec.push(code).expect("valid line"))
+            .collect();
+        black_box(out)
     });
-    group.finish();
+    println!("{}", m.report());
 }
 
-criterion_group!(
-    benches,
-    bench_crc8,
-    bench_crc32,
-    bench_inet_checksum,
-    bench_8b10b
-);
-criterion_main!(benches);
+fn main() {
+    bench_crc8();
+    bench_crc32();
+    bench_inet_checksum();
+    bench_8b10b();
+}

@@ -1,8 +1,9 @@
-//! Criterion benches for the injector datapath: is the emulated device
-//! fast enough to "run at the speed of the network" in simulation, and
-//! what do the trigger/corrupt stages cost per packet?
+//! Benches for the injector datapath: is the emulated device fast enough
+//! to "run at the speed of the network" in simulation, and what do the
+//! trigger/corrupt stages cost per packet? Runs on the dependency-free
+//! harness in `netfi_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netfi_bench::harness::Bench;
 use netfi_core::config::InjectorConfig;
 use netfi_core::fifo::FifoInjector;
 use netfi_core::trigger::{CompareUnit, MatchMode};
@@ -14,25 +15,22 @@ fn wire(len: usize) -> Vec<u8> {
     Packet::new(vec![route_to_host(1)], PacketType::DATA, payload).encode()
 }
 
-fn bench_passthrough(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fifo_injector/passthrough");
+fn bench_passthrough() {
     for &len in &[64usize, 512, 4096] {
         let template = wire(len);
-        group.throughput(Throughput::Bytes(template.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(len), &template, |b, t| {
-            let mut injector = FifoInjector::new(InjectorConfig::passthrough());
-            let mut buf = t.clone();
-            b.iter(|| {
-                buf.copy_from_slice(t);
+        let mut injector = FifoInjector::new(InjectorConfig::passthrough());
+        let mut buf = template.clone();
+        let m = Bench::new(format!("fifo_injector/passthrough/{len}"))
+            .iters((1 << 18) / len as u64)
+            .run(|| {
+                buf.copy_from_slice(&template);
                 black_box(injector.process_packet(black_box(&mut buf)));
             });
-        });
+        println!("{}", m.report());
     }
-    group.finish();
 }
 
-fn bench_triggered(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fifo_injector/triggered_with_crc_fix");
+fn bench_triggered() {
     let config = InjectorConfig::builder()
         .match_mode(MatchMode::On)
         .compare(0x1818_0000, 0xFFFF_0000)
@@ -45,31 +43,31 @@ fn bench_triggered(c: &mut Criterion) {
         let mid = template.len() / 2;
         template[mid] = 0x18;
         template[mid + 1] = 0x18;
-        group.throughput(Throughput::Bytes(template.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(len), &template, |b, t| {
-            let mut injector = FifoInjector::new(config);
-            let mut buf = t.clone();
-            b.iter(|| {
-                buf.copy_from_slice(t);
+        let mut injector = FifoInjector::new(config);
+        let mut buf = template.clone();
+        let m = Bench::new(format!("fifo_injector/triggered_with_crc_fix/{len}"))
+            .iters((1 << 18) / len as u64)
+            .run(|| {
+                buf.copy_from_slice(&template);
                 black_box(injector.process_packet(black_box(&mut buf)));
             });
-        });
+        println!("{}", m.report());
     }
-    group.finish();
 }
 
-fn bench_compare_scan(c: &mut Criterion) {
-    let mut group = c.benchmark_group("trigger/scan");
+fn bench_compare_scan() {
     let cmp = CompareUnit::new(0xDEAD_BEEF, 0xFFFF_FFFF);
     for &len in &[512usize, 4096, 65536] {
         let data: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
-        group.throughput(Throughput::Bytes(len as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(len), &data, |b, d| {
-            b.iter(|| black_box(cmp.scan(black_box(d))));
-        });
+        let m = Bench::new(format!("trigger/scan/{len}"))
+            .iters(((1 << 22) / len as u64).max(4))
+            .run(|| black_box(cmp.scan(black_box(&data))));
+        println!("{}", m.report());
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_passthrough, bench_triggered, bench_compare_scan);
-criterion_main!(benches);
+fn main() {
+    bench_passthrough();
+    bench_triggered();
+    bench_compare_scan();
+}

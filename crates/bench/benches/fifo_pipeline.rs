@@ -1,21 +1,20 @@
-//! Criterion bench of the cycle-accurate two-phase FIFO pipeline
-//! (Figures 2/3), including the DESIGN.md ablation: throughput versus
-//! FIFO slack depth.
+//! Bench of the cycle-accurate two-phase FIFO pipeline (Figures 2/3),
+//! including the DESIGN.md ablation: throughput versus FIFO slack depth.
+//! Runs on the dependency-free harness in `netfi_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use netfi_bench::harness::Bench;
 use netfi_core::corrupt::CorruptUnit;
 use netfi_core::fifo::FifoPipeline;
 use netfi_core::trigger::CompareUnit;
 use netfi_phy::clock::ClockGenerator;
 use std::hint::black_box;
 
-fn bench_pipeline_run(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fifo_pipeline/two_phase_cycles");
-    let input: Vec<u32> = (0..4096u32).map(|i| i.wrapping_mul(0x9E3779B9)).collect();
-    group.throughput(Throughput::Bytes((input.len() * 4) as u64));
+fn bench_pipeline_run() {
+    let input: Vec<u32> = (0..4096u32).map(|i| i.wrapping_mul(0x9E37_79B9)).collect();
     for &slack in &[1usize, 2, 4, 8] {
-        group.bench_with_input(BenchmarkId::new("slack", slack), &input, |b, input| {
-            b.iter(|| {
+        let m = Bench::new(format!("fifo_pipeline/two_phase_cycles/slack_{slack}"))
+            .iters(16)
+            .run(|| {
                 let mut p = FifoPipeline::new(
                     16,
                     slack,
@@ -23,31 +22,33 @@ fn bench_pipeline_run(c: &mut Criterion) {
                     CorruptUnit::toggle(0x1),
                     ClockGenerator::from_hz(200_000_000),
                 );
-                black_box(p.run(black_box(input)))
+                black_box(p.run(black_box(&input)))
             });
-        });
+        println!("{}", m.report());
     }
-    group.finish();
 }
 
-fn bench_pipeline_stepping(c: &mut Criterion) {
-    c.bench_function("fifo_pipeline/single_odd_even_cycle", |b| {
-        let mut p = FifoPipeline::new(
-            64,
-            2,
-            CompareUnit::new(0xFFFF_FFFF, u32::MAX),
-            CorruptUnit::toggle(0),
-            ClockGenerator::from_hz(200_000_000),
-        );
-        let mut x = 0u32;
-        b.iter(|| {
+fn bench_pipeline_stepping() {
+    let mut p = FifoPipeline::new(
+        64,
+        2,
+        CompareUnit::new(0xFFFF_FFFF, u32::MAX),
+        CorruptUnit::toggle(0),
+        ClockGenerator::from_hz(200_000_000),
+    );
+    let mut x = 0u32;
+    let m = Bench::new("fifo_pipeline/single_odd_even_cycle")
+        .iters(1 << 16)
+        .run(|| {
             x = x.wrapping_add(1);
             let out = p.step_odd(Some(black_box(x)));
             let injected = p.step_even();
             black_box((out, injected))
         });
-    });
+    println!("{}", m.report());
 }
 
-criterion_group!(benches, bench_pipeline_run, bench_pipeline_stepping);
-criterion_main!(benches);
+fn main() {
+    bench_pipeline_run();
+    bench_pipeline_stepping();
+}

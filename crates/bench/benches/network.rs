@@ -1,9 +1,9 @@
-//! Criterion benches of the network simulator itself: how many simulated
-//! events per second the engine sustains, with and without the injector in
-//! the path (§3.5 transparency at the simulation level), plus switch
-//! forwarding cost.
+//! Benches of the network simulator itself: how many simulated events per
+//! second the engine sustains, with and without the injector in the path
+//! (§3.5 transparency at the simulation level), plus switch forwarding
+//! cost. Runs on the dependency-free harness in `netfi_bench::harness`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netfi_bench::harness::Bench;
 use netfi_myrinet::addr::EthAddr;
 use netfi_netstack::{build_testbed, TestbedOptions, Workload};
 use netfi_sim::{SimDuration, SimTime};
@@ -32,39 +32,37 @@ fn run_slice(with_injector: bool) -> u64 {
     tb.engine.events_processed()
 }
 
-fn bench_testbed_slice(c: &mut Criterion) {
-    let mut group = c.benchmark_group("network/testbed_1500ms_sim");
-    group.sample_size(10);
+fn bench_testbed_slice() {
     for &with_injector in &[false, true] {
-        group.bench_with_input(
-            BenchmarkId::new("with_injector", with_injector),
-            &with_injector,
-            |b, &w| {
-                b.iter(|| black_box(run_slice(w)));
-            },
-        );
+        let m = Bench::new(format!(
+            "network/testbed_1500ms_sim/with_injector_{with_injector}"
+        ))
+        .samples(5)
+        .warmup(1)
+        .run(|| black_box(run_slice(with_injector)));
+        println!("{}", m.report());
     }
-    group.finish();
 }
 
-fn bench_packet_encode_decode(c: &mut Criterion) {
+fn bench_packet_encode_decode() {
     use netfi_myrinet::packet::{route_to_host, wire, Packet, PacketType};
-    let pkt = Packet::new(
-        vec![route_to_host(3)],
-        PacketType::DATA,
-        vec![0x5A; 512],
-    );
-    c.bench_function("network/packet_encode", |b| {
-        b.iter(|| black_box(black_box(&pkt).encode()));
-    });
+    let pkt = Packet::new(vec![route_to_host(3)], PacketType::DATA, vec![0x5A; 512]);
+    let m = Bench::new("network/packet_encode")
+        .iters(1 << 14)
+        .run(|| black_box(black_box(&pkt).encode()));
+    println!("{}", m.report());
     let w = pkt.encode();
-    c.bench_function("network/packet_parse_delivered", |b| {
-        b.iter(|| black_box(Packet::parse_delivered(black_box(&w))));
-    });
-    c.bench_function("network/route_strip_recompute", |b| {
-        b.iter(|| black_box(wire::strip_route_byte(black_box(&w))));
-    });
+    let m = Bench::new("network/packet_parse_delivered")
+        .iters(1 << 14)
+        .run(|| black_box(Packet::parse_delivered(black_box(&w))));
+    println!("{}", m.report());
+    let m = Bench::new("network/route_strip_recompute")
+        .iters(1 << 14)
+        .run(|| black_box(wire::strip_route_byte(black_box(&w))));
+    println!("{}", m.report());
 }
 
-criterion_group!(benches, bench_testbed_slice, bench_packet_encode_decode);
-criterion_main!(benches);
+fn main() {
+    bench_testbed_slice();
+    bench_packet_encode_decode();
+}

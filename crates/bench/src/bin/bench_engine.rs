@@ -1,0 +1,137 @@
+//! Engine throughput benchmark: how many simulated events per second does
+//! the kernel sustain on the saturated three-node testbed, and how long
+//! does the paper's full campaign list take wall-clock?
+//!
+//! Emits `BENCH_engine.json` (events/sec, ns/event, campaign wall time)
+//! so the perf trajectory is tracked from PR 1 on. If a previously
+//! committed `BENCH_engine.baseline.json` exists next to the output, the
+//! report includes the speedup against it.
+//!
+//! ```text
+//! cargo run -p netfi-bench --release --bin bench_engine -- \
+//!     [--out BENCH_engine.json] [--sim-ms 2000] [--samples 5] [--campaigns 1]
+//! ```
+
+use netfi_bench::harness::{Bench, JsonObject};
+use netfi_bench::arg;
+use netfi_myrinet::addr::EthAddr;
+use netfi_netstack::{build_testbed, Host, TestbedOptions, Workload};
+use netfi_nftape::campaign::{paper_campaigns, run_campaigns_parallel};
+use netfi_sim::{SimDuration, SimTime};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The saturated three-node testbed: host 0 bursts 256-byte datagrams at
+/// host 2 while host 2 floods ping-pong traffic back at host 1, with the
+/// injector device intercepting host 1's link — the same topology the
+/// determinism suite pins down, driven hard enough that the event queue
+/// never drains.
+fn run_saturated_testbed(sim_ms: u64, seed: u64) -> u64 {
+    let mut tb = build_testbed(
+        TestbedOptions {
+            intercept_host: Some(1),
+            seed,
+            paper_era_hosts: true,
+            ..TestbedOptions::default()
+        },
+        |i, host: &mut Host| {
+            if i == 0 {
+                host.add_workload(Workload::Sender {
+                    dest: EthAddr::myricom(2),
+                    interval: SimDuration::from_ms(3),
+                    payload_len: 256,
+                    forbidden: vec![],
+                    burst: 2,
+                });
+            }
+            if i == 2 {
+                host.add_workload(Workload::Flood {
+                    peer: EthAddr::myricom(1),
+                    payload_len: 64,
+                    timeout: SimDuration::from_ms(10),
+                });
+            }
+        },
+    );
+    tb.engine.run_until(SimTime::from_ms(sim_ms));
+    tb.engine.events_processed()
+}
+
+fn main() {
+    let out_path: String = arg("--out", "BENCH_engine.json".to_string());
+    let sim_ms: u64 = arg("--sim-ms", 2_000);
+    let samples: u32 = arg("--samples", 5);
+    let campaigns: u32 = arg("--campaigns", 1);
+
+    // --- engine throughput on the saturated testbed ---
+    let events = run_saturated_testbed(sim_ms, 12345);
+    let m = Bench::new(format!("engine/saturated_testbed_{sim_ms}ms"))
+        .samples(samples)
+        .warmup(1)
+        .run(|| black_box(run_saturated_testbed(sim_ms, 12345)));
+    println!("{}", m.report());
+    let wall_ns = m.median_sample_ns() as f64;
+    let events_per_sec = events as f64 / (wall_ns / 1e9);
+    let ns_per_event = wall_ns / events as f64;
+    println!(
+        "engine: {events} events in {:.1} ms -> {:.0} events/s, {:.1} ns/event",
+        wall_ns / 1e6,
+        events_per_sec,
+        ns_per_event
+    );
+
+    // --- campaign wall time (the paper's whole evaluation, in parallel) ---
+    let campaign_secs = if campaigns > 0 {
+        let specs = paper_campaigns(1);
+        let start = Instant::now();
+        let results = run_campaigns_parallel(&specs);
+        let secs = start.elapsed().as_secs_f64();
+        let rows: usize = results.iter().map(Vec::len).sum();
+        println!("campaigns: {} specs, {} rows in {:.2} s", specs.len(), rows, secs);
+        secs
+    } else {
+        0.0
+    };
+
+    let mut json = JsonObject::new()
+        .str("bench", "engine")
+        .str("workload", "saturated_3node_testbed")
+        .int("sim_ms", sim_ms)
+        .int("events", events)
+        .num("wall_ms_median", wall_ns / 1e6)
+        .num("events_per_sec", events_per_sec)
+        .num("ns_per_event", ns_per_event)
+        .num("campaign_wall_secs", campaign_secs);
+
+    // Compare against a committed baseline, if one is present.
+    let baseline_path = std::path::Path::new(&out_path)
+        .with_file_name("BENCH_engine.baseline.json");
+    if let Ok(baseline) = std::fs::read_to_string(&baseline_path) {
+        if let Some(base_eps) = extract_number(&baseline, "events_per_sec") {
+            let speedup = events_per_sec / base_eps;
+            println!(
+                "baseline: {base_eps:.0} events/s -> speedup {speedup:.2}x ({})",
+                baseline_path.display()
+            );
+            json = json
+                .num("baseline_events_per_sec", base_eps)
+                .num("speedup_vs_baseline", speedup);
+        }
+    }
+
+    let rendered = json.render();
+    std::fs::write(&out_path, format!("{rendered}\n")).expect("write BENCH json");
+    println!("wrote {out_path}");
+}
+
+/// Pulls `"key": <number>` out of a flat JSON object — enough to read our
+/// own baseline artifact back without a JSON parser.
+fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}

@@ -1,0 +1,280 @@
+//! Dependency-free micro-benchmark harness.
+//!
+//! Criterion is unavailable in the registry-less environments this
+//! repository builds in, and the statistics we actually need are modest:
+//! a monotonic clock, a warmup phase so caches/branch predictors settle,
+//! and a median over an odd number of samples so one scheduling hiccup
+//! cannot skew a run. That is exactly what this module provides, plus a
+//! tiny JSON writer so benchmark binaries can emit machine-readable
+//! `BENCH_*.json` artifacts for trend tracking.
+//!
+//! ```
+//! use netfi_bench::harness::Bench;
+//! let m = Bench::new("add").iters(1000).run(|| std::hint::black_box(2u64 + 2));
+//! assert!(m.median_ns_per_iter() >= 0.0);
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One benchmark: a name, a warmup policy, and a sampling policy.
+#[derive(Debug, Clone)]
+pub struct Bench {
+    name: String,
+    warmup_iters: u64,
+    samples: u32,
+    iters_per_sample: u64,
+}
+
+impl Bench {
+    /// Creates a benchmark with the default policy: 3 warmup iterations,
+    /// 11 samples (median-of-11), one iteration per sample. Macro
+    /// benchmarks (whole simulation runs) use this as-is; micro
+    /// benchmarks should raise [`Bench::iters`].
+    pub fn new(name: impl Into<String>) -> Bench {
+        Bench {
+            name: name.into(),
+            warmup_iters: 3,
+            samples: 11,
+            iters_per_sample: 1,
+        }
+    }
+
+    /// Sets how many iterations each timed sample aggregates. Use a
+    /// count large enough that one sample takes at least a few
+    /// microseconds, or clock granularity dominates.
+    pub fn iters(mut self, iters_per_sample: u64) -> Bench {
+        self.iters_per_sample = iters_per_sample.max(1);
+        self
+    }
+
+    /// Sets the number of timed samples (the median is reported). Even
+    /// counts are rounded up so the median is a real sample.
+    pub fn samples(mut self, samples: u32) -> Bench {
+        self.samples = samples.max(1) | 1;
+        self
+    }
+
+    /// Sets the number of untimed warmup iterations.
+    pub fn warmup(mut self, warmup_iters: u64) -> Bench {
+        self.warmup_iters = warmup_iters;
+        self
+    }
+
+    /// Runs the benchmark: warmup, then `samples` timed samples of
+    /// `iters_per_sample` calls each, on the monotonic clock.
+    pub fn run<T>(&self, mut f: impl FnMut() -> T) -> Measurement {
+        for _ in 0..self.warmup_iters {
+            std::hint::black_box(f());
+        }
+        let mut samples_ns = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                std::hint::black_box(f());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as u64);
+        }
+        Measurement {
+            name: self.name.clone(),
+            iters_per_sample: self.iters_per_sample,
+            samples_ns,
+        }
+    }
+}
+
+/// The timed samples of one benchmark run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    name: String,
+    iters_per_sample: u64,
+    samples_ns: Vec<u64>,
+}
+
+impl Measurement {
+    /// The benchmark's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Raw per-sample wall times in nanoseconds (one entry per sample,
+    /// each covering `iters_per_sample` iterations).
+    pub fn samples_ns(&self) -> &[u64] {
+        &self.samples_ns
+    }
+
+    /// The median sample wall time in nanoseconds.
+    pub fn median_sample_ns(&self) -> u64 {
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_unstable();
+        sorted[sorted.len() / 2]
+    }
+
+    /// The fastest sample wall time in nanoseconds.
+    pub fn min_sample_ns(&self) -> u64 {
+        self.samples_ns.iter().copied().min().unwrap_or(0)
+    }
+
+    /// Median nanoseconds per iteration.
+    pub fn median_ns_per_iter(&self) -> f64 {
+        self.median_sample_ns() as f64 / self.iters_per_sample as f64
+    }
+
+    /// Iterations per second at the median sample time.
+    pub fn iters_per_sec(&self) -> f64 {
+        let ns = self.median_ns_per_iter();
+        if ns <= 0.0 {
+            f64::INFINITY
+        } else {
+            1e9 / ns
+        }
+    }
+
+    /// A one-line human-readable report.
+    pub fn report(&self) -> String {
+        format!(
+            "{:<40} {:>14.1} ns/iter {:>14.0} iters/s (median of {}, min {} ns)",
+            self.name,
+            self.median_ns_per_iter(),
+            self.iters_per_sec(),
+            self.samples_ns.len(),
+            self.min_sample_ns(),
+        )
+    }
+}
+
+/// Minimal JSON object writer for `BENCH_*.json` artifacts.
+///
+/// Field order is insertion order; values are numbers, strings, or
+/// pre-rendered nested JSON. No external dependencies.
+#[derive(Debug, Default, Clone)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// Creates an empty object.
+    pub fn new() -> JsonObject {
+        JsonObject::default()
+    }
+
+    /// Adds a numeric field (non-finite values render as `null`).
+    pub fn num(mut self, key: &str, value: f64) -> JsonObject {
+        let rendered = if value.is_finite() {
+            format!("{value}")
+        } else {
+            "null".to_string()
+        };
+        self.fields.push((key.to_string(), rendered));
+        self
+    }
+
+    /// Adds an integer field.
+    pub fn int(mut self, key: &str, value: u64) -> JsonObject {
+        self.fields.push((key.to_string(), format!("{value}")));
+        self
+    }
+
+    /// Adds a string field (escaped).
+    pub fn str(mut self, key: &str, value: &str) -> JsonObject {
+        let mut escaped = String::with_capacity(value.len() + 2);
+        escaped.push('"');
+        for c in value.chars() {
+            match c {
+                '"' => escaped.push_str("\\\""),
+                '\\' => escaped.push_str("\\\\"),
+                '\n' => escaped.push_str("\\n"),
+                '\r' => escaped.push_str("\\r"),
+                '\t' => escaped.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    let _ = write!(escaped, "\\u{:04x}", c as u32);
+                }
+                c => escaped.push(c),
+            }
+        }
+        escaped.push('"');
+        self.fields.push((key.to_string(), escaped));
+        self
+    }
+
+    /// Adds a nested object (or any pre-rendered JSON value).
+    pub fn raw(mut self, key: &str, rendered_json: String) -> JsonObject {
+        self.fields.push((key.to_string(), rendered_json));
+        self
+    }
+
+    /// Renders the object, pretty-printed with two-space indentation.
+    pub fn render(&self) -> String {
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            let _ = write!(out, "  \"{k}\": {}", v.replace('\n', "\n  "));
+            if i + 1 < self.fields.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_a_real_sample() {
+        let m = Measurement {
+            name: "m".into(),
+            iters_per_sample: 1,
+            samples_ns: vec![5, 1, 9, 3, 7],
+        };
+        assert_eq!(m.median_sample_ns(), 5);
+        assert_eq!(m.min_sample_ns(), 1);
+        assert!((m.median_ns_per_iter() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn per_iter_scales_by_iter_count() {
+        let m = Measurement {
+            name: "m".into(),
+            iters_per_sample: 100,
+            samples_ns: vec![1_000, 2_000, 3_000],
+        };
+        assert!((m.median_ns_per_iter() - 20.0).abs() < 1e-12);
+        assert!((m.iters_per_sec() - 50_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn bench_runs_and_counts_samples() {
+        let mut calls = 0u64;
+        let m = Bench::new("count")
+            .warmup(2)
+            .samples(5)
+            .iters(3)
+            .run(|| calls += 1);
+        assert_eq!(m.samples_ns().len(), 5);
+        assert_eq!(calls, 2 + 5 * 3);
+    }
+
+    #[test]
+    fn even_sample_counts_round_up() {
+        let m = Bench::new("odd").samples(4).iters(1).run(|| ());
+        assert_eq!(m.samples_ns().len(), 5);
+    }
+
+    #[test]
+    fn json_object_renders_escaped() {
+        let json = JsonObject::new()
+            .str("name", "a\"b")
+            .int("n", 3)
+            .num("x", 1.5)
+            .raw("nested", JsonObject::new().int("y", 1).render())
+            .render();
+        assert!(json.contains("\"name\": \"a\\\"b\""));
+        assert!(json.contains("\"n\": 3"));
+        assert!(json.contains("\"x\": 1.5"));
+        assert!(json.contains("\"y\": 1"));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+}

@@ -1,4 +1,9 @@
-//! `netfi-bench` — experiment regenerators and criterion benches.
+//! `netfi-bench` — experiment regenerators and micro-benchmarks.
+//!
+//! Benchmarks run on the dependency-free [`harness`] (monotonic clock,
+//! warmup, median-of-N); `cargo bench -p netfi-bench` runs them all, and
+//! `cargo run -p netfi-bench --release --bin bench_engine` emits
+//! `BENCH_engine.json` for perf-trend tracking.
 //!
 //! One binary per table/figure of the paper (see DESIGN.md's experiment
 //! index); `cargo run -p netfi-bench --bin <name> --release`:
@@ -20,6 +25,8 @@
 //! | `all_experiments` | run everything, emit EXPERIMENTS data |
 
 #![warn(missing_docs)]
+
+pub mod harness;
 
 /// Parses a `--key value`-style argument from `std::env::args`.
 pub fn arg<T: std::str::FromStr>(name: &str, default: T) -> T {

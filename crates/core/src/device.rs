@@ -330,9 +330,11 @@ impl InjectorDevice {
             Frame::Packet(pf) => {
                 self.monitor_packet(dir, &pf.bytes);
                 let ch = &mut self.channels[dir.index()];
+                // A reference-count bump, not a byte copy: the injector
+                // materialises a private `bytes` only when it corrupts.
                 let original = pf.bytes.clone();
                 let mut bytes = pf.bytes;
-                let report = ch.injector.process_packet(&mut bytes);
+                let report = ch.injector.process_packet_shared(&mut bytes);
                 for &offset in &report.injected_offsets {
                     ch.capture
                         .record(ctx.now(), CaptureRecord::new(&original, &bytes, offset));
@@ -357,7 +359,7 @@ impl InjectorDevice {
         // §3.5). Input spacing guarantees output events stay ordered and
         // non-overlapping for equal-rate segments.
         let latency = self.latency(dir);
-        if let Some(peer) = self.egress[dir.out_port() as usize].peer().cloned() {
+        if let Some(peer) = self.egress[dir.out_port() as usize].peer().copied() {
             ctx.send(
                 peer.dst,
                 latency + peer.propagation(),

@@ -19,7 +19,7 @@
 
 use netfi_myrinet::crc8;
 use netfi_phy::clock::{ClockGenerator, ClockPhase};
-use netfi_sim::SimDuration;
+use netfi_sim::{SharedBytes, SimDuration};
 
 use crate::config::InjectorConfig;
 use crate::corrupt::CorruptUnit;
@@ -60,8 +60,9 @@ pub struct FifoStats {
 /// Report for one packet processed by [`FifoInjector::process_packet`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PacketReport {
-    /// Byte offsets where the trigger matched.
-    pub match_offsets: Vec<usize>,
+    /// How many times the trigger matched (matches are observed even when
+    /// the match mode keeps them from firing).
+    pub matches: u64,
     /// Byte offsets where corruption was applied.
     pub injected_offsets: Vec<usize>,
     /// Whether the trailing CRC was recomputed.
@@ -73,6 +74,39 @@ impl PacketReport {
     pub fn injected(&self) -> bool {
         !self.injected_offsets.is_empty()
     }
+}
+
+/// What the read-only plan phase decided to do to a packet. On the
+/// uncorrupted pass-through path every field stays empty, so planning
+/// allocates nothing and the wire bytes are never written.
+#[derive(Debug, Default)]
+struct InjectPlan {
+    /// Trigger matches observed (counted even when firing is disabled).
+    matches: u64,
+    /// A pending `inject now` fires on the first segment.
+    forced: bool,
+    /// Trigger offsets where the corruption function fires.
+    fire_offsets: Vec<usize>,
+    /// Per-segment LFSR bit flips.
+    random_flips: Vec<RandomFlip>,
+}
+
+impl InjectPlan {
+    /// `true` if applying the plan would write any byte.
+    fn mutates(&self) -> bool {
+        self.forced || !self.fire_offsets.is_empty() || !self.random_flips.is_empty()
+    }
+}
+
+/// One random (SEU) bit flip chosen by the LFSR during planning.
+#[derive(Debug)]
+struct RandomFlip {
+    /// The segment-aligned offset recorded in the report.
+    segment_offset: usize,
+    /// The byte actually flipped.
+    byte_index: usize,
+    /// The bit within that byte.
+    bit_mask: u8,
 }
 
 /// The packet-level injector datapath for one direction.
@@ -156,39 +190,87 @@ impl FifoInjector {
     /// Pushes a packet's wire bytes through the datapath, corrupting in
     /// place per the active configuration.
     pub fn process_packet(&mut self, bytes: &mut [u8]) -> PacketReport {
+        let plan = self.plan_packet(bytes);
+        let mut report = PacketReport {
+            matches: plan.matches,
+            ..PacketReport::default()
+        };
+        if plan.mutates() {
+            self.apply_plan(bytes, &plan, &mut report);
+        }
+        report
+    }
+
+    /// Zero-copy variant of [`FifoInjector::process_packet`]: the shared
+    /// wire image is materialised (copy-on-write) only when the plan
+    /// actually corrupts something. Uncorrupted pass-through never touches
+    /// the payload bytes.
+    pub fn process_packet_shared(&mut self, bytes: &mut SharedBytes) -> PacketReport {
+        let plan = self.plan_packet(bytes);
+        let mut report = PacketReport {
+            matches: plan.matches,
+            ..PacketReport::default()
+        };
+        if plan.mutates() {
+            let bytes = bytes.make_mut();
+            self.apply_plan(bytes, &plan, &mut report);
+        }
+        report
+    }
+
+    /// The read-only half of the datapath: updates counters, scans the
+    /// ORIGINAL stream (the compare registers see incoming data; corruption
+    /// happens downstream in the FIFO) and draws the per-segment LFSR —
+    /// but never writes a byte. Any mutations are recorded in the returned
+    /// plan for [`FifoInjector::apply_plan`].
+    fn plan_packet(&mut self, bytes: &[u8]) -> InjectPlan {
         let segments = bytes.len().div_ceil(4) as u64;
         self.stats.packets += 1;
         self.stats.segments += segments;
         self.stats.cycles += segments * 2;
 
-        let mut report = PacketReport::default();
+        let mut plan = InjectPlan::default();
 
         // Forced injection: one 32-bit segment, the next to pass through.
         if self.inject_now_pending {
             self.inject_now_pending = false;
-            self.config.corrupt.apply_at(bytes, 0);
-            report.injected_offsets.push(0);
+            plan.forced = true;
             self.stats.forced_injections += 1;
             self.stats.injections += 1;
         }
 
-        // Triggered injection: scan the ORIGINAL stream (the compare
-        // registers see incoming data; corruption happens downstream in
-        // the FIFO), then corrupt at the matched offsets.
-        let offsets = self.config.compare.scan(bytes);
-        self.stats.matches += offsets.len() as u64;
-        report.match_offsets = offsets.clone();
-        for offset in offsets {
-            if !self.may_fire() {
-                break;
+        // Triggered injection: every match is observed (and counted) even
+        // when the match mode keeps it from firing.
+        let compare = self.config.compare;
+        if compare.compare_mask == 0 {
+            // All bits don't-care (the idle/default compare): every 32-bit
+            // window matches, so the counts follow from the length alone —
+            // no need to slide the window over every byte.
+            let windows = bytes.len().saturating_sub(3);
+            plan.matches += windows as u64;
+            for offset in 0..windows {
+                if !self.may_fire() {
+                    break;
+                }
+                plan.fire_offsets.push(offset);
+                self.stats.injections += 1;
+                if self.config.match_mode == MatchMode::Once {
+                    self.armed = false;
+                }
             }
-            self.config.corrupt.apply_at(bytes, offset);
-            report.injected_offsets.push(offset);
-            self.stats.injections += 1;
-            if self.config.match_mode == MatchMode::Once {
-                self.armed = false;
-            }
+        } else {
+            compare.scan_each(bytes, |offset| {
+                plan.matches += 1;
+                if self.may_fire() {
+                    plan.fire_offsets.push(offset);
+                    self.stats.injections += 1;
+                    if self.config.match_mode == MatchMode::Once {
+                        self.armed = false;
+                    }
+                }
+            });
         }
+        self.stats.matches += plan.matches;
 
         // Random (SEU) injection: one LFSR draw per 32-bit segment; a hit
         // flips one LFSR-selected bit of that segment.
@@ -198,8 +280,11 @@ impl FifoInjector {
                     let byte_in_seg = 3 - (bit / 8) as usize; // big-endian
                     let idx = seg * 4 + byte_in_seg;
                     if idx < bytes.len() {
-                        bytes[idx] ^= 1 << (bit % 8);
-                        report.injected_offsets.push(seg * 4);
+                        plan.random_flips.push(RandomFlip {
+                            segment_offset: seg * 4,
+                            byte_index: idx,
+                            bit_mask: 1 << (bit % 8),
+                        });
                         self.stats.random_injections += 1;
                         self.stats.injections += 1;
                     }
@@ -207,13 +292,29 @@ impl FifoInjector {
             }
         }
 
-        if report.injected() && self.config.crc_recompute && bytes.len() >= 2 {
+        plan
+    }
+
+    /// The mutating half of the datapath: applies a non-empty plan.
+    fn apply_plan(&mut self, bytes: &mut [u8], plan: &InjectPlan, report: &mut PacketReport) {
+        if plan.forced {
+            self.config.corrupt.apply_at(bytes, 0);
+            report.injected_offsets.push(0);
+        }
+        for &offset in &plan.fire_offsets {
+            self.config.corrupt.apply_at(bytes, offset);
+            report.injected_offsets.push(offset);
+        }
+        for flip in &plan.random_flips {
+            bytes[flip.byte_index] ^= flip.bit_mask;
+            report.injected_offsets.push(flip.segment_offset);
+        }
+        if self.config.crc_recompute && bytes.len() >= 2 {
             let last = bytes.len() - 1;
             bytes[last] = crc8::checksum(&bytes[..last]);
             report.crc_fixed = true;
             self.stats.crc_recomputes += 1;
         }
-        report
     }
 
     /// Pushes a control symbol through, returning the (possibly corrupted)
@@ -476,7 +577,7 @@ mod tests {
         let mut second = sample_wire();
         let r2 = inj.process_packet(&mut second);
         assert!(r2.injected_offsets.is_empty());
-        assert_eq!(r2.match_offsets.len(), 1, "matches still observed");
+        assert_eq!(r2.matches, 1, "matches still observed");
         // Re-arm and it fires again.
         inj.rearm();
         let mut third = sample_wire();

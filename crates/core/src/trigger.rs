@@ -57,17 +57,24 @@ impl CompareUnit {
     /// applied later, in the FIFO — so earlier injections never perturb
     /// later comparisons.
     pub fn scan(&self, bytes: &[u8]) -> Vec<usize> {
-        if bytes.len() < 4 {
-            return Vec::new();
-        }
         let mut out = Vec::new();
+        self.scan_each(bytes, |i| out.push(i));
+        out
+    }
+
+    /// Like [`CompareUnit::scan`], but visits each matching offset through
+    /// `hit` instead of allocating a vector — the hot-path form used by the
+    /// injector datapath.
+    pub fn scan_each(&self, bytes: &[u8], mut hit: impl FnMut(usize)) {
+        if bytes.len() < 4 {
+            return;
+        }
         for i in 0..=bytes.len() - 4 {
             let window = u32::from_be_bytes([bytes[i], bytes[i + 1], bytes[i + 2], bytes[i + 3]]);
             if self.matches(window) {
-                out.push(i);
+                hit(i);
             }
         }
-        out
     }
 }
 

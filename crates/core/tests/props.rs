@@ -1,6 +1,5 @@
-//! Property-based tests for the injector core.
-
-use proptest::prelude::*;
+//! Randomized property tests for the injector core, driven by seeded
+//! loops over [`DetRng`] (no external dependencies).
 
 use netfi_core::command::{parse_command, render_command, Command, DirSelect};
 use netfi_core::config::InjectorConfig;
@@ -9,37 +8,51 @@ use netfi_core::fifo::{FifoInjector, FifoPipeline};
 use netfi_core::trigger::{CompareUnit, MatchMode};
 use netfi_myrinet::crc8;
 use netfi_phy::clock::ClockGenerator;
+use netfi_sim::DetRng;
 
-fn arb_command() -> impl Strategy<Value = Command> {
-    prop_oneof![
-        prop_oneof![
-            Just(DirSelect::A),
-            Just(DirSelect::B),
-            Just(DirSelect::Both)
-        ]
-        .prop_map(Command::SelectDirection),
-        prop_oneof![
-            Just(MatchMode::Off),
-            Just(MatchMode::On),
-            Just(MatchMode::Once)
-        ]
-        .prop_map(Command::MatchMode),
-        any::<u32>().prop_map(Command::CompareData),
-        any::<u32>().prop_map(Command::CompareMask),
-        prop_oneof![Just(CorruptMode::Toggle), Just(CorruptMode::Replace)]
-            .prop_map(Command::CorruptMode),
-        any::<u32>().prop_map(Command::CorruptData),
-        any::<u32>().prop_map(Command::CorruptMask),
-        any::<bool>().prop_map(Command::CrcRecompute),
-        (any::<u8>(), any::<u8>(), any::<u8>())
-            .prop_map(|(from, mask, to)| Command::ControlSwap { from, mask, to }),
-        Just(Command::ControlOff),
-        any::<u32>().prop_map(Command::RandomRate),
-        Just(Command::InjectNow),
-        Just(Command::Rearm),
-        Just(Command::QueryStats),
-        Just(Command::ResetStats),
-    ]
+const CASES: usize = 256;
+
+fn random_bytes(rng: &mut DetRng, min_len: usize, max_len: usize) -> Vec<u8> {
+    let len = min_len + rng.gen_index(max_len - min_len + 1);
+    let mut buf = vec![0u8; len];
+    rng.fill_bytes(&mut buf);
+    buf
+}
+
+fn random_command(rng: &mut DetRng) -> Command {
+    match rng.gen_index(15) {
+        0 => Command::SelectDirection(match rng.gen_index(3) {
+            0 => DirSelect::A,
+            1 => DirSelect::B,
+            _ => DirSelect::Both,
+        }),
+        1 => Command::MatchMode(match rng.gen_index(3) {
+            0 => MatchMode::Off,
+            1 => MatchMode::On,
+            _ => MatchMode::Once,
+        }),
+        2 => Command::CompareData(rng.next_u32()),
+        3 => Command::CompareMask(rng.next_u32()),
+        4 => Command::CorruptMode(if rng.gen_bool(0.5) {
+            CorruptMode::Toggle
+        } else {
+            CorruptMode::Replace
+        }),
+        5 => Command::CorruptData(rng.next_u32()),
+        6 => Command::CorruptMask(rng.next_u32()),
+        7 => Command::CrcRecompute(rng.gen_bool(0.5)),
+        8 => Command::ControlSwap {
+            from: rng.next_u32() as u8,
+            mask: rng.next_u32() as u8,
+            to: rng.next_u32() as u8,
+        },
+        9 => Command::ControlOff,
+        10 => Command::RandomRate(rng.next_u32()),
+        11 => Command::InjectNow,
+        12 => Command::Rearm,
+        13 => Command::QueryStats,
+        _ => Command::ResetStats,
+    }
 }
 
 /// Reference implementation of the byte-sliding window scan.
@@ -54,63 +67,70 @@ fn naive_scan(compare: CompareUnit, bytes: &[u8]) -> Vec<usize> {
     out
 }
 
-proptest! {
-    /// The trigger scan agrees with the naive reference for any pattern,
-    /// mask and stream.
-    #[test]
-    fn scan_matches_reference(
-        data in any::<u32>(),
-        mask in any::<u32>(),
-        stream in proptest::collection::vec(any::<u8>(), 0..256)
-    ) {
+/// The trigger scan agrees with the naive reference for any pattern, mask
+/// and stream.
+#[test]
+fn scan_matches_reference() {
+    let mut rng = DetRng::new(0xC04E_0001);
+    for _ in 0..CASES {
+        let data = rng.next_u32();
+        let mask = rng.next_u32();
+        let stream = random_bytes(&mut rng, 0, 256);
         let cmp = CompareUnit::new(data, mask);
-        prop_assert_eq!(cmp.scan(&stream), naive_scan(cmp, &stream));
+        assert_eq!(cmp.scan(&stream), naive_scan(cmp, &stream));
     }
+}
 
-    /// Toggle corruption is an involution; replace is idempotent.
-    #[test]
-    fn corruption_algebra(data in any::<u32>(), mask in any::<u32>(), window in any::<u32>()) {
+/// Toggle corruption is an involution; replace is idempotent.
+#[test]
+fn corruption_algebra() {
+    let mut rng = DetRng::new(0xC04E_0002);
+    for _ in 0..CASES {
+        let data = rng.next_u32();
+        let mask = rng.next_u32();
+        let window = rng.next_u32();
         let toggle = CorruptUnit::toggle(data);
-        prop_assert_eq!(toggle.apply(toggle.apply(window)), window);
+        assert_eq!(toggle.apply(toggle.apply(window)), window);
         let replace = CorruptUnit::replace(data, mask);
-        prop_assert_eq!(replace.apply(replace.apply(window)), replace.apply(window));
+        assert_eq!(replace.apply(replace.apply(window)), replace.apply(window));
         // Replace only changes masked bits.
-        prop_assert_eq!(replace.apply(window) & !mask, window & !mask);
+        assert_eq!(replace.apply(window) & !mask, window & !mask);
     }
+}
 
-    /// apply_at never writes outside the window or the buffer.
-    #[test]
-    fn apply_at_is_contained(
-        buf in proptest::collection::vec(any::<u8>(), 1..64),
-        offset in any::<usize>(),
-        data in any::<u32>()
-    ) {
+/// apply_at never writes outside the window or the buffer.
+#[test]
+fn apply_at_is_contained() {
+    let mut rng = DetRng::new(0xC04E_0003);
+    for _ in 0..CASES {
+        let buf = random_bytes(&mut rng, 1, 64);
+        let data = rng.next_u32();
         let unit = CorruptUnit::toggle(data);
-        let offset = offset % (buf.len() + 4);
+        let offset = rng.gen_index(buf.len() + 4);
         let mut out = buf.clone();
         unit.apply_at(&mut out, offset);
         for (i, (&a, &b)) in buf.iter().zip(&out).enumerate() {
             if i < offset || i >= offset + 4 {
-                prop_assert_eq!(a, b, "byte {} outside the window changed", i);
+                assert_eq!(a, b, "byte {i} outside the window changed");
             }
         }
     }
+}
 
-    /// With CRC recomputation enabled, any triggered corruption still
-    /// yields a CRC-valid image ("recalculating the correct CRC value to
-    /// transmit immediately before the end-of-frame character").
-    #[test]
-    fn crc_fix_always_repairs(
-        payload in proptest::collection::vec(any::<u8>(), 4..128),
-        pattern_at in any::<proptest::sample::Index>(),
-        corrupt in any::<u32>()
-    ) {
+/// With CRC recomputation enabled, any triggered corruption still yields
+/// a CRC-valid image ("recalculating the correct CRC value to transmit
+/// immediately before the end-of-frame character").
+#[test]
+fn crc_fix_always_repairs() {
+    let mut rng = DetRng::new(0xC04E_0004);
+    for _ in 0..CASES {
+        let mut wire = random_bytes(&mut rng, 4, 128);
+        let corrupt = rng.next_u32();
         // Build a wire image with a known CRC, plant a pattern, corrupt it.
-        let mut wire = payload;
         let crc = crc8::checksum(&wire);
         wire.push(crc);
-        let at = pattern_at.index(wire.len() - 4);
-        let window = u32::from_be_bytes([wire[at], wire[at+1], wire[at+2], wire[at+3]]);
+        let at = rng.gen_index(wire.len() - 4);
+        let window = u32::from_be_bytes([wire[at], wire[at + 1], wire[at + 2], wire[at + 3]]);
         let config = InjectorConfig::builder()
             .match_mode(MatchMode::Once)
             .compare(window, 0xFFFF_FFFF)
@@ -119,19 +139,17 @@ proptest! {
             .build();
         let mut injector = FifoInjector::new(config);
         let report = injector.process_packet(&mut wire);
-        prop_assert!(report.injected());
-        prop_assert!(crc8::verify(&wire), "CRC not repaired");
+        assert!(report.injected());
+        assert!(crc8::verify(&wire), "CRC not repaired");
     }
+}
 
-    /// Once mode injects at most one window per arming, across any number
-    /// of packets.
-    #[test]
-    fn once_mode_fires_at_most_once(
-        packets in proptest::collection::vec(
-            proptest::collection::vec(any::<u8>(), 0..64),
-            1..8
-        )
-    ) {
+/// Once mode injects at most one window per arming, across any number of
+/// packets.
+#[test]
+fn once_mode_fires_at_most_once() {
+    let mut rng = DetRng::new(0xC04E_0005);
+    for _ in 0..CASES {
         let config = InjectorConfig::builder()
             .match_mode(MatchMode::Once)
             .compare(0, 0) // matches every window
@@ -139,19 +157,22 @@ proptest! {
             .build();
         let mut injector = FifoInjector::new(config);
         let mut total = 0;
-        for mut p in packets {
+        for _ in 0..1 + rng.gen_index(7) {
+            let mut p = random_bytes(&mut rng, 0, 64);
             total += injector.process_packet(&mut p).injected_offsets.len();
         }
-        prop_assert!(total <= 1, "once-mode injected {} times", total);
+        assert!(total <= 1, "once-mode injected {total} times");
     }
+}
 
-    /// Off mode never corrupts anything.
-    #[test]
-    fn off_mode_is_identity(
-        stream in proptest::collection::vec(any::<u8>(), 0..128),
-        data in any::<u32>(),
-        mask in any::<u32>()
-    ) {
+/// Off mode never corrupts anything.
+#[test]
+fn off_mode_is_identity() {
+    let mut rng = DetRng::new(0xC04E_0006);
+    for _ in 0..CASES {
+        let stream = random_bytes(&mut rng, 0, 128);
+        let data = rng.next_u32();
+        let mask = rng.next_u32();
         let config = InjectorConfig::builder()
             .match_mode(MatchMode::Off)
             .compare(data, mask)
@@ -160,23 +181,29 @@ proptest! {
         let mut injector = FifoInjector::new(config);
         let mut out = stream.clone();
         let report = injector.process_packet(&mut out);
-        prop_assert!(!report.injected());
-        prop_assert_eq!(out, stream);
+        assert!(!report.injected());
+        assert_eq!(out, stream);
     }
+}
 
-    /// The command language roundtrips: render then parse is identity.
-    #[test]
-    fn command_render_parse_roundtrip(cmd in arb_command()) {
-        prop_assert_eq!(parse_command(&render_command(&cmd)), Ok(cmd));
+/// The command language roundtrips: render then parse is identity.
+#[test]
+fn command_render_parse_roundtrip() {
+    let mut rng = DetRng::new(0xC04E_0007);
+    for _ in 0..CASES {
+        let cmd = random_command(&mut rng);
+        assert_eq!(parse_command(&render_command(&cmd)), Ok(cmd));
     }
+}
 
-    /// The cycle-accurate pipeline is a faithful FIFO when nothing
-    /// matches: output equals input, in order, for any stream and slack.
-    #[test]
-    fn pipeline_is_transparent_fifo(
-        stream in proptest::collection::vec(any::<u32>(), 0..128),
-        slack in 1usize..7
-    ) {
+/// The cycle-accurate pipeline is a faithful FIFO when nothing matches:
+/// output equals input, in order, for any stream and slack.
+#[test]
+fn pipeline_is_transparent_fifo() {
+    let mut rng = DetRng::new(0xC04E_0008);
+    for _ in 0..CASES {
+        let slack = 1 + rng.gen_index(6);
+        let len = rng.gen_index(128);
         let mut p = FifoPipeline::new(
             8,
             slack,
@@ -185,19 +212,26 @@ proptest! {
             ClockGenerator::from_hz(100_000_000),
         );
         // Ensure the match value never occurs.
-        let stream: Vec<u32> = stream.into_iter().map(|x| x ^ 0xDEAD_BEEF).collect();
-        let stream: Vec<u32> =
-            stream.into_iter().map(|x| if x == 0xDEAD_BEEF { 0 } else { x }).collect();
+        let stream: Vec<u32> = (0..len)
+            .map(|_| match rng.next_u32() {
+                0xDEAD_BEEF => 0,
+                x => x,
+            })
+            .collect();
         let out = p.run(&stream);
-        prop_assert_eq!(out, stream);
+        assert_eq!(out, stream);
     }
+}
 
-    /// Latency scales inversely with the link rate and is always the
-    /// paper's five segment times.
-    #[test]
-    fn latency_is_five_segments(rate in 1_000_000u64..10_000_000_000) {
+/// Latency scales inversely with the link rate and is always the paper's
+/// five segment times.
+#[test]
+fn latency_is_five_segments() {
+    let mut rng = DetRng::new(0xC04E_0009);
+    for _ in 0..CASES {
+        let rate = rng.gen_range(1_000_000..10_000_000_000);
         let injector = FifoInjector::new(InjectorConfig::passthrough());
         let seg = netfi_sim::SimDuration::from_bits(32, rate);
-        prop_assert_eq!(injector.latency(rate), seg * 5);
+        assert_eq!(injector.latency(rate), seg * 5);
     }
 }

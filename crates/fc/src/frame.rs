@@ -11,6 +11,7 @@ use std::error::Error;
 use std::fmt;
 
 use netfi_phy::b8b10::{Byte8, Decoder, Encoder};
+use netfi_sim::SharedBytes;
 
 use crate::crc32;
 
@@ -177,8 +178,8 @@ pub struct FcFrame {
     pub sof: Sof,
     /// Frame header.
     pub header: FcHeader,
-    /// Payload (0–2112 bytes in FC-PH).
-    pub payload: Vec<u8>,
+    /// Payload (0–2112 bytes in FC-PH), cheaply clonable.
+    pub payload: SharedBytes,
     /// End delimiter.
     pub eof: Eof,
 }
@@ -211,7 +212,12 @@ impl Error for FcError {}
 
 impl FcFrame {
     /// Builds a class-3 data frame.
-    pub fn data(d_id: FcAddress, s_id: FcAddress, seq_cnt: u16, payload: Vec<u8>) -> FcFrame {
+    pub fn data(
+        d_id: FcAddress,
+        s_id: FcAddress,
+        seq_cnt: u16,
+        payload: impl Into<SharedBytes>,
+    ) -> FcFrame {
         FcFrame {
             sof: if seq_cnt == 0 { Sof::Initiate3 } else { Sof::Normal3 },
             header: FcHeader {
@@ -224,7 +230,7 @@ impl FcFrame {
                 ox_id: 0,
                 rx_id: 0xFFFF,
             },
-            payload,
+            payload: payload.into(),
             eof: Eof::Normal,
         }
     }
@@ -323,7 +329,7 @@ pub fn decode_line(line: &[u16], decoder: &mut Decoder) -> Result<(FcFrame, usiz
     }
     let header_bytes: [u8; 24] = body[..24].try_into().expect("len checked");
     let header = FcHeader::decode(&header_bytes);
-    let payload = body[24..body.len() - 4].to_vec();
+    let payload = SharedBytes::from(&body[24..body.len() - 4]);
     Ok((
         FcFrame {
             sof,
@@ -395,12 +401,8 @@ mod tests {
     fn corrupted_body_byte_is_crc_error() {
         let frame = sample();
         let mut enc = Encoder::new();
-        // Corrupt a payload byte *before* encoding (as the injector does
-        // after 8b/10b decode): re-encode a frame whose body byte differs.
-        let mut tampered = frame.clone();
-        tampered.payload[3] ^= 0x01;
-        // Splice tampered body bytes under the original CRC: build line
-        // manually.
+        // Corrupt a payload byte under the original CRC: build the line
+        // manually from a tampered body.
         let mut chars: Vec<Byte8> = Vec::new();
         chars.extend(OrderedSet::Sof(frame.sof).chars());
         let mut body = frame.body();
@@ -439,7 +441,7 @@ mod tests {
     #[test]
     fn payload_limit_enforced() {
         let mut frame = sample();
-        frame.payload = vec![0; 2113];
+        frame.payload = vec![0; 2113].into();
         let mut enc = Encoder::new();
         assert_eq!(frame.to_line(&mut enc), Err(FcError::PayloadTooLong));
     }

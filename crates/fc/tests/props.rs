@@ -1,106 +1,113 @@
-//! Property-based tests for the Fibre Channel substrate.
-
-use proptest::prelude::*;
+//! Randomized property tests for the Fibre Channel substrate, driven by
+//! seeded loops over [`DetRng`] (no external dependencies).
 
 use netfi_fc::crc32;
 use netfi_fc::frame::{decode_line, FcAddress, FcError, FcFrame, FcHeader};
 use netfi_fc::NPort;
 use netfi_phy::b8b10::{Decoder, Encoder};
+use netfi_sim::DetRng;
 
-fn arb_header() -> impl Strategy<Value = FcHeader> {
-    (
-        any::<u8>(),
-        any::<u32>(),
-        any::<u32>(),
-        any::<u8>(),
-        any::<u8>(),
-        any::<u16>(),
-        any::<u16>(),
-        any::<u16>(),
-    )
-        .prop_map(|(r_ctl, d, s, ty, seq_id, seq_cnt, ox, rx)| FcHeader {
-            r_ctl,
-            d_id: FcAddress::new(d),
-            s_id: FcAddress::new(s),
-            type_field: ty,
-            seq_id,
-            seq_cnt,
-            ox_id: ox,
-            rx_id: rx,
-        })
+const CASES: usize = 256;
+
+fn random_bytes(rng: &mut DetRng, min_len: usize, max_len: usize) -> Vec<u8> {
+    let len = min_len + rng.gen_index(max_len - min_len + 1);
+    let mut buf = vec![0u8; len];
+    rng.fill_bytes(&mut buf);
+    buf
 }
 
-proptest! {
-    /// CRC-32 detects any single bit flip.
-    #[test]
-    fn crc32_detects_single_flip(
-        data in proptest::collection::vec(any::<u8>(), 1..256),
-        bit in any::<usize>()
-    ) {
-        let mut buf = data;
+fn random_header(rng: &mut DetRng) -> FcHeader {
+    FcHeader {
+        r_ctl: rng.next_u32() as u8,
+        d_id: FcAddress::new(rng.next_u32()),
+        s_id: FcAddress::new(rng.next_u32()),
+        type_field: rng.next_u32() as u8,
+        seq_id: rng.next_u32() as u8,
+        seq_cnt: rng.next_u32() as u16,
+        ox_id: rng.next_u32() as u16,
+        rx_id: rng.next_u32() as u16,
+    }
+}
+
+/// CRC-32 detects any single bit flip.
+#[test]
+fn crc32_detects_single_flip() {
+    let mut rng = DetRng::new(0xFC32_0001);
+    for _ in 0..CASES {
+        let mut buf = random_bytes(&mut rng, 1, 256);
         let crc = crc32::checksum(&buf);
         buf.extend_from_slice(&crc.to_le_bytes());
-        let bit = bit % (buf.len() * 8);
+        let bit = rng.gen_index(buf.len() * 8);
         buf[bit / 8] ^= 1 << (bit % 8);
-        prop_assert!(!crc32::verify(&buf));
+        assert!(!crc32::verify(&buf));
     }
+}
 
-    /// Streaming CRC-32 equals one-shot for any split.
-    #[test]
-    fn crc32_streaming_equivalence(
-        data in proptest::collection::vec(any::<u8>(), 0..512),
-        split in any::<proptest::sample::Index>()
-    ) {
-        let cut = if data.is_empty() { 0 } else { split.index(data.len()) };
+/// Streaming CRC-32 equals one-shot for any split.
+#[test]
+fn crc32_streaming_equivalence() {
+    let mut rng = DetRng::new(0xFC32_0002);
+    for _ in 0..CASES {
+        let data = random_bytes(&mut rng, 0, 512);
+        let cut = if data.is_empty() {
+            0
+        } else {
+            rng.gen_index(data.len())
+        };
         let mut acc = crc32::Crc32::new();
         acc.update(&data[..cut]);
         acc.update(&data[cut..]);
-        prop_assert_eq!(acc.finish(), crc32::checksum(&data));
+        assert_eq!(acc.finish(), crc32::checksum(&data));
     }
+}
 
-    /// Headers roundtrip for arbitrary field values (addresses masked to
-    /// 24 bits by construction).
-    #[test]
-    fn header_roundtrip(h in arb_header()) {
-        prop_assert_eq!(FcHeader::decode(&h.encode()), h);
+/// Headers roundtrip for arbitrary field values (addresses masked to 24
+/// bits by construction).
+#[test]
+fn header_roundtrip() {
+    let mut rng = DetRng::new(0xFC32_0003);
+    for _ in 0..CASES {
+        let h = random_header(&mut rng);
+        assert_eq!(FcHeader::decode(&h.encode()), h);
     }
+}
 
-    /// Whole frames survive the full 8b/10b line roundtrip for arbitrary
-    /// headers and payloads, including back-to-back frames sharing one
-    /// running disparity.
-    #[test]
-    fn frame_line_roundtrip(
-        frames in proptest::collection::vec(
-            (arb_header(), proptest::collection::vec(any::<u8>(), 0..128)),
-            1..4
-        )
-    ) {
+/// Whole frames survive the full 8b/10b line roundtrip for arbitrary
+/// headers and payloads, including back-to-back frames sharing one
+/// running disparity.
+#[test]
+fn frame_line_roundtrip() {
+    let mut rng = DetRng::new(0xFC32_0004);
+    for _ in 0..CASES {
         let mut enc = Encoder::new();
         let mut dec = Decoder::new();
-        for (header, payload) in frames {
+        for _ in 0..1 + rng.gen_index(3) {
+            let header = random_header(&mut rng);
+            let payload = random_bytes(&mut rng, 0, 128);
             let frame = FcFrame {
                 sof: netfi_fc::frame::Sof::Normal3,
                 header,
-                payload,
+                payload: payload.into(),
                 eof: netfi_fc::frame::Eof::Normal,
             };
             let line = frame.to_line(&mut enc).unwrap();
             let (decoded, consumed) = decode_line(&line, &mut dec).unwrap();
-            prop_assert_eq!(decoded, frame);
-            prop_assert_eq!(consumed, line.len());
+            assert_eq!(decoded, frame);
+            assert_eq!(consumed, line.len());
         }
     }
+}
 
-    /// Corrupting any body byte (without fixing the CRC) is detected.
-    #[test]
-    fn frame_body_corruption_detected(
-        payload in proptest::collection::vec(any::<u8>(), 1..128),
-        at in any::<proptest::sample::Index>(),
-        flip in 1u8..=255
-    ) {
+/// Corrupting any body byte (without fixing the CRC) is detected.
+#[test]
+fn frame_body_corruption_detected() {
+    let mut rng = DetRng::new(0xFC32_0005);
+    for _ in 0..CASES {
+        let payload = random_bytes(&mut rng, 1, 128);
+        let flip = 1 + rng.gen_index(255) as u8;
         let frame = FcFrame::data(FcAddress::new(1), FcAddress::new(2), 0, payload);
         let mut body = frame.body();
-        let idx = at.index(body.len());
+        let idx = rng.gen_index(body.len());
         body[idx] ^= flip;
         let mut enc = Encoder::new();
         let mut chars: Vec<netfi_phy::b8b10::Byte8> = Vec::new();
@@ -109,21 +116,23 @@ proptest! {
         chars.extend(netfi_fc::OrderedSet::Eof(frame.eof).chars());
         let line: Vec<u16> = chars.into_iter().map(|c| enc.push(c).unwrap()).collect();
         let mut dec = Decoder::new();
-        prop_assert_eq!(decode_line(&line, &mut dec), Err(FcError::BadCrc));
+        assert_eq!(decode_line(&line, &mut dec), Err(FcError::BadCrc));
     }
+}
 
-    /// Credit conservation: frames in flight never exceed BB_Credit, and
-    /// every credit returned is eventually usable.
-    #[test]
-    fn bb_credit_conservation(
-        credit in 1u32..8,
-        ops in proptest::collection::vec(any::<bool>(), 1..100)
-    ) {
+/// Credit conservation: frames in flight never exceed BB_Credit, and
+/// every credit returned is eventually usable.
+#[test]
+fn bb_credit_conservation() {
+    let mut rng = DetRng::new(0xFC32_0006);
+    for _ in 0..CASES {
+        let credit = 1 + rng.gen_range(0..7) as u32;
+        let ops = 1 + rng.gen_index(99);
         let mut port = NPort::new(credit);
         let mut in_flight: u32 = 0;
         let mut seq = 0u16;
-        for send in ops {
-            if send {
+        for _ in 0..ops {
+            if rng.gen_bool(0.5) {
                 let released = port.send(FcFrame::data(
                     FcAddress::new(1),
                     FcAddress::new(2),
@@ -138,8 +147,8 @@ proptest! {
             } else {
                 let _ = port.on_r_rdy();
             }
-            prop_assert!(in_flight <= credit, "in flight {} > credit {}", in_flight, credit);
-            prop_assert!(port.credits() <= credit);
+            assert!(in_flight <= credit, "in flight {in_flight} > credit {credit}");
+            assert!(port.credits() <= credit);
         }
     }
 }

@@ -10,11 +10,15 @@
 /// The CRC-8 generator polynomial, x⁸ + x² + x + 1.
 pub const POLYNOMIAL: u8 = 0x07;
 
-/// Lookup table for byte-at-a-time computation, built at compile time.
-const TABLE: [u8; 256] = build_table();
+/// Slice-by-8 lookup tables, built at compile time. `TABLES[0]` is the
+/// classic byte-at-a-time table (the effect of one byte on the register);
+/// `TABLES[k]` is that effect propagated through `k` further zero bytes,
+/// so eight input bytes fold into the register with eight independent
+/// lookups per iteration instead of a serial dependency chain.
+const TABLES: [[u8; 256]; 8] = build_tables();
 
-const fn build_table() -> [u8; 256] {
-    let mut table = [0u8; 256];
+const fn build_tables() -> [[u8; 256]; 8] {
+    let mut tables = [[0u8; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u8;
@@ -27,10 +31,42 @@ const fn build_table() -> [u8; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            tables[k][i] = tables[0][tables[k - 1][i] as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
+}
+
+/// Folds `data` into the running register value, eight bytes at a time.
+///
+/// The CRC update is linear over GF(2), so the register after eight bytes
+/// is the XOR of each byte's contribution shifted to its position — one
+/// table per position.
+fn update(mut crc: u8, data: &[u8]) -> u8 {
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        crc = TABLES[7][(crc ^ c[0]) as usize]
+            ^ TABLES[6][c[1] as usize]
+            ^ TABLES[5][c[2] as usize]
+            ^ TABLES[4][c[3] as usize]
+            ^ TABLES[3][c[4] as usize]
+            ^ TABLES[2][c[5] as usize]
+            ^ TABLES[1][c[6] as usize]
+            ^ TABLES[0][c[7] as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = TABLES[0][(crc ^ b) as usize];
+    }
+    crc
 }
 
 /// Computes the CRC-8 of `data` (initial value 0).
@@ -43,11 +79,7 @@ const fn build_table() -> [u8; 256] {
 /// assert_eq!(crc, 0xF4); // the CRC-8/ATM check value
 /// ```
 pub fn checksum(data: &[u8]) -> u8 {
-    let mut crc = 0u8;
-    for &b in data {
-        crc = TABLE[(crc ^ b) as usize];
-    }
-    crc
+    update(0, data)
 }
 
 /// Verifies a buffer whose final byte is its CRC.
@@ -82,9 +114,7 @@ impl Crc8 {
 
     /// Feeds more bytes.
     pub fn update(&mut self, data: &[u8]) {
-        for &b in data {
-            self.crc = TABLE[(self.crc ^ b) as usize];
-        }
+        self.crc = update(self.crc, data);
     }
 
     /// The CRC of everything fed so far.
@@ -96,6 +126,53 @@ impl Crc8 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The original bit-serial implementation, kept as the reference the
+    /// slice-by-8 path is checked bit-identical against.
+    fn checksum_bitwise(data: &[u8]) -> u8 {
+        let mut crc = 0u8;
+        for &b in data {
+            crc ^= b;
+            for _ in 0..8 {
+                crc = if crc & 0x80 != 0 {
+                    (crc << 1) ^ POLYNOMIAL
+                } else {
+                    crc << 1
+                };
+            }
+        }
+        crc
+    }
+
+    #[test]
+    fn slice_by_8_matches_reference_on_random_inputs() {
+        let mut rng = netfi_sim::DetRng::new(0xC8C8_0001);
+        for len in 0..64usize {
+            for _ in 0..8 {
+                let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+                assert_eq!(checksum(&data), checksum_bitwise(&data), "len {len}");
+            }
+        }
+        // Longer, unaligned lengths crossing several 8-byte chunks.
+        for len in [65usize, 127, 128, 129, 1000, 1023] {
+            let data: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            assert_eq!(checksum(&data), checksum_bitwise(&data), "len {len}");
+        }
+    }
+
+    #[test]
+    fn slice_by_8_matches_reference_on_boundary_inputs() {
+        for pattern in [0x00u8, 0xFF, 0xAA, 0x55, 0x80, 0x01] {
+            for len in [0usize, 1, 7, 8, 9, 15, 16, 17, 31, 32, 33] {
+                let data = vec![pattern; len];
+                assert_eq!(
+                    checksum(&data),
+                    checksum_bitwise(&data),
+                    "pattern {pattern:02x} len {len}"
+                );
+            }
+        }
+    }
 
     #[test]
     fn known_check_value() {

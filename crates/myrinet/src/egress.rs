@@ -245,7 +245,7 @@ impl EgressPort {
     /// Transmits as much of the queue as flow control and the wire allow.
     fn pump(&mut self, ctx: &mut Context<'_, Ev>) {
         let now = ctx.now();
-        let Some(peer) = self.peer.clone() else {
+        let Some(peer) = self.peer else {
             // Unwired: discard (counts as drops).
             self.stats.unwired_drops += self.queue.len() as u64;
             self.queue.clear();

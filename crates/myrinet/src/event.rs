@@ -50,7 +50,7 @@ impl fmt::Debug for Ev {
 }
 
 /// The far side of a wired port.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 pub struct PortPeer {
     /// Component on the other end of the link.
     pub dst: ComponentId,
@@ -103,7 +103,7 @@ pub fn connect<A: Attach, B: Attach>(
             PortPeer {
                 dst: b,
                 dst_port: port_b,
-                link: link.clone(),
+                link: *link,
             },
         );
     }
@@ -116,7 +116,7 @@ pub fn connect<A: Attach, B: Attach>(
             PortPeer {
                 dst: a,
                 dst_port: port_a,
-                link: link.clone(),
+                link: *link,
             },
         );
     }

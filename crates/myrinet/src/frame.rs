@@ -12,13 +12,18 @@
 //! (§4.3.1, "source blocking").
 
 use netfi_phy::ControlSymbol;
+use netfi_sim::SharedBytes;
 
 /// A packet as it travels a link: its raw wire image plus the control
 /// symbol that terminates it.
+///
+/// The wire image is a [`SharedBytes`], so cloning a frame (switch
+/// fan-out, capture snapshots, retransmission queues) bumps a reference
+/// count instead of copying the payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PacketFrame {
     /// The wire image: route bytes, type, payload, trailing CRC.
-    pub bytes: Vec<u8>,
+    pub bytes: SharedBytes,
     /// Raw code of the terminating control symbol, if one was transmitted.
     /// Normally `Some(0x0C)` (GAP); the injector may corrupt or swallow it.
     pub terminator: Option<u8>,
@@ -26,9 +31,9 @@ pub struct PacketFrame {
 
 impl PacketFrame {
     /// A packet frame with the normal GAP terminator.
-    pub fn new(bytes: Vec<u8>) -> PacketFrame {
+    pub fn new(bytes: impl Into<SharedBytes>) -> PacketFrame {
         PacketFrame {
-            bytes,
+            bytes: bytes.into(),
             terminator: Some(ControlSymbol::Gap.encode()),
         }
     }
@@ -62,7 +67,7 @@ impl Frame {
     }
 
     /// A GAP-terminated packet frame.
-    pub fn packet(bytes: Vec<u8>) -> Frame {
+    pub fn packet(bytes: impl Into<SharedBytes>) -> Frame {
         Frame::Packet(PacketFrame::new(bytes))
     }
 

@@ -25,6 +25,7 @@ use netfi_phy::ControlSymbol;
 use netfi_sim::{Context, DetRng, SimDuration};
 
 use crate::addr::{EthAddr, NodeAddress};
+use crate::crc8;
 use crate::egress::{timer_class, timer_kind, EgressPort};
 use crate::sbuf::{Accept, SlackBuffer};
 use crate::event::{Ev, PortPeer};
@@ -71,8 +72,9 @@ pub struct Delivery {
     pub src: EthAddr,
     /// Destination physical address (ours, or broadcast).
     pub dest: EthAddr,
-    /// Bytes above the Ethernet-style header.
-    pub data: Vec<u8>,
+    /// Bytes above the Ethernet-style header — a zero-copy window into
+    /// the received wire image.
+    pub data: netfi_sim::SharedBytes,
 }
 
 /// Error returned by [`HostInterface::send_data`].
@@ -366,7 +368,28 @@ impl HostInterface {
         dest: EthAddr,
         data: &[u8],
     ) -> Result<(), SendError> {
-        let Some(route) = self.routing.get(&dest).cloned() else {
+        self.send_data_parts(ctx, dest, &[data])
+    }
+
+    /// Sends the concatenation of `parts` to `dest` as a DATA packet.
+    ///
+    /// Equivalent to [`send_data`](HostInterface::send_data) on the
+    /// concatenated bytes, but lets a caller with a scattered payload
+    /// (e.g. a protocol header plus a shared payload buffer) skip
+    /// assembling an intermediate buffer: the full wire image — route,
+    /// type, Ethernet-style header, data, CRC — is built in one
+    /// allocation, and every later hop shares it.
+    ///
+    /// # Errors
+    ///
+    /// [`SendError::NoRoute`] if the routing table has no entry for `dest`.
+    pub fn send_data_parts(
+        &mut self,
+        ctx: &mut Context<'_, Ev>,
+        dest: EthAddr,
+        parts: &[&[u8]],
+    ) -> Result<(), SendError> {
+        let Some(route) = self.routing.get(&dest) else {
             self.stats.tx_no_route += 1;
             return Err(SendError::NoRoute(dest));
         };
@@ -374,10 +397,17 @@ impl HostInterface {
             dest,
             src: self.eth_addr,
         };
-        let mut payload = header.encode().to_vec();
-        payload.extend_from_slice(data);
-        let pkt = Packet::new(route, PacketType::DATA, payload);
-        self.egress.enqueue(ctx, Frame::packet(pkt.encode()));
+        let data_len: usize = parts.iter().map(|p| p.len()).sum();
+        let mut wire =
+            Vec::with_capacity(route.len() + 4 + EthHeader::LEN + data_len + 1);
+        wire.extend_from_slice(route);
+        wire.extend_from_slice(&PacketType::DATA.to_bytes());
+        wire.extend_from_slice(&header.encode());
+        for part in parts {
+            wire.extend_from_slice(part);
+        }
+        wire.push(crc8::checksum(&wire));
+        self.egress.enqueue(ctx, Frame::packet(wire));
         self.stats.tx_data += 1;
         Ok(())
     }
@@ -484,7 +514,7 @@ impl HostInterface {
     }
 
     fn handle_packet(&mut self, ctx: &mut Context<'_, Ev>, pf: PacketFrame) -> Option<Delivery> {
-        let pkt = match Packet::parse_delivered(&pf.bytes) {
+        let pkt = match Packet::parse_delivered_shared(&pf.bytes) {
             Ok(p) => p,
             Err(PacketError::BadCrc) => {
                 self.stats.rx_crc_drops += 1;
@@ -517,7 +547,7 @@ impl HostInterface {
                 Some(Delivery {
                     src: header.src,
                     dest: header.dest,
-                    data: pkt.payload[EthHeader::LEN..].to_vec(),
+                    data: pkt.payload.slice(EthHeader::LEN..),
                 })
             }
             PacketType::MAPPING => {
@@ -612,8 +642,13 @@ impl HostInterface {
     // --- mapping protocol ---
 
     fn send_mapping(&mut self, ctx: &mut Context<'_, Ev>, route: Vec<u8>, msg: &MapMsg) {
-        let pkt = Packet::new(route, PacketType::MAPPING, msg.encode());
-        self.egress.enqueue(ctx, Frame::packet(pkt.encode()));
+        let payload = msg.encode();
+        let mut wire = Vec::with_capacity(route.len() + 4 + payload.len() + 1);
+        wire.extend_from_slice(&route);
+        wire.extend_from_slice(&PacketType::MAPPING.to_bytes());
+        wire.extend_from_slice(&payload);
+        wire.push(crc8::checksum(&wire));
+        self.egress.enqueue(ctx, Frame::packet(wire));
     }
 
     fn start_round(&mut self, ctx: &mut Context<'_, Ev>) {

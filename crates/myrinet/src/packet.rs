@@ -16,6 +16,8 @@
 use std::error::Error;
 use std::fmt;
 
+use netfi_sim::SharedBytes;
+
 use crate::crc8;
 
 /// The 4-byte packet-type field.
@@ -130,17 +132,21 @@ pub struct Packet {
     pub route: Vec<u8>,
     /// The packet type field.
     pub ptype: PacketType,
-    /// The payload.
-    pub payload: Vec<u8>,
+    /// The payload (a cheaply-clonable view into the wire image).
+    pub payload: SharedBytes,
 }
 
 impl Packet {
     /// Assembles a packet.
-    pub fn new(route: Vec<u8>, ptype: PacketType, payload: Vec<u8>) -> Packet {
+    pub fn new(
+        route: Vec<u8>,
+        ptype: PacketType,
+        payload: impl Into<SharedBytes>,
+    ) -> Packet {
         Packet {
             route,
             ptype,
-            payload,
+            payload: payload.into(),
         }
     }
 
@@ -167,6 +173,31 @@ impl Packet {
     /// [`PacketError::TooShort`], [`PacketError::BadCrc`] or
     /// [`PacketError::RouteMsbSet`].
     pub fn parse_delivered(wire: &[u8]) -> Result<Packet, PacketError> {
+        let (final_route, ptype) = Packet::validate_delivered(wire)?;
+        Ok(Packet {
+            route: vec![final_route],
+            ptype,
+            payload: SharedBytes::from(&wire[5..wire.len() - 1]),
+        })
+    }
+
+    /// Zero-copy variant of [`Packet::parse_delivered`]: the payload is a
+    /// [`SharedBytes`] window into `wire`, so no payload bytes move.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Packet::parse_delivered`].
+    pub fn parse_delivered_shared(wire: &SharedBytes) -> Result<Packet, PacketError> {
+        let (final_route, ptype) = Packet::validate_delivered(wire)?;
+        Ok(Packet {
+            route: vec![final_route],
+            ptype,
+            payload: wire.slice(5..wire.len() - 1),
+        })
+    }
+
+    /// Shared validation for the two delivered-parse entry points.
+    fn validate_delivered(wire: &[u8]) -> Result<(u8, PacketType), PacketError> {
         if wire.len() < 1 + 4 + 1 {
             return Err(PacketError::TooShort);
         }
@@ -178,12 +209,7 @@ impl Packet {
             return Err(PacketError::RouteMsbSet);
         }
         let ptype = PacketType::from_slice(&wire[1..]).ok_or(PacketError::TooShort)?;
-        let payload = wire[5..wire.len() - 1].to_vec();
-        Ok(Packet {
-            route: vec![final_route],
-            ptype,
-            payload,
-        })
+        Ok((final_route, ptype))
     }
 
     /// Parses a packet whose route is fully consumed (zero route bytes) —
@@ -200,7 +226,7 @@ impl Packet {
             return Err(PacketError::BadCrc);
         }
         let ptype = PacketType::from_slice(wire).ok_or(PacketError::TooShort)?;
-        let payload = wire[4..wire.len() - 1].to_vec();
+        let payload = SharedBytes::from(&wire[4..wire.len() - 1]);
         Ok(Packet {
             route: Vec::new(),
             ptype,

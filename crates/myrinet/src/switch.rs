@@ -340,7 +340,7 @@ impl Switch {
         // Strip switch-bound route bytes; leave the final (host) byte.
         let bytes = if route_byte & ROUTE_SWITCH_FLAG != 0 {
             match wire::strip_route_byte(&pf.bytes) {
-                Ok(b) => b,
+                Ok(b) => b.into(),
                 Err(_) => {
                     self.drain_input(ctx, i, chars);
                     self.stats.malformed_drops += 1;

@@ -1,6 +1,5 @@
-//! Property-based tests for the Myrinet substrate.
-
-use proptest::prelude::*;
+//! Randomized property tests for the Myrinet substrate, driven by seeded
+//! loops over [`DetRng`] (no external dependencies).
 
 use netfi_myrinet::addr::{EthAddr, NodeAddress};
 use netfi_myrinet::crc8;
@@ -11,167 +10,190 @@ use netfi_myrinet::packet::{
     route_to_host, route_to_switch, wire, Packet, PacketError, PacketType,
 };
 use netfi_myrinet::sbuf::{Accept, SlackBuffer};
+use netfi_sim::DetRng;
 
-fn arb_eth() -> impl Strategy<Value = EthAddr> {
-    any::<[u8; 6]>().prop_map(EthAddr::new)
+const CASES: usize = 256;
+
+fn random_bytes(rng: &mut DetRng, min_len: usize, max_len: usize) -> Vec<u8> {
+    let len = min_len + rng.gen_index(max_len - min_len + 1);
+    let mut buf = vec![0u8; len];
+    rng.fill_bytes(&mut buf);
+    buf
 }
 
-fn arb_route() -> impl Strategy<Value = Vec<u8>> {
-    (proptest::collection::vec(0u8..0x3F, 0..4), 0u8..0x3F).prop_map(|(hops, last)| {
-        let mut route: Vec<u8> = hops.into_iter().map(route_to_switch).collect();
-        route.push(route_to_host(last));
-        route
-    })
+fn random_eth(rng: &mut DetRng) -> EthAddr {
+    let mut b = [0u8; 6];
+    rng.fill_bytes(&mut b);
+    EthAddr::new(b)
 }
 
-proptest! {
-    /// CRC-8 detects any single bit flip anywhere in a packet.
-    #[test]
-    fn crc8_detects_any_single_flip(
-        data in proptest::collection::vec(any::<u8>(), 1..128),
-        bit in any::<usize>()
-    ) {
-        let mut buf = data;
+fn random_route(rng: &mut DetRng) -> Vec<u8> {
+    let hops = rng.gen_index(4);
+    let mut route: Vec<u8> = (0..hops)
+        .map(|_| route_to_switch(rng.gen_range(0..0x3F) as u8))
+        .collect();
+    route.push(route_to_host(rng.gen_range(0..0x3F) as u8));
+    route
+}
+
+/// CRC-8 detects any single bit flip anywhere in a packet.
+#[test]
+fn crc8_detects_any_single_flip() {
+    let mut rng = DetRng::new(0xC8C8_0001);
+    for _ in 0..CASES {
+        let mut buf = random_bytes(&mut rng, 1, 128);
         let crc = crc8::checksum(&buf);
         buf.push(crc);
-        let bit = bit % (buf.len() * 8);
+        let bit = rng.gen_index(buf.len() * 8);
         buf[bit / 8] ^= 1 << (bit % 8);
-        prop_assert!(!crc8::verify(&buf));
+        assert!(!crc8::verify(&buf));
     }
+}
 
-    /// Streaming CRC equals one-shot CRC for any split.
-    #[test]
-    fn crc8_streaming_equivalence(
-        data in proptest::collection::vec(any::<u8>(), 0..256),
-        split in any::<proptest::sample::Index>()
-    ) {
-        let cut = if data.is_empty() { 0 } else { split.index(data.len()) };
+/// Streaming CRC equals one-shot CRC for any split.
+#[test]
+fn crc8_streaming_equivalence() {
+    let mut rng = DetRng::new(0xC8C8_0002);
+    for _ in 0..CASES {
+        let data = random_bytes(&mut rng, 0, 256);
+        let cut = if data.is_empty() {
+            0
+        } else {
+            rng.gen_index(data.len())
+        };
         let mut acc = crc8::Crc8::new();
         acc.update(&data[..cut]);
         acc.update(&data[cut..]);
-        prop_assert_eq!(acc.finish(), crc8::checksum(&data));
+        assert_eq!(acc.finish(), crc8::checksum(&data));
     }
+}
 
-    /// Any packet encodes to a CRC-valid wire image, and after stripping
-    /// every switch-bound route byte the destination interface parses it
-    /// back with the original type and payload.
-    #[test]
-    fn packet_route_consumption_roundtrip(
-        route in arb_route(),
-        ptype in any::<u32>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..256)
-    ) {
+/// Any packet encodes to a CRC-valid wire image, and after stripping
+/// every switch-bound route byte the destination interface parses it back
+/// with the original type and payload.
+#[test]
+fn packet_route_consumption_roundtrip() {
+    let mut rng = DetRng::new(0xC8C8_0003);
+    for _ in 0..CASES {
+        let route = random_route(&mut rng);
+        let ptype = rng.next_u32();
+        let payload = random_bytes(&mut rng, 0, 256);
         let hops = route.len() - 1;
         let pkt = Packet::new(route.clone(), PacketType(ptype), payload.clone());
         let mut w = pkt.encode();
-        prop_assert!(wire::crc_ok(&w));
+        assert!(wire::crc_ok(&w));
         for _ in 0..hops {
             w = wire::strip_route_byte(&w).unwrap();
-            prop_assert!(wire::crc_ok(&w));
+            assert!(wire::crc_ok(&w));
         }
         let delivered = Packet::parse_delivered(&w).unwrap();
-        prop_assert_eq!(delivered.ptype, PacketType(ptype));
-        prop_assert_eq!(delivered.payload, payload);
-        prop_assert_eq!(delivered.route, vec![*route.last().unwrap()]);
+        assert_eq!(delivered.ptype, PacketType(ptype));
+        assert_eq!(delivered.payload, payload);
+        assert_eq!(delivered.route, vec![*route.last().unwrap()]);
     }
+}
 
-    /// A corrupted byte anywhere in the delivered image is rejected
-    /// (BadCrc), unless it is the route byte's MSB region where the MSB
-    /// rule fires first — either way, never silently accepted.
-    #[test]
-    fn corrupted_delivery_never_accepted(
-        payload in proptest::collection::vec(any::<u8>(), 1..64),
-        byte in any::<proptest::sample::Index>(),
-        bit in 0u8..8
-    ) {
+/// A corrupted byte anywhere in the delivered image is rejected (BadCrc),
+/// unless it is the route byte's MSB region where the MSB rule fires
+/// first — either way, never silently accepted.
+#[test]
+fn corrupted_delivery_never_accepted() {
+    let mut rng = DetRng::new(0xC8C8_0004);
+    for _ in 0..CASES {
+        let payload = random_bytes(&mut rng, 1, 64);
         let pkt = Packet::new(vec![route_to_host(1)], PacketType::DATA, payload);
         let mut w = pkt.encode();
-        let idx = byte.index(w.len());
+        let idx = rng.gen_index(w.len());
+        let bit = rng.gen_index(8);
         w[idx] ^= 1 << bit;
         match Packet::parse_delivered(&w) {
             Err(PacketError::BadCrc) | Err(PacketError::RouteMsbSet) => {}
-            Ok(_) => prop_assert!(false, "corruption accepted"),
-            Err(e) => prop_assert!(false, "unexpected error {e:?}"),
+            Ok(_) => panic!("corruption accepted"),
+            Err(e) => panic!("unexpected error {e:?}"),
         }
     }
+}
 
-    /// Mapping messages roundtrip for arbitrary field values.
-    #[test]
-    fn mapmsg_scout_roundtrip(
-        epoch in any::<u32>(),
-        mapper in any::<u64>(),
-        target in (any::<u8>(), any::<u8>()),
-        reply_route in proptest::collection::vec(any::<u8>(), 0..16)
-    ) {
+/// Mapping messages roundtrip for arbitrary field values.
+#[test]
+fn mapmsg_scout_roundtrip() {
+    let mut rng = DetRng::new(0xC8C8_0005);
+    for _ in 0..CASES {
         let msg = MapMsg::Scout {
-            epoch,
-            mapper: NodeAddress(mapper),
-            target,
-            reply_route,
+            epoch: rng.next_u32(),
+            mapper: NodeAddress(rng.next_u64()),
+            target: (rng.next_u32() as u8, rng.next_u32() as u8),
+            reply_route: random_bytes(&mut rng, 0, 16),
         };
-        prop_assert_eq!(MapMsg::decode(&msg.encode()).unwrap(), msg);
+        assert_eq!(MapMsg::decode(&msg.encode()).unwrap(), msg);
     }
+}
 
-    #[test]
-    fn mapmsg_routes_roundtrip(
-        epoch in any::<u32>(),
-        mapper in any::<u64>(),
-        entries in proptest::collection::vec(
-            (arb_eth(), proptest::collection::vec(any::<u8>(), 0..8)),
-            0..8
-        ),
-        present in proptest::collection::vec(arb_eth(), 0..8)
-    ) {
+#[test]
+fn mapmsg_routes_roundtrip() {
+    let mut rng = DetRng::new(0xC8C8_0006);
+    for _ in 0..CASES {
+        let entries: Vec<(EthAddr, Vec<u8>)> = (0..rng.gen_index(8))
+            .map(|_| {
+                let eth = random_eth(&mut rng);
+                let route = random_bytes(&mut rng, 0, 8);
+                (eth, route)
+            })
+            .collect();
+        let present: Vec<EthAddr> = (0..rng.gen_index(8))
+            .map(|_| random_eth(&mut rng))
+            .collect();
         let msg = MapMsg::Routes {
-            epoch,
-            mapper: NodeAddress(mapper),
+            epoch: rng.next_u32(),
+            mapper: NodeAddress(rng.next_u64()),
             entries,
             present,
         };
-        prop_assert_eq!(MapMsg::decode(&msg.encode()).unwrap(), msg);
+        assert_eq!(MapMsg::decode(&msg.encode()).unwrap(), msg);
     }
+}
 
-    /// Truncating any mapping message is always detected.
-    #[test]
-    fn mapmsg_truncation_detected(
-        epoch in any::<u32>(),
-        addr in any::<u64>(),
-        eth in arb_eth(),
-        cut in any::<proptest::sample::Index>()
-    ) {
+/// Truncating any mapping message is always detected.
+#[test]
+fn mapmsg_truncation_detected() {
+    let mut rng = DetRng::new(0xC8C8_0007);
+    for _ in 0..CASES {
         let msg = MapMsg::Reply {
-            epoch,
+            epoch: rng.next_u32(),
             target: (0, 1),
-            addr: NodeAddress(addr),
-            eth,
+            addr: NodeAddress(rng.next_u64()),
+            eth: random_eth(&mut rng),
         };
         let bytes = msg.encode();
-        let cut = cut.index(bytes.len());
-        prop_assert!(MapMsg::decode(&bytes[..cut]).is_err());
+        let cut = rng.gen_index(bytes.len());
+        assert!(MapMsg::decode(&bytes[..cut]).is_err());
     }
+}
 
-    /// Slack-buffer invariants: occupancy never exceeds capacity, STOP is
-    /// pending whenever an accept leaves occupancy at/above the high
-    /// watermark, GO whenever a drain reaches the low watermark from a
-    /// stopped state.
-    #[test]
-    fn sbuf_invariants(ops in proptest::collection::vec((any::<bool>(), 1usize..512), 1..200)) {
+/// Slack-buffer invariants: occupancy never exceeds capacity, STOP is
+/// pending whenever an accept leaves occupancy at/above the high
+/// watermark, GO whenever a drain reaches the low watermark from a
+/// stopped state.
+#[test]
+fn sbuf_invariants() {
+    let mut rng = DetRng::new(0xC8C8_0008);
+    for _ in 0..CASES {
+        let ops = 1 + rng.gen_index(199);
         let mut buf = SlackBuffer::new(4096, 3072, 1024);
         let mut modeled = 0usize;
-        for (is_accept, size) in ops {
+        for _ in 0..ops {
+            let is_accept = rng.gen_bool(0.5);
+            let size = 1 + rng.gen_index(511);
             if is_accept {
                 match buf.try_accept(size) {
                     Accept::Stored => {
                         modeled += size;
                         if modeled >= 3072 {
-                            prop_assert_eq!(
-                                buf.poll_flow(),
-                                Some(netfi_phy::ControlSymbol::Stop)
-                            );
+                            assert_eq!(buf.poll_flow(), Some(netfi_phy::ControlSymbol::Stop));
                         }
                     }
                     Accept::Overflow => {
-                        prop_assert!(modeled + size > 4096, "spurious overflow");
+                        assert!(modeled + size > 4096, "spurious overflow");
                     }
                 }
             } else {
@@ -181,53 +203,65 @@ proptest! {
                     buf.drain(drain);
                     modeled -= drain;
                     if was_stopped && modeled <= 1024 {
-                        prop_assert_eq!(
-                            buf.poll_flow(),
-                            Some(netfi_phy::ControlSymbol::Go)
-                        );
+                        assert_eq!(buf.poll_flow(), Some(netfi_phy::ControlSymbol::Go));
                     }
                 }
             }
-            prop_assert_eq!(buf.occupancy(), modeled);
-            prop_assert!(buf.occupancy() <= buf.capacity());
+            assert_eq!(buf.occupancy(), modeled);
+            assert!(buf.occupancy() <= buf.capacity());
         }
     }
+}
 
-    /// Route computation: any two distinct attachments on a connected
-    /// topology produce a route ending with a host byte (MSB clear) whose
-    /// switch hops all carry the MSB.
-    #[test]
-    fn topology_routes_well_formed(
-        from_port in 0u8..6,
-        to_port in 0u8..6,
-        from_sw in 0u8..2,
-        to_sw in 0u8..2
-    ) {
-        let topo = Topology::dual_switch(8, 7, 7);
-        let from = (from_sw, from_port);
-        let to = (to_sw, to_port);
-        match topo.route_between(from, to) {
-            None => prop_assert_eq!(from, to),
-            Some(route) => {
-                prop_assert!(!route.is_empty());
-                let (last, hops) = route.split_last().unwrap();
-                prop_assert_eq!(last & 0x80, 0, "final byte targets a host");
-                for h in hops {
-                    prop_assert_eq!(h & 0x80, 0x80, "intermediate hops target switches");
+/// Route computation: any two distinct attachments on a connected
+/// topology produce a route ending with a host byte (MSB clear) whose
+/// switch hops all carry the MSB.
+#[test]
+fn topology_routes_well_formed() {
+    let topo = Topology::dual_switch(8, 7, 7);
+    for from_sw in 0u8..2 {
+        for to_sw in 0u8..2 {
+            for from_port in 0u8..6 {
+                for to_port in 0u8..6 {
+                    let from = (from_sw, from_port);
+                    let to = (to_sw, to_port);
+                    match topo.route_between(from, to) {
+                        None => assert_eq!(from, to),
+                        Some(route) => {
+                            assert!(!route.is_empty());
+                            let (last, hops) = route.split_last().unwrap();
+                            assert_eq!(last & 0x80, 0, "final byte targets a host");
+                            for h in hops {
+                                assert_eq!(h & 0x80, 0x80, "intermediate hops target switches");
+                            }
+                            assert_eq!(last & 0x3F, to.1);
+                        }
+                    }
                 }
-                prop_assert_eq!(last & 0x3F, to.1);
             }
         }
     }
+}
 
-    /// Frame wire length equals packet bytes plus terminator presence.
-    #[test]
-    fn frame_wire_len(
-        bytes in proptest::collection::vec(any::<u8>(), 0..64),
-        term in proptest::option::of(any::<u8>())
-    ) {
-        let pf = PacketFrame { bytes: bytes.clone(), terminator: term };
-        prop_assert_eq!(pf.wire_len(), bytes.len() + usize::from(term.is_some()));
-        prop_assert_eq!(Frame::Packet(pf).wire_len(), bytes.len() + usize::from(term.is_some()));
+/// Frame wire length equals packet bytes plus terminator presence.
+#[test]
+fn frame_wire_len() {
+    let mut rng = DetRng::new(0xC8C8_0009);
+    for _ in 0..CASES {
+        let bytes = random_bytes(&mut rng, 0, 64);
+        let term = if rng.gen_bool(0.5) {
+            Some(rng.next_u32() as u8)
+        } else {
+            None
+        };
+        let pf = PacketFrame {
+            bytes: bytes.clone().into(),
+            terminator: term,
+        };
+        assert_eq!(pf.wire_len(), bytes.len() + usize::from(term.is_some()));
+        assert_eq!(
+            Frame::Packet(pf).wire_len(),
+            bytes.len() + usize::from(term.is_some())
+        );
     }
 }

@@ -39,6 +39,28 @@ pub fn checksum(data: &[u8]) -> u16 {
     !ones_complement_sum(data)
 }
 
+/// The Internet checksum of the concatenation of `parts`, without
+/// materialising it.
+///
+/// One's-complement addition is associative, so the folded sums of the
+/// parts add up to the sum of the whole — provided every part except the
+/// last has even length (an odd-length part would shift the 16-bit word
+/// alignment of everything after it).
+pub fn checksum_parts(parts: &[&[u8]]) -> u16 {
+    debug_assert!(
+        parts.iter().rev().skip(1).all(|p| p.len() % 2 == 0),
+        "only the last part may have odd length"
+    );
+    let mut sum: u32 = 0;
+    for part in parts {
+        sum += u32::from(ones_complement_sum(part));
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
 /// Verifies data whose checksum has been *included* in the sum: the total
 /// must come to `0xFFFF` (all-ones).
 ///

@@ -14,13 +14,14 @@ use std::any::Any;
 use std::collections::BTreeMap;
 
 use netfi_myrinet::addr::EthAddr;
+use netfi_myrinet::egress::{split_timer_kind, timer_class, timer_kind};
 use netfi_myrinet::event::{Attach, Ev, PortPeer};
 use netfi_myrinet::interface::{Delivery, HostInterface, InterfaceConfig};
 use netfi_sim::metrics::Summary;
 use netfi_sim::trace::TraceBuffer;
-use netfi_sim::{Component, Context, DetRng, SimDuration, SimTime};
+use netfi_sim::{Component, Context, DetRng, SharedBytes, SimDuration, SimTime};
 
-use crate::udp::{payload_avoiding, UdpDatagram, UdpError};
+use crate::udp::{payload_avoiding, payload_avoiding_into, UdpDatagram, UdpError};
 
 /// The well-known echo port every host answers on.
 pub const ECHO_PORT: u16 = 7;
@@ -158,18 +159,26 @@ pub enum HostCmd {
 }
 
 /// Internal deferred actions (modelling host software latency).
+///
+/// Only actions that carry a payload are boxed `App` events; the purely
+/// scalar ones (pong timeout, sender tick, start retry) travel as plain
+/// [`Ev::Timer`] events in the application timer-class range, which keeps
+/// them off the allocator entirely.
 enum Action {
     /// A send reaches the NIC after the send overhead.
-    NicSend { dest: EthAddr, wire: Vec<u8> },
+    NicSend { dest: EthAddr, datagram: UdpDatagram },
     /// A received packet reaches the application after the recv overhead.
-    AppDeliver { src: EthAddr, wire: Vec<u8> },
-    /// Ping-pong: give up waiting for `seq`.
-    PongTimeout { workload: usize, seq: u64 },
-    /// Sender tick.
-    SenderTick { workload: usize },
-    /// Retry starting a workload that had no route yet.
-    StartRetry { workload: usize },
+    AppDeliver { src: EthAddr, wire: SharedBytes },
 }
+
+/// Ping-pong: give up waiting for the reply (`gen` carries the sequence
+/// number, the port field carries the workload index).
+const PONG_TIMEOUT_CLASS: u32 = timer_class::APP_BASE;
+/// Sender tick (port field = workload index).
+const SENDER_TICK_CLASS: u32 = timer_class::APP_BASE + 1;
+/// Retry starting a workload that had no route yet (port field =
+/// workload index).
+const START_RETRY_CLASS: u32 = timer_class::APP_BASE + 2;
 
 #[derive(Debug, Default)]
 struct PingState {
@@ -231,6 +240,9 @@ impl Host {
 
     /// Attaches a workload (call before the simulation starts).
     pub fn add_workload(&mut self, workload: Workload) {
+        // The workload index rides in the timer port field (and the
+        // ping-pong source port range spans 64 ports anyway).
+        assert!(self.workloads.len() < 64, "too many workloads");
         self.workloads.push(workload);
         self.ping.push(PingState::default());
     }
@@ -282,10 +294,9 @@ impl Host {
         base + jitter + self.calibration
     }
 
-    fn send_udp(&mut self, ctx: &mut Context<'_, Ev>, dest: EthAddr, datagram: &UdpDatagram) {
-        let wire = datagram.encode();
+    fn send_udp(&mut self, ctx: &mut Context<'_, Ev>, dest: EthAddr, datagram: UdpDatagram) {
         let delay = self.op_delay(self.config.send_overhead);
-        ctx.send_self(delay, Ev::App(Box::new(Action::NicSend { dest, wire })));
+        ctx.send_self(delay, Ev::App(Box::new(Action::NicSend { dest, datagram })));
     }
 
     fn start_workload(&mut self, ctx: &mut Context<'_, Ev>, i: usize) {
@@ -294,7 +305,13 @@ impl Host {
                 self.ping_send_next(ctx, i);
             }
             Workload::Sender { interval, .. } => {
-                ctx.send_self(interval, Ev::App(Box::new(Action::SenderTick { workload: i })));
+                ctx.send_self(
+                    interval,
+                    Ev::Timer {
+                        kind: timer_kind(SENDER_TICK_CLASS, i as u8),
+                        gen: 0,
+                    },
+                );
             }
         }
     }
@@ -324,26 +341,34 @@ impl Host {
         if self.nic.routing_table().get(&peer).is_none() {
             ctx.send_self(
                 SimDuration::from_ms(100),
-                Ev::App(Box::new(Action::StartRetry { workload: i })),
+                Ev::Timer {
+                    kind: timer_kind(START_RETRY_CLASS, i as u8),
+                    gen: 0,
+                },
             );
             return;
         }
         let seq = self.ping[i].next_seq;
         self.ping[i].next_seq += 1;
-        let mut payload = seq.to_be_bytes().to_vec();
-        payload.extend(payload_avoiding(payload_len.saturating_sub(8), seq, &[]));
+        let filler_len = payload_len.saturating_sub(8);
+        let mut payload = Vec::with_capacity(8 + filler_len);
+        payload.extend_from_slice(&seq.to_be_bytes());
+        payload_avoiding_into(&mut payload, filler_len, seq, &[]);
         let datagram = UdpDatagram::new(30_000 + i as u16, ECHO_PORT, payload);
         self.ping[i].outstanding = Some((seq, ctx.now()));
         self.udp_stats.tx += 1;
-        self.send_udp(ctx, peer, &datagram);
+        self.send_udp(ctx, peer, datagram);
         ctx.send_self(
             timeout,
-            Ev::App(Box::new(Action::PongTimeout { workload: i, seq })),
+            Ev::Timer {
+                kind: timer_kind(PONG_TIMEOUT_CLASS, i as u8),
+                gen: seq,
+            },
         );
     }
 
-    fn on_app_deliver(&mut self, ctx: &mut Context<'_, Ev>, src: EthAddr, wire: Vec<u8>) {
-        let datagram = match UdpDatagram::decode(&wire) {
+    fn on_app_deliver(&mut self, ctx: &mut Context<'_, Ev>, src: EthAddr, wire: SharedBytes) {
+        let datagram = match UdpDatagram::decode_shared(&wire) {
             Ok(d) => d,
             Err(UdpError::BadChecksum) => {
                 self.udp_stats.rx_checksum_drops += 1;
@@ -363,7 +388,7 @@ impl Host {
                 let reply =
                     UdpDatagram::new(ECHO_PORT, datagram.src_port, datagram.payload.clone());
                 self.udp_stats.tx += 1;
-                self.send_udp(ctx, src, &reply);
+                self.send_udp(ctx, src, reply);
             }
             port if (30_000..30_064).contains(&port) => {
                 // A ping-pong / flood reply.
@@ -387,47 +412,57 @@ impl Host {
 
     fn on_action(&mut self, ctx: &mut Context<'_, Ev>, action: Action) {
         match action {
-            Action::NicSend { dest, wire } => {
-                // A failed send (no route) is a lost message; counters at
+            Action::NicSend { dest, datagram } => {
+                // Scatter-gather transmit: the checksummed UDP header from
+                // the stack, the payload from its shared buffer; the NIC
+                // assembles the wire image in its single allocation. A
+                // failed send (no route) is a lost message; counters at
                 // the NIC record it.
-                let _ = self.nic.send_data(ctx, dest, &wire);
+                let header = datagram.header_bytes();
+                let _ = self
+                    .nic
+                    .send_data_parts(ctx, dest, &[&header, &datagram.payload]);
             }
             Action::AppDeliver { src, wire } => self.on_app_deliver(ctx, src, wire),
-            Action::PongTimeout { workload: i, seq } => {
-                if let Some((expect, _)) = self.ping[i].outstanding {
-                    if expect == seq {
-                        self.ping[i].outstanding = None;
-                        self.ping[i].report.losses += 1;
-                        self.ping_send_next(ctx, i);
-                    }
-                }
-            }
-            Action::SenderTick { workload: i } => {
-                let Workload::Sender {
-                    dest,
-                    interval,
-                    payload_len,
-                    ref forbidden,
-                    burst,
-                } = self.workloads[i]
-                else {
-                    return;
-                };
-                let forbidden = forbidden.clone();
-                for _ in 0..burst.max(1) {
-                    let payload = payload_avoiding(payload_len, self.sender_sent, &forbidden);
-                    let datagram = UdpDatagram::new(40_000, SINK_PORT, payload);
-                    self.sender_sent += 1;
-                    self.udp_stats.tx += 1;
-                    self.send_udp(ctx, dest, &datagram);
-                }
-                ctx.send_self(
-                    interval,
-                    Ev::App(Box::new(Action::SenderTick { workload: i })),
-                );
-            }
-            Action::StartRetry { workload: i } => self.ping_send_next(ctx, i),
         }
+    }
+
+    fn on_pong_timeout(&mut self, ctx: &mut Context<'_, Ev>, i: usize, seq: u64) {
+        if let Some((expect, _)) = self.ping[i].outstanding {
+            if expect == seq {
+                self.ping[i].outstanding = None;
+                self.ping[i].report.losses += 1;
+                self.ping_send_next(ctx, i);
+            }
+        }
+    }
+
+    fn on_sender_tick(&mut self, ctx: &mut Context<'_, Ev>, i: usize) {
+        let Workload::Sender {
+            dest,
+            interval,
+            payload_len,
+            ref forbidden,
+            burst,
+        } = self.workloads[i]
+        else {
+            return;
+        };
+        let forbidden = forbidden.clone();
+        for _ in 0..burst.max(1) {
+            let payload = payload_avoiding(payload_len, self.sender_sent, &forbidden);
+            let datagram = UdpDatagram::new(40_000, SINK_PORT, payload);
+            self.sender_sent += 1;
+            self.udp_stats.tx += 1;
+            self.send_udp(ctx, dest, datagram);
+        }
+        ctx.send_self(
+            interval,
+            Ev::Timer {
+                kind: timer_kind(SENDER_TICK_CLASS, i as u8),
+                gen: 0,
+            },
+        );
     }
 }
 
@@ -447,12 +482,22 @@ impl Component<Ev> for Host {
                     ctx.send_self(delay, Ev::App(Box::new(Action::AppDeliver { src, wire: data })));
                 }
             }
-            Ev::Timer { kind, gen } => {
-                if let Some(Delivery { src, data, .. }) = self.nic.handle_timer(ctx, kind, gen) {
-                    let delay = self.op_delay(self.config.recv_overhead);
-                    ctx.send_self(delay, Ev::App(Box::new(Action::AppDeliver { src, wire: data })));
+            Ev::Timer { kind, gen } => match split_timer_kind(kind) {
+                (PONG_TIMEOUT_CLASS, i) => self.on_pong_timeout(ctx, i as usize, gen),
+                (SENDER_TICK_CLASS, i) => self.on_sender_tick(ctx, i as usize),
+                (START_RETRY_CLASS, i) => self.ping_send_next(ctx, i as usize),
+                _ => {
+                    // Everything below APP_BASE belongs to the NIC.
+                    if let Some(Delivery { src, data, .. }) = self.nic.handle_timer(ctx, kind, gen)
+                    {
+                        let delay = self.op_delay(self.config.recv_overhead);
+                        ctx.send_self(
+                            delay,
+                            Ev::App(Box::new(Action::AppDeliver { src, wire: data })),
+                        );
+                    }
                 }
-            }
+            },
             Ev::App(any) => {
                 let any = match any.downcast::<Action>() {
                     Ok(action) => {
@@ -471,7 +516,7 @@ impl Component<Ev> for Host {
                         }
                         HostCmd::SendUdp { dest, datagram } => {
                             self.udp_stats.tx += 1;
-                            self.send_udp(ctx, dest, &datagram);
+                            self.send_udp(ctx, dest, datagram);
                         }
                     }
                 }
@@ -709,7 +754,7 @@ mod tests {
             hosts[1],
             Ev::App(Box::new(Action::AppDeliver {
                 src: EthAddr::myricom(1),
-                wire,
+                wire: wire.into(),
             })),
         );
         engine.run_until(engine.now() + SimDuration::from_ms(1));

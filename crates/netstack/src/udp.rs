@@ -9,6 +9,8 @@
 use std::error::Error;
 use std::fmt;
 
+use netfi_sim::SharedBytes;
+
 use crate::checksum;
 
 /// Minimum encoded size (the 8-byte header).
@@ -21,8 +23,8 @@ pub struct UdpDatagram {
     pub src_port: u16,
     /// Destination port.
     pub dst_port: u16,
-    /// Payload bytes.
-    pub payload: Vec<u8>,
+    /// Payload bytes — shared with the wire image it was decoded from.
+    pub payload: SharedBytes,
 }
 
 /// UDP decoding errors.
@@ -51,27 +53,40 @@ impl Error for UdpError {}
 
 impl UdpDatagram {
     /// Builds a datagram.
-    pub fn new(src_port: u16, dst_port: u16, payload: Vec<u8>) -> UdpDatagram {
+    pub fn new(
+        src_port: u16,
+        dst_port: u16,
+        payload: impl Into<SharedBytes>,
+    ) -> UdpDatagram {
         UdpDatagram {
             src_port,
             dst_port,
-            payload,
+            payload: payload.into(),
         }
+    }
+
+    /// The encoded 8-byte header with the checksum computed and filled
+    /// in, leaving the payload to be appended separately — a sender with
+    /// a scatter-gather transmit path can skip assembling the datagram.
+    pub fn header_bytes(&self) -> [u8; HEADER_LEN] {
+        let len = HEADER_LEN + self.payload.len();
+        let mut header = [0u8; HEADER_LEN];
+        header[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        header[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        header[4..6].copy_from_slice(&(len as u16).to_be_bytes());
+        // header[6..8] stays zero: the checksum placeholder.
+        let ck = checksum::checksum_parts(&[&header, &self.payload]);
+        // RFC 768: a computed zero checksum is transmitted as all-ones.
+        let ck = if ck == 0 { 0xFFFF } else { ck };
+        header[6..8].copy_from_slice(&ck.to_be_bytes());
+        header
     }
 
     /// Serializes with a computed checksum.
     pub fn encode(&self) -> Vec<u8> {
-        let len = HEADER_LEN + self.payload.len();
-        let mut out = Vec::with_capacity(len);
-        out.extend_from_slice(&self.src_port.to_be_bytes());
-        out.extend_from_slice(&self.dst_port.to_be_bytes());
-        out.extend_from_slice(&(len as u16).to_be_bytes());
-        out.extend_from_slice(&[0, 0]); // checksum placeholder
+        let mut out = Vec::with_capacity(HEADER_LEN + self.payload.len());
+        out.extend_from_slice(&self.header_bytes());
         out.extend_from_slice(&self.payload);
-        let ck = checksum::checksum(&out);
-        // RFC 768: a computed zero checksum is transmitted as all-ones.
-        let ck = if ck == 0 { 0xFFFF } else { ck };
-        out[6..8].copy_from_slice(&ck.to_be_bytes());
         out
     }
 
@@ -81,6 +96,30 @@ impl UdpDatagram {
     ///
     /// [`UdpError`] on truncation, length mismatch or checksum failure.
     pub fn decode(wire: &[u8]) -> Result<UdpDatagram, UdpError> {
+        let (src_port, dst_port) = Self::validate(wire)?;
+        Ok(UdpDatagram {
+            src_port,
+            dst_port,
+            payload: SharedBytes::from(&wire[HEADER_LEN..]),
+        })
+    }
+
+    /// Parses and verifies a datagram from a shared wire image; the
+    /// payload is a window into `wire`, so nothing is copied.
+    ///
+    /// # Errors
+    ///
+    /// [`UdpError`] on truncation, length mismatch or checksum failure.
+    pub fn decode_shared(wire: &SharedBytes) -> Result<UdpDatagram, UdpError> {
+        let (src_port, dst_port) = Self::validate(wire)?;
+        Ok(UdpDatagram {
+            src_port,
+            dst_port,
+            payload: wire.slice(HEADER_LEN..),
+        })
+    }
+
+    fn validate(wire: &[u8]) -> Result<(u16, u16), UdpError> {
         if wire.len() < HEADER_LEN {
             return Err(UdpError::TooShort);
         }
@@ -97,11 +136,7 @@ impl UdpDatagram {
         if ck_field != 0 && !checksum::verify(wire) {
             return Err(UdpError::BadChecksum);
         }
-        Ok(UdpDatagram {
-            src_port,
-            dst_port,
-            payload: wire[HEADER_LEN..].to_vec(),
-        })
+        Ok((src_port, dst_port))
     }
 }
 
@@ -111,17 +146,70 @@ impl UdpDatagram {
 /// not appear in the message itself" (§4.3.1).
 pub fn payload_avoiding(len: usize, seq: u64, forbidden: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(len);
-    // A deterministic, seq-dependent pattern drawn from allowed bytes.
-    let allowed: Vec<u8> = (0x20..=0x7E) // printable ASCII
-        .filter(|b| !forbidden.contains(b))
-        .collect();
-    assert!(!allowed.is_empty(), "no allowed bytes remain");
-    let mut x = seq.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(len as u64);
-    for _ in 0..len {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        out.push(allowed[(x >> 33) as usize % allowed.len()]);
-    }
+    payload_avoiding_into(&mut out, len, seq, forbidden);
     out
+}
+
+/// Appends the [`payload_avoiding`] filler to an existing buffer, so a
+/// caller composing a larger payload (e.g. sequence number + filler) can
+/// do it in one allocation.
+pub fn payload_avoiding_into(out: &mut Vec<u8>, len: usize, seq: u64, forbidden: &[u8]) {
+    // The allowed alphabet is at most the 95 printable ASCII bytes, so it
+    // fits on the stack.
+    let mut allowed = [0u8; 95];
+    let mut count = 0usize;
+    for b in 0x20..=0x7E {
+        // printable ASCII
+        if !forbidden.contains(&b) {
+            allowed[count] = b;
+            count += 1;
+        }
+    }
+    assert!(count > 0, "no allowed bytes remain");
+    // A deterministic, seq-dependent pattern drawn from allowed bytes.
+    let mut x = seq.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(len as u64);
+    out.reserve(len);
+    // `extend` over a range iterator reserves once and skips the per-byte
+    // capacity check a `push` loop would pay.
+    const A: u64 = 6364136223846793005;
+    const C: u64 = 1442695040888963407;
+    if count == allowed.len() {
+        // Nothing forbidden (the common hot path): the modulus is a
+        // compile-time constant (strength-reduced to a multiply), and the
+        // LCG runs as four interleaved lanes that each jump four steps at
+        // a time — the four multiplies pipeline instead of forming one
+        // serial dependency chain. The emitted byte sequence is identical
+        // to the one-step-at-a-time recurrence.
+        const A2: u64 = A.wrapping_mul(A);
+        const A3: u64 = A2.wrapping_mul(A);
+        const A4: u64 = A3.wrapping_mul(A);
+        const C4: u64 = A3
+            .wrapping_mul(C)
+            .wrapping_add(A2.wrapping_mul(C))
+            .wrapping_add(A.wrapping_mul(C))
+            .wrapping_add(C);
+        let byte = |v: u64| 0x20 + ((v >> 33) % 95) as u8;
+        let mut l0 = A.wrapping_mul(x).wrapping_add(C);
+        let mut l1 = A.wrapping_mul(l0).wrapping_add(C);
+        let mut l2 = A.wrapping_mul(l1).wrapping_add(C);
+        let mut l3 = A.wrapping_mul(l2).wrapping_add(C);
+        for _ in 0..len / 4 {
+            out.extend_from_slice(&[byte(l0), byte(l1), byte(l2), byte(l3)]);
+            l0 = A4.wrapping_mul(l0).wrapping_add(C4);
+            l1 = A4.wrapping_mul(l1).wrapping_add(C4);
+            l2 = A4.wrapping_mul(l2).wrapping_add(C4);
+            l3 = A4.wrapping_mul(l3).wrapping_add(C4);
+        }
+        let tail = [l0, l1, l2];
+        for &lane in &tail[..len % 4] {
+            out.push(byte(lane));
+        }
+    } else {
+        out.extend((0..len).map(|_| {
+            x = x.wrapping_mul(A).wrapping_add(C);
+            allowed[(x >> 33) as usize % count]
+        }));
+    }
 }
 
 #[cfg(test)]
@@ -199,5 +287,24 @@ mod tests {
     #[test]
     fn payload_varies_with_seq() {
         assert_ne!(payload_avoiding(64, 1, &[]), payload_avoiding(64, 2, &[]));
+    }
+
+    #[test]
+    fn unrolled_filler_matches_serial_recurrence() {
+        // The four-lane hot path must emit exactly the bytes of the
+        // one-step-at-a-time LCG it replaced.
+        for seq in [0u64, 1, 7, 12345, u64::MAX] {
+            for len in [0usize, 1, 2, 3, 4, 5, 7, 8, 56, 95, 256] {
+                let mut x = seq.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(len as u64);
+                let reference: Vec<u8> = (0..len)
+                    .map(|_| {
+                        x = x.wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
+                        0x20 + ((x >> 33) % 95) as u8
+                    })
+                    .collect();
+                assert_eq!(payload_avoiding(len, seq, &[]), reference, "seq={seq} len={len}");
+            }
+        }
     }
 }

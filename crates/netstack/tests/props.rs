@@ -1,120 +1,143 @@
-//! Property-based tests for the host-side stack.
-
-use proptest::prelude::*;
+//! Randomized property tests for the host-side stack, driven by seeded
+//! loops over [`DetRng`] (no external dependencies).
 
 use netfi_netstack::checksum;
 use netfi_netstack::udp::{payload_avoiding, UdpDatagram, UdpError};
+use netfi_sim::DetRng;
 
-proptest! {
-    /// UDP datagrams roundtrip for arbitrary ports and payloads.
-    #[test]
-    fn udp_roundtrip(
-        src in any::<u16>(),
-        dst in any::<u16>(),
-        payload in proptest::collection::vec(any::<u8>(), 0..1024)
-    ) {
+const CASES: usize = 256;
+
+fn random_bytes(rng: &mut DetRng, min_len: usize, max_len: usize) -> Vec<u8> {
+    let len = min_len + rng.gen_index(max_len - min_len + 1);
+    let mut buf = vec![0u8; len];
+    rng.fill_bytes(&mut buf);
+    buf
+}
+
+/// UDP datagrams roundtrip for arbitrary ports and payloads.
+#[test]
+fn udp_roundtrip() {
+    let mut rng = DetRng::new(0x0DD_0001);
+    for _ in 0..CASES {
+        let src = rng.next_u32() as u16;
+        let dst = rng.next_u32() as u16;
+        let payload = random_bytes(&mut rng, 0, 1024);
         let d = UdpDatagram::new(src, dst, payload);
-        prop_assert_eq!(UdpDatagram::decode(&d.encode()), Ok(d));
+        assert_eq!(UdpDatagram::decode(&d.encode()), Ok(d));
     }
+}
 
-    /// Any single bit flip in an encoded datagram is detected (checksum
-    /// or length), except flips that only touch the checksum field itself
-    /// — which still fail verification.
-    #[test]
-    fn udp_single_flip_detected(
-        payload in proptest::collection::vec(any::<u8>(), 0..256),
-        bit in any::<usize>()
-    ) {
+/// Any single bit flip in an encoded datagram is detected (checksum or
+/// length), except flips that only touch the checksum field itself —
+/// which still fail verification.
+#[test]
+fn udp_single_flip_detected() {
+    let mut rng = DetRng::new(0x0DD_0002);
+    for _ in 0..CASES {
+        let payload = random_bytes(&mut rng, 0, 256);
         let d = UdpDatagram::new(7, 9, payload);
         let mut wire = d.encode();
-        let bit = bit % (wire.len() * 8);
+        let bit = rng.gen_index(wire.len() * 8);
         wire[bit / 8] ^= 1 << (bit % 8);
-        prop_assert!(UdpDatagram::decode(&wire).is_err());
+        assert!(UdpDatagram::decode(&wire).is_err());
     }
+}
 
-    /// Swapping any two aligned 16-bit words of the payload is invisible
-    /// to the checksum — the §4.3.4 weakness, for arbitrary payloads and
-    /// positions.
-    #[test]
-    fn udp_word_swap_undetected(
-        payload in proptest::collection::vec(any::<u8>(), 8..256),
-        i in any::<proptest::sample::Index>(),
-        j in any::<proptest::sample::Index>()
-    ) {
-        let mut payload = payload;
+/// Swapping any two aligned 16-bit words of the payload is invisible to
+/// the checksum — the §4.3.4 weakness, for arbitrary payloads and
+/// positions.
+#[test]
+fn udp_word_swap_undetected() {
+    let mut rng = DetRng::new(0x0DD_0003);
+    for _ in 0..CASES {
+        let mut payload = random_bytes(&mut rng, 8, 256);
         if payload.len() % 2 == 1 {
             payload.pop();
         }
         let words = payload.len() / 2;
-        let (wi, wj) = (i.index(words) * 2, j.index(words) * 2);
+        let (wi, wj) = (rng.gen_index(words) * 2, rng.gen_index(words) * 2);
         let d = UdpDatagram::new(1, 2, payload.clone());
         let mut wire = d.encode();
         let base = 8; // header length
         wire.swap(base + wi, base + wj);
         wire.swap(base + wi + 1, base + wj + 1);
         let decoded = UdpDatagram::decode(&wire);
-        prop_assert!(decoded.is_ok(), "aligned word swap must pass the checksum");
+        assert!(decoded.is_ok(), "aligned word swap must pass the checksum");
     }
+}
 
-    /// The one's-complement sum is invariant under word permutation.
-    #[test]
-    fn checksum_word_permutation_invariant(
-        words in proptest::collection::vec(any::<u16>(), 1..64),
-        seed in any::<u64>()
-    ) {
+/// The one's-complement sum is invariant under word permutation.
+#[test]
+fn checksum_word_permutation_invariant() {
+    let mut rng = DetRng::new(0x0DD_0004);
+    for _ in 0..CASES {
+        let words: Vec<u16> = (0..1 + rng.gen_index(63))
+            .map(|_| rng.next_u32() as u16)
+            .collect();
+        let seed = rng.next_u64();
         let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_be_bytes()).collect();
         let mut shuffled = words.clone();
-        let mut rng = netfi_sim::DetRng::new(seed);
-        rng.shuffle(&mut shuffled);
+        let mut shuffle_rng = DetRng::new(seed);
+        shuffle_rng.shuffle(&mut shuffled);
         let shuffled_bytes: Vec<u8> = shuffled.iter().flat_map(|w| w.to_be_bytes()).collect();
-        prop_assert_eq!(checksum::checksum(&bytes), checksum::checksum(&shuffled_bytes));
+        assert_eq!(
+            checksum::checksum(&bytes),
+            checksum::checksum(&shuffled_bytes)
+        );
     }
+}
 
-    /// Verification of data + appended checksum always succeeds for
-    /// even-length data.
-    #[test]
-    fn checksum_verify_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let mut data = data;
+/// Verification of data + appended checksum always succeeds for
+/// even-length data.
+#[test]
+fn checksum_verify_roundtrip() {
+    let mut rng = DetRng::new(0x0DD_0005);
+    for _ in 0..CASES {
+        let mut data = random_bytes(&mut rng, 0, 256);
         if data.len() % 2 == 1 {
             data.pop();
         }
         let ck = checksum::checksum(&data);
         data.extend_from_slice(&ck.to_be_bytes());
-        prop_assert!(checksum::verify(&data));
+        assert!(checksum::verify(&data));
     }
+}
 
-    /// payload_avoiding honours its constraints for arbitrary forbidden
-    /// sets and lengths, and is deterministic per (len, seq).
-    #[test]
-    fn payload_avoiding_properties(
-        len in 0usize..512,
-        seq in any::<u64>(),
-        forbidden in proptest::collection::vec(any::<u8>(), 0..8)
-    ) {
+/// payload_avoiding honours its constraints for arbitrary forbidden sets
+/// and lengths, and is deterministic per (len, seq).
+#[test]
+fn payload_avoiding_properties() {
+    let mut rng = DetRng::new(0x0DD_0006);
+    for _ in 0..CASES {
+        let len = rng.gen_index(512);
+        let seq = rng.next_u64();
         // Keep at least one printable byte allowed.
-        let forbidden: Vec<u8> =
-            forbidden.into_iter().filter(|&b| b != b'a').collect();
+        let forbidden: Vec<u8> = random_bytes(&mut rng, 0, 8)
+            .into_iter()
+            .filter(|&b| b != b'a')
+            .collect();
         let p = payload_avoiding(len, seq, &forbidden);
-        prop_assert_eq!(p.len(), len);
+        assert_eq!(p.len(), len);
         for b in &p {
-            prop_assert!(!forbidden.contains(b));
-            prop_assert!((0x20..=0x7E).contains(b), "payloads stay printable");
+            assert!(!forbidden.contains(b));
+            assert!((0x20..=0x7E).contains(b), "payloads stay printable");
         }
-        prop_assert_eq!(payload_avoiding(len, seq, &forbidden), p);
+        assert_eq!(payload_avoiding(len, seq, &forbidden), p);
     }
+}
 
-    /// Truncation is always detected as a length error.
-    #[test]
-    fn udp_truncation_detected(
-        payload in proptest::collection::vec(any::<u8>(), 1..128),
-        cut in any::<proptest::sample::Index>()
-    ) {
+/// Truncation is always detected as a length error.
+#[test]
+fn udp_truncation_detected() {
+    let mut rng = DetRng::new(0x0DD_0007);
+    for _ in 0..CASES {
+        let payload = random_bytes(&mut rng, 1, 128);
         let d = UdpDatagram::new(3, 4, payload);
         let wire = d.encode();
-        let cut = cut.index(wire.len() - 1) + 1; // keep at least one byte off
+        let cut = rng.gen_index(wire.len() - 1) + 1; // keep at least one byte off
         match UdpDatagram::decode(&wire[..wire.len() - cut]) {
             Err(UdpError::TooShort) | Err(UdpError::BadLength) => {}
-            other => prop_assert!(false, "truncation slipped through: {other:?}"),
+            other => panic!("truncation slipped through: {other:?}"),
         }
     }
 }

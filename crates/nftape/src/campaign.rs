@@ -3,10 +3,9 @@
 //! NFTAPE separates *what to inject* from *how to run it*: an operator
 //! writes a campaign description, the framework programs the injector and
 //! collects results. [`CampaignSpec`] is that description — serializable
-//! (serde), so campaigns can be stored, diffed and replayed — and
-//! [`run_campaign`] executes it against the prebuilt scenarios.
-
-use serde::{Deserialize, Serialize};
+//! through the hand-rolled line/JSON codec in [`crate::serialize`], so
+//! campaigns can be stored, diffed and replayed — and [`run_campaign`]
+//! executes it against the prebuilt scenarios.
 
 use netfi_phy::ControlSymbol;
 use netfi_sim::SimDuration;
@@ -15,8 +14,7 @@ use crate::results::RunResult;
 use crate::scenarios::{address, control, latency, ptype, random, udpcheck};
 
 /// A control symbol, in serializable form.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[serde(rename_all = "UPPERCASE")]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SymbolSpec {
     /// Packet separator.
     Gap,
@@ -41,8 +39,7 @@ impl From<SymbolSpec> for ControlSymbol {
 
 /// What to inject — one variant per campaign family of the paper's
 /// evaluation.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-#[serde(tag = "kind", rename_all = "snake_case")]
+#[derive(Debug, Clone, PartialEq)]
 pub enum FaultSpec {
     /// §4.3.1 Table 4: corrupt one control symbol into another.
     ControlSymbol {
@@ -89,7 +86,7 @@ pub enum FaultSpec {
 }
 
 /// A complete campaign: a fault, a seed, and a measurement window.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignSpec {
     /// Campaign name (reports).
     pub name: String,
@@ -98,11 +95,10 @@ pub struct CampaignSpec {
     /// RNG seed (campaigns are exactly reproducible).
     pub seed: u64,
     /// Measurement window in seconds, where the scenario takes one.
-    #[serde(default = "default_window")]
     pub window_secs: u64,
 }
 
-fn default_window() -> u64 {
+pub(crate) fn default_window() -> u64 {
     6
 }
 
@@ -221,24 +217,23 @@ pub fn paper_campaigns(seed: u64) -> Vec<CampaignSpec> {
 /// engine, so they parallelize perfectly) and returns results in spec
 /// order.
 pub fn run_campaigns_parallel(specs: &[CampaignSpec]) -> Vec<Vec<RunResult>> {
-    let results = parking_lot::Mutex::new(vec![Vec::new(); specs.len()]);
+    let results = std::sync::Mutex::new(vec![Vec::new(); specs.len()]);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
         .min(specs.len().max(1));
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(spec) = specs.get(i) else { break };
                 let rows = run_campaign(spec);
-                results.lock()[i] = rows;
+                results.lock().expect("campaign results poisoned")[i] = rows;
             });
         }
-    })
-    .expect("campaign worker panicked");
-    results.into_inner()
+    });
+    results.into_inner().expect("campaign results poisoned")
 }
 
 #[cfg(test)]

@@ -23,6 +23,7 @@ pub mod report;
 pub mod results;
 pub mod runner;
 pub mod scenarios;
+pub mod serialize;
 
 pub use campaign::{run_campaign, CampaignSpec, FaultSpec};
 pub use report::Table;

@@ -25,7 +25,7 @@ pub const PROPAGATION_PS_PER_METER: u64 = 5_000;
 /// // One 8-bit character at 1.28 Gb/s: 6.25 ns.
 /// assert_eq!(link.char_period().as_ps(), 6_250);
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Link {
     data_rate_bps: u64,
     cable_meters: f64,

@@ -1,6 +1,5 @@
-//! Property-based tests for the physical-layer substrate.
-
-use proptest::prelude::*;
+//! Randomized property tests for the physical-layer substrate, driven by
+//! seeded loops over [`DetRng`] (no external dependencies).
 
 use netfi_phy::b8b10::{decode, encode, Byte8, Decoder, Disparity, Encoder};
 use netfi_phy::serial::{Parity, UartConfig};
@@ -8,119 +7,164 @@ use netfi_phy::symbol::{ControlSymbol, Symbol};
 use netfi_phy::Link;
 use netfi_sim::DetRng;
 
-proptest! {
-    /// Any byte stream survives the full 8b/10b encode/decode pipeline.
-    #[test]
-    fn b8b10_stream_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+const CASES: usize = 256;
+
+fn random_bytes(rng: &mut DetRng, max_len: usize, min_len: usize) -> Vec<u8> {
+    let len = min_len + rng.gen_index(max_len - min_len + 1);
+    let mut buf = vec![0u8; len];
+    rng.fill_bytes(&mut buf);
+    buf
+}
+
+/// Any byte stream survives the full 8b/10b encode/decode pipeline.
+#[test]
+fn b8b10_stream_roundtrip() {
+    let mut rng = DetRng::new(0x9447_0001);
+    for _ in 0..CASES {
+        let data = random_bytes(&mut rng, 512, 0);
         let mut enc = Encoder::new();
         let mut dec = Decoder::new();
         for &b in &data {
             let code = enc.push(Byte8::Data(b)).unwrap();
-            prop_assert_eq!(dec.push(code).unwrap(), Byte8::Data(b));
+            assert_eq!(dec.push(code).unwrap(), Byte8::Data(b));
         }
-        prop_assert_eq!(enc.disparity(), dec.disparity());
+        assert_eq!(enc.disparity(), dec.disparity());
     }
+}
 
-    /// The running disparity never drifts beyond ±2 regardless of input.
-    #[test]
-    fn b8b10_disparity_bounded(data in proptest::collection::vec(any::<u8>(), 1..512)) {
+/// The running disparity never drifts beyond ±2 regardless of input.
+#[test]
+fn b8b10_disparity_bounded() {
+    let mut rng = DetRng::new(0x9447_0002);
+    for _ in 0..CASES {
+        let data = random_bytes(&mut rng, 512, 1);
         let mut enc = Encoder::new();
         let mut cumulative: i32 = 0;
         for &b in &data {
             let code = enc.push(Byte8::Data(b)).unwrap();
             cumulative += 2 * (code.count_ones() as i32) - 10;
-            prop_assert!(cumulative.abs() <= 2, "disparity drifted to {}", cumulative);
+            assert!(cumulative.abs() <= 2, "disparity drifted to {cumulative}");
         }
     }
+}
 
-    /// Single-character encode/decode agree on the post-character
-    /// disparity for every byte and starting disparity.
-    #[test]
-    fn b8b10_disparity_tracking_agrees(b in any::<u8>(), start_plus in any::<bool>()) {
-        let rd = if start_plus { Disparity::Plus } else { Disparity::Minus };
-        let (code, rd_enc) = encode(Byte8::Data(b), rd).unwrap();
-        let (byte, rd_dec) = decode(code, rd).unwrap();
-        prop_assert_eq!(byte, Byte8::Data(b));
-        prop_assert_eq!(rd_enc, rd_dec);
+/// Single-character encode/decode agree on the post-character disparity
+/// for every byte and starting disparity.
+#[test]
+fn b8b10_disparity_tracking_agrees() {
+    for b in 0u8..=255 {
+        for rd in [Disparity::Plus, Disparity::Minus] {
+            let (code, rd_enc) = encode(Byte8::Data(b), rd).unwrap();
+            let (byte, rd_dec) = decode(code, rd).unwrap();
+            assert_eq!(byte, Byte8::Data(b));
+            assert_eq!(rd_enc, rd_dec);
+        }
     }
+}
 
-    /// Myrinet 9-bit characters roundtrip through their bit encoding.
-    #[test]
-    fn symbol_bits_roundtrip(value in any::<u8>(), control in any::<bool>()) {
-        let s = if control { Symbol::raw_control(value) } else { Symbol::data(value) };
-        prop_assert_eq!(Symbol::from_bits(s.to_bits()), s);
+/// Myrinet 9-bit characters roundtrip through their bit encoding.
+#[test]
+fn symbol_bits_roundtrip() {
+    for value in 0u8..=255 {
+        for control in [false, true] {
+            let s = if control {
+                Symbol::raw_control(value)
+            } else {
+                Symbol::data(value)
+            };
+            assert_eq!(Symbol::from_bits(s.to_bits()), s);
+        }
     }
+}
 
-    /// Tolerant decode is a superset of exact decode and never maps an
-    /// exact encoding to a different symbol.
-    #[test]
-    fn control_decode_tolerant_extends_exact(code in any::<u8>()) {
+/// Tolerant decode is a superset of exact decode and never maps an exact
+/// encoding to a different symbol.
+#[test]
+fn control_decode_tolerant_extends_exact() {
+    for code in 0u8..=255 {
         if let Some(exact) = ControlSymbol::decode_exact(code) {
-            prop_assert_eq!(ControlSymbol::decode_tolerant(code), Some(exact));
+            assert_eq!(ControlSymbol::decode_tolerant(code), Some(exact));
         }
     }
+}
 
-    /// Codes at Hamming distance >= 2 from every symbol are rejected by
-    /// the tolerant decoder (except the paper-cited overrides).
-    #[test]
-    fn control_decode_rejects_distant(code in any::<u8>()) {
-        let overrides = [0x08u8, 0x02];
+/// Codes at Hamming distance >= 2 from every symbol are rejected by the
+/// tolerant decoder (except the paper-cited overrides).
+#[test]
+fn control_decode_rejects_distant() {
+    let overrides = [0x08u8, 0x02];
+    for code in 0u8..=255 {
         let min_dist = ControlSymbol::ALL
             .iter()
             .map(|s| (code ^ s.encode()).count_ones())
             .min()
             .unwrap();
         if min_dist >= 2 && !overrides.contains(&code) {
-            prop_assert_eq!(ControlSymbol::decode_tolerant(code), None);
+            assert_eq!(ControlSymbol::decode_tolerant(code), None);
         }
     }
+}
 
-    /// UART frames roundtrip for every byte, parity and stop-bit choice.
-    #[test]
-    fn uart_roundtrip(byte in any::<u8>(), parity_sel in 0u8..3, stop in 1u8..3) {
-        let parity = match parity_sel {
-            0 => Parity::None,
-            1 => Parity::Even,
-            _ => Parity::Odd,
-        };
-        let uart = UartConfig::new(115_200, parity, stop);
-        prop_assert_eq!(uart.deframe(&uart.frame(byte)), Ok(byte));
+/// UART frames roundtrip for every byte, parity and stop-bit choice.
+#[test]
+fn uart_roundtrip() {
+    for byte in 0u8..=255 {
+        for parity in [Parity::None, Parity::Even, Parity::Odd] {
+            for stop in 1u8..3 {
+                let uart = UartConfig::new(115_200, parity, stop);
+                assert_eq!(uart.deframe(&uart.frame(byte)), Ok(byte));
+            }
+        }
     }
+}
 
-    /// With parity enabled, any single flipped data bit is detected.
-    #[test]
-    fn uart_parity_catches_single_data_flip(byte in any::<u8>(), bit in 1usize..9) {
-        let uart = UartConfig::new(9600, Parity::Even, 1);
-        let mut frame = uart.frame(byte);
-        frame.flip_bit(bit); // bits 1..=8 are data
-        prop_assert!(uart.deframe(&frame).is_err());
+/// With parity enabled, any single flipped data bit is detected.
+#[test]
+fn uart_parity_catches_single_data_flip() {
+    let uart = UartConfig::new(9600, Parity::Even, 1);
+    for byte in 0u8..=255 {
+        for bit in 1usize..9 {
+            let mut frame = uart.frame(byte);
+            frame.flip_bit(bit); // bits 1..=8 are data
+            assert!(uart.deframe(&frame).is_err());
+        }
     }
+}
 
-    /// Link noise is deterministic per seed and flips exactly the counted
-    /// number of bits.
-    #[test]
-    fn link_noise_deterministic(seed in any::<u64>(), len in 1usize..256) {
+/// Link noise is deterministic per seed and flips exactly the counted
+/// number of bits.
+#[test]
+fn link_noise_deterministic() {
+    let mut meta = DetRng::new(0x9447_0003);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let len = 1 + meta.gen_index(255);
         let link = Link::myrinet_san(1.0).with_bit_error_rate(0.05);
         let mut a = vec![0u8; len];
         let mut b = vec![0u8; len];
         let fa = link.apply_noise(&mut DetRng::new(seed), &mut a);
         let fb = link.apply_noise(&mut DetRng::new(seed), &mut b);
-        prop_assert_eq!(&a, &b);
-        prop_assert_eq!(fa, fb);
+        assert_eq!(a, b);
+        assert_eq!(fa, fb);
         let set_bits: u32 = a.iter().map(|x| x.count_ones()).sum();
-        prop_assert_eq!(set_bits, fa);
+        assert_eq!(set_bits, fa);
     }
+}
 
-    /// Serialization time is additive and monotone in frame size.
-    #[test]
-    fn link_timing_monotone(a in 0usize..4096, b in 0usize..4096) {
+/// Serialization time is additive and monotone in frame size.
+#[test]
+fn link_timing_monotone() {
+    let mut rng = DetRng::new(0x9447_0004);
+    for _ in 0..CASES {
+        let a = rng.gen_index(4096);
+        let b = rng.gen_index(4096);
         let link = Link::myrinet_640(2.0);
-        prop_assert_eq!(
+        assert_eq!(
             link.transfer_time(a) + link.transfer_time(b),
             link.transfer_time(a + b)
         );
         if a < b {
-            prop_assert!(link.frame_latency(a) < link.frame_latency(b));
+            assert!(link.frame_latency(a) < link.frame_latency(b));
         }
     }
 }

@@ -143,6 +143,10 @@ pub struct Engine<M> {
     seq: u64,
     events_processed: u64,
     stop_requested: bool,
+    /// Reusable scratch for events emitted during one delivery. Drained
+    /// into the heap after each `on_event`, so the hot path performs no
+    /// per-event allocation once its high-water capacity is reached.
+    outbox: Vec<QueuedEvent<M>>,
 }
 
 impl<M> fmt::Debug for Engine<M> {
@@ -172,6 +176,7 @@ impl<M: 'static> Engine<M> {
             seq: 0,
             events_processed: 0,
             stop_requested: false,
+            outbox: Vec::new(),
         }
     }
 
@@ -234,19 +239,19 @@ impl<M: 'static> Engine<M> {
         self.now = ev.time;
         self.events_processed += 1;
 
-        let mut outbox = Vec::new();
+        debug_assert!(self.outbox.is_empty());
         {
             let component = &mut self.components[ev.dst.index()];
             let mut ctx = Context {
                 now: self.now,
                 self_id: ev.dst,
                 seq: &mut self.seq,
-                outbox: &mut outbox,
+                outbox: &mut self.outbox,
                 stop_requested: &mut self.stop_requested,
             };
             component.on_event(&mut ctx, ev.payload);
         }
-        for out in outbox {
+        for out in self.outbox.drain(..) {
             assert!(
                 out.dst.index() < self.components.len(),
                 "event addressed to unknown component {}",

@@ -12,6 +12,9 @@
 //! - [`rng::DetRng`]: a seeded, splittable PRNG (SplitMix64-seeded
 //!   xoshiro256**) so stochastic workloads are reproducible without any
 //!   global state.
+//! - [`bytes::SharedBytes`]: cheaply-clonable, copy-on-write byte buffers, so
+//!   a packet's wire image is built once and shared across links, switch
+//!   fan-out and capture snapshots without copying.
 //! - [`metrics`]: counters, Welford summaries and fixed-bin histograms used by
 //!   the experiment harnesses.
 //! - [`trace`]: a bounded ring buffer for event traces (the software analogue
@@ -46,12 +49,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bytes;
 pub mod engine;
 pub mod metrics;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
+pub use bytes::SharedBytes;
 pub use engine::{Component, ComponentId, Context, Engine};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

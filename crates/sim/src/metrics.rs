@@ -39,6 +39,99 @@ impl fmt::Display for Counter {
     }
 }
 
+/// Wall-clock event-throughput meter for engine runs.
+///
+/// Bracket a simulation run between [`EventRate::start`] and
+/// [`EventRate::stop`], feeding it the engine's `events_processed`
+/// counter, and read back events/sec and ns/event. The engine itself
+/// stays wall-clock-free (determinism!) — the meter lives entirely in
+/// the harness.
+///
+/// # Example
+///
+/// ```
+/// use netfi_sim::metrics::EventRate;
+/// let meter = EventRate::start(0);
+/// // ... engine.run_until(...) ...
+/// let rate = meter.stop(1_000);
+/// assert_eq!(rate.events(), 1_000);
+/// assert!(rate.events_per_sec() > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct EventRate {
+    events_at_start: u64,
+    started: std::time::Instant,
+}
+
+impl EventRate {
+    /// Starts the meter at the engine's current `events_processed`.
+    pub fn start(events_processed: u64) -> EventRate {
+        EventRate {
+            events_at_start: events_processed,
+            started: std::time::Instant::now(),
+        }
+    }
+
+    /// Stops the meter at the engine's final `events_processed`.
+    pub fn stop(self, events_processed: u64) -> EventRateReport {
+        EventRateReport {
+            events: events_processed.saturating_sub(self.events_at_start),
+            wall: self.started.elapsed(),
+        }
+    }
+}
+
+/// The result of an [`EventRate`] measurement.
+#[derive(Debug, Clone, Copy)]
+pub struct EventRateReport {
+    events: u64,
+    wall: std::time::Duration,
+}
+
+impl EventRateReport {
+    /// Events delivered during the measured span.
+    pub fn events(self) -> u64 {
+        self.events
+    }
+
+    /// Wall-clock time of the measured span.
+    pub fn wall(self) -> std::time::Duration {
+        self.wall
+    }
+
+    /// Delivered events per wall-clock second.
+    pub fn events_per_sec(self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.events as f64 / secs
+        }
+    }
+
+    /// Wall-clock nanoseconds per delivered event.
+    pub fn ns_per_event(self) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            self.wall.as_nanos() as f64 / self.events as f64
+        }
+    }
+}
+
+impl fmt::Display for EventRateReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} events in {:.3} ms ({:.0} events/s, {:.1} ns/event)",
+            self.events,
+            self.wall.as_secs_f64() * 1e3,
+            self.events_per_sec(),
+            self.ns_per_event()
+        )
+    }
+}
+
 /// Streaming mean/variance/extrema (Welford's algorithm).
 ///
 /// # Example

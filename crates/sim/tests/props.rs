@@ -1,101 +1,142 @@
-//! Property-based tests for the simulation kernel.
-
-use proptest::prelude::*;
+//! Randomized property tests for the simulation kernel, driven by seeded
+//! loops over [`DetRng`] so they run with zero external dependencies and
+//! are bit-for-bit reproducible.
 
 use netfi_sim::metrics::{Histogram, LossMeter, Summary};
 use netfi_sim::{Component, Context, DetRng, Engine, SimDuration, SimTime};
 use std::any::Any;
 
-proptest! {
-    /// Time arithmetic: (t + a) + b == t + (a + b); subtraction inverts.
-    #[test]
-    fn time_arithmetic(t in 0u64..1 << 40, a in 0u64..1 << 40, b in 0u64..1 << 40) {
-        let t0 = SimTime::from_ps(t);
-        let da = SimDuration::from_ps(a);
-        let db = SimDuration::from_ps(b);
-        prop_assert_eq!((t0 + da) + db, t0 + (da + db));
-        prop_assert_eq!((t0 + da) - da, t0);
-        prop_assert_eq!((t0 + da).duration_since(t0), da);
-    }
+const CASES: usize = 256;
 
-    /// from_bits is monotone in bits and antitone in rate.
-    #[test]
-    fn from_bits_monotone(bits in 1u64..1 << 20, rate in 1u64..1 << 34) {
+/// Time arithmetic: (t + a) + b == t + (a + b); subtraction inverts.
+#[test]
+fn time_arithmetic() {
+    let mut rng = DetRng::new(0x7157_0001);
+    for _ in 0..CASES {
+        let t0 = SimTime::from_ps(rng.gen_range(0..1 << 40));
+        let da = SimDuration::from_ps(rng.gen_range(0..1 << 40));
+        let db = SimDuration::from_ps(rng.gen_range(0..1 << 40));
+        assert_eq!((t0 + da) + db, t0 + (da + db));
+        assert_eq!((t0 + da) - da, t0);
+        assert_eq!((t0 + da).duration_since(t0), da);
+    }
+}
+
+/// from_bits is monotone in bits and antitone in rate.
+#[test]
+fn from_bits_monotone() {
+    let mut rng = DetRng::new(0x7157_0002);
+    for _ in 0..CASES {
+        let bits = rng.gen_range(1..1 << 20);
+        let rate = rng.gen_range(1..1 << 34);
         let d1 = SimDuration::from_bits(bits, rate);
         let d2 = SimDuration::from_bits(bits + 1, rate);
-        prop_assert!(d2 >= d1);
+        assert!(d2 >= d1);
         let d3 = SimDuration::from_bits(bits, rate + 1);
-        prop_assert!(d3 <= d1);
+        assert!(d3 <= d1);
     }
+}
 
-    /// gen_range stays in bounds for arbitrary non-empty ranges.
-    #[test]
-    fn rng_range_bounds(seed in any::<u64>(), lo in 0u64..1 << 60, span in 1u64..1 << 50) {
+/// gen_range stays in bounds for arbitrary non-empty ranges.
+#[test]
+fn rng_range_bounds() {
+    let mut meta = DetRng::new(0x7157_0003);
+    for _ in 0..CASES {
+        let seed = meta.next_u64();
+        let lo = meta.gen_range(0..1 << 60);
+        let span = meta.gen_range(1..1 << 50);
         let mut rng = DetRng::new(seed);
         for _ in 0..32 {
             let v = rng.gen_range(lo..lo + span);
-            prop_assert!((lo..lo + span).contains(&v));
+            assert!((lo..lo + span).contains(&v));
         }
     }
+}
 
-    /// Forked streams are deterministic functions of (parent state, key).
-    #[test]
-    fn rng_fork_determinism(seed in any::<u64>(), key in any::<u64>()) {
-        let parent = DetRng::new(seed);
+/// Forked streams are deterministic functions of (parent state, key).
+#[test]
+fn rng_fork_determinism() {
+    let mut meta = DetRng::new(0x7157_0004);
+    for _ in 0..CASES {
+        let parent = DetRng::new(meta.next_u64());
+        let key = meta.next_u64();
         let mut a = parent.fork(key);
         let mut b = parent.fork(key);
         for _ in 0..16 {
-            prop_assert_eq!(a.next_u64(), b.next_u64());
+            assert_eq!(a.next_u64(), b.next_u64());
         }
     }
+}
 
-    /// Summary::merge equals pooled accumulation for arbitrary splits.
-    #[test]
-    fn summary_merge_pooled(
-        xs in proptest::collection::vec(-1e6f64..1e6, 0..64),
-        ys in proptest::collection::vec(-1e6f64..1e6, 0..64)
-    ) {
+fn sample_values(rng: &mut DetRng, max_len: usize, lo: f64, hi: f64) -> Vec<f64> {
+    let len = rng.gen_index(max_len + 1);
+    (0..len).map(|_| lo + rng.gen_f64() * (hi - lo)).collect()
+}
+
+/// Summary::merge equals pooled accumulation for arbitrary splits.
+#[test]
+fn summary_merge_pooled() {
+    let mut rng = DetRng::new(0x7157_0005);
+    for _ in 0..CASES {
+        let xs = sample_values(&mut rng, 64, -1e6, 1e6);
+        let ys = sample_values(&mut rng, 64, -1e6, 1e6);
         let mut a = Summary::new();
         let mut b = Summary::new();
         let mut pooled = Summary::new();
-        for &x in &xs { a.record(x); pooled.record(x); }
-        for &y in &ys { b.record(y); pooled.record(y); }
+        for &x in &xs {
+            a.record(x);
+            pooled.record(x);
+        }
+        for &y in &ys {
+            b.record(y);
+            pooled.record(y);
+        }
         a.merge(&b);
-        prop_assert_eq!(a.count(), pooled.count());
+        assert_eq!(a.count(), pooled.count());
         if pooled.count() > 0 {
-            prop_assert!((a.mean() - pooled.mean()).abs() <= 1e-6 * (1.0 + pooled.mean().abs()));
-            prop_assert!((a.variance() - pooled.variance()).abs()
-                <= 1e-5 * (1.0 + pooled.variance().abs()));
+            assert!((a.mean() - pooled.mean()).abs() <= 1e-6 * (1.0 + pooled.mean().abs()));
+            assert!(
+                (a.variance() - pooled.variance()).abs()
+                    <= 1e-5 * (1.0 + pooled.variance().abs())
+            );
         }
     }
+}
 
-    /// Histogram quantiles are monotone and total counts add up.
-    #[test]
-    fn histogram_quantiles_monotone(
-        values in proptest::collection::vec(0f64..100.0, 1..200),
-        q1 in 0f64..1.0,
-        q2 in 0f64..1.0
-    ) {
+/// Histogram quantiles are monotone and total counts add up.
+#[test]
+fn histogram_quantiles_monotone() {
+    let mut rng = DetRng::new(0x7157_0006);
+    for _ in 0..CASES {
+        let len = 1 + rng.gen_index(199);
+        let values: Vec<f64> = (0..len).map(|_| rng.gen_f64() * 100.0).collect();
+        let q1 = rng.gen_f64();
+        let q2 = rng.gen_f64();
         let mut h = Histogram::new(1.0, 128);
         for &v in &values {
             h.record(v);
         }
-        prop_assert_eq!(h.count(), values.len() as u64);
+        assert_eq!(h.count(), values.len() as u64);
         let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
         let vlo = h.quantile(lo).unwrap();
         let vhi = h.quantile(hi).unwrap();
-        prop_assert!(vlo <= vhi);
+        assert!(vlo <= vhi);
     }
+}
 
-    /// Loss meter arithmetic is consistent.
-    #[test]
-    fn loss_meter_consistent(sent in 0u64..1 << 40, received in 0u64..1 << 40) {
+/// Loss meter arithmetic is consistent.
+#[test]
+fn loss_meter_consistent() {
+    let mut rng = DetRng::new(0x7157_0007);
+    for _ in 0..CASES {
+        let sent = rng.gen_range(0..1 << 40);
+        let received = rng.gen_range(0..1 << 40);
         let mut m = LossMeter::new();
         m.add_sent(sent);
         m.add_received(received);
-        prop_assert_eq!(m.lost(), sent.saturating_sub(received));
+        assert_eq!(m.lost(), sent.saturating_sub(received));
         let rate = m.loss_rate();
-        prop_assert!((0.0..=1.0).contains(&rate));
+        assert!((0.0..=1.0).contains(&rate));
     }
 }
 
@@ -116,11 +157,14 @@ impl Component<u64> for Recorder {
     }
 }
 
-proptest! {
-    /// Events always deliver in (time, scheduling-order) order, for any
-    /// scheduling pattern.
-    #[test]
-    fn engine_delivery_order(times in proptest::collection::vec(0u64..1000, 1..100)) {
+/// Events always deliver in (time, scheduling-order) order, for any
+/// scheduling pattern.
+#[test]
+fn engine_delivery_order() {
+    let mut rng = DetRng::new(0x7157_0008);
+    for _ in 0..CASES {
+        let n = 1 + rng.gen_index(99);
+        let times: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
         let mut engine: Engine<u64> = Engine::new();
         let r = engine.add_component(Box::new(Recorder { seen: Vec::new() }));
         for (i, &t) in times.iter().enumerate() {
@@ -128,13 +172,13 @@ proptest! {
         }
         engine.run();
         let rec = engine.component_as::<Recorder>(r).unwrap();
-        prop_assert_eq!(rec.seen.len(), times.len());
+        assert_eq!(rec.seen.len(), times.len());
         for pair in rec.seen.windows(2) {
-            prop_assert!(pair[0].0 <= pair[1].0, "time order violated");
+            assert!(pair[0].0 <= pair[1].0, "time order violated");
             if pair[0].0 == pair[1].0 {
-                prop_assert!(pair[0].1 < pair[1].1, "same-time FIFO violated");
+                assert!(pair[0].1 < pair[1].1, "same-time FIFO violated");
             }
         }
-        prop_assert_eq!(engine.events_processed(), times.len() as u64);
+        assert_eq!(engine.events_processed(), times.len() as u64);
     }
 }

@@ -46,8 +46,8 @@ fn main() {
     };
     println!("stream out: {stream:02x?}");
     println!(
-        "matches at {:?}, injected at {:?} — 'once' stopped after the first\n",
-        report.match_offsets, report.injected_offsets
+        "{} matches, injected at {:?} — 'once' stopped after the first\n",
+        report.matches, report.injected_offsets
     );
 
     // Ask the device for its statistics.

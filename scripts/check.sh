@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The full offline gate: release build, tests, lints, engine bench.
+# Runs with zero network access and zero external crates.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== build (release, offline) =="
+cargo build --release --workspace --offline
+
+echo "== test (offline) =="
+cargo test -q --workspace --offline
+
+echo "== clippy (-D warnings) =="
+cargo clippy --all-targets --offline -- -D warnings
+
+echo "== engine bench =="
+./target/release/bench_engine --sim-ms 2000 --samples 9 --campaigns 0 \
+    --out target/BENCH_engine.json
+echo "summary: target/BENCH_engine.json"
+cat target/BENCH_engine.json

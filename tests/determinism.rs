@@ -73,3 +73,94 @@ fn campaign_scenarios_are_deterministic() {
     let b = udpcheck::aliasing_corruption(7);
     assert_eq!(a, b);
 }
+
+/// FNV-1a over a byte stream — enough to pin a golden value without
+/// pulling in a hash crate.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs the saturated testbed with the injector's full-traffic log on and
+/// hashes the observed event trace: every frame the device saw (time,
+/// direction, summary, length) plus the end-of-run counters.
+fn event_trace_hash(seed: u64) -> u64 {
+    let mut tb = build_testbed(
+        TestbedOptions {
+            intercept_host: Some(1),
+            seed,
+            paper_era_hosts: true,
+            ..TestbedOptions::default()
+        },
+        |i, host: &mut Host| {
+            if i == 0 {
+                host.add_workload(Workload::Sender {
+                    dest: EthAddr::myricom(2),
+                    interval: SimDuration::from_ms(3),
+                    payload_len: 256,
+                    forbidden: vec![],
+                    burst: 2,
+                });
+            }
+            if i == 2 {
+                host.add_workload(Workload::Flood {
+                    peer: EthAddr::myricom(1),
+                    payload_len: 64,
+                    timeout: SimDuration::from_ms(10),
+                });
+            }
+        },
+    );
+    let dev_id = tb.injector.unwrap();
+    tb.engine
+        .component_as_mut::<InjectorDevice>(dev_id)
+        .unwrap()
+        .set_traffic_log(true);
+    tb.engine.run_until(SimTime::from_secs(2));
+
+    let mut text = String::new();
+    let dev = tb.engine.component_as::<InjectorDevice>(dev_id).unwrap();
+    for rec in dev.traffic_log().iter() {
+        use std::fmt::Write;
+        writeln!(text, "{} {:?}", rec.time, rec.value).unwrap();
+    }
+    use std::fmt::Write;
+    writeln!(text, "events={}", tb.engine.events_processed()).unwrap();
+    writeln!(text, "a2b={:?}", dev.channel_stats(Direction::AToB)).unwrap();
+    writeln!(text, "b2a={:?}", dev.channel_stats(Direction::BToA)).unwrap();
+    let h1 = tb.engine.component_as::<Host>(tb.hosts[1]).unwrap();
+    writeln!(text, "h1={:?} sink={}", h1.udp_stats(), h1.rx_count(SINK_PORT)).unwrap();
+    let h2 = tb.engine.component_as::<Host>(tb.hosts[2]).unwrap();
+    writeln!(text, "h2={:?} {:?}", h2.udp_stats(), h2.ping_report(0)).unwrap();
+    fnv1a(text.as_bytes())
+}
+
+/// Golden hash of the saturated-testbed event trace. This value must not
+/// change across refactors: it pins the exact frame-by-frame behaviour
+/// of the simulation (the zero-copy datapath, the table-driven CRCs and
+/// the reusable engine outbox all preserve it bit-for-bit). If a change
+/// legitimately alters simulation behaviour, update the constant in the
+/// same commit and say why.
+#[test]
+fn event_trace_golden_hash() {
+    assert_eq!(event_trace_hash(12345), 0xA91C_0CD2_ED32_79F8);
+}
+
+/// Golden hash of the §4.3.4 campaign results — pins the campaign
+/// pipeline end to end (trigger scan, corruption, checksum behaviour,
+/// result accounting).
+#[test]
+fn campaign_results_golden_hash() {
+    use netfi::nftape::scenarios::udpcheck;
+    let text = format!(
+        "{:?}\n{:?}\n{:?}\n",
+        udpcheck::baseline(7),
+        udpcheck::aliasing_corruption(7),
+        udpcheck::detected_corruption(7),
+    );
+    assert_eq!(fnv1a(text.as_bytes()), 0xA700_F551_56B5_1037);
+}

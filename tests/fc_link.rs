@@ -77,7 +77,7 @@ impl Component<Ev> for FcEndpoint {
                     let rx = FcFrame {
                         sof: netfi::fc::frame::Sof::Normal3,
                         header: netfi::fc::frame::FcHeader::decode(&header),
-                        payload: pf.bytes[24..pf.bytes.len() - 4].to_vec(),
+                        payload: pf.bytes.slice(24..pf.bytes.len() - 4),
                         eof: netfi::fc::frame::Eof::Normal,
                     };
                     if self.port.receive(rx) {
