@@ -2,6 +2,9 @@
 //! CRC-8, FC CRC-32, the Internet checksum, and the 8b/10b codec. Runs on
 //! the dependency-free harness in `netfi_bench::harness`.
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netfi_bench::harness::Bench;
 use netfi_phy::b8b10::{Byte8, Decoder, Encoder};
 use std::hint::black_box;

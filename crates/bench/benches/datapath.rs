@@ -3,6 +3,9 @@
 //! trigger/corrupt stages cost per packet? Runs on the dependency-free
 //! harness in `netfi_bench::harness`.
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netfi_bench::harness::Bench;
 use netfi_core::config::InjectorConfig;
 use netfi_core::fifo::FifoInjector;

@@ -2,6 +2,9 @@
 //! including the DESIGN.md ablation: throughput versus FIFO slack depth.
 //! Runs on the dependency-free harness in `netfi_bench::harness`.
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netfi_bench::harness::Bench;
 use netfi_core::corrupt::CorruptUnit;
 use netfi_core::fifo::FifoPipeline;

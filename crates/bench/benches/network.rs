@@ -3,6 +3,9 @@
 //! (§3.5 transparency at the simulation level), plus switch forwarding
 //! cost. Runs on the dependency-free harness in `netfi_bench::harness`.
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netfi_bench::harness::Bench;
 use netfi_myrinet::addr::EthAddr;
 use netfi_netstack::{build_testbed, TestbedOptions, Workload};
@@ -27,7 +30,7 @@ fn run_slice(with_injector: bool) -> u64 {
                 });
             }
         },
-    );
+    ).unwrap();
     tb.engine.run_until(SimTime::from_ms(1_500));
     tb.engine.events_processed()
 }

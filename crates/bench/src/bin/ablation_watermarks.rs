@@ -25,7 +25,7 @@ fn main() {
             ..ControlCampaignOptions::default()
         };
         eprintln!("  capacity {capacity} …");
-        let row = control_symbol_row(ControlSymbol::Stop, ControlSymbol::Idle, &opts);
+        let row = control_symbol_row(ControlSymbol::Stop, ControlSymbol::Idle, &opts).unwrap();
         table.row(&[
             capacity.to_string(),
             (capacity - 3072).to_string(),

@@ -23,7 +23,7 @@ fn main() {
 
     // --- Table 2 ---
     eprintln!("[table 2] latency ping-pong …");
-    let rows = latency::latency_table2(t2_packets, 5, 0x616c6c);
+    let rows = latency::latency_table2(t2_packets, 5, 0x616c6c).unwrap();
     let mut t2 = Table::new(
         "Table 2: per-packet time (ns), model / paper",
         &["Experiment", "Without", "With", "Added", "Paper added"],
@@ -45,7 +45,7 @@ fn main() {
         window: t4_window,
         ..control::ControlCampaignOptions::default()
     };
-    let results = control::control_symbol_table(&opts);
+    let results = control::control_symbol_table(&opts).unwrap();
     let mut t4 = Table::new(
         "Table 4: control-symbol corruption, loss model / paper",
         &["Mask", "Replacement", "Sent", "Received", "Loss", "Paper"],
@@ -68,8 +68,8 @@ fn main() {
 
     // --- STOP throughput ---
     eprintln!("[4.3.1] faulty STOP throughput …");
-    let normal = control::stop_throughput(false, thr_window, 1);
-    let faulty = control::stop_throughput(true, thr_window, 1);
+    let normal = control::stop_throughput(false, thr_window, 1).unwrap();
+    let faulty = control::stop_throughput(true, thr_window, 1).unwrap();
     println!(
         "Faulty STOP: {:.0} vs {:.0} msgs/min = {:.1}% of normal (paper: 5038 vs 48000 = 10.5%)\n",
         faulty.extra("messages_per_minute").unwrap_or(0.0),
@@ -79,8 +79,8 @@ fn main() {
 
     // --- GAP timeout ---
     eprintln!("[4.3.1] GAP long-period timeout …");
-    let gnormal = control::gap_timeout(false, thr_window, 2);
-    let gfaulty = control::gap_timeout(true, thr_window, 2);
+    let gnormal = control::gap_timeout(false, thr_window, 2).unwrap();
+    let gfaulty = control::gap_timeout(true, thr_window, 2).unwrap();
     println!(
         "GAP corruption: throughput {:.1}% of normal with {} long-period timeouts (paper: ~12%)\n",
         gfaulty.received as f64 / gnormal.received.max(1) as f64 * 100.0,
@@ -89,10 +89,10 @@ fn main() {
 
     // --- packet type ---
     eprintln!("[4.3.2] packet-type corruption …");
-    let mapping = ptype::mapping_packet_corruption(3);
-    let data = ptype::data_packet_corruption(3);
-    let msb = ptype::route_msb_corruption(3);
-    let mis = ptype::route_misroute(3);
+    let mapping = ptype::mapping_packet_corruption(3).unwrap();
+    let data = ptype::data_packet_corruption(3).unwrap();
+    let msb = ptype::route_msb_corruption(3).unwrap();
+    let mis = ptype::route_misroute(3).unwrap();
     println!(
         "mapping 0x0005 corruption: removed={} restored={} (paper: out until next mapping round)",
         mapping.extra("removed").unwrap_or(0.0) == 1.0,
@@ -118,10 +118,10 @@ fn main() {
 
     // --- addresses ---
     eprintln!("[4.3.3] address corruption …");
-    let dest = address::destination_corruption(4, false);
-    let own = address::sender_address_corruption(4);
-    let coll = address::controller_address_collision(4);
-    let nonx = address::nonexistent_address(4);
+    let dest = address::destination_corruption(4, false).unwrap();
+    let own = address::sender_address_corruption(4).unwrap();
+    let coll = address::controller_address_collision(4).unwrap();
+    let nonx = address::nonexistent_address(4).unwrap();
     println!(
         "destination corrupted: {} to intended, {} to wrong, {} CRC drops (paper: neither receives; CRC-8)",
         dest.received,
@@ -146,7 +146,7 @@ fn main() {
 
     // --- random SEU ---
     eprintln!("[3.1] random SEU sweep …");
-    for r in random::seu_sweep(6) {
+    for r in random::seu_sweep(6).unwrap() {
         println!(
             "SEU {}: {}/{} delivered, {:.0} CRC-8 drops, {:.0} UDP drops",
             r.name,
@@ -160,8 +160,8 @@ fn main() {
 
     // --- UDP checksum ---
     eprintln!("[4.3.4] UDP checksum …");
-    let alias = udpcheck::aliasing_corruption(5);
-    let caught = udpcheck::detected_corruption(5);
+    let alias = udpcheck::aliasing_corruption(5).unwrap();
+    let caught = udpcheck::detected_corruption(5).unwrap();
     println!(
         "word swap: {}/{} delivered corrupt ({}); non-aliasing: {}/{} delivered, {} checksum drops",
         alias.received,

@@ -52,7 +52,7 @@ fn run_saturated_testbed(sim_ms: u64, seed: u64) -> u64 {
                 });
             }
         },
-    );
+    ).unwrap();
     tb.engine.run_until(SimTime::from_ms(sim_ms));
     tb.engine.events_processed()
 }
@@ -84,7 +84,7 @@ fn main() {
     let campaign_secs = if campaigns > 0 {
         let specs = paper_campaigns(1);
         let start = Instant::now();
-        let results = run_campaigns_parallel(&specs);
+        let results = run_campaigns_parallel(&specs).unwrap();
         let secs = start.elapsed().as_secs_f64();
         let rows: usize = results.iter().map(Vec::len).sum();
         println!("campaigns: {} specs, {} rows in {:.2} s", specs.len(), rows, secs);

@@ -13,7 +13,7 @@ fn main() {
     let specs = paper_campaigns(seed);
     eprintln!("running {} campaigns in parallel …", specs.len());
     let started = std::time::Instant::now();
-    let results = run_campaigns_parallel(&specs);
+    let results = run_campaigns_parallel(&specs).unwrap();
     eprintln!("done in {:.1?}", started.elapsed());
 
     let mut table = Table::new(

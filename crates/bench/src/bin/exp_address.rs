@@ -8,10 +8,10 @@ use netfi_nftape::Table;
 
 fn main() {
     eprintln!("running address-corruption campaigns …");
-    let dest = destination_corruption(0x61646472, false);
-    let dest_fixed = destination_corruption(0x61646472, true);
-    let own = sender_address_corruption(0x61646472);
-    let nonexist = nonexistent_address(0x61646472);
+    let dest = destination_corruption(0x61646472, false).unwrap();
+    let dest_fixed = destination_corruption(0x61646472, true).unwrap();
+    let own = sender_address_corruption(0x61646472).unwrap();
+    let nonexist = nonexistent_address(0x61646472).unwrap();
 
     let mut table = Table::new(
         "Physical-address corruption outcomes",
@@ -61,7 +61,7 @@ fn main() {
     println!("{table}");
 
     println!("\n--- controller-address collision (see also fig11_maps) ---");
-    let out = controller_address_collision(0x61646472);
+    let out = controller_address_collision(0x61646472).unwrap();
     println!(
         "inconsistent mapping rounds: {} (paper: \"unable to generate a consistent map\")",
         out.inconsistent_rounds

@@ -17,8 +17,8 @@ use netfi_sim::SimDuration;
 fn main() {
     let window = SimDuration::from_secs(arg("--window", 10u64));
     eprintln!("running normal and GAP-corrupted arms ({window} window) …");
-    let normal = gap_timeout(false, window, 0x676170);
-    let faulty = gap_timeout(true, window, 0x676170);
+    let normal = gap_timeout(false, window, 0x676170).unwrap();
+    let faulty = gap_timeout(true, window, 0x676170).unwrap();
 
     let mut table = Table::new(
         "GAP corruption: throughput under source blocking",

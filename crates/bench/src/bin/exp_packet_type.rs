@@ -7,10 +7,10 @@ use netfi_nftape::Table;
 
 fn main() {
     eprintln!("running packet-type corruption campaigns …");
-    let mapping = mapping_packet_corruption(0x70747970);
-    let data = data_packet_corruption(0x70747970);
-    let msb = route_msb_corruption(0x70747970);
-    let misroute = route_misroute(0x70747970);
+    let mapping = mapping_packet_corruption(0x70747970).unwrap();
+    let data = data_packet_corruption(0x70747970).unwrap();
+    let msb = route_msb_corruption(0x70747970).unwrap();
+    let misroute = route_misroute(0x70747970).unwrap();
 
     let mut table = Table::new(
         "Packet-type / route corruption outcomes",

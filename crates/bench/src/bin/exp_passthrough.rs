@@ -31,7 +31,7 @@ fn run(with_injector: bool, window_secs: u64) -> (u64, u64, bool) {
                 });
             }
         },
-    );
+    ).unwrap();
     tb.engine.run_until(SimTime::from_secs(2) + SimDuration::from_secs(window_secs));
     let h1 = tb.engine.component_as::<Host>(tb.hosts[1]).unwrap();
     let received = h1.rx_count(SINK_PORT);

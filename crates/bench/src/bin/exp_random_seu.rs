@@ -11,7 +11,7 @@ fn main() {
         "Random SEU injection: loss and detection by layer",
         &["p/segment", "Sent", "Received", "Loss", "CRC-8 drops", "UDP drops"],
     );
-    for r in seu_sweep(0x736575) {
+    for r in seu_sweep(0x736575).unwrap() {
         table.row(&[
             r.name.clone(),
             r.sent.to_string(),
@@ -22,7 +22,7 @@ fn main() {
         ]);
     }
     // The ablation arm: CRC repaired in flight, so detection falls to UDP.
-    let fixed = seu_arm(1e-1, true, 0x736575);
+    let fixed = seu_arm(1e-1, true, 0x736575).unwrap();
     table.row(&[
         fixed.name.clone(),
         fixed.sent.to_string(),

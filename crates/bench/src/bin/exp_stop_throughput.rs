@@ -14,8 +14,8 @@ use netfi_sim::SimDuration;
 fn main() {
     let window = SimDuration::from_secs(arg("--window", 10u64));
     eprintln!("running normal and faulty-STOP arms ({window} window) …");
-    let normal = stop_throughput(false, window, 0x73746f70);
-    let faulty = stop_throughput(true, window, 0x73746f70);
+    let normal = stop_throughput(false, window, 0x73746f70).unwrap();
+    let faulty = stop_throughput(true, window, 0x73746f70).unwrap();
 
     let mut table = Table::new(
         "Faulty STOP conditions: request/response message rate",

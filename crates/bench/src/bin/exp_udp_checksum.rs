@@ -5,9 +5,9 @@ use netfi_nftape::Table;
 
 fn main() {
     eprintln!("running UDP checksum campaigns …");
-    let base = baseline(0x756470);
-    let alias = aliasing_corruption(0x756470);
-    let detected = detected_corruption(0x756470);
+    let base = baseline(0x756470).unwrap();
+    let alias = aliasing_corruption(0x756470).unwrap();
+    let detected = detected_corruption(0x756470).unwrap();
 
     let mut table = Table::new(
         "UDP address/payload corruption ('Have a lot of fun!')",

@@ -5,7 +5,7 @@ use netfi_nftape::scenarios::address::controller_address_collision;
 
 fn main() {
     eprintln!("running controller-address collision …");
-    let out = controller_address_collision(0x0066_6967_3131);
+    let out = controller_address_collision(0x0066_6967_3131).unwrap();
     println!("--- network before address corruption ---");
     println!("{}", out.healthy_map);
     println!("--- network after address corruption ---");

@@ -33,7 +33,7 @@ fn main() {
                 });
             }
         },
-    );
+    ).unwrap();
     let device = tb.injector.expect("injector");
     // Enable the traffic log over the serial line ("L1\n") just before the
     // second mapping round, and capture a short window of the stream.

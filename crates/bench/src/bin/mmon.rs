@@ -31,7 +31,7 @@ fn main() {
                 });
             }
         },
-    );
+    ).unwrap();
     // A mild STOP-corruption campaign so the counters have a story.
     tb.engine
         .component_as_mut::<InjectorDevice>(tb.injector.unwrap())

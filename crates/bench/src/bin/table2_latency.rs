@@ -14,7 +14,7 @@ fn main() {
     let packets = arg("--packets", 20_000u64);
     let experiments = arg("--experiments", 5usize);
     eprintln!("running {experiments} experiments × 2 arms × {packets} packets …");
-    let rows = latency_table2(packets, experiments, 0x7461_626c_6532);
+    let rows = latency_table2(packets, experiments, 0x7461_626c_6532).unwrap();
 
     let mut table = Table::new(
         "Table 2: latency measurements (per-packet averages, ns)",

@@ -20,7 +20,7 @@ fn main() {
     eprintln!(
         "running 9 campaign rows, {window}s window, {duty_on}ms/1s duty …"
     );
-    let results = control_symbol_table(&opts);
+    let results = control_symbol_table(&opts).unwrap();
     let mut table = Table::new(
         "Table 4: results of control symbol corruption campaign (model vs paper loss)",
         &[

@@ -8,6 +8,10 @@
 //! allowing only selected bits of the corrupt data vector to replace the
 //! correct data; other bits pass unchanged."
 
+// netfi-lint: deny(hot-path-alloc)
+//
+// The corrupt unit mutates frame bytes in place; it must never allocate.
+
 /// Corruption mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CorruptMode {

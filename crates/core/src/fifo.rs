@@ -17,6 +17,12 @@
 //!   modes, forced injection, CRC recomputation) to whole packets and
 //!   accounts the cycles the pipeline would have spent.
 
+// netfi-lint: deny(hot-path-alloc)
+//
+// The FIFO is the device's datapath; every intercepted frame crosses it.
+// Corruption happens in place on the frame's copy-on-write buffer — the
+// only allocation is the constructor's backing RAM, allowlisted below.
+
 use netfi_myrinet::crc8;
 use netfi_phy::clock::{ClockGenerator, ClockPhase};
 use netfi_sim::{SharedBytes, SimDuration};
@@ -405,6 +411,7 @@ impl FifoPipeline {
     ) -> FifoPipeline {
         assert!(slack > 0 && slack < depth, "need 0 < slack < depth");
         FifoPipeline {
+            // lint: allow(hot-path-alloc) one-time backing RAM, sized at construction
             ram: vec![0; depth],
             head: 0,
             tail: 0,

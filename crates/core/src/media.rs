@@ -129,7 +129,9 @@ impl MediaInterface for FibreChannelMedia {
         if bytes.len() < 24 {
             return MediaClass::default();
         }
-        let header: [u8; 24] = bytes[..24].try_into().expect("checked length");
+        let Ok(header) = <[u8; 24]>::try_from(&bytes[..24]) else {
+            return MediaClass::default();
+        };
         let d_id = u64::from(u32::from_be_bytes([0, header[1], header[2], header[3]]));
         let s_id = u64::from(u32::from_be_bytes([0, header[5], header[6], header[7]]));
         MediaClass {

@@ -9,6 +9,12 @@
 //! mask commands, we can specify any arbitrary number of bits between 0
 //! and 32".
 
+// netfi-lint: deny(hot-path-alloc)
+//
+// The compare unit scans every byte of every intercepted frame. The
+// allocating `scan` is a test/debug convenience; the datapath uses
+// `scan_each`, which visits matches through a callback.
+
 /// Match-mode of the trigger (paper: "on, off, and once").
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MatchMode {
@@ -57,6 +63,7 @@ impl CompareUnit {
     /// applied later, in the FIFO — so earlier injections never perturb
     /// later comparisons.
     pub fn scan(&self, bytes: &[u8]) -> Vec<usize> {
+        // lint: allow(hot-path-alloc) allocating convenience form; datapath uses scan_each
         let mut out = Vec::new();
         self.scan_each(bytes, |i| out.push(i));
         out

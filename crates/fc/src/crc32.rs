@@ -82,8 +82,10 @@ pub fn verify(data_with_crc: &[u8]) -> bool {
         return false;
     }
     let (body, crc_bytes) = data_with_crc.split_at(data_with_crc.len() - 4);
-    let stored = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
-    checksum(body) == stored
+    let Ok(arr) = <[u8; 4]>::try_from(crc_bytes) else {
+        return false;
+    };
+    checksum(body) == u32::from_le_bytes(arr)
 }
 
 /// A streaming CRC-32 accumulator.

@@ -327,7 +327,7 @@ pub fn decode_line(line: &[u16], decoder: &mut Decoder) -> Result<(FcFrame, usiz
     if !crc32::verify(&body) {
         return Err(FcError::BadCrc);
     }
-    let header_bytes: [u8; 24] = body[..24].try_into().expect("len checked");
+    let header_bytes: [u8; 24] = body[..24].try_into().map_err(|_| FcError::Framing)?;
     let header = FcHeader::decode(&header_bytes);
     let payload = SharedBytes::from(&body[24..body.len() - 4]);
     Ok((

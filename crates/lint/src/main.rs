@@ -1,0 +1,67 @@
+//! The `netfi-lint` command: scan a workspace, print diagnostics, set the
+//! exit code. See the library docs for what is checked and why.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+netfi-lint — netfi workspace invariant checker
+
+USAGE:
+    netfi-lint [ROOT]
+
+Scans ROOT/src and ROOT/crates/*/src (default ROOT: the current
+directory) for violations of the workspace invariants: determinism,
+panic-freedom, hot-path allocation discipline and the unsafe/SAFETY
+audit. Prints one `path:line: rule: message` diagnostic per violation.
+
+EXIT CODES:
+    0  clean
+    1  violations found
+    2  usage or I/O error
+";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("netfi-lint: unknown option `{flag}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path if root.is_none() => root = Some(PathBuf::from(path)),
+            extra => {
+                eprintln!("netfi-lint: unexpected argument `{extra}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+
+    match netfi_lint::scan_workspace(&root) {
+        Ok(report) => {
+            for diagnostic in &report.diagnostics {
+                println!("{diagnostic}");
+            }
+            println!(
+                "netfi-lint: {} file(s) scanned, {} violation(s), {} allowed suppression(s)",
+                report.files,
+                report.diagnostics.len(),
+                report.suppressions
+            );
+            if report.diagnostics.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(err) => {
+            eprintln!("netfi-lint: {}: {err}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Per-crate rule policy.
+//!
+//! Not every crate owes every invariant. The simulation core and the
+//! protocol crates must replay bit-identically, so they may not read wall
+//! clocks, the process environment, or iterate unordered collections. The
+//! campaign driver (`nftape`) deliberately uses scoped threads and a debug
+//! environment switch — determinism there is enforced one layer down, in
+//! the crates it composes. The bench harness exists to read the wall
+//! clock. The table below is the single source of truth; unknown crates
+//! get the full rule set so new code starts strict and opts out here,
+//! visibly, if it must.
+
+/// Which rule families apply to a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Policy {
+    /// No wall clocks, unordered collections, environment reads or OS
+    /// threads.
+    pub determinism: bool,
+    /// No `unwrap` / `expect` / panicking macros in library code.
+    pub panic_free: bool,
+    /// Every `unsafe` needs an adjacent `// SAFETY:` comment.
+    pub unsafe_audit: bool,
+}
+
+impl Policy {
+    /// The full rule set (what unknown crates get).
+    pub const STRICT: Policy = Policy {
+        determinism: true,
+        panic_free: true,
+        unsafe_audit: true,
+    };
+}
+
+/// Looks up the policy for a workspace crate by directory name
+/// (`crates/<name>`); the root package scans under the name `netfi`.
+pub fn policy_for(crate_name: &str) -> Policy {
+    match crate_name {
+        // The replayable core: simulation kernel, codecs, protocol state
+        // machines, device model, host stack.
+        "sim" | "phy" | "myrinet" | "fc" | "core" | "netstack" => Policy::STRICT,
+        // nftape runs campaigns on scoped threads and honours NETFI_DEBUG;
+        // the lint binary reads argv and walks the filesystem. Both stay
+        // panic-free.
+        "nftape" | "lint" => Policy {
+            determinism: false,
+            panic_free: true,
+            unsafe_audit: true,
+        },
+        // Wall-clock timing is the bench harness's whole job, and its
+        // binaries are allowed to die loudly on bad CLI input.
+        "bench" => Policy {
+            determinism: false,
+            panic_free: false,
+            unsafe_audit: true,
+        },
+        _ => Policy::STRICT,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_crates_are_strict() {
+        for name in ["sim", "phy", "myrinet", "fc", "core", "netstack"] {
+            assert_eq!(policy_for(name), Policy::STRICT, "{name}");
+        }
+    }
+
+    #[test]
+    fn bench_is_exempt_from_panics_and_determinism() {
+        let p = policy_for("bench");
+        assert!(!p.determinism && !p.panic_free && p.unsafe_audit);
+    }
+
+    #[test]
+    fn nftape_keeps_panic_freedom_only() {
+        let p = policy_for("nftape");
+        assert!(!p.determinism && p.panic_free && p.unsafe_audit);
+        assert_eq!(policy_for("lint"), p);
+    }
+
+    #[test]
+    fn unknown_crates_default_to_strict() {
+        assert_eq!(policy_for("netfi"), Policy::STRICT);
+        assert_eq!(policy_for("brand-new"), Policy::STRICT);
+    }
+}

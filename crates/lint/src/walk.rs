@@ -1,0 +1,135 @@
+//! The workspace walker: finds library sources, applies per-crate policy,
+//! aggregates diagnostics.
+//!
+//! Scope is deliberate: `src/` of the root package and of every crate
+//! under `crates/`. Integration tests (`tests/`), examples and benches are
+//! *not* scanned — they are allowed to unwrap, that is what the
+//! `#[cfg(test)]` exemption means at directory granularity. Files are
+//! visited in sorted path order so diagnostics are stable across runs and
+//! machines.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::policy::policy_for;
+use crate::rules::scan_source;
+
+/// Aggregated result of scanning a workspace.
+#[derive(Debug, Clone, Default)]
+pub struct WorkspaceReport {
+    /// Number of `.rs` files scanned.
+    pub files: usize,
+    /// Total allow-comment suppressions exercised.
+    pub suppressions: usize,
+    /// Formatted diagnostics, `path:line: rule: message`, in path order.
+    pub diagnostics: Vec<String>,
+}
+
+/// Scans `root/src` and `root/crates/*/src`, returning one report.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory listing and file reads; a missing
+/// `src/` or `crates/` directory is not an error, just an empty scope.
+pub fn scan_workspace(root: &Path) -> io::Result<WorkspaceReport> {
+    let mut files: Vec<(String, PathBuf)> = Vec::new();
+    collect_rs(&root.join("src"), &mut files)?;
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in fs::read_dir(&crates)? {
+            let dir = entry?.path();
+            if dir.is_dir() {
+                collect_rs(&dir.join("src"), &mut files)?;
+            }
+        }
+    }
+    files.sort();
+
+    let mut report = WorkspaceReport::default();
+    for (label, path) in &files {
+        let crate_name = crate_of(label);
+        let source = fs::read_to_string(path)?;
+        let file = scan_source(&source, policy_for(crate_name));
+        report.files += 1;
+        report.suppressions += file.suppressions_used;
+        for v in file.violations {
+            report
+                .diagnostics
+                .push(format!("{label}:{}: {}: {}", v.line, v.rule, v.message));
+        }
+    }
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files under `dir` as (root-relative label,
+/// absolute path) pairs. Labels use `/` separators regardless of host OS.
+fn collect_rs(dir: &Path, out: &mut Vec<(String, PathBuf)>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<Vec<_>>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push((label_of(&path), path));
+        }
+    }
+    Ok(())
+}
+
+/// A stable, root-relative display label: the path's components from the
+/// last `src`-or-`crates` anchor outward.
+fn label_of(path: &Path) -> String {
+    let parts: Vec<String> = path
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    let anchor = parts
+        .iter()
+        .rposition(|p| p == "crates")
+        .or_else(|| parts.iter().rposition(|p| p == "src"))
+        .unwrap_or(0);
+    parts.get(anchor..).unwrap_or_default().join("/")
+}
+
+/// Extracts the crate name from a label: `crates/<name>/src/...` gives
+/// `<name>`; the root package's `src/...` scans as `netfi`.
+fn crate_of(label: &str) -> &str {
+    let mut parts = label.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name,
+        _ => "netfi",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_names_from_labels() {
+        assert_eq!(crate_of("crates/sim/src/engine.rs"), "sim");
+        assert_eq!(crate_of("crates/lint/src/main.rs"), "lint");
+        assert_eq!(crate_of("src/lib.rs"), "netfi");
+    }
+
+    #[test]
+    fn labels_anchor_at_crates_or_src() {
+        assert_eq!(
+            label_of(Path::new("/work/repo/crates/sim/src/time.rs")),
+            "crates/sim/src/time.rs"
+        );
+        assert_eq!(label_of(Path::new("/work/repo/src/lib.rs")), "src/lib.rs");
+    }
+
+    #[test]
+    fn missing_directories_scan_empty() {
+        let report = scan_workspace(Path::new("/definitely/not/a/workspace"));
+        assert!(report.is_ok_and(|r| r.files == 0 && r.diagnostics.is_empty()));
+    }
+}

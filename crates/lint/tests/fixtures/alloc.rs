@@ -1,0 +1,11 @@
+// netfi-lint: deny(hot-path-alloc)
+// Fixture: a marker-opted file with hot-path-alloc violations on lines
+// 6 (Vec::new), 7 (.clone()) and 8 (format!). `Arc::clone(&x)` is path
+// syntax, not a method call, and must not match (line 9).
+pub fn hot(input: &std::sync::Arc<Vec<u8>>) -> (Vec<u8>, Vec<u8>, String, std::sync::Arc<Vec<u8>>) {
+    let fresh: Vec<u8> = Vec::new();
+    let copied = input.as_ref().clone();
+    let label = format!("{} bytes", copied.len());
+    let shared = std::sync::Arc::clone(input);
+    (fresh, copied, label, shared)
+}

@@ -1,0 +1,10 @@
+// Fixture: malformed allow-comments. Line 5 has no reason, line 7 names
+// an unknown rule — both are `allow-syntax` violations, and neither
+// suppresses anything, so the unwraps still fire (lines 6 and 8).
+pub fn bad(v: &[u8]) -> u8 {
+    // lint: allow(unwrap)
+    let a = v.first().copied().unwrap();
+    // lint: allow(unwraps) typo in the rule name
+    let b = v.last().copied().unwrap();
+    a ^ b
+}

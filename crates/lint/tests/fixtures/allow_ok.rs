@@ -1,0 +1,14 @@
+// Fixture: every violation here is suppressed by a well-formed
+// allow-comment with a reason — the scan must report zero violations and
+// three suppressions.
+pub fn tail(v: &[u8]) -> u8 {
+    // lint: allow(unwrap) caller checked is_empty() one frame up
+    let last = v.last().copied().unwrap();
+    let first = v.first().copied().unwrap(); // lint: allow(unwrap) same guard covers the head
+    last.wrapping_add(first)
+}
+
+pub fn index(v: &[u8]) -> u8 {
+    // lint: allow(expect) bounded by the assert! in the caller
+    v.get(2).copied().expect("length >= 3")
+}

@@ -1,0 +1,39 @@
+// Fixture: zero violations. Every rule pattern below appears only where
+// the lexer must ignore it — strings, comments, test-gated items — or in
+// a form the boundary rules must reject.
+
+/// Doc comments may mention `.unwrap()`, `panic!("boom")`, `HashMap` and
+/// even `Instant::now()` freely; they are not code.
+pub fn describe() -> &'static str {
+    // A line comment with std::env::var("HOME") and thread::spawn(..).
+    let wire = "literal .unwrap() panic!(\"x\") HashMap Instant::now()";
+    let raw = r#"raw strings too: .expect("), still inside"#;
+    let tick = '!';
+    let escaped = '\'';
+    /* block comment: Vec::new() .clone() format!("{}", 1) */
+    let lifetime_user: fn(&str) -> &str = keep;
+    let _ = (raw, tick, escaped, lifetime_user);
+    wire
+}
+
+fn keep(s: &str) -> &str {
+    s
+}
+
+pub fn near_misses(v: &[u8]) -> usize {
+    // unwrap_or is not unwrap; should_panic is not panic!.
+    let n = v.first().copied().unwrap_or_default() as usize;
+    let my_env_like = n + v.len();
+    my_env_like
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_do_anything() {
+        let m: std::collections::HashMap<u8, u8> = std::collections::HashMap::new();
+        assert!(m.get(&0).copied().unwrap_or(1) == 1);
+        let v: Vec<u8> = vec![1, 2, 3];
+        v.first().copied().unwrap();
+    }
+}

@@ -1,0 +1,9 @@
+// Fixture: one seeded `env-access` violation (line 4). The lookalike
+// module path on line 7 must not match.
+pub fn debug_enabled() -> bool {
+    std::env::var("NETFI_DEBUG").is_ok()
+}
+
+pub fn lookalike(v: crate::envelope::Kind) -> crate::envelope::Kind {
+    v
+}

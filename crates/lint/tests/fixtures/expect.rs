@@ -1,0 +1,7 @@
+// Fixture: one seeded `expect` violation (line 4), even with the call
+// split across lines and the message full of decoy tokens.
+pub fn parse(text: &str) -> u32 {
+    text.parse().expect(
+        "a message mentioning .unwrap() or panic! must not trip other rules",
+    )
+}

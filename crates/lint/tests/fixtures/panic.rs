@@ -1,0 +1,14 @@
+// Fixture: two seeded `panic` violations (lines 5 and 13); `assert!` and
+// `debug_assert!` are sanctioned and must not match.
+pub fn checked_div(a: u32, b: u32) -> u32 {
+    if b == 0 {
+        panic!("division by zero");
+    }
+    assert!(a >= b, "asserts are fine");
+    debug_assert!(b > 0);
+    a / b
+}
+
+pub fn not_yet() -> u32 {
+    todo!()
+}

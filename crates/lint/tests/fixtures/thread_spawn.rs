@@ -1,0 +1,4 @@
+// Fixture: one seeded `thread-spawn` violation (line 3).
+pub fn race() -> std::thread::JoinHandle<u64> {
+    std::thread::spawn(|| 42)
+}

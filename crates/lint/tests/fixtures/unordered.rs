@@ -1,0 +1,7 @@
+// Fixture: two seeded `unordered-collection` violations (lines 4 and 6).
+use std::collections::BTreeMap;
+
+pub fn routes() -> std::collections::HashMap<u8, u8> {
+    let _ordered: BTreeMap<u8, u8> = BTreeMap::new();
+    std::collections::HashMap::new()
+}

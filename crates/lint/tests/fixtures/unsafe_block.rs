@@ -1,0 +1,9 @@
+// Fixture: one `unsafe-safety` violation (line 4); the second unsafe
+// block (line 7) carries an adjacent SAFETY comment and is clean.
+pub fn read_both(p: *const u8) -> (u8, u8) {
+    let bare = unsafe { *p };
+    // SAFETY: the caller guarantees `p` points at least one byte into a
+    // live allocation, so a second read of the same byte is in bounds.
+    let audited = unsafe { *p };
+    (bare, audited)
+}

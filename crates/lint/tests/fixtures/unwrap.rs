@@ -1,0 +1,8 @@
+// Fixture: one seeded `unwrap` violation (line 5). The `unwrap_or` and
+// `unwrap_or_default` calls are fine and must not match.
+pub fn first(v: &[u8]) -> u8 {
+    let fallback = v.first().copied().unwrap_or(0);
+    let strict = v.first().copied().unwrap();
+    let defaulted: u8 = v.first().copied().unwrap_or_default();
+    fallback.max(strict).max(defaulted)
+}

@@ -1,0 +1,7 @@
+// Fixture: one seeded `wall-clock` violation (line 5).
+use std::time::Instant;
+
+pub fn elapsed_ns() -> u128 {
+    let started = Instant::now();
+    started.elapsed().as_nanos()
+}

@@ -257,7 +257,9 @@ impl EgressPort {
         // frame occupies the line — flow control must outrun the sender's
         // 16-character STOP timeout.
         while matches!(self.queue.front(), Some(Frame::Control(_))) {
-            let frame = self.queue.pop_front().expect("checked");
+            let Some(frame) = self.queue.pop_front() else {
+                break;
+            };
             self.queued_chars -= 1;
             ctx.send(
                 peer.dst,
@@ -285,7 +287,9 @@ impl EgressPort {
         if !may_send {
             return;
         }
-        let frame = self.queue.pop_front().expect("checked above");
+        let Some(frame) = self.queue.pop_front() else {
+            return;
+        };
         let chars = frame.wire_len();
         self.queued_chars -= chars;
         let tx = peer.tx_time(chars);

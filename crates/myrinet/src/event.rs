@@ -82,44 +82,58 @@ pub trait Attach: 'static {
     fn attach_port(&mut self, port: u8, peer: PortPeer);
 }
 
+/// Error from [`connect`]: a component id did not resolve to the expected
+/// concrete type (stale id, or the wrong type parameter at the call site).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnectError {
+    /// The offending component id.
+    pub id: ComponentId,
+}
+
+impl fmt::Display for ConnectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "component {} is not the expected type", self.id)
+    }
+}
+
+impl std::error::Error for ConnectError {}
+
 /// Wires `a.port_a` to `b.port_b` over `link`, in both directions.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if either component id does not refer to a component of the given
-/// concrete type.
+/// Returns [`ConnectError`] if either component id does not refer to a
+/// component of the given concrete type. The first endpoint may already be
+/// attached when the second one fails.
 pub fn connect<A: Attach, B: Attach>(
     engine: &mut Engine<Ev>,
     (a, port_a): (ComponentId, u8),
     (b, port_b): (ComponentId, u8),
     link: &Link,
-) {
-    {
-        let ca = engine
-            .component_as_mut::<A>(a)
-            .unwrap_or_else(|| panic!("component {a} is not the expected type"));
-        ca.attach_port(
-            port_a,
-            PortPeer {
-                dst: b,
-                dst_port: port_b,
-                link: *link,
-            },
-        );
-    }
-    {
-        let cb = engine
-            .component_as_mut::<B>(b)
-            .unwrap_or_else(|| panic!("component {b} is not the expected type"));
-        cb.attach_port(
-            port_b,
-            PortPeer {
-                dst: a,
-                dst_port: port_a,
-                link: *link,
-            },
-        );
-    }
+) -> Result<(), ConnectError> {
+    let ca = engine
+        .component_as_mut::<A>(a)
+        .ok_or(ConnectError { id: a })?;
+    ca.attach_port(
+        port_a,
+        PortPeer {
+            dst: b,
+            dst_port: port_b,
+            link: *link,
+        },
+    );
+    let cb = engine
+        .component_as_mut::<B>(b)
+        .ok_or(ConnectError { id: b })?;
+    cb.attach_port(
+        port_b,
+        PortPeer {
+            dst: a,
+            dst_port: port_a,
+            link: *link,
+        },
+    );
+    Ok(())
 }
 
 #[cfg(test)]
@@ -168,7 +182,7 @@ mod tests {
         let a = engine.add_component(Box::new(Probe::new(2)));
         let b = engine.add_component(Box::new(Probe::new(1)));
         let link = Link::myrinet_san(3.0);
-        connect::<Probe, Probe>(&mut engine, (a, 1), (b, 0), &link);
+        connect::<Probe, Probe>(&mut engine, (a, 1), (b, 0), &link).unwrap();
 
         let pa = engine.component_as::<Probe>(a).unwrap();
         let peer = pa.ports[1].as_ref().unwrap();
@@ -179,6 +193,29 @@ mod tests {
         let peer = pb.ports[0].as_ref().unwrap();
         assert_eq!(peer.dst, a);
         assert_eq!(peer.dst_port, 1);
+    }
+
+    struct NotAProbe;
+
+    impl Component<Ev> for NotAProbe {
+        fn on_event(&mut self, _ctx: &mut Context<'_, Ev>, _ev: Ev) {}
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    #[test]
+    fn connect_reports_wrong_type() {
+        let mut engine: Engine<Ev> = Engine::new();
+        let a = engine.add_component(Box::new(Probe::new(1)));
+        let b = engine.add_component(Box::new(NotAProbe));
+        let link = Link::myrinet_san(1.0);
+        let err = connect::<Probe, Probe>(&mut engine, (a, 0), (b, 0), &link).unwrap_err();
+        assert_eq!(err.id, b);
+        assert!(err.to_string().contains("not the expected type"));
     }
 
     #[test]

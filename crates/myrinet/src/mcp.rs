@@ -119,6 +119,12 @@ fn take_route(buf: &mut &[u8]) -> Result<Vec<u8>, MapMsgError> {
 
 impl MapMsg {
     /// Serializes to packet payload bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a route exceeds 255 hops or a map exceeds 65535 entries —
+    /// both impossible on a Myrinet fabric (the wire format caps them).
+    #[allow(clippy::expect_used)]
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
@@ -133,6 +139,7 @@ impl MapMsg {
                 out.extend_from_slice(&mapper.0.to_be_bytes());
                 out.push(target.0);
                 out.push(target.1);
+                // lint: allow(expect) the wire format caps routes at 255 hops
                 out.push(u8::try_from(reply_route.len()).expect("route too long"));
                 out.extend_from_slice(reply_route);
             }
@@ -160,16 +167,19 @@ impl MapMsg {
                 out.extend_from_slice(&mapper.0.to_be_bytes());
                 out.extend_from_slice(
                     &u16::try_from(entries.len())
+                        // lint: allow(expect) the wire format caps maps at 65535 entries
                         .expect("too many entries")
                         .to_be_bytes(),
                 );
                 for (eth, route) in entries {
                     out.extend_from_slice(&eth.octets());
+                    // lint: allow(expect) the wire format caps routes at 255 hops
                     out.push(u8::try_from(route.len()).expect("route too long"));
                     out.extend_from_slice(route);
                 }
                 out.extend_from_slice(
                     &u16::try_from(present.len())
+                        // lint: allow(expect) the wire format caps maps at 65535 entries
                         .expect("too many present")
                         .to_be_bytes(),
                 );

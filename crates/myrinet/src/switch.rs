@@ -314,7 +314,9 @@ impl Switch {
             return false;
         };
         let Some(route_byte) = wire::peek_route_byte(&head.bytes) else {
-            let pf = self.inputs[i].queue.pop_front().expect("checked");
+            let Some(pf) = self.inputs[i].queue.pop_front() else {
+                return false;
+            };
             self.drain_input(ctx, i, pf.wire_len());
             self.stats.malformed_drops += 1;
             return true;
@@ -323,7 +325,9 @@ impl Switch {
         if out >= self.egress.len() || !self.egress[out].is_attached() {
             // "directing packets to the wrong ports on the switch … resulted
             // in the expected packet losses" (§4.3.2).
-            let pf = self.inputs[i].queue.pop_front().expect("checked");
+            let Some(pf) = self.inputs[i].queue.pop_front() else {
+                return false;
+            };
             self.drain_input(ctx, i, pf.wire_len());
             self.stats.misroute_drops += 1;
             return true;
@@ -335,7 +339,9 @@ impl Switch {
         if eg.is_held() || eg.flow_state() != FlowState::Go || eg.queue_len() > 0 {
             return false;
         }
-        let pf = self.inputs[i].queue.pop_front().expect("checked");
+        let Some(pf) = self.inputs[i].queue.pop_front() else {
+            return false;
+        };
         let chars = pf.wire_len();
         // Strip switch-bound route bytes; leave the final (host) byte.
         let bytes = if route_byte & ROUTE_SWITCH_FLAG != 0 {

@@ -393,8 +393,11 @@ impl Host {
             port if (30_000..30_064).contains(&port) => {
                 // A ping-pong / flood reply.
                 let i = (port - 30_000) as usize;
-                if i < self.ping.len() && datagram.payload.len() >= 8 {
-                    let seq = u64::from_be_bytes(datagram.payload[..8].try_into().expect("8"));
+                if i < self.ping.len() {
+                    let Ok(seq_bytes) = <[u8; 8]>::try_from(datagram.payload.get(..8).unwrap_or_default()) else {
+                        return;
+                    };
+                    let seq = u64::from_be_bytes(seq_bytes);
                     if let Some((expect, sent_at)) = self.ping[i].outstanding {
                         if expect == seq {
                             self.ping[i].outstanding = None;

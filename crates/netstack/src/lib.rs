@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod checksum;
 pub mod host;
@@ -26,4 +27,5 @@ pub mod udp;
 
 pub use host::{Host, HostCmd, HostConfig, Workload, ECHO_PORT, SINK_PORT};
 pub use net::{build_testbed, Testbed, TestbedOptions};
+pub use netfi_myrinet::event::ConnectError;
 pub use udp::UdpDatagram;

@@ -7,7 +7,7 @@
 
 use netfi_core::InjectorDevice;
 use netfi_myrinet::addr::{EthAddr, NodeAddress};
-use netfi_myrinet::event::{connect, Ev};
+use netfi_myrinet::event::{connect, ConnectError, Ev};
 use netfi_myrinet::interface::InterfaceConfig;
 use netfi_myrinet::mapper::Topology;
 use netfi_myrinet::switch::{Switch, SwitchConfig};
@@ -69,13 +69,18 @@ impl Default for TestbedOptions {
 /// workloads before the components are boxed. All hosts receive a
 /// [`HostCmd::Start`] at time zero.
 ///
+/// # Errors
+///
+/// Returns [`ConnectError`] if wiring fails — impossible for components
+/// this function itself creates, but surfaced rather than panicking.
+///
 /// # Panics
 ///
 /// Panics if more than 8 hosts are requested.
 pub fn build_testbed(
     options: TestbedOptions,
     mut customize: impl FnMut(usize, &mut Host),
-) -> Testbed {
+) -> Result<Testbed, ConnectError> {
     assert!(options.hosts <= 8, "the test-bed switch has 8 ports");
     let mut engine: Engine<Ev> = Engine::new();
     let topo = Topology::single_switch(8);
@@ -104,24 +109,24 @@ pub fn build_testbed(
             let dev = engine.add_component(Box::new(InjectorDevice::with_name(format!(
                 "fi-host{i}"
             ))));
-            connect::<Host, InjectorDevice>(&mut engine, (h, 0), (dev, 0), &options.link);
-            connect::<InjectorDevice, Switch>(&mut engine, (dev, 1), (switch, i as u8), &options.link);
+            connect::<Host, InjectorDevice>(&mut engine, (h, 0), (dev, 0), &options.link)?;
+            connect::<InjectorDevice, Switch>(&mut engine, (dev, 1), (switch, i as u8), &options.link)?;
             injector = Some(dev);
         } else {
-            connect::<Host, Switch>(&mut engine, (h, 0), (switch, i as u8), &options.link);
+            connect::<Host, Switch>(&mut engine, (h, 0), (switch, i as u8), &options.link)?;
         }
         engine.schedule(SimTime::ZERO, h, Ev::App(Box::new(HostCmd::Start)));
         hosts.push(h);
         eth.push(mac);
     }
 
-    Testbed {
+    Ok(Testbed {
         engine,
         hosts,
         switch,
         injector,
         eth,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -144,7 +149,8 @@ mod tests {
                     burst: 1,
                 });
             }
-        });
+        })
+        .unwrap();
         tb.engine.run_until(SimTime::from_secs(3));
         let h2 = tb.engine.component_as::<Host>(tb.hosts[2]).unwrap();
         assert!(h2.rx_count(SINK_PORT) > 100);
@@ -168,7 +174,8 @@ mod tests {
                     burst: 1,
                 });
             }
-        });
+        })
+        .unwrap();
         tb.engine.run_until(SimTime::from_secs(3));
         let h2 = tb.engine.component_as::<Host>(tb.hosts[2]).unwrap();
         // Traffic and mapping both flow through the device: host 2 is

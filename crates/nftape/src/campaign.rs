@@ -10,7 +10,7 @@
 use netfi_phy::ControlSymbol;
 use netfi_sim::SimDuration;
 
-use crate::results::RunResult;
+use crate::results::{RunResult, ScenarioError};
 use crate::scenarios::{address, control, latency, ptype, random, udpcheck};
 
 /// A control symbol, in serializable form.
@@ -116,7 +116,12 @@ impl CampaignSpec {
 
 /// Executes a campaign and returns its result rows (most campaigns yield
 /// one row; latency yields one per experiment arm pair).
-pub fn run_campaign(spec: &CampaignSpec) -> Vec<RunResult> {
+///
+/// # Errors
+///
+/// Returns the scenario's [`ScenarioError`] if its test bed cannot be
+/// built or read.
+pub fn run_campaign(spec: &CampaignSpec) -> Result<Vec<RunResult>, ScenarioError> {
     let window = SimDuration::from_secs(spec.window_secs);
     let mut results = match &spec.fault {
         FaultSpec::ControlSymbol { mask, replacement } => {
@@ -129,34 +134,34 @@ pub fn run_campaign(spec: &CampaignSpec) -> Vec<RunResult> {
                 (*mask).into(),
                 (*replacement).into(),
                 &opts,
-            )]
+            )?]
         }
         FaultSpec::FaultyStop => vec![
-            control::stop_throughput(false, window, spec.seed),
-            control::stop_throughput(true, window, spec.seed),
+            control::stop_throughput(false, window, spec.seed)?,
+            control::stop_throughput(true, window, spec.seed)?,
         ],
         FaultSpec::GapLoss => vec![
-            control::gap_timeout(false, window, spec.seed),
-            control::gap_timeout(true, window, spec.seed),
+            control::gap_timeout(false, window, spec.seed)?,
+            control::gap_timeout(true, window, spec.seed)?,
         ],
-        FaultSpec::MappingType => vec![ptype::mapping_packet_corruption(spec.seed)],
-        FaultSpec::DataType => vec![ptype::data_packet_corruption(spec.seed)],
-        FaultSpec::RouteMsb => vec![ptype::route_msb_corruption(spec.seed)],
-        FaultSpec::Misroute => vec![ptype::route_misroute(spec.seed)],
+        FaultSpec::MappingType => vec![ptype::mapping_packet_corruption(spec.seed)?],
+        FaultSpec::DataType => vec![ptype::data_packet_corruption(spec.seed)?],
+        FaultSpec::RouteMsb => vec![ptype::route_msb_corruption(spec.seed)?],
+        FaultSpec::Misroute => vec![ptype::route_misroute(spec.seed)?],
         FaultSpec::DestinationAddress { fix_crc } => {
-            vec![address::destination_corruption(spec.seed, *fix_crc)]
+            vec![address::destination_corruption(spec.seed, *fix_crc)?]
         }
-        FaultSpec::OwnAddress => vec![address::sender_address_corruption(spec.seed)],
-        FaultSpec::NonexistentAddress => vec![address::nonexistent_address(spec.seed)],
+        FaultSpec::OwnAddress => vec![address::sender_address_corruption(spec.seed)?],
+        FaultSpec::NonexistentAddress => vec![address::nonexistent_address(spec.seed)?],
         FaultSpec::UdpAliasing => vec![
-            udpcheck::aliasing_corruption(spec.seed),
-            udpcheck::detected_corruption(spec.seed),
+            udpcheck::aliasing_corruption(spec.seed)?,
+            udpcheck::detected_corruption(spec.seed)?,
         ],
         FaultSpec::RandomSeu {
             probability,
             fix_crc,
-        } => vec![random::seu_arm(*probability, *fix_crc, spec.seed)],
-        FaultSpec::Latency { packets } => latency::latency_table2(*packets, 1, spec.seed)
+        } => vec![random::seu_arm(*probability, *fix_crc, spec.seed)?],
+        FaultSpec::Latency { packets } => latency::latency_table2(*packets, 1, spec.seed)?
             .into_iter()
             .map(|row| {
                 RunResult::new(format!("{} (experiment {})", spec.name, row.experiment), 0, 0, 0.0)
@@ -169,7 +174,7 @@ pub fn run_campaign(spec: &CampaignSpec) -> Vec<RunResult> {
     for r in &mut results {
         r.name = format!("{}: {}", spec.name, r.name);
     }
-    results
+    Ok(results)
 }
 
 /// The paper's whole evaluation, as a campaign list (Table 4's nine rows
@@ -216,8 +221,15 @@ pub fn paper_campaigns(seed: u64) -> Vec<CampaignSpec> {
 /// Executes many campaigns concurrently (each campaign owns its own
 /// engine, so they parallelize perfectly) and returns results in spec
 /// order.
-pub fn run_campaigns_parallel(specs: &[CampaignSpec]) -> Vec<Vec<RunResult>> {
-    let results = std::sync::Mutex::new(vec![Vec::new(); specs.len()]);
+///
+/// # Errors
+///
+/// Returns the first (in spec order) [`ScenarioError`], if any campaign
+/// failed to build or read its test bed.
+pub fn run_campaigns_parallel(
+    specs: &[CampaignSpec],
+) -> Result<Vec<Vec<RunResult>>, ScenarioError> {
+    let results = std::sync::Mutex::new(vec![Ok(Vec::new()); specs.len()]);
     let next = std::sync::atomic::AtomicUsize::new(0);
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -229,11 +241,19 @@ pub fn run_campaigns_parallel(specs: &[CampaignSpec]) -> Vec<Vec<RunResult>> {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(spec) = specs.get(i) else { break };
                 let rows = run_campaign(spec);
-                results.lock().expect("campaign results poisoned")[i] = rows;
+                // Campaign workers never panic while holding the lock, but
+                // recover the data rather than unwrapping if one ever does.
+                results
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)[i] = rows;
             });
         }
     });
-    results.into_inner().expect("campaign results poisoned")
+    results
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .into_iter()
+        .collect()
 }
 
 #[cfg(test)]
@@ -243,7 +263,7 @@ mod tests {
     #[test]
     fn specs_execute_and_label_results() {
         let spec = CampaignSpec::new("demo", FaultSpec::UdpAliasing, 77);
-        let results = run_campaign(&spec);
+        let results = run_campaign(&spec).unwrap();
         assert_eq!(results.len(), 2);
         assert!(results[0].name.starts_with("demo: "));
         // The aliasing arm delivers everything corrupt; the detected arm
@@ -269,7 +289,7 @@ mod tests {
             },
             5,
         );
-        let results = run_campaign(&spec);
+        let results = run_campaign(&spec).unwrap();
         assert_eq!(results.len(), 1);
         assert!(results[0].loss_rate() > 0.05);
     }
@@ -281,14 +301,17 @@ mod tests {
             CampaignSpec::new("b", FaultSpec::DataType, 4),
             CampaignSpec::new("c", FaultSpec::Misroute, 5),
         ];
-        let parallel = run_campaigns_parallel(&specs);
-        let serial: Vec<Vec<RunResult>> = specs.iter().map(run_campaign).collect();
+        let parallel = run_campaigns_parallel(&specs).unwrap();
+        let serial: Vec<Vec<RunResult>> = specs
+            .iter()
+            .map(|s| run_campaign(s).unwrap())
+            .collect();
         assert_eq!(parallel, serial);
     }
 
     #[test]
     fn campaigns_are_reproducible() {
         let spec = CampaignSpec::new("repro", FaultSpec::DataType, 9);
-        assert_eq!(run_campaign(&spec), run_campaign(&spec));
+        assert_eq!(run_campaign(&spec).unwrap(), run_campaign(&spec).unwrap());
     }
 }

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod campaign;
 pub mod report;
@@ -27,4 +28,4 @@ pub mod serialize;
 
 pub use campaign::{run_campaign, CampaignSpec, FaultSpec};
 pub use report::Table;
-pub use results::RunResult;
+pub use results::{RunResult, ScenarioError};

@@ -1,6 +1,54 @@
 //! Campaign result records.
 
 use std::collections::BTreeMap;
+use std::fmt;
+
+use netfi_netstack::ConnectError;
+
+/// Why a scenario could not be built or observed.
+///
+/// Scenarios assemble a test bed, splice in the injector and read
+/// component state back out; each of those steps can fail if the bed is
+/// mis-specified, and the failure surfaces here instead of panicking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// Test-bed wiring failed.
+    Build(ConnectError),
+    /// The scenario needs the injector but the test bed has none.
+    NoInjector,
+    /// A component id did not resolve to the expected type.
+    WrongComponent(&'static str),
+    /// The mapper has not produced a network map yet.
+    NoMap,
+}
+
+impl From<ConnectError> for ScenarioError {
+    fn from(e: ConnectError) -> ScenarioError {
+        ScenarioError::Build(e)
+    }
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Build(e) => write!(f, "test-bed wiring failed: {e}"),
+            ScenarioError::NoInjector => f.write_str("test bed has no injector"),
+            ScenarioError::WrongComponent(what) => {
+                write!(f, "component is not a {what}")
+            }
+            ScenarioError::NoMap => f.write_str("mapper has not produced a map"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScenarioError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// The outcome of one campaign run, in the units the paper reports.
 ///

@@ -14,17 +14,17 @@ use netfi_myrinet::mapper::Topology;
 use netfi_netstack::{build_testbed, Host, Testbed, TestbedOptions, Workload, SINK_PORT};
 use netfi_sim::{SimDuration, SimTime};
 
-use crate::results::RunResult;
+use crate::results::{RunResult, ScenarioError};
 use crate::runner::program_injector;
 
-fn build(seed: u64, with_injector: bool) -> Testbed {
+fn build(seed: u64, with_injector: bool) -> Result<Testbed, ScenarioError> {
     let options = TestbedOptions {
         hosts: 3,
         intercept_host: with_injector.then_some(1),
         seed,
         ..TestbedOptions::default()
     };
-    build_testbed(options, |i, host: &mut Host| {
+    Ok(build_testbed(options, |i, host: &mut Host| {
         if i == 1 {
             // Host 1 sends to host 0 — the traffic whose destination
             // field the injector corrupts.
@@ -46,11 +46,13 @@ fn build(seed: u64, with_injector: bool) -> Testbed {
                 burst: 1,
             });
         }
-    })
+    })?)
 }
 
-fn host(tb: &Testbed, i: usize) -> &Host {
-    tb.engine.component_as::<Host>(tb.hosts[i]).expect("host")
+fn host(tb: &Testbed, i: usize) -> Result<&Host, ScenarioError> {
+    tb.engine
+        .component_as::<Host>(tb.hosts[i])
+        .ok_or(ScenarioError::WrongComponent("Host"))
 }
 
 fn eth_word(addr: EthAddr) -> u32 {
@@ -67,9 +69,13 @@ fn eth_word(addr: EthAddr) -> u32 {
 /// With `fix_crc` the beyond-paper ablation runs: the CRC passes, the
 /// packet still routes to host 0, and host 0 drops it as *misaddressed* —
 /// the second line of defence.
-pub fn destination_corruption(seed: u64, fix_crc: bool) -> RunResult {
-    let mut tb = build(seed, true);
-    let device = tb.injector.expect("injector");
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+pub fn destination_corruption(seed: u64, fix_crc: bool) -> Result<RunResult, ScenarioError> {
+    let mut tb = build(seed, true)?;
+    let device = tb.injector.ok_or(ScenarioError::NoInjector)?;
     // Match the low four octets of the destination address (offset 7 of
     // the wire image: route, type[4], then dest[2..6]).
     let config = InjectorConfig::builder()
@@ -83,20 +89,20 @@ pub fn destination_corruption(seed: u64, fix_crc: bool) -> RunResult {
     let now = tb.engine.now();
     let programmed = program_injector(&mut tb.engine, device, now, DirSelect::A, &config);
     tb.engine.run_until(programmed + SimDuration::from_ms(2));
-    let sent_before = host(&tb, 1).sender_sent();
-    let rx0 = host(&tb, 0).rx_count(SINK_PORT);
-    let rx2 = host(&tb, 2).rx_count(SINK_PORT);
-    let crc0 = host(&tb, 0).nic().stats().rx_crc_drops;
-    let mis0 = host(&tb, 0).nic().stats().rx_misaddressed;
+    let sent_before = host(&tb, 1)?.sender_sent();
+    let rx0 = host(&tb, 0)?.rx_count(SINK_PORT);
+    let rx2 = host(&tb, 2)?.rx_count(SINK_PORT);
+    let crc0 = host(&tb, 0)?.nic().stats().rx_crc_drops;
+    let mis0 = host(&tb, 0)?.nic().stats().rx_misaddressed;
     tb.engine.run_for(SimDuration::from_secs(3));
 
-    let sent = host(&tb, 1).sender_sent() - sent_before;
-    let to_intended = host(&tb, 0).rx_count(SINK_PORT) - rx0;
-    let to_wrong = host(&tb, 2).rx_count(SINK_PORT) - rx2;
-    let crc_drops = host(&tb, 0).nic().stats().rx_crc_drops - crc0;
-    let misaddressed = host(&tb, 0).nic().stats().rx_misaddressed - mis0;
+    let sent = host(&tb, 1)?.sender_sent() - sent_before;
+    let to_intended = host(&tb, 0)?.rx_count(SINK_PORT) - rx0;
+    let to_wrong = host(&tb, 2)?.rx_count(SINK_PORT) - rx2;
+    let crc_drops = host(&tb, 0)?.nic().stats().rx_crc_drops - crc0;
+    let misaddressed = host(&tb, 0)?.nic().stats().rx_misaddressed - mis0;
 
-    RunResult::new(
+    Ok(RunResult::new(
         if fix_crc {
             "dest corrupted (CRC fixed)"
         } else {
@@ -108,7 +114,7 @@ pub fn destination_corruption(seed: u64, fix_crc: bool) -> RunResult {
     )
     .with_extra("received_by_wrong_node", to_wrong as f64)
     .with_extra("crc_drops", crc_drops as f64)
-    .with_extra("misaddressed_drops", misaddressed as f64)
+    .with_extra("misaddressed_drops", misaddressed as f64))
 }
 
 /// A node's own register corrupted to match another node's address: "the
@@ -116,37 +122,41 @@ pub fn destination_corruption(seed: u64, fix_crc: bool) -> RunResult {
 /// misaddressed. However, the node still responds correctly to mapping
 /// packets and the routing information concerning the node remained
 /// unchanged."
-pub fn sender_address_corruption(seed: u64) -> RunResult {
-    let mut tb = build(seed, false);
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+pub fn sender_address_corruption(seed: u64) -> Result<RunResult, ScenarioError> {
+    let mut tb = build(seed, false)?;
     tb.engine.run_until(SimTime::from_ms(2_500));
 
-    let rx1_before = host(&tb, 1).rx_count(SINK_PORT);
-    let scouts_before = host(&tb, 1).nic().stats().scouts_answered;
+    let rx1_before = host(&tb, 1)?.rx_count(SINK_PORT);
+    let scouts_before = host(&tb, 1)?.nic().stats().scouts_answered;
 
     // FAULT: host 1's register now claims host 0's address.
     tb.engine
         .component_as_mut::<Host>(tb.hosts[1])
-        .expect("host")
+        .ok_or(ScenarioError::WrongComponent("Host"))?
         .nic_mut()
         .set_eth_addr(EthAddr::myricom(1));
 
     tb.engine.run_for(SimDuration::from_secs(3));
 
-    let delivered = host(&tb, 1).rx_count(SINK_PORT) - rx1_before;
-    let misaddressed = host(&tb, 1).nic().stats().rx_misaddressed;
-    let scouts = host(&tb, 1).nic().stats().scouts_answered - scouts_before;
+    let delivered = host(&tb, 1)?.rx_count(SINK_PORT) - rx1_before;
+    let misaddressed = host(&tb, 1)?.nic().stats().rx_misaddressed;
+    let scouts = host(&tb, 1)?.nic().stats().scouts_answered - scouts_before;
     // The mapper's map still shows a node at attachment (0, 1).
-    let mapper = host(&tb, 2);
+    let mapper = host(&tb, 2)?;
     let still_mapped = mapper
         .nic()
         .last_map()
         .map(|m| m.nodes.contains_key(&(0, 1)))
         .unwrap_or(false);
 
-    RunResult::new("own address := other node", 0, delivered, 3.0)
+    Ok(RunResult::new("own address := other node", 0, delivered, 3.0)
         .with_extra("misaddressed_drops", misaddressed as f64)
         .with_extra("scouts_still_answered", scouts as f64)
-        .with_extra("still_in_map", still_mapped as u64 as f64)
+        .with_extra("still_in_map", still_mapped as u64 as f64))
 }
 
 /// Outcome of the controller-collision campaign (Figure 11).
@@ -167,68 +177,77 @@ pub struct ControllerCollision {
 /// the appearance of what it believes is another controller, and is unable
 /// to generate a consistent map. … although the faulty map was not static,
 /// each subsequent mapping attempt resulted in a similarly damaged map."
-pub fn controller_address_collision(seed: u64) -> ControllerCollision {
-    let mut tb = build(seed, false);
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read,
+/// or if the mapper never produced a map.
+pub fn controller_address_collision(seed: u64) -> Result<ControllerCollision, ScenarioError> {
+    let mut tb = build(seed, false)?;
     let topo = Topology::single_switch(8);
     tb.engine.run_until(SimTime::from_ms(3_500));
 
-    let healthy = host(&tb, 2)
+    let healthy = host(&tb, 2)?
         .nic()
         .last_map()
-        .expect("map exists after warm-up")
+        .ok_or(ScenarioError::NoMap)?
         .clone();
-    let inconsistent_before = host(&tb, 2).nic().stats().inconsistent_maps;
+    let inconsistent_before = host(&tb, 2)?.nic().stats().inconsistent_maps;
 
     // FAULT: host 1 claims the controller's (host 2's) address.
-    let controller_eth = host(&tb, 2).nic().eth_addr();
+    let controller_eth = host(&tb, 2)?.nic().eth_addr();
     tb.engine
         .component_as_mut::<Host>(tb.hosts[1])
-        .expect("host")
+        .ok_or(ScenarioError::WrongComponent("Host"))?
         .nic_mut()
         .set_eth_addr(controller_eth);
 
     tb.engine.run_for(SimDuration::from_secs(6));
-    let mapper = host(&tb, 2);
-    let damaged = mapper.nic().last_map().expect("map").clone();
-    ControllerCollision {
+    let mapper = host(&tb, 2)?;
+    let damaged = mapper.nic().last_map().ok_or(ScenarioError::NoMap)?.clone();
+    Ok(ControllerCollision {
         healthy_map: healthy.render(&topo),
         damaged_map: damaged.render(&topo),
         inconsistent_rounds: mapper.nic().stats().inconsistent_maps - inconsistent_before,
         damaged_nodes: damaged.node_count(),
-    }
+    })
 }
 
 /// "Another error mode occurs when a node's address is corrupted into a
 /// non-existent address. In this case, packets in transition are dropped,
 /// and the routing table is updated with the new information … analogous
 /// to removing a computer and replacing it with another."
-pub fn nonexistent_address(seed: u64) -> RunResult {
-    let mut tb = build(seed, false);
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+pub fn nonexistent_address(seed: u64) -> Result<RunResult, ScenarioError> {
+    let mut tb = build(seed, false)?;
     tb.engine.run_until(SimTime::from_ms(2_500));
 
     let old = EthAddr::myricom(2);
     let new = EthAddr::myricom(0x42);
-    let no_route_before = host(&tb, 0).nic().stats().tx_no_route;
+    let no_route_before = host(&tb, 0)?.nic().stats().tx_no_route;
 
     tb.engine
         .component_as_mut::<Host>(tb.hosts[1])
-        .expect("host")
+        .ok_or(ScenarioError::WrongComponent("Host"))?
         .nic_mut()
         .set_eth_addr(new);
 
     // Two mapping rounds propagate the new identity.
     tb.engine.run_for(SimDuration::from_ms(2_200));
 
-    let h0 = host(&tb, 0);
+    let h0 = host(&tb, 0)?;
     let old_routable = h0.nic().routing_table().contains_key(&old);
     let new_routable = h0.nic().routing_table().contains_key(&new);
     // Packets to the old address now fail (host 0's sender targets it).
     let dropped = h0.nic().stats().tx_no_route - no_route_before;
 
-    RunResult::new("own address := non-existent", dropped, 0, 2.2)
+    Ok(RunResult::new("own address := non-existent", dropped, 0, 2.2)
         .with_extra("old_address_routable", old_routable as u64 as f64)
         .with_extra("new_address_routable", new_routable as u64 as f64)
-        .with_extra("packets_dropped_no_route", dropped as f64)
+        .with_extra("packets_dropped_no_route", dropped as f64))
 }
 
 #[cfg(test)]
@@ -237,7 +256,7 @@ mod tests {
 
     #[test]
     fn destination_corruption_is_crc_dropped() {
-        let r = destination_corruption(3, false);
+        let r = destination_corruption(3, false).unwrap();
         assert!(r.sent > 100, "{r:?}");
         assert_eq!(r.received, 0, "intended node must get nothing: {r:?}");
         assert_eq!(r.extra("received_by_wrong_node"), Some(0.0), "{r:?}");
@@ -246,7 +265,7 @@ mod tests {
 
     #[test]
     fn destination_corruption_with_crc_fix_is_misaddress_dropped() {
-        let r = destination_corruption(4, true);
+        let r = destination_corruption(4, true).unwrap();
         assert_eq!(r.received, 0, "{r:?}");
         assert_eq!(r.extra("received_by_wrong_node"), Some(0.0), "{r:?}");
         assert_eq!(r.extra("crc_drops"), Some(0.0), "{r:?}");
@@ -255,7 +274,7 @@ mod tests {
 
     #[test]
     fn sender_corruption_unreachable_but_mapped() {
-        let r = sender_address_corruption(5);
+        let r = sender_address_corruption(5).unwrap();
         assert_eq!(r.received, 0, "node must be deaf: {r:?}");
         // Misaddressed drops accumulate until the next mapping round
         // removes the old address from senders' tables; after that, sends
@@ -267,7 +286,7 @@ mod tests {
 
     #[test]
     fn controller_collision_destabilizes_maps() {
-        let out = controller_address_collision(6);
+        let out = controller_address_collision(6).unwrap();
         assert!(out.inconsistent_rounds >= 2, "{out:?}");
         assert_ne!(out.healthy_map, out.damaged_map);
         assert!(out.healthy_map.contains("p1="));
@@ -275,7 +294,7 @@ mod tests {
 
     #[test]
     fn nonexistent_address_swaps_identity() {
-        let r = nonexistent_address(7);
+        let r = nonexistent_address(7).unwrap();
         assert_eq!(r.extra("old_address_routable"), Some(0.0), "{r:?}");
         assert_eq!(r.extra("new_address_routable"), Some(1.0), "{r:?}");
         assert!(r.extra("packets_dropped_no_route").unwrap() > 0.0, "{r:?}");

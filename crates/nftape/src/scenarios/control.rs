@@ -8,7 +8,7 @@ use netfi_netstack::{build_testbed, Host, Testbed, TestbedOptions, Workload};
 use netfi_phy::ControlSymbol;
 use netfi_sim::{SimDuration, SimTime};
 
-use crate::results::RunResult;
+use crate::results::{RunResult, ScenarioError};
 use crate::runner::{program_injector, schedule_duty_cycle};
 use crate::scenarios::TrafficSnapshot;
 use netfi_core::trigger::MatchMode;
@@ -93,7 +93,10 @@ pub fn table4_paper_loss() -> [(u64, u64); 9] {
 /// hosts 1 and 2 blast bursts at host 0 (contending for its output port,
 /// which generates STOP/GO on both their links), host 0 sends background
 /// traffic to host 2.
-fn build_campaign_net(opts: &ControlCampaignOptions, forbidden: Vec<u8>) -> Testbed {
+fn build_campaign_net(
+    opts: &ControlCampaignOptions,
+    forbidden: Vec<u8>,
+) -> Result<Testbed, ScenarioError> {
     // Campaign-era slack buffers: the headroom above the high watermark is
     // sized for the STOP round-trip (about two frames), so a sender whose
     // STOPs are eaten genuinely overruns the buffer.
@@ -114,7 +117,7 @@ fn build_campaign_net(opts: &ControlCampaignOptions, forbidden: Vec<u8>) -> Test
     let interval = opts.burst_interval;
     let payload_len = opts.payload_len;
     let nic_rx_capacity = opts.nic_rx_capacity;
-    build_testbed(options, move |i, host: &mut Host| {
+    Ok(build_testbed(options, move |i, host: &mut Host| {
         // Hosts 0 and 2 converge on the intercepted host 1 (saturating its
         // NIC receive buffer, whose STOP/GO crosses the injector); host 1
         // sends its own stream back to host 0.
@@ -136,21 +139,25 @@ fn build_campaign_net(opts: &ControlCampaignOptions, forbidden: Vec<u8>) -> Test
             forbidden: forbidden.clone(),
             burst,
         });
-    })
+    })?)
 }
 
 /// Runs one row of Table 4: corrupt every `mask` control symbol crossing
 /// the intercepted link into `replacement`, duty-cycled, and count
 /// messages network-wide.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
 pub fn control_symbol_row(
     mask: ControlSymbol,
     replacement: ControlSymbol,
     opts: &ControlCampaignOptions,
-) -> RunResult {
+) -> Result<RunResult, ScenarioError> {
     // §4.3.1 methodology: the masked symbol must not appear in payloads.
     let forbidden = vec![mask.encode(), replacement.encode()];
-    let mut tb = build_campaign_net(opts, forbidden);
-    let device = tb.injector.expect("campaign net has an injector");
+    let mut tb = build_campaign_net(opts, forbidden)?;
+    let device = tb.injector.ok_or(ScenarioError::NoInjector)?;
 
     let config = InjectorConfig::builder()
         .match_mode(MatchMode::Off) // armed by the duty cycle
@@ -171,58 +178,62 @@ pub fn control_symbol_row(
     );
 
     tb.engine.run_until(t0);
-    let before = TrafficSnapshot::capture(&tb);
+    let before = TrafficSnapshot::capture(&tb)?;
     tb.engine.run_until(t1);
     // Cool-down: stop injecting, let in-flight messages settle.
     tb.engine.run_for(SimDuration::from_ms(200));
-    let after = TrafficSnapshot::capture(&tb);
+    let after = TrafficSnapshot::capture(&tb)?;
     let delta = after.delta(&before);
 
+    let mut nic_overflow = 0u64;
+    for &h in &tb.hosts {
+        nic_overflow += tb
+            .engine
+            .component_as::<Host>(h)
+            .ok_or(ScenarioError::WrongComponent("Host"))?
+            .nic()
+            .stats()
+            .rx_overflow_drops;
+    }
     let sw = tb
         .engine
         .component_as::<Switch>(tb.switch)
-        .expect("switch");
+        .ok_or(ScenarioError::WrongComponent("Switch"))?;
     if std::env::var("NETFI_DEBUG").is_ok() {
-        let dev = tb.engine.component_as::<netfi_core::InjectorDevice>(device).unwrap();
-        eprintln!("ROW {mask}->{replacement}: inputs={:?}", sw.input_buffer_stats());
-        eprintln!("  cfg B>A: {:?}", dev.config_of(netfi_core::Direction::BToA));
-        eprintln!("  serial acks pending: {} bytes", dev.channel_stats(netfi_core::Direction::AToB).controls);
-        eprintln!("  fifo A>B: {:?}", dev.fifo_stats(netfi_core::Direction::AToB));
-        eprintln!("  fifo B>A: {:?}", dev.fifo_stats(netfi_core::Direction::BToA));
+        if let Some(dev) = tb.engine.component_as::<netfi_core::InjectorDevice>(device) {
+            eprintln!("ROW {mask}->{replacement}: inputs={:?}", sw.input_buffer_stats());
+            eprintln!("  cfg B>A: {:?}", dev.config_of(netfi_core::Direction::BToA));
+            eprintln!("  serial acks pending: {} bytes", dev.channel_stats(netfi_core::Direction::AToB).controls);
+            eprintln!("  fifo A>B: {:?}", dev.fifo_stats(netfi_core::Direction::AToB));
+            eprintln!("  fifo B>A: {:?}", dev.fifo_stats(netfi_core::Direction::BToA));
+        }
         for i in 0..3 {
-            let h = tb.engine.component_as::<Host>(tb.hosts[i]).unwrap();
-            eprintln!("  host{i} egress {:?}", h.nic().egress_stats());
+            if let Some(h) = tb.engine.component_as::<Host>(tb.hosts[i]) {
+                eprintln!("  host{i} egress {:?}", h.nic().egress_stats());
+            }
         }
     }
-    RunResult::new(
+    Ok(RunResult::new(
         format!("{mask}->{replacement}"),
         delta.sent(),
         delta.received.min(delta.sent()),
         opts.window.as_secs_f64(),
     )
     .with_extra("overflow_drops", sw.stats().overflow_drops as f64)
-    .with_extra("nic_overflow_drops", {
-        tb.hosts
-            .iter()
-            .map(|&h| {
-                tb.engine
-                    .component_as::<Host>(h)
-                    .expect("host")
-                    .nic()
-                    .stats()
-                    .rx_overflow_drops
-            })
-            .sum::<u64>() as f64
-    })
+    .with_extra("nic_overflow_drops", nic_overflow as f64)
     .with_extra("framing_drops", sw.stats().framing_drops as f64)
     .with_extra(
         "long_timeout_releases",
         sw.stats().long_timeout_releases as f64,
-    )
+    ))
 }
 
 /// Runs the full nine-row Table 4 campaign.
-pub fn control_symbol_table(opts: &ControlCampaignOptions) -> Vec<RunResult> {
+///
+/// # Errors
+///
+/// Returns the first row's [`ScenarioError`], if any.
+pub fn control_symbol_table(opts: &ControlCampaignOptions) -> Result<Vec<RunResult>, ScenarioError> {
     table4_rows()
         .into_iter()
         .map(|(mask, replacement)| control_symbol_row(mask, replacement, opts))
@@ -236,7 +247,15 @@ pub fn control_symbol_table(opts: &ControlCampaignOptions) -> Vec<RunResult> {
 ///
 /// The paper observed 5038 messages/minute against 48000 under normal
 /// conditions (~90 % decrease).
-pub fn stop_throughput(faulty: bool, window: SimDuration, seed: u64) -> RunResult {
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+pub fn stop_throughput(
+    faulty: bool,
+    window: SimDuration,
+    seed: u64,
+) -> Result<RunResult, ScenarioError> {
     let options = TestbedOptions {
         hosts: 2,
         intercept_host: Some(1),
@@ -252,11 +271,11 @@ pub fn stop_throughput(faulty: bool, window: SimDuration, seed: u64) -> RunResul
                 timeout: SimDuration::from_ms(4),
             });
         }
-    });
+    })?;
     let warmup = SimDuration::from_ms(2_500);
     let t0 = SimTime::ZERO + warmup;
     if faulty {
-        let device = tb.injector.expect("injector present");
+        let device = tb.injector.ok_or(ScenarioError::NoInjector)?;
         let config = InjectorConfig::builder()
             .match_mode(MatchMode::Off) // armed by the duty cycle below
             .control_swap(ControlSymbol::Gap.encode(), ControlSymbol::Stop.encode())
@@ -282,14 +301,20 @@ pub fn stop_throughput(faulty: bool, window: SimDuration, seed: u64) -> RunResul
         );
     }
     tb.engine.run_until(t0);
-    let h0 = tb.engine.component_as::<Host>(tb.hosts[0]).expect("host");
+    let h0 = tb
+        .engine
+        .component_as::<Host>(tb.hosts[0])
+        .ok_or(ScenarioError::WrongComponent("Host"))?;
     let before = h0.ping_report(0).completed;
     let before_losses = h0.ping_report(0).losses;
     tb.engine.run_until(t0 + window);
-    let h0 = tb.engine.component_as::<Host>(tb.hosts[0]).expect("host");
+    let h0 = tb
+        .engine
+        .component_as::<Host>(tb.hosts[0])
+        .ok_or(ScenarioError::WrongComponent("Host"))?;
     let completed = h0.ping_report(0).completed - before;
     let losses = h0.ping_report(0).losses - before_losses;
-    RunResult::new(
+    Ok(RunResult::new(
         if faulty { "faulty STOP" } else { "normal" },
         completed + losses,
         completed,
@@ -298,14 +323,22 @@ pub fn stop_throughput(faulty: bool, window: SimDuration, seed: u64) -> RunResul
     .with_extra(
         "messages_per_minute",
         completed as f64 * 60.0 / window.as_secs_f64(),
-    )
+    ))
 }
 
 /// §4.3.1 GAP experiment: corrupt every GAP from the intercepted host into
 /// IDLE. Each packet leaves its wormhole path occupied; the network
 /// recovers only by the ~50 ms long-period timeout, so throughput falls to
 /// around `interval / long_timeout` of normal (the paper reports ~12 %).
-pub fn gap_timeout(faulty: bool, window: SimDuration, seed: u64) -> RunResult {
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+pub fn gap_timeout(
+    faulty: bool,
+    window: SimDuration,
+    seed: u64,
+) -> Result<RunResult, ScenarioError> {
     let interval = SimDuration::from_ms(6);
     let options = TestbedOptions {
         hosts: 2,
@@ -333,9 +366,9 @@ pub fn gap_timeout(faulty: bool, window: SimDuration, seed: u64) -> RunResult {
                 burst: 1,
             });
         }
-    });
+    })?;
     if faulty {
-        let device = tb.injector.expect("injector present");
+        let device = tb.injector.ok_or(ScenarioError::NoInjector)?;
         let config = InjectorConfig::builder()
             .match_mode(MatchMode::On)
             .control_swap(ControlSymbol::Gap.encode(), ControlSymbol::Idle.encode())
@@ -352,20 +385,24 @@ pub fn gap_timeout(faulty: bool, window: SimDuration, seed: u64) -> RunResult {
     }
     let t0 = SimTime::ZERO + SimDuration::from_ms(2_500);
     tb.engine.run_until(t0);
-    let before = TrafficSnapshot::capture(&tb);
+    let before = TrafficSnapshot::capture(&tb)?;
     tb.engine.run_until(t0 + window);
     tb.engine.run_for(SimDuration::from_ms(100));
-    let delta = TrafficSnapshot::capture(&tb).delta(&before);
+    let delta = TrafficSnapshot::capture(&tb)?.delta(&before);
     if std::env::var("NETFI_DEBUG").is_ok() {
         for i in 0..tb.hosts.len() {
-            let h = tb.engine.component_as::<Host>(tb.hosts[i]).expect("host");
-            eprintln!("GAP host{i}: nic={:?} mapper={} table={:?}",
-                h.nic().stats(), h.nic().is_mapper(),
-                h.nic().routing_table().keys().collect::<Vec<_>>());
+            if let Some(h) = tb.engine.component_as::<Host>(tb.hosts[i]) {
+                eprintln!("GAP host{i}: nic={:?} mapper={} table={:?}",
+                    h.nic().stats(), h.nic().is_mapper(),
+                    h.nic().routing_table().keys().collect::<Vec<_>>());
+            }
         }
     }
-    let sw = tb.engine.component_as::<Switch>(tb.switch).expect("switch");
-    RunResult::new(
+    let sw = tb
+        .engine
+        .component_as::<Switch>(tb.switch)
+        .ok_or(ScenarioError::WrongComponent("Switch"))?;
+    Ok(RunResult::new(
         if faulty { "GAP corrupted" } else { "normal" },
         delta.sent(),
         delta.received.min(delta.sent()),
@@ -375,7 +412,7 @@ pub fn gap_timeout(faulty: bool, window: SimDuration, seed: u64) -> RunResult {
         "long_timeout_releases",
         sw.stats().long_timeout_releases as f64,
     )
-    .with_extra("framing_drops", sw.stats().framing_drops as f64)
+    .with_extra("framing_drops", sw.stats().framing_drops as f64))
 }
 
 #[cfg(test)]
@@ -395,7 +432,7 @@ mod tests {
         // An identity swap (STOP -> STOP) exercises the whole campaign
         // machinery without corrupting anything.
         let opts = quick_opts();
-        let result = control_symbol_row(ControlSymbol::Stop, ControlSymbol::Stop, &opts);
+        let result = control_symbol_row(ControlSymbol::Stop, ControlSymbol::Stop, &opts).unwrap();
         assert!(result.sent > 200, "sent = {}", result.sent);
         assert!(
             result.loss_rate() < 0.01,
@@ -409,7 +446,7 @@ mod tests {
     #[test]
     fn stop_corruption_causes_moderate_loss() {
         let opts = quick_opts();
-        let result = control_symbol_row(ControlSymbol::Stop, ControlSymbol::Idle, &opts);
+        let result = control_symbol_row(ControlSymbol::Stop, ControlSymbol::Idle, &opts).unwrap();
         assert!(
             result.loss_rate() > 0.02 && result.loss_rate() < 0.45,
             "STOP->IDLE loss {:.3}",
@@ -421,7 +458,7 @@ mod tests {
     #[test]
     fn gap_corruption_causes_loss_and_blocking() {
         let opts = quick_opts();
-        let result = control_symbol_row(ControlSymbol::Gap, ControlSymbol::Go, &opts);
+        let result = control_symbol_row(ControlSymbol::Gap, ControlSymbol::Go, &opts).unwrap();
         assert!(
             result.loss_rate() > 0.02,
             "GAP->GO loss {:.3}",
@@ -436,8 +473,8 @@ mod tests {
     #[test]
     fn stop_throughput_drops_dramatically() {
         let window = SimDuration::from_secs(4);
-        let normal = stop_throughput(false, window, 1);
-        let faulty = stop_throughput(true, window, 1);
+        let normal = stop_throughput(false, window, 1).unwrap();
+        let faulty = stop_throughput(true, window, 1).unwrap();
         let ratio = faulty.throughput() / normal.throughput();
         // Paper: ~90 % decrease (5038 vs 48000 per minute).
         assert!(
@@ -452,8 +489,8 @@ mod tests {
     #[test]
     fn gap_timeout_throughput_near_12_percent() {
         let window = SimDuration::from_secs(4);
-        let normal = gap_timeout(false, window, 2);
-        let faulty = gap_timeout(true, window, 2);
+        let normal = gap_timeout(false, window, 2).unwrap();
+        let faulty = gap_timeout(true, window, 2).unwrap();
         assert!(normal.loss_rate() < 0.01, "normal loss {}", normal.loss_rate());
         let ratio = faulty.received as f64 / normal.received.max(1) as f64;
         // Paper: throughput drops to ~12 % of normal.

@@ -12,6 +12,8 @@ use netfi_myrinet::addr::EthAddr;
 use netfi_netstack::{build_testbed, Host, TestbedOptions, Workload};
 use netfi_sim::{SimDuration, SimTime};
 
+use crate::results::ScenarioError;
+
 /// One row of Table 2.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyRow {
@@ -30,7 +32,7 @@ impl LatencyRow {
     }
 }
 
-fn run_arm(with_injector: bool, packets: u64, seed: u64) -> f64 {
+fn run_arm(with_injector: bool, packets: u64, seed: u64) -> Result<f64, ScenarioError> {
     let options = TestbedOptions {
         hosts: 2,
         intercept_host: with_injector.then_some(1),
@@ -47,13 +49,16 @@ fn run_arm(with_injector: bool, packets: u64, seed: u64) -> f64 {
                 timeout: SimDuration::from_ms(100),
             });
         }
-    });
+    })?;
     // Mapping settles within the first second; the ping-pong starts right
     // after routes appear.
     let horizon = SimTime::from_secs(5)
         + SimDuration::from_ns((packets as f64 * 600_000.0) as u64);
     tb.engine.run_until(horizon);
-    let h0 = tb.engine.component_as::<Host>(tb.hosts[0]).expect("host");
+    let h0 = tb
+        .engine
+        .component_as::<Host>(tb.hosts[0])
+        .ok_or(ScenarioError::WrongComponent("Host"))?;
     let report = h0.ping_report(0);
     assert!(
         report.done,
@@ -62,23 +67,31 @@ fn run_arm(with_injector: bool, packets: u64, seed: u64) -> f64 {
     );
     assert_eq!(report.losses, 0, "lossless network expected");
     // Table 2 reports time per packet; one round trip carries two packets.
-    report.rtt.mean() / 2.0
+    Ok(report.rtt.mean() / 2.0)
 }
 
 /// Reproduces Table 2: `experiments` pairs of runs (with/without the
 /// device), `packets` ping-pong exchanges each, different seeds per run —
 /// the paper ran five experiments of two million packets.
-pub fn latency_table2(packets: u64, experiments: usize, seed: u64) -> Vec<LatencyRow> {
+///
+/// # Errors
+///
+/// Returns the first arm's [`ScenarioError`], if any.
+pub fn latency_table2(
+    packets: u64,
+    experiments: usize,
+    seed: u64,
+) -> Result<Vec<LatencyRow>, ScenarioError> {
     (1..=experiments)
         .map(|n| {
             let base = seed
                 .wrapping_mul(0x9E37_79B9)
                 .wrapping_add(n as u64 * 0x1000);
-            LatencyRow {
+            Ok(LatencyRow {
                 experiment: n,
-                without_ns: run_arm(false, packets, base),
-                with_ns: run_arm(true, packets, base.wrapping_add(7)),
-            }
+                without_ns: run_arm(false, packets, base)?,
+                with_ns: run_arm(true, packets, base.wrapping_add(7))?,
+            })
         })
         .collect()
 }
@@ -100,7 +113,7 @@ mod tests {
 
     #[test]
     fn added_latency_is_small_and_positive_on_average() {
-        let rows = latency_table2(400, 3, 42);
+        let rows = latency_table2(400, 3, 42).unwrap();
         assert_eq!(rows.len(), 3);
         let mean_added: f64 =
             rows.iter().map(LatencyRow::added_ns).sum::<f64>() / rows.len() as f64;

@@ -15,6 +15,8 @@ pub mod udpcheck;
 
 use netfi_netstack::{Host, Testbed, SINK_PORT};
 
+use crate::results::ScenarioError;
+
 /// A snapshot of network-wide message counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TrafficSnapshot {
@@ -28,18 +30,23 @@ pub struct TrafficSnapshot {
 
 impl TrafficSnapshot {
     /// Captures the sum over all hosts of a test bed.
-    pub fn capture(tb: &Testbed) -> TrafficSnapshot {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::WrongComponent`] if a test-bed host id
+    /// does not resolve to a [`Host`].
+    pub fn capture(tb: &Testbed) -> Result<TrafficSnapshot, ScenarioError> {
         let mut snap = TrafficSnapshot::default();
         for &h in &tb.hosts {
             let host = tb
                 .engine
                 .component_as::<Host>(h)
-                .expect("testbed component is a Host");
+                .ok_or(ScenarioError::WrongComponent("Host"))?;
             snap.generated += host.sender_sent();
             snap.no_route += host.nic().stats().tx_no_route;
             snap.received += host.rx_count(SINK_PORT);
         }
-        snap
+        Ok(snap)
     }
 
     /// Messages actually handed to the network ("messages sent" in the

@@ -13,20 +13,20 @@ use netfi_myrinet::switch::Switch;
 use netfi_netstack::{build_testbed, Host, Testbed, TestbedOptions, Workload, SINK_PORT};
 use netfi_sim::{SimDuration, SimTime};
 
-use crate::results::RunResult;
+use crate::results::{RunResult, ScenarioError};
 use crate::runner::{program_injector, schedule_script};
 use netfi_core::command::Command;
 
 /// Shared scaffold: 3 hosts, injector on host 1 (index 1), host 0 sending
 /// periodic messages to host 1 so reachability is observable.
-fn build(seed: u64) -> Testbed {
+fn build(seed: u64) -> Result<Testbed, ScenarioError> {
     let options = TestbedOptions {
         hosts: 3,
         intercept_host: Some(1),
         seed,
         ..TestbedOptions::default()
     };
-    build_testbed(options, |i, host: &mut Host| {
+    Ok(build_testbed(options, |i, host: &mut Host| {
         if i == 0 {
             host.add_workload(Workload::Sender {
                 dest: EthAddr::myricom(2),
@@ -36,16 +36,19 @@ fn build(seed: u64) -> Testbed {
                 burst: 1,
             });
         }
-    })
+    })?)
 }
 
-fn host(tb: &Testbed, i: usize) -> &Host {
-    tb.engine.component_as::<Host>(tb.hosts[i]).expect("host")
+fn host(tb: &Testbed, i: usize) -> Result<&Host, ScenarioError> {
+    tb.engine
+        .component_as::<Host>(tb.hosts[i])
+        .ok_or(ScenarioError::WrongComponent("Host"))
 }
 
-fn disarm(tb: &mut Testbed, at: SimTime) {
-    let device = tb.injector.expect("injector");
+fn disarm(tb: &mut Testbed, at: SimTime) -> Result<(), ScenarioError> {
+    let device = tb.injector.ok_or(ScenarioError::NoInjector)?;
     schedule_script(&mut tb.engine, device, at, &[Command::MatchMode(MatchMode::Off)]);
+    Ok(())
 }
 
 /// Corrupts mapping packets (type `0x0005` → `0x0009`) heading to the
@@ -56,9 +59,13 @@ fn disarm(tb: &mut Testbed, at: SimTime) {
 /// Returns a result whose extras record whether the node was removed while
 /// the trigger was armed (`removed=1`) and restored after disarming
 /// (`restored=1`), plus messages lost to `no route` meanwhile.
-pub fn mapping_packet_corruption(seed: u64) -> RunResult {
-    let mut tb = build(seed);
-    let device = tb.injector.expect("injector");
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+pub fn mapping_packet_corruption(seed: u64) -> Result<RunResult, ScenarioError> {
+    let mut tb = build(seed)?;
+    let device = tb.injector.ok_or(ScenarioError::NoInjector)?;
     let config = InjectorConfig::builder()
         .match_mode(MatchMode::On)
         .compare(0x0005_0000, 0xFFFF_0000)
@@ -73,42 +80,46 @@ pub fn mapping_packet_corruption(seed: u64) -> RunResult {
     let now = tb.engine.now();
     let programmed = program_injector(&mut tb.engine, device, now, DirSelect::B, &config);
     tb.engine.run_until(programmed);
-    let route_before = host(&tb, 0)
+    let route_before = host(&tb, 0)?
         .nic()
         .routing_table()
         .contains_key(&EthAddr::myricom(2));
-    let lost_before = host(&tb, 0).nic().stats().tx_no_route;
+    let lost_before = host(&tb, 0)?.nic().stats().tx_no_route;
     // Three mapping rounds with scouts corrupted.
     tb.engine.run_for(SimDuration::from_ms(3_200));
-    let removed = !host(&tb, 0)
+    let removed = !host(&tb, 0)?
         .nic()
         .routing_table()
         .contains_key(&EthAddr::myricom(2));
-    let lost_during = host(&tb, 0).nic().stats().tx_no_route - lost_before;
+    let lost_during = host(&tb, 0)?.nic().stats().tx_no_route - lost_before;
 
     // Disarm; the next mapping round restores the node.
     let now = tb.engine.now();
-    disarm(&mut tb, now);
+    disarm(&mut tb, now)?;
     tb.engine.run_for(SimDuration::from_ms(2_500));
-    let restored = host(&tb, 0)
+    let restored = host(&tb, 0)?
         .nic()
         .routing_table()
         .contains_key(&EthAddr::myricom(2));
 
-    RunResult::new("mapping 0x0005 -> 0x0009", lost_during, 0, 3.2)
+    Ok(RunResult::new("mapping 0x0005 -> 0x0009", lost_during, 0, 3.2)
         .with_extra("route_before", route_before as u64 as f64)
         .with_extra("removed", removed as u64 as f64)
         .with_extra("restored", restored as u64 as f64)
-        .with_extra("lost_no_route", lost_during as f64)
+        .with_extra("lost_no_route", lost_during as f64))
 }
 
 /// Corrupts data packets (type `0x0004` → `0x0009`) heading to the
 /// intercepted node: "the data packets are dropped by the receiving node
 /// and not recognized as data packets. The internal network structures,
 /// such as the routing table, remain unchanged."
-pub fn data_packet_corruption(seed: u64) -> RunResult {
-    let mut tb = build(seed);
-    let device = tb.injector.expect("injector");
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+pub fn data_packet_corruption(seed: u64) -> Result<RunResult, ScenarioError> {
+    let mut tb = build(seed)?;
+    let device = tb.injector.ok_or(ScenarioError::NoInjector)?;
     let config = InjectorConfig::builder()
         .match_mode(MatchMode::On)
         .compare(0x0004_0000, 0xFFFF_0000)
@@ -121,31 +132,35 @@ pub fn data_packet_corruption(seed: u64) -> RunResult {
     let now = tb.engine.now();
     let programmed = program_injector(&mut tb.engine, device, now, DirSelect::B, &config);
     tb.engine.run_until(programmed + SimDuration::from_ms(2));
-    let table_before = host(&tb, 1).nic().routing_table().clone();
-    let rx_before = host(&tb, 1).rx_count(SINK_PORT);
-    let sent_before = host(&tb, 0).sender_sent();
-    let no_route_before = host(&tb, 0).nic().stats().tx_no_route;
-    let unknown_before = host(&tb, 1).nic().stats().rx_unknown_type;
+    let table_before = host(&tb, 1)?.nic().routing_table().clone();
+    let rx_before = host(&tb, 1)?.rx_count(SINK_PORT);
+    let sent_before = host(&tb, 0)?.sender_sent();
+    let no_route_before = host(&tb, 0)?.nic().stats().tx_no_route;
+    let unknown_before = host(&tb, 1)?.nic().stats().rx_unknown_type;
     tb.engine.run_for(SimDuration::from_secs(3));
 
-    let delivered = host(&tb, 1).rx_count(SINK_PORT) - rx_before;
-    let sent = (host(&tb, 0).sender_sent() - sent_before)
-        - (host(&tb, 0).nic().stats().tx_no_route - no_route_before);
-    let unknown = host(&tb, 1).nic().stats().rx_unknown_type - unknown_before;
-    let table_unchanged = host(&tb, 1).nic().routing_table() == &table_before;
+    let delivered = host(&tb, 1)?.rx_count(SINK_PORT) - rx_before;
+    let sent = (host(&tb, 0)?.sender_sent() - sent_before)
+        - (host(&tb, 0)?.nic().stats().tx_no_route - no_route_before);
+    let unknown = host(&tb, 1)?.nic().stats().rx_unknown_type - unknown_before;
+    let table_unchanged = host(&tb, 1)?.nic().routing_table() == &table_before;
 
-    RunResult::new("data 0x0004 -> 0x0009", sent, delivered, 3.0)
+    Ok(RunResult::new("data 0x0004 -> 0x0009", sent, delivered, 3.0)
         .with_extra("rx_unknown_type", unknown as f64)
-        .with_extra("routing_table_unchanged", table_unchanged as u64 as f64)
+        .with_extra("routing_table_unchanged", table_unchanged as u64 as f64))
 }
 
 /// Sets the MSB of the final route byte on packets arriving at the target
 /// interface: "the Myrinet standard specifies that the packet be
 /// 'consumed and handled as an error'. … The interface was observed to
 /// drop these packets without incident."
-pub fn route_msb_corruption(seed: u64) -> RunResult {
-    let mut tb = build(seed);
-    let device = tb.injector.expect("injector");
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+pub fn route_msb_corruption(seed: u64) -> Result<RunResult, ScenarioError> {
+    let mut tb = build(seed)?;
+    let device = tb.injector.ok_or(ScenarioError::NoInjector)?;
     // The final route byte for host 1 is 0x01 followed by the type field's
     // three zero bytes.
     let config = InjectorConfig::builder()
@@ -159,32 +174,36 @@ pub fn route_msb_corruption(seed: u64) -> RunResult {
     let now = tb.engine.now();
     let programmed = program_injector(&mut tb.engine, device, now, DirSelect::B, &config);
     tb.engine.run_until(programmed + SimDuration::from_ms(2));
-    let errors_before = host(&tb, 1).nic().stats().rx_route_errors;
-    let rx_before = host(&tb, 1).rx_count(SINK_PORT);
-    let sent_before = host(&tb, 0).sender_sent();
+    let errors_before = host(&tb, 1)?.nic().stats().rx_route_errors;
+    let rx_before = host(&tb, 1)?.rx_count(SINK_PORT);
+    let sent_before = host(&tb, 0)?.sender_sent();
     tb.engine.run_for(SimDuration::from_secs(2));
-    let armed_errors = host(&tb, 1).nic().stats().rx_route_errors - errors_before;
-    let armed_rx = host(&tb, 1).rx_count(SINK_PORT) - rx_before;
-    let sent = host(&tb, 0).sender_sent() - sent_before;
+    let armed_errors = host(&tb, 1)?.nic().stats().rx_route_errors - errors_before;
+    let armed_rx = host(&tb, 1)?.rx_count(SINK_PORT) - rx_before;
+    let sent = host(&tb, 0)?.sender_sent() - sent_before;
 
     // Disarm: traffic resumes without any lasting effect.
     let now = tb.engine.now();
-    disarm(&mut tb, now);
-    let rx_mid = host(&tb, 1).rx_count(SINK_PORT);
+    disarm(&mut tb, now)?;
+    let rx_mid = host(&tb, 1)?.rx_count(SINK_PORT);
     tb.engine.run_for(SimDuration::from_secs(2));
-    let recovered_rx = host(&tb, 1).rx_count(SINK_PORT) - rx_mid;
+    let recovered_rx = host(&tb, 1)?.rx_count(SINK_PORT) - rx_mid;
 
-    RunResult::new("route MSB set at interface", sent, armed_rx, 2.0)
+    Ok(RunResult::new("route MSB set at interface", sent, armed_rx, 2.0)
         .with_extra("route_errors", armed_errors as f64)
-        .with_extra("recovered_rx", recovered_rx as f64)
+        .with_extra("recovered_rx", recovered_rx as f64))
 }
 
 /// Misroutes packets by toggling route-byte bits toward an unused switch
 /// port: "these errors resulted in the expected packet losses, but none of
 /// the packets were accepted by the incorrect nodes."
-pub fn route_misroute(seed: u64) -> RunResult {
-    let mut tb = build(seed);
-    let device = tb.injector.expect("injector");
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+pub fn route_misroute(seed: u64) -> Result<RunResult, ScenarioError> {
+    let mut tb = build(seed)?;
+    let device = tb.injector.ok_or(ScenarioError::NoInjector)?;
     // Host 1's outbound final route byte is 0x00 (to host 0), followed by
     // the type field zeros; toggle it to port 6 (unwired).
     let config = InjectorConfig::builder()
@@ -214,16 +233,19 @@ pub fn route_misroute(seed: u64) -> RunResult {
             })),
         );
     }
-    let rx0_before = host(&tb, 0).rx_count(SINK_PORT);
-    let rx2_before = host(&tb, 2).rx_count(SINK_PORT);
+    let rx0_before = host(&tb, 0)?.rx_count(SINK_PORT);
+    let rx2_before = host(&tb, 2)?.rx_count(SINK_PORT);
     tb.engine.run_for(SimDuration::from_ms(2_200));
 
-    let delivered_h0 = host(&tb, 0).rx_count(SINK_PORT) - rx0_before;
-    let delivered_h2 = host(&tb, 2).rx_count(SINK_PORT) - rx2_before;
-    let sw = tb.engine.component_as::<Switch>(tb.switch).expect("switch");
-    RunResult::new("route low bits toggled", 200, delivered_h0, 2.0)
+    let delivered_h0 = host(&tb, 0)?.rx_count(SINK_PORT) - rx0_before;
+    let delivered_h2 = host(&tb, 2)?.rx_count(SINK_PORT) - rx2_before;
+    let sw = tb
+        .engine
+        .component_as::<Switch>(tb.switch)
+        .ok_or(ScenarioError::WrongComponent("Switch"))?;
+    Ok(RunResult::new("route low bits toggled", 200, delivered_h0, 2.0)
         .with_extra("misroute_drops", sw.stats().misroute_drops as f64)
-        .with_extra("accepted_by_wrong_node", delivered_h2 as f64)
+        .with_extra("accepted_by_wrong_node", delivered_h2 as f64))
 }
 
 #[cfg(test)]
@@ -232,7 +254,7 @@ mod tests {
 
     #[test]
     fn mapping_corruption_removes_until_next_round() {
-        let r = mapping_packet_corruption(11);
+        let r = mapping_packet_corruption(11).unwrap();
         assert_eq!(r.extra("route_before"), Some(1.0), "{r:?}");
         assert_eq!(r.extra("removed"), Some(1.0), "{r:?}");
         assert_eq!(r.extra("restored"), Some(1.0), "{r:?}");
@@ -241,7 +263,7 @@ mod tests {
 
     #[test]
     fn data_corruption_drops_without_structural_damage() {
-        let r = data_packet_corruption(13);
+        let r = data_packet_corruption(13).unwrap();
         assert!(r.sent > 100, "{r:?}");
         assert_eq!(r.received, 0, "all data packets unrecognized: {r:?}");
         assert!(r.extra("rx_unknown_type").unwrap() as u64 >= r.sent - 2);
@@ -250,7 +272,7 @@ mod tests {
 
     #[test]
     fn route_msb_dropped_without_incident() {
-        let r = route_msb_corruption(17);
+        let r = route_msb_corruption(17).unwrap();
         assert!(r.extra("route_errors").unwrap() > 0.0, "{r:?}");
         assert_eq!(r.received, 0, "{r:?}");
         assert!(r.extra("recovered_rx").unwrap() > 100.0, "{r:?}");
@@ -258,7 +280,7 @@ mod tests {
 
     #[test]
     fn misroute_loses_packets_but_no_wrong_acceptance() {
-        let r = route_misroute(19);
+        let r = route_misroute(19).unwrap();
         assert_eq!(r.received, 0, "{r:?}");
         assert!(r.extra("misroute_drops").unwrap() >= 190.0, "{r:?}");
         assert_eq!(r.extra("accepted_by_wrong_node"), Some(0.0), "{r:?}");

@@ -14,7 +14,7 @@ use netfi_myrinet::addr::EthAddr;
 use netfi_netstack::{build_testbed, Host, TestbedOptions, Workload, SINK_PORT};
 use netfi_sim::{SimDuration, SimTime};
 
-use crate::results::RunResult;
+use crate::results::{RunResult, ScenarioError};
 use crate::runner::program_injector;
 
 /// Runs one SEU arm at per-segment flip probability `p`.
@@ -22,7 +22,11 @@ use crate::runner::program_injector;
 /// With `fix_crc` the Myrinet CRC-8 is repaired after each flip, so the
 /// corruption is carried to the UDP layer (and occasionally beyond); without
 /// it the network's own CRC does the catching.
-pub fn seu_arm(p: f64, fix_crc: bool, seed: u64) -> RunResult {
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+pub fn seu_arm(p: f64, fix_crc: bool, seed: u64) -> Result<RunResult, ScenarioError> {
     let options = TestbedOptions {
         hosts: 2,
         intercept_host: Some(1),
@@ -39,8 +43,8 @@ pub fn seu_arm(p: f64, fix_crc: bool, seed: u64) -> RunResult {
                 burst: 1,
             });
         }
-    });
-    let device = tb.injector.expect("injector");
+    })?;
+    let device = tb.injector.ok_or(ScenarioError::NoInjector)?;
     let config = InjectorConfig::builder()
         .match_mode(MatchMode::Off) // SEU unit runs independently of the trigger
         .random_seu(p)
@@ -52,38 +56,43 @@ pub fn seu_arm(p: f64, fix_crc: bool, seed: u64) -> RunResult {
     let programmed = program_injector(&mut tb.engine, device, now, DirSelect::B, &config);
     tb.engine.run_until(programmed + SimDuration::from_ms(2));
 
-    let h1 = tb.engine.component_as::<Host>(tb.hosts[1]).expect("host");
+    let wrong = ScenarioError::WrongComponent("Host");
+    let h1 = tb.engine.component_as::<Host>(tb.hosts[1]).ok_or(wrong)?;
     let rx0 = h1.rx_count(SINK_PORT);
     let crc0 = h1.nic().stats().rx_crc_drops;
     let udp0 = h1.udp_stats().rx_checksum_drops;
     let sent0 = tb
         .engine
         .component_as::<Host>(tb.hosts[0])
-        .expect("host")
+        .ok_or(wrong)?
         .sender_sent();
 
     tb.engine.run_for(SimDuration::from_secs(5));
 
-    let h0 = tb.engine.component_as::<Host>(tb.hosts[0]).expect("host");
+    let h0 = tb.engine.component_as::<Host>(tb.hosts[0]).ok_or(wrong)?;
     let sent = h0.sender_sent() - sent0;
-    let h1 = tb.engine.component_as::<Host>(tb.hosts[1]).expect("host");
+    let h1 = tb.engine.component_as::<Host>(tb.hosts[1]).ok_or(wrong)?;
     let delivered = h1.rx_count(SINK_PORT) - rx0;
     let crc_drops = h1.nic().stats().rx_crc_drops - crc0;
     let udp_drops = h1.udp_stats().rx_checksum_drops - udp0;
 
-    RunResult::new(
+    Ok(RunResult::new(
         format!("p={p:.0e}{}", if fix_crc { " (CRC fixed)" } else { "" }),
         sent,
         delivered.min(sent),
         5.0,
     )
     .with_extra("crc8_drops", crc_drops as f64)
-    .with_extra("udp_checksum_drops", udp_drops as f64)
+    .with_extra("udp_checksum_drops", udp_drops as f64))
 }
 
 /// The full sweep: probabilities from 10⁻⁴ to 10⁻¹ per segment, with the
 /// network CRC catching (paper-style SEU characterization).
-pub fn seu_sweep(seed: u64) -> Vec<RunResult> {
+///
+/// # Errors
+///
+/// Returns the first arm's [`ScenarioError`], if any.
+pub fn seu_sweep(seed: u64) -> Result<Vec<RunResult>, ScenarioError> {
     [1e-4, 1e-3, 1e-2, 1e-1]
         .into_iter()
         .map(|p| seu_arm(p, false, seed))
@@ -96,8 +105,8 @@ mod tests {
 
     #[test]
     fn seu_loss_grows_with_probability() {
-        let low = seu_arm(1e-3, false, 51);
-        let high = seu_arm(1e-1, false, 51);
+        let low = seu_arm(1e-3, false, 51).unwrap();
+        let high = seu_arm(1e-1, false, 51).unwrap();
         assert!(low.sent > 500, "{low:?}");
         assert!(
             high.loss_rate() > low.loss_rate(),
@@ -116,7 +125,7 @@ mod tests {
 
     #[test]
     fn crc_fix_shifts_detection_to_udp() {
-        let arm = seu_arm(1e-1, true, 52);
+        let arm = seu_arm(1e-1, true, 52).unwrap();
         assert!(arm.lost() > 10, "{arm:?}");
         assert_eq!(arm.extra("crc8_drops"), Some(0.0), "{arm:?}");
         assert!(arm.extra("udp_checksum_drops").unwrap() > 0.0, "{arm:?}");

@@ -16,7 +16,7 @@ use netfi_myrinet::event::Ev;
 use netfi_netstack::{build_testbed, Host, Testbed, TestbedOptions, HostCmd, UdpDatagram, SINK_PORT};
 use netfi_sim::{SimDuration, SimTime};
 
-use crate::results::RunResult;
+use crate::results::{RunResult, ScenarioError};
 use crate::runner::program_injector;
 
 /// The paper's test string.
@@ -26,19 +26,24 @@ fn word(bytes: &[u8; 4]) -> u32 {
     u32::from_be_bytes(*bytes)
 }
 
-fn build(seed: u64) -> Testbed {
+fn build(seed: u64) -> Result<Testbed, ScenarioError> {
     let options = TestbedOptions {
         hosts: 2,
         intercept_host: Some(1),
         seed,
         ..TestbedOptions::default()
     };
-    build_testbed(options, |_, _| {})
+    Ok(build_testbed(options, |_, _| {})?)
 }
 
-fn run(seed: u64, corrupt_to: &[u8; 4], label: &str, sends: u64) -> RunResult {
-    let mut tb = build(seed);
-    let device = tb.injector.expect("injector");
+fn run(
+    seed: u64,
+    corrupt_to: &[u8; 4],
+    label: &str,
+    sends: u64,
+) -> Result<RunResult, ScenarioError> {
+    let mut tb = build(seed)?;
+    let device = tb.injector.ok_or(ScenarioError::NoInjector)?;
     // Match "Have" in the passing stream and replace it. The Myrinet CRC-8
     // is recomputed (the hardware does this before the EOF), so only the
     // UDP checksum stands between the corruption and the application.
@@ -64,7 +69,10 @@ fn run(seed: u64, corrupt_to: &[u8; 4], label: &str, sends: u64) -> RunResult {
     }
     tb.engine.run_for(SimDuration::from_ms(5) * sends + SimDuration::from_ms(100));
 
-    let h1 = tb.engine.component_as::<Host>(tb.hosts[1]).expect("host");
+    let h1 = tb
+        .engine
+        .component_as::<Host>(tb.hosts[1])
+        .ok_or(ScenarioError::WrongComponent("Host"))?;
     let delivered = h1.rx_count(SINK_PORT);
     let checksum_drops = h1.udp_stats().rx_checksum_drops;
     let mut result = RunResult::new(label, sends, delivered, 0.005 * sends as f64)
@@ -75,24 +83,36 @@ fn run(seed: u64, corrupt_to: &[u8; 4], label: &str, sends: u64) -> RunResult {
         result = result.with_extra("delivered_intact", (datagram.payload == MESSAGE) as u64 as f64);
         result.name = format!("{label} (app saw: {text:?})");
     }
-    result
+    Ok(result)
 }
 
 /// The aliasing corruption: swap the 16-bit words of "Have" → "veHa".
 /// The checksum cannot detect it; the corrupted message reaches the
 /// application.
-pub fn aliasing_corruption(seed: u64) -> RunResult {
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+pub fn aliasing_corruption(seed: u64) -> Result<RunResult, ScenarioError> {
     run(seed, b"veHa", "swap 16-bit words", 50)
 }
 
 /// A non-aliasing corruption of the same bytes: the checksum catches it
 /// and the datagrams are dropped.
-pub fn detected_corruption(seed: u64) -> RunResult {
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+pub fn detected_corruption(seed: u64) -> Result<RunResult, ScenarioError> {
     run(seed, b"XaXe", "non-aliasing corruption", 50)
 }
 
 /// Baseline: no corruption (trigger never matches).
-pub fn baseline(seed: u64) -> RunResult {
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+pub fn baseline(seed: u64) -> Result<RunResult, ScenarioError> {
     run(seed, b"Have", "baseline", 50)
 }
 
@@ -102,7 +122,7 @@ mod tests {
 
     #[test]
     fn aliasing_slips_past_the_checksum() {
-        let r = aliasing_corruption(21);
+        let r = aliasing_corruption(21).unwrap();
         assert_eq!(r.received, r.sent, "{r:?}");
         assert_eq!(r.extra("checksum_drops"), Some(0.0), "{r:?}");
         // And the payload really was corrupted en route.
@@ -112,14 +132,14 @@ mod tests {
 
     #[test]
     fn non_aliasing_corruption_is_dropped() {
-        let r = detected_corruption(22);
+        let r = detected_corruption(22).unwrap();
         assert_eq!(r.received, 0, "{r:?}");
         assert_eq!(r.extra("checksum_drops"), Some(r.sent as f64), "{r:?}");
     }
 
     #[test]
     fn baseline_delivers_intact() {
-        let r = baseline(23);
+        let r = baseline(23).unwrap();
         assert_eq!(r.received, r.sent, "{r:?}");
         assert_eq!(r.extra("delivered_intact"), Some(1.0), "{r:?}");
     }

@@ -12,10 +12,8 @@
 //! 4-bit sub-block as `fghj` with `f` as bit 3. A transmission character is
 //! `(six << 4) | four`, i.e. `abcdei fghj` reading from bit 9 to bit 0.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::sync::OnceLock;
 
 /// Running disparity: the sign of the cumulative ones-minus-zeros balance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -27,7 +25,7 @@ pub enum Disparity {
 }
 
 impl Disparity {
-    fn flipped(self) -> Disparity {
+    const fn flipped(self) -> Disparity {
         match self {
             Disparity::Minus => Disparity::Plus,
             Disparity::Plus => Disparity::Minus,
@@ -165,22 +163,34 @@ const VALID_K: [u8; 12] = [
     0xF7, 0xFB, 0xFD, 0xFE, // K23.7 K27.7 K29.7 K30.7
 ];
 
-fn sub_disparity(code: u16, width: u32) -> i32 {
+const fn sub_disparity(code: u16, width: u32) -> i32 {
     let ones = (code as u32).count_ones() as i32;
     2 * ones - width as i32
 }
 
-fn rd_after(rd: Disparity, d: i32) -> Disparity {
+const fn rd_after(rd: Disparity, d: i32) -> Disparity {
     match d {
         0 => rd,
         _ => rd.flipped(),
     }
 }
 
+/// `true` if `b` is one of the twelve valid special characters.
+const fn is_valid_k(b: u8) -> bool {
+    let mut i = 0;
+    while i < VALID_K.len() {
+        if VALID_K[i] == b {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}
+
 /// `true` if the alternate D.x.A7 encoding must be used instead of the
 /// primary, to avoid a run of five identical bits across the sub-block
 /// boundary.
-fn use_a7(x: u8, rd: Disparity) -> bool {
+const fn use_a7(x: u8, rd: Disparity) -> bool {
     matches!(
         (rd, x),
         (Disparity::Minus, 17) | (Disparity::Minus, 18) | (Disparity::Minus, 20)
@@ -208,7 +218,7 @@ fn use_a7(x: u8, rd: Disparity) -> bool {
 /// assert_eq!(rd, Disparity::Plus);
 /// # Ok::<(), netfi_phy::b8b10::EncodeError>(())
 /// ```
-pub fn encode(byte: Byte8, rd: Disparity) -> Result<(u16, Disparity), EncodeError> {
+pub const fn encode(byte: Byte8, rd: Disparity) -> Result<(u16, Disparity), EncodeError> {
     match byte {
         Byte8::Data(b) => {
             let x = b & 0x1F;
@@ -232,7 +242,7 @@ pub fn encode(byte: Byte8, rd: Disparity) -> Result<(u16, Disparity), EncodeErro
             Ok((((six as u16) << 4) | four as u16, rd_out))
         }
         Byte8::Special(b) => {
-            if !VALID_K.contains(&b) {
+            if !is_valid_k(b) {
                 return Err(EncodeError::InvalidSpecial(b));
             }
             let x = b & 0x1F;
@@ -259,32 +269,46 @@ pub fn encode(byte: Byte8, rd: Disparity) -> Result<(u16, Disparity), EncodeErro
     }
 }
 
-fn decode_table() -> &'static HashMap<u16, Byte8> {
-    static TABLE: OnceLock<HashMap<u16, Byte8>> = OnceLock::new();
-    TABLE.get_or_init(|| {
-        let mut map = HashMap::new();
-        for b in 0..=255u8 {
-            for rd in [Disparity::Minus, Disparity::Plus] {
-                let (code, _) = encode(Byte8::Data(b), rd).expect("data always encodes");
-                if let Some(prev) = map.insert(code, Byte8::Data(b)) {
-                    assert_eq!(prev, Byte8::Data(b), "8b/10b code collision at {code:#05x}");
-                }
+/// Decode-table entry tags, packed as `tag << 8 | byte`. Entry 0 means the
+/// code is not in the codebook.
+const ENTRY_DATA: u16 = 1 << 8;
+const ENTRY_SPECIAL: u16 = 2 << 8;
+
+/// The full reverse codebook, indexed by 10-bit transmission character.
+/// Built at compile time from the forward encoder, so the two directions
+/// cannot drift apart; a fixed-size array gives a branch-free O(1) lookup
+/// with no hashing and no iteration-order dependence. Collisions are
+/// impossible by the code's structure (and pinned by the exhaustive
+/// roundtrip tests: a collision would make some byte decode wrongly).
+const DECODE: [u16; 1024] = build_decode_table();
+
+const fn build_decode_table() -> [u16; 1024] {
+    let mut table = [0u16; 1024];
+    let mut b: u16 = 0;
+    while b < 256 {
+        let mut r = 0;
+        while r < 2 {
+            let rd = if r == 0 { Disparity::Minus } else { Disparity::Plus };
+            if let Ok((code, _)) = encode(Byte8::Data(b as u8), rd) {
+                table[code as usize] = ENTRY_DATA | b;
             }
+            r += 1;
         }
-        for &k in &VALID_K {
-            for rd in [Disparity::Minus, Disparity::Plus] {
-                let (code, _) = encode(Byte8::Special(k), rd).expect("valid special");
-                if let Some(prev) = map.insert(code, Byte8::Special(k)) {
-                    assert_eq!(
-                        prev,
-                        Byte8::Special(k),
-                        "8b/10b K/D collision at {code:#05x}"
-                    );
-                }
+        b += 1;
+    }
+    let mut k = 0;
+    while k < VALID_K.len() {
+        let mut r = 0;
+        while r < 2 {
+            let rd = if r == 0 { Disparity::Minus } else { Disparity::Plus };
+            if let Ok((code, _)) = encode(Byte8::Special(VALID_K[k]), rd) {
+                table[code as usize] = ENTRY_SPECIAL | VALID_K[k] as u16;
             }
+            r += 1;
         }
-        map
-    })
+        k += 1;
+    }
+    table
 }
 
 /// Decodes one 10-bit transmission character.
@@ -298,13 +322,16 @@ fn decode_table() -> &'static HashMap<u16, Byte8> {
 /// - [`DecodeError::DisparityViolation`] if the code is valid but its
 ///   disparity does not match the running disparity (the other detection
 ///   mechanism).
-pub fn decode(code: u16, rd: Disparity) -> Result<(Byte8, Disparity), DecodeError> {
+pub const fn decode(code: u16, rd: Disparity) -> Result<(Byte8, Disparity), DecodeError> {
     if code >= 1 << 10 {
         return Err(DecodeError::InvalidCode(code));
     }
-    let byte = *decode_table()
-        .get(&code)
-        .ok_or(DecodeError::InvalidCode(code))?;
+    let entry = DECODE[code as usize];
+    let byte = match entry & 0xFF00 {
+        ENTRY_DATA => Byte8::Data(entry as u8),
+        ENTRY_SPECIAL => Byte8::Special(entry as u8),
+        _ => return Err(DecodeError::InvalidCode(code)),
+    };
     let d = sub_disparity(code, 10);
     match (rd, d) {
         (_, 0) => Ok((byte, rd)),

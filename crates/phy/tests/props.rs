@@ -1,6 +1,9 @@
 //! Randomized property tests for the physical-layer substrate, driven by
 //! seeded loops over [`DetRng`] (no external dependencies).
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netfi_phy::b8b10::{decode, encode, Byte8, Decoder, Disparity, Encoder};
 use netfi_phy::serial::{Parity, UartConfig};
 use netfi_phy::symbol::{ControlSymbol, Symbol};
@@ -165,6 +168,53 @@ fn link_timing_monotone() {
         );
         if a < b {
             assert!(link.frame_latency(a) < link.frame_latency(b));
+        }
+    }
+}
+
+/// The const `DECODE` table is bit-identical to the encoder's inverse: a
+/// reference map rebuilt here from every `encode` output must agree with
+/// `decode` on all 1024 codes. Disparity acceptance is checked at
+/// character granularity (the implementation's documented rule): a
+/// balanced code decodes under either running disparity, an imbalanced
+/// one only under the disparity it corrects.
+#[test]
+fn b8b10_decode_table_matches_encoder_inverse() {
+    use std::collections::HashMap;
+    let mut reference: HashMap<u16, Byte8> = HashMap::new();
+    for rd in [Disparity::Minus, Disparity::Plus] {
+        for b in 0..=255u8 {
+            for byte in [Byte8::Data(b), Byte8::Special(b)] {
+                if let Ok((code, _)) = encode(byte, rd) {
+                    let prior = reference.insert(code, byte);
+                    assert!(
+                        prior.is_none_or(|p| p == byte),
+                        "code {code:#012b} is ambiguous: {prior:?} vs {byte:?}"
+                    );
+                }
+            }
+        }
+    }
+    // 256 data bytes times two disparities gives at most 512 distinct
+    // codes; balanced codes coincide across disparities, and the valid K
+    // characters add a few more.
+    assert!(reference.len() > 256, "table too small: {}", reference.len());
+    for code in 0..1u16 << 10 {
+        let imbalance = 2 * i32::try_from(code.count_ones()).unwrap() - 10;
+        for rd in [Disparity::Minus, Disparity::Plus] {
+            let expected = reference.get(&code).copied().and_then(|byte| {
+                match (rd, imbalance) {
+                    (_, 0) => Some((byte, rd)),
+                    (Disparity::Minus, 2) => Some((byte, Disparity::Plus)),
+                    (Disparity::Plus, -2) => Some((byte, Disparity::Minus)),
+                    _ => None,
+                }
+            });
+            assert_eq!(
+                decode(code, rd).ok(),
+                expected,
+                "code {code:#012b} under {rd:?}"
+            );
         }
     }
 }

@@ -6,6 +6,13 @@
 //! where the sequence number is assigned at scheduling time, so runs are
 //! fully deterministic.
 
+// netfi-lint: deny(hot-path-alloc)
+//
+// The event loop (`step`) is the simulator's innermost loop. The only
+// allocations permitted here are one-time constructor ones (allowlisted
+// below); the queue, outbox and component table amortise to zero
+// allocations at steady state.
+
 use std::any::Any;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -170,18 +177,22 @@ impl<M: 'static> Engine<M> {
     /// Creates an empty engine at time zero.
     pub fn new() -> Self {
         Engine {
+            // lint: allow(hot-path-alloc) one-time constructor; both Vec::new are capacity 0
             components: Vec::new(),
             queue: BinaryHeap::new(),
             now: SimTime::ZERO,
             seq: 0,
             events_processed: 0,
             stop_requested: false,
+            // lint: allow(hot-path-alloc) reusable outbox, allocated once and drained in place
             outbox: Vec::new(),
         }
     }
 
     /// Registers a component and returns its id.
+    #[allow(clippy::expect_used)]
     pub fn add_component(&mut self, component: Box<dyn Component<M>>) -> ComponentId {
+        // lint: allow(expect) >4 billion components is a harness bug, not a runtime state
         let id = ComponentId(u32::try_from(self.components.len()).expect("too many components"));
         self.components.push(component);
         id

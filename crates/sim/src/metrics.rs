@@ -5,7 +5,7 @@
 
 use std::fmt;
 
-use crate::time::SimDuration;
+use crate::time::{SimDuration, SimTime};
 
 /// A monotone event counter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -39,53 +39,61 @@ impl fmt::Display for Counter {
     }
 }
 
-/// Wall-clock event-throughput meter for engine runs.
+/// Sim-time event-density meter for engine runs.
 ///
-/// Bracket a simulation run between [`EventRate::start`] and
-/// [`EventRate::stop`], feeding it the engine's `events_processed`
-/// counter, and read back events/sec and ns/event. The engine itself
-/// stays wall-clock-free (determinism!) — the meter lives entirely in
-/// the harness.
+/// Bracket a simulation span between [`EventRate::start`] and
+/// [`EventRate::stop`], feeding it the engine's clock (`engine.now()`)
+/// and its `events_processed` counter, and read back events per
+/// *simulated* second and simulated nanoseconds per event. The meter is
+/// pure sim-time arithmetic — no wall clock — so two runs of the same
+/// seeded scenario produce identical reports (pinned by
+/// `tests/determinism.rs`). Wall-clock throughput belongs to the bench
+/// harness (`netfi-bench`), which may measure whatever it likes.
 ///
 /// # Example
 ///
 /// ```
 /// use netfi_sim::metrics::EventRate;
-/// let meter = EventRate::start(0);
+/// use netfi_sim::SimTime;
+/// let meter = EventRate::start(SimTime::ZERO, 0);
 /// // ... engine.run_until(...) ...
-/// let rate = meter.stop(1_000);
+/// let rate = meter.stop(SimTime::from_us(1), 1_000);
 /// assert_eq!(rate.events(), 1_000);
-/// assert!(rate.events_per_sec() > 0.0);
+/// assert!(rate.events_per_sim_sec() > 0.0);
 /// ```
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EventRate {
     events_at_start: u64,
-    started: std::time::Instant,
+    started: SimTime,
 }
 
 impl EventRate {
-    /// Starts the meter at the engine's current `events_processed`.
-    pub fn start(events_processed: u64) -> EventRate {
+    /// Starts the meter at the engine's current time and
+    /// `events_processed` count.
+    pub fn start(now: SimTime, events_processed: u64) -> EventRate {
         EventRate {
             events_at_start: events_processed,
-            started: std::time::Instant::now(),
+            started: now,
         }
     }
 
-    /// Stops the meter at the engine's final `events_processed`.
-    pub fn stop(self, events_processed: u64) -> EventRateReport {
+    /// Stops the meter at the engine's final time and `events_processed`
+    /// count. A `now` earlier than the start clamps the span to zero.
+    pub fn stop(self, now: SimTime, events_processed: u64) -> EventRateReport {
         EventRateReport {
             events: events_processed.saturating_sub(self.events_at_start),
-            wall: self.started.elapsed(),
+            span: now
+                .checked_duration_since(self.started)
+                .unwrap_or(SimDuration::ZERO),
         }
     }
 }
 
 /// The result of an [`EventRate`] measurement.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EventRateReport {
     events: u64,
-    wall: std::time::Duration,
+    span: SimDuration,
 }
 
 impl EventRateReport {
@@ -94,14 +102,14 @@ impl EventRateReport {
         self.events
     }
 
-    /// Wall-clock time of the measured span.
-    pub fn wall(self) -> std::time::Duration {
-        self.wall
+    /// Simulated time of the measured span.
+    pub fn span(self) -> SimDuration {
+        self.span
     }
 
-    /// Delivered events per wall-clock second.
-    pub fn events_per_sec(self) -> f64 {
-        let secs = self.wall.as_secs_f64();
+    /// Delivered events per simulated second.
+    pub fn events_per_sim_sec(self) -> f64 {
+        let secs = self.span.as_secs_f64();
         if secs <= 0.0 {
             f64::INFINITY
         } else {
@@ -109,12 +117,12 @@ impl EventRateReport {
         }
     }
 
-    /// Wall-clock nanoseconds per delivered event.
-    pub fn ns_per_event(self) -> f64 {
+    /// Simulated nanoseconds per delivered event.
+    pub fn sim_ns_per_event(self) -> f64 {
         if self.events == 0 {
             0.0
         } else {
-            self.wall.as_nanos() as f64 / self.events as f64
+            self.span.as_ns_f64() / self.events as f64
         }
     }
 }
@@ -123,11 +131,11 @@ impl fmt::Display for EventRateReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} events in {:.3} ms ({:.0} events/s, {:.1} ns/event)",
+            "{} events in {} of sim time ({:.0} events/sim-s, {:.1} sim-ns/event)",
             self.events,
-            self.wall.as_secs_f64() * 1e3,
-            self.events_per_sec(),
-            self.ns_per_event()
+            self.span,
+            self.events_per_sim_sec(),
+            self.sim_ns_per_event()
         )
     }
 }
@@ -405,6 +413,32 @@ mod tests {
         c.add(4);
         assert_eq!(c.get(), 5);
         assert_eq!(c.to_string(), "5");
+    }
+
+    #[test]
+    fn event_rate_is_sim_time_arithmetic() {
+        let m = EventRate::start(SimTime::from_us(1), 100);
+        let r = m.stop(SimTime::from_us(3), 1_100);
+        assert_eq!(r.events(), 1_000);
+        assert_eq!(r.span(), SimDuration::from_us(2));
+        assert!((r.events_per_sim_sec() - 5e8).abs() < 1.0);
+        assert!((r.sim_ns_per_event() - 2.0).abs() < 1e-12);
+        // Identical inputs give identical reports: no wall clock anywhere.
+        assert_eq!(m.stop(SimTime::from_us(3), 1_100), r);
+        assert!(r.to_string().contains("events/sim-s"));
+    }
+
+    #[test]
+    fn event_rate_degenerate_spans() {
+        let m = EventRate::start(SimTime::from_us(5), 0);
+        assert_eq!(
+            m.stop(SimTime::from_us(5), 10).events_per_sim_sec(),
+            f64::INFINITY
+        );
+        // Clock moving backwards clamps to an empty span.
+        assert_eq!(m.stop(SimTime::ZERO, 10).span(), SimDuration::ZERO);
+        // No events: ns/event reads zero rather than dividing by zero.
+        assert_eq!(m.stop(SimTime::from_us(6), 0).sim_ns_per_event(), 0.0);
     }
 
     #[test]

@@ -92,10 +92,12 @@ impl SimTime {
     /// # Panics
     ///
     /// Panics if `earlier` is later than `self`.
+    #[allow(clippy::expect_used)]
     pub fn duration_since(self, earlier: SimTime) -> SimDuration {
         SimDuration(
             self.0
                 .checked_sub(earlier.0)
+                // lint: allow(expect) documented panic; checked_duration_since is the fallible form
                 .expect("duration_since: earlier is later than self"),
         )
     }
@@ -163,10 +165,12 @@ impl SimDuration {
     /// # Panics
     ///
     /// Panics if `bits_per_sec` is zero.
+    #[allow(clippy::expect_used)]
     pub fn from_bits(bits: u64, bits_per_sec: u64) -> Self {
         assert!(bits_per_sec > 0, "bits_per_sec must be non-zero");
         // ps = bits * 1e12 / bps, computed in u128 to avoid overflow.
         let ps = (bits as u128 * 1_000_000_000_000u128).div_ceil(bits_per_sec as u128);
+        // lint: allow(expect) documented panic; a >213-day transfer is a caller bug
         SimDuration(u64::try_from(ps).expect("duration overflows u64 picoseconds"))
     }
 
@@ -198,7 +202,9 @@ impl SimDuration {
 
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    #[allow(clippy::expect_used)]
     fn add(self, d: SimDuration) -> SimTime {
+        // lint: allow(expect) operator impls cannot return Result; overflow is a bug
         SimTime(self.0.checked_add(d.0).expect("SimTime overflow"))
     }
 }
@@ -211,7 +217,9 @@ impl AddAssign<SimDuration> for SimTime {
 
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
+    #[allow(clippy::expect_used)]
     fn sub(self, d: SimDuration) -> SimTime {
+        // lint: allow(expect) operator impls cannot return Result; underflow is a bug
         SimTime(self.0.checked_sub(d.0).expect("SimTime underflow"))
     }
 }
@@ -225,7 +233,9 @@ impl Sub<SimTime> for SimTime {
 
 impl Add for SimDuration {
     type Output = SimDuration;
+    #[allow(clippy::expect_used)]
     fn add(self, other: SimDuration) -> SimDuration {
+        // lint: allow(expect) operator impls cannot return Result; overflow is a bug
         SimDuration(self.0.checked_add(other.0).expect("SimDuration overflow"))
     }
 }
@@ -238,10 +248,12 @@ impl AddAssign for SimDuration {
 
 impl Sub for SimDuration {
     type Output = SimDuration;
+    #[allow(clippy::expect_used)]
     fn sub(self, other: SimDuration) -> SimDuration {
         SimDuration(
             self.0
                 .checked_sub(other.0)
+                // lint: allow(expect) operator impls cannot return Result; underflow is a bug
                 .expect("SimDuration underflow"),
         )
     }
@@ -255,7 +267,9 @@ impl SubAssign for SimDuration {
 
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
+    #[allow(clippy::expect_used)]
     fn mul(self, n: u64) -> SimDuration {
+        // lint: allow(expect) operator impls cannot return Result; overflow is a bug
         SimDuration(self.0.checked_mul(n).expect("SimDuration overflow"))
     }
 }

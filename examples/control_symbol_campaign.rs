@@ -3,6 +3,9 @@
 //!
 //! Run with `cargo run --release --example control_symbol_campaign`.
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netfi::nftape::scenarios::control::{control_symbol_row, ControlCampaignOptions};
 use netfi::nftape::Table;
 use netfi::phy::ControlSymbol;
@@ -27,7 +30,7 @@ fn main() {
     );
     for (mask, replacement) in rows {
         eprintln!("  {mask} -> {replacement} …");
-        let r = control_symbol_row(mask, replacement, &opts);
+        let r = control_symbol_row(mask, replacement, &opts).unwrap();
         table.row(&[
             mask.to_string(),
             replacement.to_string(),

@@ -5,6 +5,9 @@
 //!
 //! Run with `cargo run --example dual_switch`.
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netfi::injector::{DeviceConfig, Direction, InjectorDevice};
 use netfi::myrinet::addr::{EthAddr, NodeAddress};
 use netfi::myrinet::event::connect;
@@ -32,8 +35,8 @@ fn main() {
         capture_capacity: 64,
         traffic_capacity: 256,
     })));
-    connect::<Switch, InjectorDevice>(&mut engine, (sw0, 7), (device, 0), &link);
-    connect::<InjectorDevice, Switch>(&mut engine, (device, 1), (sw1, 7), &link);
+    connect::<Switch, InjectorDevice>(&mut engine, (sw0, 7), (device, 0), &link).unwrap();
+    connect::<InjectorDevice, Switch>(&mut engine, (device, 1), (sw1, 7), &link).unwrap();
 
     // Two hosts per switch.
     let mut hosts = Vec::new();
@@ -59,7 +62,7 @@ fn main() {
             });
         }
         let h = engine.add_component(Box::new(host));
-        connect::<Host, Switch>(&mut engine, (h, 0), (sw, port), &link);
+        connect::<Host, Switch>(&mut engine, (h, 0), (sw, port), &link).unwrap();
         engine.schedule(SimTime::ZERO, h, Ev::App(Box::new(HostCmd::Start)));
         hosts.push(h);
     }

@@ -12,6 +12,9 @@
 //!
 //! Run with `cargo run --example fc_monitor`.
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netfi::fc::frame::{decode_line, FcAddress, FcError, FcFrame};
 use netfi::injector::config::InjectorConfig;
 use netfi::injector::media::{FibreChannelMedia, Gen2Injector};

@@ -3,11 +3,14 @@
 //!
 //! Run with `cargo run --release --example latency_pingpong`.
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netfi::nftape::scenarios::latency::latency_table2;
 
 fn main() {
     println!("running 2 experiments × 2 arms × 5000 ping-pong packets …\n");
-    let rows = latency_table2(5_000, 2, 42);
+    let rows = latency_table2(5_000, 2, 42).unwrap();
     for row in &rows {
         println!(
             "experiment {}: {:.0} ns/packet without, {:.0} ns with, added {:+.0} ns",

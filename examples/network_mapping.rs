@@ -5,12 +5,15 @@
 //!
 //! Run with `cargo run --example network_mapping`.
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netfi::myrinet::mapper::Topology;
 use netfi::netstack::{build_testbed, Host, TestbedOptions};
 use netfi::sim::{SimDuration, SimTime};
 
 fn main() {
-    let mut tb = build_testbed(TestbedOptions::default(), |_, _| {});
+    let mut tb = build_testbed(TestbedOptions::default(), |_, _| {}).unwrap();
     let topo = Topology::single_switch(8);
 
     // One mapping round per second; let three complete.

@@ -5,6 +5,9 @@
 //!
 //! Run with `cargo run --example quickstart`.
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netfi::injector::config::InjectorConfig;
 use netfi::injector::{Direction, InjectorDevice, MatchMode};
 use netfi::myrinet::addr::EthAddr;
@@ -34,7 +37,7 @@ fn main() {
             ..TestbedOptions::default()
         },
         |_, _| {},
-    );
+    ).unwrap();
     let device = tb.injector.expect("intercept_host splices a device");
 
     // A Myrinet packet, as in Figure 6: source route, 4-byte type,

@@ -5,6 +5,9 @@
 //!
 //! Run with `cargo run --example serial_console`.
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netfi::injector::{Direction, InjectorDevice, MatchMode};
 
 fn console(device: &mut InjectorDevice, line: &str) {

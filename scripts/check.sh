@@ -14,6 +14,9 @@ cargo test -q --workspace --offline
 echo "== clippy (-D warnings) =="
 cargo clippy --all-targets --offline -- -D warnings
 
+echo "== lint (netfi-lint workspace invariants) =="
+./target/release/netfi-lint .
+
 echo "== engine bench =="
 ./target/release/bench_engine --sim-ms 2000 --samples 9 --campaigns 0 \
     --out target/BENCH_engine.json

@@ -2,6 +2,9 @@
 //! paper's experiments, asserting the qualitative results the paper
 //! reports.
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netfi::nftape::scenarios::{address, control, ptype, udpcheck};
 use netfi::phy::ControlSymbol;
 use netfi::sim::SimDuration;
@@ -12,7 +15,7 @@ fn table4_stop_row_loses_messages_via_overflow() {
         window: SimDuration::from_secs(4),
         ..control::ControlCampaignOptions::default()
     };
-    let row = control::control_symbol_row(ControlSymbol::Stop, ControlSymbol::Go, &opts);
+    let row = control::control_symbol_row(ControlSymbol::Stop, ControlSymbol::Go, &opts).unwrap();
     assert!(row.sent > 1_000);
     assert!(
         row.loss_rate() > 0.02 && row.loss_rate() < 0.30,
@@ -28,7 +31,7 @@ fn table4_gap_row_loses_messages_via_framing() {
         window: SimDuration::from_secs(4),
         ..control::ControlCampaignOptions::default()
     };
-    let row = control::control_symbol_row(ControlSymbol::Gap, ControlSymbol::Stop, &opts);
+    let row = control::control_symbol_row(ControlSymbol::Gap, ControlSymbol::Stop, &opts).unwrap();
     assert!(
         row.loss_rate() > 0.02 && row.loss_rate() < 0.40,
         "loss {:.3}",
@@ -40,8 +43,8 @@ fn table4_gap_row_loses_messages_via_framing() {
 #[test]
 fn gap_long_timeout_collapses_throughput_to_near_12_percent() {
     let window = SimDuration::from_secs(5);
-    let normal = control::gap_timeout(false, window, 9);
-    let faulty = control::gap_timeout(true, window, 9);
+    let normal = control::gap_timeout(false, window, 9).unwrap();
+    let faulty = control::gap_timeout(true, window, 9).unwrap();
     let ratio = faulty.received as f64 / normal.received.max(1) as f64;
     assert!((0.06..0.20).contains(&ratio), "ratio {ratio:.3}");
     assert!(faulty.extra("long_timeout_releases").unwrap() > 10.0);
@@ -51,8 +54,8 @@ fn gap_long_timeout_collapses_throughput_to_near_12_percent() {
 #[test]
 fn faulty_stop_collapses_request_response_rate() {
     let window = SimDuration::from_secs(5);
-    let normal = control::stop_throughput(false, window, 9);
-    let faulty = control::stop_throughput(true, window, 9);
+    let normal = control::stop_throughput(false, window, 9).unwrap();
+    let faulty = control::stop_throughput(true, window, 9).unwrap();
     let ratio = faulty.throughput() / normal.throughput().max(1e-9);
     // Paper: ~10% of normal; we accept the same order of magnitude.
     assert!(ratio < 0.25, "ratio {ratio:.3}");
@@ -61,14 +64,14 @@ fn faulty_stop_collapses_request_response_rate() {
 
 #[test]
 fn mapping_type_corruption_round_trip() {
-    let r = ptype::mapping_packet_corruption(31);
+    let r = ptype::mapping_packet_corruption(31).unwrap();
     assert_eq!(r.extra("removed"), Some(1.0));
     assert_eq!(r.extra("restored"), Some(1.0));
 }
 
 #[test]
 fn destination_corruption_caught_by_crc8() {
-    let r = address::destination_corruption(33, false);
+    let r = address::destination_corruption(33, false).unwrap();
     assert_eq!(r.received, 0);
     assert_eq!(r.extra("received_by_wrong_node"), Some(0.0));
     assert!(r.extra("crc_drops").unwrap() as u64 >= r.sent.saturating_sub(2));
@@ -76,7 +79,7 @@ fn destination_corruption_caught_by_crc8() {
 
 #[test]
 fn udp_word_swap_reaches_application() {
-    let r = udpcheck::aliasing_corruption(35);
+    let r = udpcheck::aliasing_corruption(35).unwrap();
     assert_eq!(r.received, r.sent);
     assert_eq!(r.extra("delivered_intact"), Some(0.0));
 }

@@ -2,6 +2,9 @@
 //! global RNG, deterministic event ordering. These tests run the same
 //! seeded scenarios twice and require identical outcomes.
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netfi::injector::{Direction, InjectorDevice};
 use netfi::myrinet::addr::EthAddr;
 use netfi::netstack::{build_testbed, Host, TestbedOptions, Workload, SINK_PORT};
@@ -33,7 +36,7 @@ fn run_once(seed: u64) -> (u64, u64, u64, u64) {
                 });
             }
         },
-    );
+    ).unwrap();
     tb.engine.run_until(SimTime::from_secs(4));
     let h1 = tb.engine.component_as::<Host>(tb.hosts[1]).unwrap();
     let h2 = tb.engine.component_as::<Host>(tb.hosts[2]).unwrap();
@@ -69,8 +72,8 @@ fn different_seeds_still_deliver_but_differ_in_timing_noise() {
 #[test]
 fn campaign_scenarios_are_deterministic() {
     use netfi::nftape::scenarios::udpcheck;
-    let a = udpcheck::aliasing_corruption(7);
-    let b = udpcheck::aliasing_corruption(7);
+    let a = udpcheck::aliasing_corruption(7).unwrap();
+    let b = udpcheck::aliasing_corruption(7).unwrap();
     assert_eq!(a, b);
 }
 
@@ -114,7 +117,7 @@ fn event_trace_hash(seed: u64) -> u64 {
                 });
             }
         },
-    );
+    ).unwrap();
     let dev_id = tb.injector.unwrap();
     tb.engine
         .component_as_mut::<InjectorDevice>(dev_id)
@@ -158,9 +161,54 @@ fn campaign_results_golden_hash() {
     use netfi::nftape::scenarios::udpcheck;
     let text = format!(
         "{:?}\n{:?}\n{:?}\n",
-        udpcheck::baseline(7),
-        udpcheck::aliasing_corruption(7),
-        udpcheck::detected_corruption(7),
+        udpcheck::baseline(7).unwrap(),
+        udpcheck::aliasing_corruption(7).unwrap(),
+        udpcheck::detected_corruption(7).unwrap(),
     );
     assert_eq!(fnv1a(text.as_bytes()), 0xA700_F551_56B5_1037);
+}
+
+/// The event-rate meter is pure sim-time arithmetic (its wall-clock
+/// dependency was removed when `netfi-lint` started enforcing the
+/// determinism rules), so bracketing the same seeded run twice yields
+/// bit-identical reports that agree exactly with the engine's own
+/// counters.
+#[test]
+fn event_rate_meter_is_deterministic() {
+    use netfi::sim::metrics::EventRate;
+    let measure = |seed: u64| {
+        let mut tb = build_testbed(
+            TestbedOptions {
+                seed,
+                ..TestbedOptions::default()
+            },
+            |i, host: &mut Host| {
+                if i == 0 {
+                    host.add_workload(Workload::Sender {
+                        dest: EthAddr::myricom(2),
+                        interval: SimDuration::from_ms(2),
+                        payload_len: 128,
+                        forbidden: vec![],
+                        burst: 1,
+                    });
+                }
+            },
+        )
+        .unwrap();
+        let meter = EventRate::start(tb.engine.now(), tb.engine.events_processed());
+        tb.engine.run_until(SimTime::from_secs(2));
+        let report = meter.stop(tb.engine.now(), tb.engine.events_processed());
+        (report, tb.engine.events_processed())
+    };
+    let (a, events_a) = measure(77);
+    let (b, events_b) = measure(77);
+    // Same seed, same report — field for field, no wall-clock noise.
+    assert_eq!(a, b);
+    assert_eq!(events_a, events_b);
+    // The meter agrees exactly with the engine it sampled: started at
+    // zero, so the measured span and count are the totals.
+    assert_eq!(a.events(), events_a);
+    assert!(a.events() > 1_000, "run too quiet: {} events", a.events());
+    assert!(a.events_per_sim_sec() > 0.0);
+    assert!(a.sim_ns_per_event() > 0.0);
 }

@@ -3,6 +3,9 @@
 //! sequences. Driven by seeded loops over `DetRng` (no external
 //! dependencies).
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use std::any::Any;
 
 use netfi::injector::InjectorDevice;
@@ -86,10 +89,10 @@ fn run(frames: &[Frame], with_device: bool) -> Vec<Frame> {
     let link = Link::myrinet_640(1.0);
     if with_device {
         let dev = engine.add_component(Box::new(InjectorDevice::with_name("prop")));
-        connect::<Probe, InjectorDevice>(&mut engine, (a, 0), (dev, 0), &link);
-        connect::<InjectorDevice, Probe>(&mut engine, (dev, 1), (b, 0), &link);
+        connect::<Probe, InjectorDevice>(&mut engine, (a, 0), (dev, 0), &link).unwrap();
+        connect::<InjectorDevice, Probe>(&mut engine, (dev, 1), (b, 0), &link).unwrap();
     } else {
-        connect::<Probe, Probe>(&mut engine, (a, 0), (b, 0), &link);
+        connect::<Probe, Probe>(&mut engine, (a, 0), (b, 0), &link).unwrap();
     }
     for (i, frame) in frames.iter().enumerate() {
         engine.schedule(

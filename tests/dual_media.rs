@@ -3,6 +3,9 @@
 //! the *same* `FifoInjector` datapath and verify each medium's own
 //! protection (CRC-8 vs CRC-32 + 8b/10b) reacts as the paper describes.
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netfi::fc::frame::{decode_line, FcAddress, FcError, FcFrame, OrderedSet};
 use netfi::injector::config::InjectorConfig;
 use netfi::injector::{FifoInjector, MatchMode};

@@ -1,6 +1,9 @@
 //! Multi-switch integration: mapping, routing and injection across a
 //! two-switch fabric with the injector on the inter-switch trunk.
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netfi::injector::config::InjectorConfig;
 use netfi::injector::{DeviceConfig, Direction, InjectorDevice, MatchMode};
 use netfi::myrinet::addr::{EthAddr, NodeAddress};
@@ -30,8 +33,8 @@ fn build(seed: u64) -> Fabric {
         capture_capacity: 64,
         traffic_capacity: 256,
     })));
-    connect::<Switch, InjectorDevice>(&mut engine, (sw0, 7), (device, 0), &link);
-    connect::<InjectorDevice, Switch>(&mut engine, (device, 1), (sw1, 7), &link);
+    connect::<Switch, InjectorDevice>(&mut engine, (sw0, 7), (device, 0), &link).unwrap();
+    connect::<InjectorDevice, Switch>(&mut engine, (device, 1), (sw1, 7), &link).unwrap();
 
     let mut hosts = Vec::new();
     for i in 0..4usize {
@@ -54,7 +57,7 @@ fn build(seed: u64) -> Fabric {
             });
         }
         let h = engine.add_component(Box::new(host));
-        connect::<Host, Switch>(&mut engine, (h, 0), (sw, port), &link);
+        connect::<Host, Switch>(&mut engine, (h, 0), (sw, port), &link).unwrap();
         engine.schedule(SimTime::ZERO, h, Ev::App(Box::new(HostCmd::Start)));
         hosts.push(h);
     }

@@ -2,6 +2,9 @@
 //! mapping, UDP, the injector device and its serial command protocol —
 //! exercised together.
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netfi::injector::command::DirSelect;
 use netfi::injector::config::InjectorConfig;
 use netfi::injector::{Direction, InjectorDevice, MatchMode};
@@ -32,7 +35,7 @@ fn mapping_traffic_and_injection_interact_correctly() {
                 });
             }
         },
-    );
+    ).unwrap();
     let device = tb.injector.unwrap();
 
     // Phase 1: pass-through. Mapping converges across the device; traffic
@@ -97,7 +100,7 @@ fn control_symbol_swap_visible_at_flow_control_level() {
                 });
             }
         },
-    );
+    ).unwrap();
     let device = tb.injector.unwrap();
     tb.engine
         .component_as_mut::<InjectorDevice>(device)
@@ -136,7 +139,7 @@ fn statistics_gathering_counts_per_identifier_pairs() {
                 });
             }
         },
-    );
+    ).unwrap();
     tb.engine.run_until(SimTime::from_secs(3));
     let dev = tb
         .engine

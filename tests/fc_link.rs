@@ -8,6 +8,9 @@
 //! R_RDY ordered set) is not a Myrinet control symbol, so the device
 //! forwards it untouched unless a campaign targets it.
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use std::any::Any;
 use std::collections::VecDeque;
 
@@ -130,8 +133,8 @@ fn build(bb_credit: u32) -> (Engine<Ev>, ComponentId, ComponentId, ComponentId) 
     let b = engine.add_component(Box::new(FcEndpoint::new(bb_credit)));
     let dev = engine.add_component(Box::new(InjectorDevice::with_name("fc-fi")));
     let link = Link::fibre_channel(5.0);
-    connect::<FcEndpoint, InjectorDevice>(&mut engine, (a, 0), (dev, 0), &link);
-    connect::<InjectorDevice, FcEndpoint>(&mut engine, (dev, 1), (b, 0), &link);
+    connect::<FcEndpoint, InjectorDevice>(&mut engine, (a, 0), (dev, 0), &link).unwrap();
+    connect::<InjectorDevice, FcEndpoint>(&mut engine, (dev, 1), (b, 0), &link).unwrap();
     (engine, a, b, dev)
 }
 

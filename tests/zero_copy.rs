@@ -11,6 +11,9 @@
 //! counter is process-wide, and any concurrently running test that
 //! injects faults would bump it.
 
+// Tests and examples may unwrap: a failed assertion here is the point.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
 use netfi::injector::InjectorDevice;
 use netfi::myrinet::addr::EthAddr;
 use netfi::netstack::{build_testbed, Host, TestbedOptions, Workload, SINK_PORT};
@@ -43,7 +46,7 @@ fn uncorrupted_pass_through_copies_no_payload_bytes() {
                 });
             }
         },
-    );
+    ).unwrap();
 
     let before = SharedBytes::copy_count();
     tb.engine.run_until(SimTime::from_secs(2));
