@@ -13,7 +13,7 @@
 //! ```
 
 use netfi_bench::harness::{Bench, JsonObject};
-use netfi_bench::arg;
+use netfi_bench::{arg, extract_number};
 use netfi_myrinet::addr::EthAddr;
 use netfi_netstack::{build_testbed, Host, TestbedOptions, Workload};
 use netfi_nftape::campaign::{paper_campaigns, run_campaigns_parallel};
@@ -124,14 +124,3 @@ fn main() {
     println!("wrote {out_path}");
 }
 
-/// Pulls `"key": <number>` out of a flat JSON object — enough to read our
-/// own baseline artifact back without a JSON parser.
-fn extract_number(json: &str, key: &str) -> Option<f64> {
-    let needle = format!("\"{key}\":");
-    let at = json.find(&needle)? + needle.len();
-    let rest = json[at..].trim_start();
-    let end = rest
-        .find(|c: char| c != '-' && c != '+' && c != '.' && c != 'e' && c != 'E' && !c.is_ascii_digit())
-        .unwrap_or(rest.len());
-    rest[..end].parse().ok()
-}

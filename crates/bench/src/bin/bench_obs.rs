@@ -1,0 +1,172 @@
+//! Observability overhead benchmark: what does `netfi-obs` cost?
+//!
+//! Runs `bench_engine`'s saturated three-node testbed twice — once with
+//! observation disabled (the default `NullProbe` engine, every component
+//! recorder disarmed) and once fully armed (engine [`DispatchProbe`] plus
+//! recorders on the device, switch, interfaces and hosts) — and emits
+//! `BENCH_obs.json`.
+//!
+//! The contract the subsystem must keep is "zero when off": the disabled
+//! run is the same code the committed `BENCH_engine.json` baseline
+//! measured, so `--baseline <path> --min-ratio 0.8` turns the binary into
+//! a gate — it exits non-zero if the disabled-path throughput falls below
+//! `min-ratio` of the baseline's `events_per_sec`.
+//!
+//! ```text
+//! cargo run -p netfi-bench --release --bin bench_obs -- \
+//!     [--out BENCH_obs.json] [--sim-ms 2000] [--samples 5] \
+//!     [--baseline target/BENCH_engine.json] [--min-ratio 0.8]
+//! ```
+
+use netfi_bench::harness::{Bench, JsonObject};
+use netfi_bench::{arg, extract_number};
+use netfi_core::InjectorDevice;
+use netfi_myrinet::addr::EthAddr;
+use netfi_myrinet::switch::Switch;
+use netfi_netstack::{build_testbed, build_testbed_probed, Host, TestbedOptions, Workload};
+use netfi_obs::DispatchProbe;
+use netfi_sim::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn options(seed: u64) -> TestbedOptions {
+    TestbedOptions {
+        intercept_host: Some(1),
+        seed,
+        paper_era_hosts: true,
+        ..TestbedOptions::default()
+    }
+}
+
+fn workloads(i: usize, host: &mut Host) {
+    if i == 0 {
+        host.add_workload(Workload::Sender {
+            dest: EthAddr::myricom(2),
+            interval: SimDuration::from_ms(3),
+            payload_len: 256,
+            forbidden: vec![],
+            burst: 2,
+        });
+    }
+    if i == 2 {
+        host.add_workload(Workload::Flood {
+            peer: EthAddr::myricom(1),
+            payload_len: 64,
+            timeout: SimDuration::from_ms(10),
+        });
+    }
+}
+
+/// The baseline path: `NullProbe` engine, every recorder disarmed — the
+/// exact configuration `bench_engine` measures.
+fn run_disabled(sim_ms: u64, seed: u64) -> u64 {
+    let mut tb = build_testbed(options(seed), workloads).unwrap();
+    tb.engine.run_until(SimTime::from_ms(sim_ms));
+    tb.engine.events_processed()
+}
+
+/// The fully armed path: dispatch probe plus flight recorders at every
+/// layer.
+fn run_enabled(sim_ms: u64, seed: u64) -> u64 {
+    let mut tb = build_testbed_probed(options(seed), DispatchProbe::new(1024), workloads).unwrap();
+    let hosts = tb.hosts.clone();
+    for h in hosts {
+        let host = tb.engine.component_as_mut::<Host>(h).unwrap();
+        host.obs_mut().arm(1024);
+        host.nic_mut().obs_mut().arm(1024);
+    }
+    tb.engine
+        .component_as_mut::<Switch>(tb.switch)
+        .unwrap()
+        .obs_mut()
+        .arm(1024);
+    if let Some(dev) = tb.injector {
+        tb.engine
+            .component_as_mut::<InjectorDevice>(dev)
+            .unwrap()
+            .obs_mut()
+            .arm(1024);
+    }
+    tb.engine.run_until(SimTime::from_ms(sim_ms));
+    tb.engine.events_processed()
+}
+
+fn main() {
+    let out_path: String = arg("--out", "BENCH_obs.json".to_string());
+    let sim_ms: u64 = arg("--sim-ms", 2_000);
+    let samples: u32 = arg("--samples", 5);
+    let baseline_path: String = arg("--baseline", String::new());
+    let min_ratio: f64 = arg("--min-ratio", 0.0);
+
+    let events = run_disabled(sim_ms, 12345);
+    assert_eq!(
+        events,
+        run_enabled(sim_ms, 12345),
+        "observation must not change the simulation trajectory"
+    );
+
+    let m_off = Bench::new(format!("obs/disabled_{sim_ms}ms"))
+        .samples(samples)
+        .warmup(1)
+        .run(|| black_box(run_disabled(sim_ms, 12345)));
+    println!("{}", m_off.report());
+    let m_on = Bench::new(format!("obs/enabled_{sim_ms}ms"))
+        .samples(samples)
+        .warmup(1)
+        .run(|| black_box(run_enabled(sim_ms, 12345)));
+    println!("{}", m_on.report());
+
+    let eps_off = events as f64 / (m_off.median_sample_ns() as f64 / 1e9);
+    let eps_on = events as f64 / (m_on.median_sample_ns() as f64 / 1e9);
+    let enabled_ratio = eps_on / eps_off;
+    println!(
+        "obs: disabled {eps_off:.0} events/s, enabled {eps_on:.0} events/s \
+         ({:.1}% of disabled)",
+        enabled_ratio * 100.0
+    );
+
+    let mut json = JsonObject::new()
+        .str("bench", "obs")
+        .str("workload", "saturated_3node_testbed")
+        .int("sim_ms", sim_ms)
+        .int("events", events)
+        .num("events_per_sec_disabled", eps_off)
+        .num("events_per_sec_enabled", eps_on)
+        .num("enabled_over_disabled", enabled_ratio);
+
+    let mut gate_ok = true;
+    if !baseline_path.is_empty() {
+        match std::fs::read_to_string(&baseline_path)
+            .ok()
+            .and_then(|s| extract_number(&s, "events_per_sec"))
+        {
+            Some(base_eps) => {
+                let ratio = eps_off / base_eps;
+                println!(
+                    "baseline: {base_eps:.0} events/s -> disabled-path ratio {ratio:.2} \
+                     ({baseline_path})"
+                );
+                json = json
+                    .num("baseline_events_per_sec", base_eps)
+                    .num("disabled_over_baseline", ratio);
+                if min_ratio > 0.0 && ratio < min_ratio {
+                    eprintln!(
+                        "FAIL: disabled-path throughput is {ratio:.2}x the baseline \
+                         (gate: >= {min_ratio:.2}x) — the obs seam is not free when off"
+                    );
+                    gate_ok = false;
+                }
+            }
+            None => {
+                eprintln!("FAIL: no events_per_sec in baseline {baseline_path}");
+                gate_ok = false;
+            }
+        }
+    }
+
+    let rendered = json.render();
+    std::fs::write(&out_path, format!("{rendered}\n")).expect("write BENCH json");
+    println!("wrote {out_path}");
+    if !gate_ok {
+        std::process::exit(1);
+    }
+}

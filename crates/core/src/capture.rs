@@ -4,11 +4,11 @@
 //! injection event, thus giving the user sufficient dynamic state
 //! information about the environment in which the fault injection was
 //! performed" (§3.2). The capture memory is backed by the board's SDRAM in
-//! hardware; here a bounded [`TraceBuffer`] plays that role.
+//! hardware; here a bounded [`FlightRecorder`] plays that role.
 
 use std::fmt;
 
-use netfi_sim::trace::TraceBuffer;
+use netfi_obs::FlightRecorder;
 use netfi_sim::SimTime;
 
 /// How many context bytes to keep on each side of an injection site.
@@ -79,7 +79,7 @@ impl fmt::Display for CaptureRecord {
 /// The capture memory for one direction of the device.
 #[derive(Debug, Clone)]
 pub struct CaptureBuffer {
-    buf: TraceBuffer<CaptureRecord>,
+    buf: FlightRecorder<CaptureRecord>,
 }
 
 impl CaptureBuffer {
@@ -90,7 +90,7 @@ impl CaptureBuffer {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> CaptureBuffer {
         CaptureBuffer {
-            buf: TraceBuffer::new(capacity),
+            buf: FlightRecorder::new(capacity),
         }
     }
 

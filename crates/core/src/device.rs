@@ -29,7 +29,7 @@ use netfi_myrinet::packet::PacketType;
 use netfi_sim::{Component, Context, SimDuration};
 
 use crate::capture::{CaptureBuffer, CaptureRecord};
-use netfi_sim::trace::TraceBuffer;
+use netfi_obs::{FlightRecorder, Recorder, Sink};
 use crate::command::{Command, CommandDecoder, DirSelect};
 use crate::config::{ControlInject, InjectorConfig};
 use crate::corrupt::{ControlCorrupt, CorruptMode};
@@ -161,7 +161,9 @@ pub struct InjectorDevice {
     dir_select: DirSelect,
     serial_out: Vec<u8>,
     traffic_log_enabled: bool,
-    traffic_log: TraceBuffer<TrafficRecord>,
+    traffic_log: FlightRecorder<TrafficRecord>,
+    /// Observability recorder (scope `"device"`), disarmed by default.
+    obs: Recorder,
 }
 
 impl std::fmt::Debug for InjectorDevice {
@@ -189,9 +191,20 @@ impl InjectorDevice {
             dir_select: DirSelect::Both,
             serial_out: Vec::new(),
             traffic_log_enabled: false,
-            traffic_log: TraceBuffer::new(config.traffic_capacity),
+            traffic_log: FlightRecorder::new(config.traffic_capacity),
+            obs: Recorder::disarmed(),
             config,
         }
+    }
+
+    /// The device's observability recorder.
+    pub fn obs(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Mutable access to the recorder (arm it before an observed run).
+    pub fn obs_mut(&mut self) -> &mut Recorder {
+        &mut self.obs
     }
 
     /// A device with default configuration.
@@ -261,7 +274,7 @@ impl InjectorDevice {
     }
 
     /// The full-traffic capture memory (most recent frames first evicted).
-    pub fn traffic_log(&self) -> &TraceBuffer<TrafficRecord> {
+    pub fn traffic_log(&self) -> &FlightRecorder<TrafficRecord> {
         &self.traffic_log
     }
 
@@ -338,6 +351,11 @@ impl InjectorDevice {
                 for &offset in &report.injected_offsets {
                     ch.capture
                         .record(ctx.now(), CaptureRecord::new(&original, &bytes, offset));
+                    self.obs
+                        .instant(ctx.now(), "device", "inject", offset as u64);
+                }
+                if report.crc_fixed {
+                    self.obs.instant(ctx.now(), "device", "crc_repair", 0);
                 }
                 let terminator = pf
                     .terminator
@@ -588,8 +606,8 @@ mod tests {
         let b = engine.add_component(Box::new(Probe::new()));
         let dev = engine.add_component(Box::new(InjectorDevice::with_name("fi0")));
         let link = Link::myrinet_640(1.0);
-        connect::<Probe, InjectorDevice>(&mut engine, (a, 0), (dev, 0), &link);
-        connect::<InjectorDevice, Probe>(&mut engine, (dev, 1), (b, 0), &link);
+        connect::<Probe, InjectorDevice, _>(&mut engine, (a, 0), (dev, 0), &link);
+        connect::<InjectorDevice, Probe, _>(&mut engine, (dev, 1), (b, 0), &link);
         (engine, a, b, dev)
     }
 
@@ -643,7 +661,7 @@ mod tests {
         let mut ref_engine: Engine<Ev> = Engine::new();
         let ra = ref_engine.add_component(Box::new(Probe::new()));
         let rb = ref_engine.add_component(Box::new(Probe::new()));
-        connect::<Probe, Probe>(&mut ref_engine, (ra, 0), (rb, 0), &Link::myrinet_640(1.0));
+        connect::<Probe, Probe, _>(&mut ref_engine, (ra, 0), (rb, 0), &Link::myrinet_640(1.0));
         ref_engine.schedule(
             SimTime::ZERO,
             ra,

@@ -36,8 +36,11 @@ impl Policy {
 pub fn policy_for(crate_name: &str) -> Policy {
     match crate_name {
         // The replayable core: simulation kernel, codecs, protocol state
-        // machines, device model, host stack.
-        "sim" | "phy" | "myrinet" | "fc" | "core" | "netstack" => Policy::STRICT,
+        // machines, device model, host stack — and the observability
+        // subsystem, which must never perturb what it observes: no wall
+        // clocks (SimTime only), no unordered iteration (exports are
+        // byte-identical), no panics on the recording path.
+        "sim" | "phy" | "myrinet" | "fc" | "core" | "netstack" | "obs" => Policy::STRICT,
         // nftape runs campaigns on scoped threads and honours NETFI_DEBUG;
         // the lint binary reads argv and walks the filesystem. Both stay
         // panic-free.
@@ -63,9 +66,17 @@ mod tests {
 
     #[test]
     fn core_crates_are_strict() {
-        for name in ["sim", "phy", "myrinet", "fc", "core", "netstack"] {
+        for name in ["sim", "phy", "myrinet", "fc", "core", "netstack", "obs"] {
             assert_eq!(policy_for(name), Policy::STRICT, "{name}");
         }
+    }
+
+    #[test]
+    fn obs_is_in_the_determinism_and_panic_scopes() {
+        let p = policy_for("obs");
+        assert!(p.determinism, "obs exports must be byte-identical");
+        assert!(p.panic_free, "the recording path must not panic");
+        assert!(p.unsafe_audit);
     }
 
     #[test]

@@ -20,6 +20,11 @@ use crate::rules::scan_source;
 pub struct WorkspaceReport {
     /// Number of `.rs` files scanned.
     pub files: usize,
+    /// Crate names that contributed scanned files, unique, in scan order
+    /// (crate directories lexicographically, then the root package as
+    /// `netfi`). Lets gates assert a crate is actually inside the scan
+    /// surface, not just named in the policy table.
+    pub crates: Vec<String>,
     /// Total allow-comment suppressions exercised.
     pub suppressions: usize,
     /// Formatted diagnostics, `path:line: rule: message`, in path order.
@@ -52,6 +57,9 @@ pub fn scan_workspace(root: &Path) -> io::Result<WorkspaceReport> {
         let source = fs::read_to_string(path)?;
         let file = scan_source(&source, policy_for(crate_name));
         report.files += 1;
+        if report.crates.last().is_none_or(|last| last != crate_name) {
+            report.crates.push(crate_name.to_string());
+        }
         report.suppressions += file.suppressions_used;
         for v in file.violations {
             report

@@ -29,6 +29,41 @@ fn workspace_has_no_lint_violations() {
         "suspiciously few files scanned: {}",
         report.files
     );
+    // Every workspace crate is inside the scan surface. In particular the
+    // observability subsystem: `obs` is in the strict (determinism +
+    // panic-freedom) scope of the policy table, and this pins that the
+    // scope is real — the walker actually visits its sources.
+    for name in [
+        "bench", "core", "fc", "lint", "myrinet", "netstack", "nftape", "obs", "phy", "sim",
+        "netfi",
+    ] {
+        assert!(
+            report.crates.iter().any(|c| c == name),
+            "crate `{name}` missing from the scan surface: {:?}",
+            report.crates
+        );
+    }
+    // The flight recorder opted into `deny(hot-path-alloc)`; it must scan
+    // clean under the obs policy, and the deny marker must be live —
+    // planting an allocation in the same file has to be caught.
+    let flight = std::fs::read_to_string(root.join("crates/obs/src/flight.rs"))
+        .expect("read crates/obs/src/flight.rs");
+    let file = netfi_lint::scan_source(&flight, netfi_lint::policy_for("obs"));
+    assert!(
+        file.violations.is_empty(),
+        "obs flight recorder must scan clean: {:#?}",
+        file.violations
+    );
+    let planted = flight.replace(
+        "self.slots.clear();",
+        "self.slots.clear(); let _: Vec<u8> = Vec::new();",
+    );
+    assert_ne!(planted, flight, "plant site missing from flight.rs");
+    let bad = netfi_lint::scan_source(&planted, netfi_lint::policy_for("obs"));
+    assert!(
+        bad.violations.iter().any(|v| v.rule == "hot-path-alloc"),
+        "deny(hot-path-alloc) marker in flight.rs is not live"
+    );
     // Suppressions are budgeted: every one is a reviewed escape hatch, and
     // this ceiling keeps the count from silently creeping. Raise it in the
     // same commit that adds a justified allow-comment.

@@ -11,7 +11,7 @@ use std::any::Any;
 use std::fmt;
 
 use netfi_phy::Link;
-use netfi_sim::{ComponentId, Engine, SimDuration};
+use netfi_sim::{ComponentId, Engine, Probe, SimDuration};
 
 use crate::frame::Frame;
 
@@ -105,8 +105,8 @@ impl std::error::Error for ConnectError {}
 /// Returns [`ConnectError`] if either component id does not refer to a
 /// component of the given concrete type. The first endpoint may already be
 /// attached when the second one fails.
-pub fn connect<A: Attach, B: Attach>(
-    engine: &mut Engine<Ev>,
+pub fn connect<A: Attach, B: Attach, P: Probe>(
+    engine: &mut Engine<Ev, P>,
     (a, port_a): (ComponentId, u8),
     (b, port_b): (ComponentId, u8),
     link: &Link,
@@ -182,7 +182,7 @@ mod tests {
         let a = engine.add_component(Box::new(Probe::new(2)));
         let b = engine.add_component(Box::new(Probe::new(1)));
         let link = Link::myrinet_san(3.0);
-        connect::<Probe, Probe>(&mut engine, (a, 1), (b, 0), &link).unwrap();
+        connect::<Probe, Probe, _>(&mut engine, (a, 1), (b, 0), &link).unwrap();
 
         let pa = engine.component_as::<Probe>(a).unwrap();
         let peer = pa.ports[1].as_ref().unwrap();
@@ -213,7 +213,7 @@ mod tests {
         let a = engine.add_component(Box::new(Probe::new(1)));
         let b = engine.add_component(Box::new(NotAProbe));
         let link = Link::myrinet_san(1.0);
-        let err = connect::<Probe, Probe>(&mut engine, (a, 0), (b, 0), &link).unwrap_err();
+        let err = connect::<Probe, Probe, _>(&mut engine, (a, 0), (b, 0), &link).unwrap_err();
         assert_eq!(err.id, b);
         assert!(err.to_string().contains("not the expected type"));
     }

@@ -21,6 +21,7 @@ use std::collections::{BTreeMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 
+use netfi_obs::{Recorder, Sink};
 use netfi_phy::ControlSymbol;
 use netfi_sim::{Context, DetRng, SimDuration};
 
@@ -202,6 +203,8 @@ pub struct HostInterface {
     last_standalone_gap: Option<netfi_sim::SimTime>,
     routing: BTreeMap<EthAddr, Vec<u8>>,
     stats: InterfaceStats,
+    /// Observability recorder (scope `"interface"`), disarmed by default.
+    obs: Recorder,
     // --- mapper state ---
     mapping_active: bool,
     epoch: u32,
@@ -230,6 +233,7 @@ impl HostInterface {
             last_standalone_gap: None,
             routing: BTreeMap::new(),
             stats: InterfaceStats::default(),
+            obs: Recorder::disarmed(),
             mapping_active: config.can_map,
             epoch: 0,
             round_pending: BTreeMap::new(),
@@ -319,6 +323,16 @@ impl HostInterface {
     /// Counters.
     pub fn stats(&self) -> InterfaceStats {
         self.stats
+    }
+
+    /// The interface's observability recorder.
+    pub fn obs(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Mutable access to the recorder (arm it before an observed run).
+    pub fn obs_mut(&mut self) -> &mut Recorder {
+        &mut self.obs
     }
 
     /// The current routing table.
@@ -518,6 +532,7 @@ impl HostInterface {
             Ok(p) => p,
             Err(PacketError::BadCrc) => {
                 self.stats.rx_crc_drops += 1;
+                self.obs.instant(ctx.now(), "interface", "crc_drop", pf.wire_len() as u64);
                 return None;
             }
             Err(PacketError::RouteMsbSet) => {
@@ -541,6 +556,7 @@ impl HostInterface {
                     // "the node drops incoming packets that are
                     // misaddressed" (§4.3.3).
                     self.stats.rx_misaddressed += 1;
+                    self.obs.instant(ctx.now(), "interface", "misaddressed", 0);
                     return None;
                 }
                 self.stats.rx_delivered += 1;
@@ -778,6 +794,7 @@ impl HostInterface {
             self.damage_map(&mut map);
         }
         self.stats.maps_built += 1;
+        self.obs.instant(ctx.now(), "interface", "mapping_round", self.stats.maps_built);
         if let Some(prev) = &self.last_map {
             if !prev.consistent_with(&map) {
                 self.stats.inconsistent_maps += 1;
@@ -927,7 +944,7 @@ mod tests {
                 nic: HostInterface::new(cfg),
                 delivered: Vec::new(),
             }));
-            connect::<TestHost, Switch>(&mut engine, (h, 0), (sw, i as u8), &link);
+            connect::<TestHost, Switch, _>(&mut engine, (h, 0), (sw, i as u8), &link);
             engine.schedule(SimTime::ZERO, h, Ev::App(Box::new(Cmd::Start)));
             hosts.push(h);
         }

@@ -128,6 +128,59 @@ pub struct MmonReport {
     pub map: Option<NetworkMap>,
 }
 
+impl MmonReport {
+    /// Folds every snapshot's counters into an obs [`Registry`], keyed
+    /// `interface.<counter>` / `switch.<counter>`, summed across
+    /// components. Gauges record fabric-wide state: node count, mapper
+    /// presence, and the map epoch when a map is attached.
+    ///
+    /// [`Registry`]: netfi_obs::Registry
+    pub fn to_registry(&self) -> netfi_obs::Registry {
+        let mut reg = netfi_obs::Registry::new();
+        for nic in &self.interfaces {
+            let s = &nic.stats;
+            reg.add("interface.tx_data", s.tx_data);
+            reg.add("interface.tx_no_route", s.tx_no_route);
+            reg.add("interface.rx_delivered", s.rx_delivered);
+            reg.add("interface.rx_crc_drops", s.rx_crc_drops);
+            reg.add("interface.rx_route_errors", s.rx_route_errors);
+            reg.add("interface.rx_misaddressed", s.rx_misaddressed);
+            reg.add("interface.rx_unknown_type", s.rx_unknown_type);
+            reg.add("interface.rx_malformed", s.rx_malformed);
+            reg.add("interface.rx_overflow_drops", s.rx_overflow_drops);
+            reg.add("interface.rx_truncated", s.rx_truncated);
+            reg.add("interface.scouts_answered", s.scouts_answered);
+            reg.add("interface.maps_built", s.maps_built);
+            reg.add("interface.inconsistent_maps", s.inconsistent_maps);
+            reg.add("interface.routes_installed", s.routes_installed);
+        }
+        for sw in &self.switches {
+            let s = &sw.stats;
+            reg.add("switch.forwarded", s.forwarded);
+            reg.add("switch.overflow_drops", s.overflow_drops);
+            reg.add("switch.framing_drops", s.framing_drops);
+            reg.add("switch.truncation_drops", s.truncation_drops);
+            reg.add("switch.misroute_drops", s.misroute_drops);
+            reg.add("switch.malformed_drops", s.malformed_drops);
+            reg.add("switch.long_timeout_releases", s.long_timeout_releases);
+            reg.add("switch.gap_releases", s.gap_releases);
+            reg.add("switch.sbuf_overflows", sw.sbuf_overflows);
+            reg.add("switch.stops_generated", sw.stops_generated);
+        }
+        reg.set_gauge("net.interfaces", self.interfaces.len() as i64);
+        reg.set_gauge("net.switches", self.switches.len() as i64);
+        reg.set_gauge(
+            "net.mappers",
+            self.interfaces.iter().filter(|n| n.is_mapper).count() as i64,
+        );
+        if let Some(map) = &self.map {
+            reg.set_gauge("net.map_epoch", i64::from(map.epoch));
+            reg.set_gauge("net.map_nodes", map.nodes.len() as i64);
+        }
+        reg
+    }
+}
+
 impl fmt::Display for MmonReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "=== mmon report ===")?;
@@ -196,5 +249,32 @@ mod tests {
         assert!(text.contains("mmon report"));
         assert!(text.contains("switch s"));
         assert!(text.contains("epoch=3") || text.contains("epoch 3") || text.contains("map[epoch=3"));
+    }
+
+    #[test]
+    fn registry_sums_counters_across_components() {
+        let sw = Switch::new("s", 4, SwitchConfig::default());
+        let mk = |a: u64, n: u32| {
+            let mut snap = InterfaceSnapshot::capture(&HostInterface::new(InterfaceConfig::new(
+                NodeAddress(a),
+                EthAddr::myricom(n),
+                (0, n as u8),
+                Topology::single_switch(4),
+            )));
+            snap.stats.rx_delivered = 10;
+            snap.stats.rx_crc_drops = u64::from(n);
+            snap
+        };
+        let report = MmonReport {
+            interfaces: vec![mk(1, 1), mk(2, 2)],
+            switches: vec![SwitchSnapshot::capture(&sw)],
+            map: Some(NetworkMap::new(5)),
+        };
+        let reg = report.to_registry();
+        assert_eq!(reg.counter("interface.rx_delivered"), 20);
+        assert_eq!(reg.counter("interface.rx_crc_drops"), 3);
+        assert_eq!(reg.counter("switch.forwarded"), 0);
+        assert_eq!(reg.gauge("net.interfaces"), Some(2));
+        assert_eq!(reg.gauge("net.map_epoch"), Some(5));
     }
 }

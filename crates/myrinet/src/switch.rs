@@ -19,6 +19,7 @@
 use std::any::Any;
 use std::collections::VecDeque;
 
+use netfi_obs::{Recorder, Sink};
 use netfi_phy::ControlSymbol;
 use netfi_sim::{Component, Context, SimDuration};
 
@@ -105,6 +106,9 @@ pub struct Switch {
     config: SwitchConfig,
     stats: SwitchStats,
     rr_cursor: usize,
+    /// Observability recorder (scope `"switch"`). Disarmed by default, so
+    /// plain simulations pay a `None` branch per drop and nothing else.
+    obs: Recorder,
 }
 
 impl Switch {
@@ -137,7 +141,18 @@ impl Switch {
             config,
             stats: SwitchStats::default(),
             rr_cursor: 0,
+            obs: Recorder::disarmed(),
         }
+    }
+
+    /// The switch's observability recorder.
+    pub fn obs(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Mutable access to the recorder (arm it before an observed run).
+    pub fn obs_mut(&mut self) -> &mut Recorder {
+        &mut self.obs
     }
 
     /// The switch's name (for monitoring output).
@@ -196,6 +211,7 @@ impl Switch {
                     self.hold_gen[out as usize] += 1; // cancel pending timeout
                     self.egress[out as usize].release(ctx);
                     self.stats.gap_releases += 1;
+                    self.obs.instant(ctx.now(), "switch", "gap_release", u64::from(out));
                 }
                 self.service(ctx);
             }
@@ -219,6 +235,7 @@ impl Switch {
             if gap_at > ctx.now().saturating_sub_duration(window) {
                 self.inputs[port].last_standalone_gap = None;
                 self.stats.truncation_drops += 1;
+                self.obs.instant(ctx.now(), "switch", "truncation_drop", port as u64);
                 return;
             }
         }
@@ -229,12 +246,14 @@ impl Switch {
                 // the unterminated predecessor (§4.3.1): it is lost. Its
                 // own GAP, if present, resynchronizes the stream.
                 self.stats.framing_drops += 1;
+                self.obs.instant(ctx.now(), "switch", "framing_drop", port as u64);
                 if gap_ok {
                     input.awaiting_gap = false;
                     if let Some(out) = input.holding.take() {
                         self.hold_gen[out as usize] += 1;
                         self.egress[out as usize].release(ctx);
                         self.stats.gap_releases += 1;
+                        self.obs.instant(ctx.now(), "switch", "gap_release", u64::from(out));
                     }
                 }
                 return;
@@ -242,6 +261,7 @@ impl Switch {
             match input.sbuf.try_accept(pf.wire_len()) {
                 Accept::Overflow => {
                     self.stats.overflow_drops += 1;
+                    self.obs.instant(ctx.now(), "switch", "overflow_drop", port as u64);
                     return;
                 }
                 Accept::Stored => {}
@@ -251,6 +271,11 @@ impl Switch {
             }
             input.queue.push_back(pf);
             if let Some(sym) = input.sbuf.poll_flow() {
+                match sym {
+                    ControlSymbol::Stop => self.obs.begin(ctx.now(), "switch", "stopped", port as u64),
+                    ControlSymbol::Go => self.obs.end(ctx.now(), "switch", "stopped", port as u64),
+                    _ => {}
+                }
                 self.egress[port].enqueue_control(ctx, sym.encode());
             }
         }
@@ -319,6 +344,7 @@ impl Switch {
             };
             self.drain_input(ctx, i, pf.wire_len());
             self.stats.malformed_drops += 1;
+            self.obs.instant(ctx.now(), "switch", "malformed_drop", i as u64);
             return true;
         };
         let out = (route_byte & !ROUTE_SWITCH_FLAG) as usize;
@@ -330,6 +356,7 @@ impl Switch {
             };
             self.drain_input(ctx, i, pf.wire_len());
             self.stats.misroute_drops += 1;
+            self.obs.instant(ctx.now(), "switch", "misroute_drop", i as u64);
             return true;
         }
         // Backpressure: forward only when the output is idle, in GO state
@@ -350,6 +377,7 @@ impl Switch {
                 Err(_) => {
                     self.drain_input(ctx, i, chars);
                     self.stats.malformed_drops += 1;
+                    self.obs.instant(ctx.now(), "switch", "malformed_drop", i as u64);
                     return true;
                 }
             }
@@ -383,6 +411,11 @@ impl Switch {
     fn drain_input(&mut self, ctx: &mut Context<'_, Ev>, i: usize, chars: usize) {
         self.inputs[i].sbuf.drain(chars);
         if let Some(sym) = self.inputs[i].sbuf.poll_flow() {
+            match sym {
+                ControlSymbol::Stop => self.obs.begin(ctx.now(), "switch", "stopped", i as u64),
+                ControlSymbol::Go => self.obs.end(ctx.now(), "switch", "stopped", i as u64),
+                _ => {}
+            }
             self.egress[i].enqueue_control(ctx, sym.encode());
         }
     }
@@ -413,6 +446,7 @@ impl Switch {
                     // long-period timeout" (§4.3.1).
                     self.egress[port].release(ctx);
                     self.stats.long_timeout_releases += 1;
+                    self.obs.instant(ctx.now(), "switch", "long_timeout_release", port as u64);
                     for input in &mut self.inputs {
                         if input.holding == Some(port as u8) {
                             input.holding = None;
@@ -533,7 +567,7 @@ mod tests {
         let link = Link::myrinet_640(1.0);
         let hosts = [(); 3].map(|_| engine.add_component(Box::new(Endpoint::new())));
         for (i, &h) in hosts.iter().enumerate() {
-            connect::<Endpoint, Switch>(&mut engine, (h, 0), (sw, i as u8), &link);
+            connect::<Endpoint, Switch, _>(&mut engine, (h, 0), (sw, i as u8), &link);
         }
         (engine, sw, hosts)
     }
@@ -584,9 +618,9 @@ mod tests {
         let sw1 = engine.add_component(Box::new(Switch::new("sw1", 4, SwitchConfig::default())));
         let src = engine.add_component(Box::new(Endpoint::new()));
         let dst = engine.add_component(Box::new(Endpoint::new()));
-        connect::<Endpoint, Switch>(&mut engine, (src, 0), (sw0, 0), &link);
-        connect::<Switch, Switch>(&mut engine, (sw0, 3), (sw1, 3), &link);
-        connect::<Endpoint, Switch>(&mut engine, (dst, 0), (sw1, 1), &link);
+        connect::<Endpoint, Switch, _>(&mut engine, (src, 0), (sw0, 0), &link);
+        connect::<Switch, Switch, _>(&mut engine, (sw0, 3), (sw1, 3), &link);
+        connect::<Endpoint, Switch, _>(&mut engine, (dst, 0), (sw1, 1), &link);
         let pkt = Packet::new(
             vec![route_to_switch(3), route_to_host(1)],
             PacketType::DATA,

@@ -18,7 +18,7 @@ use netfi_myrinet::egress::{split_timer_kind, timer_class, timer_kind};
 use netfi_myrinet::event::{Attach, Ev, PortPeer};
 use netfi_myrinet::interface::{Delivery, HostInterface, InterfaceConfig};
 use netfi_sim::metrics::Summary;
-use netfi_sim::trace::TraceBuffer;
+use netfi_obs::{FlightRecorder, Recorder, Sink};
 use netfi_sim::{Component, Context, DetRng, SharedBytes, SimDuration, SimTime};
 
 use crate::udp::{payload_avoiding, payload_avoiding_into, UdpDatagram, UdpError};
@@ -198,7 +198,9 @@ pub struct Host {
     sender_sent: u64,
     udp_stats: UdpStats,
     rx_by_port: BTreeMap<u16, u64>,
-    recent: TraceBuffer<(EthAddr, UdpDatagram)>,
+    recent: FlightRecorder<(EthAddr, UdpDatagram)>,
+    /// Observability recorder (scope `"host"`), disarmed by default.
+    obs: Recorder,
 }
 
 impl std::fmt::Debug for Host {
@@ -228,9 +230,20 @@ impl Host {
             sender_sent: 0,
             udp_stats: UdpStats::default(),
             rx_by_port: BTreeMap::new(),
-            recent: TraceBuffer::new(64),
+            recent: FlightRecorder::new(64),
+            obs: Recorder::disarmed(),
             config,
         }
+    }
+
+    /// The host's observability recorder.
+    pub fn obs(&self) -> &Recorder {
+        &self.obs
+    }
+
+    /// Mutable access to the recorder (arm it before an observed run).
+    pub fn obs_mut(&mut self) -> &mut Recorder {
+        &mut self.obs
     }
 
     /// Convenience: a paper-era host from interface parameters.
@@ -372,6 +385,7 @@ impl Host {
             Ok(d) => d,
             Err(UdpError::BadChecksum) => {
                 self.udp_stats.rx_checksum_drops += 1;
+                self.obs.instant(ctx.now(), "host", "checksum_drop", wire.len() as u64);
                 return;
             }
             Err(_) => {
@@ -403,6 +417,7 @@ impl Host {
                             self.ping[i].outstanding = None;
                             let rtt = ctx.now() - sent_at;
                             self.ping[i].report.rtt.record(rtt.as_ns_f64());
+                            self.obs.sample(ctx.now(), "host", "rtt_ns", rtt.as_ps() / 1_000);
                             self.ping[i].report.completed += 1;
                             self.ping_send_next(ctx, i);
                         }
@@ -564,7 +579,7 @@ mod tests {
                 topo.clone(),
             );
             let h = engine.add_component(Box::new(mk(i, iface)));
-            connect::<Host, Switch>(&mut engine, (h, 0), (sw, i as u8), &link);
+            connect::<Host, Switch, _>(&mut engine, (h, 0), (sw, i as u8), &link);
             engine.schedule(SimTime::ZERO, h, Ev::App(Box::new(HostCmd::Start)));
             hosts.push(h);
         }

@@ -26,6 +26,6 @@ pub mod net;
 pub mod udp;
 
 pub use host::{Host, HostCmd, HostConfig, Workload, ECHO_PORT, SINK_PORT};
-pub use net::{build_testbed, Testbed, TestbedOptions};
+pub use net::{build_testbed, build_testbed_probed, Testbed, TestbedOptions};
 pub use netfi_myrinet::event::ConnectError;
 pub use udp::UdpDatagram;

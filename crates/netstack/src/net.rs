@@ -12,15 +12,18 @@ use netfi_myrinet::interface::InterfaceConfig;
 use netfi_myrinet::mapper::Topology;
 use netfi_myrinet::switch::{Switch, SwitchConfig};
 use netfi_phy::Link;
-use netfi_sim::{ComponentId, Engine, SimTime};
+use netfi_sim::{ComponentId, Engine, NullProbe, Probe, SimTime};
 
 use crate::host::{Host, HostCmd, HostConfig};
 
 /// Handles to a built test-bed network.
+///
+/// Generic over the engine's observation [`Probe`]; the default
+/// ([`NullProbe`]) is the unobserved test bed every existing harness uses.
 #[derive(Debug)]
-pub struct Testbed {
+pub struct Testbed<P: Probe = NullProbe> {
     /// The event engine, ready to run.
-    pub engine: Engine<Ev>,
+    pub engine: Engine<Ev, P>,
     /// Host component ids, in address order (index 0 = lowest).
     pub hosts: Vec<ComponentId>,
     /// The switch.
@@ -79,10 +82,30 @@ impl Default for TestbedOptions {
 /// Panics if more than 8 hosts are requested.
 pub fn build_testbed(
     options: TestbedOptions,
-    mut customize: impl FnMut(usize, &mut Host),
+    customize: impl FnMut(usize, &mut Host),
 ) -> Result<Testbed, ConnectError> {
+    build_testbed_probed(options, NullProbe, customize)
+}
+
+/// [`build_testbed`], but with an observation [`Probe`] installed on the
+/// engine. The probe sees every event dispatch; observation never feeds
+/// back into the simulation, so a probed test bed follows the exact same
+/// trajectory as an unprobed one with the same options and seed.
+///
+/// # Errors
+///
+/// Returns [`ConnectError`] if wiring fails (see [`build_testbed`]).
+///
+/// # Panics
+///
+/// Panics if more than 8 hosts are requested.
+pub fn build_testbed_probed<P: Probe>(
+    options: TestbedOptions,
+    probe: P,
+    mut customize: impl FnMut(usize, &mut Host),
+) -> Result<Testbed<P>, ConnectError> {
     assert!(options.hosts <= 8, "the test-bed switch has 8 ports");
-    let mut engine: Engine<Ev> = Engine::new();
+    let mut engine: Engine<Ev, P> = Engine::with_probe(probe);
     let topo = Topology::single_switch(8);
     let switch = engine.add_component(Box::new(Switch::new(
         "sw0",
@@ -109,11 +132,11 @@ pub fn build_testbed(
             let dev = engine.add_component(Box::new(InjectorDevice::with_name(format!(
                 "fi-host{i}"
             ))));
-            connect::<Host, InjectorDevice>(&mut engine, (h, 0), (dev, 0), &options.link)?;
-            connect::<InjectorDevice, Switch>(&mut engine, (dev, 1), (switch, i as u8), &options.link)?;
+            connect::<Host, InjectorDevice, _>(&mut engine, (h, 0), (dev, 0), &options.link)?;
+            connect::<InjectorDevice, Switch, _>(&mut engine, (dev, 1), (switch, i as u8), &options.link)?;
             injector = Some(dev);
         } else {
-            connect::<Host, Switch>(&mut engine, (h, 0), (switch, i as u8), &options.link)?;
+            connect::<Host, Switch, _>(&mut engine, (h, 0), (switch, i as u8), &options.link)?;
         }
         engine.schedule(SimTime::ZERO, h, Ev::App(Box::new(HostCmd::Start)));
         hosts.push(h);

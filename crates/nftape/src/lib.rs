@@ -10,6 +10,9 @@
 //!   (the real control path), schedules duty-cycled injection phases.
 //! - [`results`] / [`report`]: run records in the paper's units and the
 //!   ASCII tables the regenerators print.
+//! - [`observed`]: the fixed campaign run with `netfi-obs` armed at every
+//!   layer — flight recorders, engine dispatch probe, metrics registry —
+//!   exported as a Chrome trace and a deterministic text table.
 //! - [`scenarios`]: one prebuilt scenario per table/figure of the paper's
 //!   evaluation — Table 2 (latency), Table 4 (control symbols), the STOP
 //!   and GAP throughput experiments, packet-type corruption, physical-
@@ -20,6 +23,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod campaign;
+pub mod observed;
 pub mod report;
 pub mod results;
 pub mod runner;
@@ -27,5 +31,6 @@ pub mod scenarios;
 pub mod serialize;
 
 pub use campaign::{run_campaign, CampaignSpec, FaultSpec};
-pub use report::Table;
+pub use observed::{observed_campaign, ObservedCampaign};
+pub use report::{registry_tables, Table};
 pub use results::{RunResult, ScenarioError};

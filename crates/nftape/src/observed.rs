@@ -1,0 +1,304 @@
+//! The observed campaign: an end-to-end failure-analysis run with the
+//! `netfi-obs` subsystem armed at every layer.
+//!
+//! The paper's campaigns watched the network with `mmon` while NFTAPE
+//! drove the injector; this module does both at once. It builds the test
+//! bed with an engine [`DispatchProbe`], arms the flight recorders that
+//! the device, switch, interfaces and hosts embed, runs a fixed
+//! checksum-corruption campaign, and folds everything into one sorted
+//! event bundle plus a metrics [`Registry`]. Both exports — the Chrome
+//! `trace_event` JSON and the text table — are byte-identical across
+//! reruns of the same seed (pinned by golden hash in
+//! `tests/determinism.rs`).
+
+use netfi_core::command::DirSelect;
+use netfi_core::config::InjectorConfig;
+use netfi_core::trigger::MatchMode;
+use netfi_core::InjectorDevice;
+use netfi_myrinet::addr::EthAddr;
+use netfi_myrinet::event::Ev;
+use netfi_myrinet::monitor::{InterfaceSnapshot, MmonReport, SwitchSnapshot};
+use netfi_myrinet::switch::Switch;
+use netfi_netstack::{
+    build_testbed_probed, Host, HostCmd, TestbedOptions, UdpDatagram, Workload, SINK_PORT,
+};
+use netfi_obs::event::sort_bundle;
+use netfi_obs::export::{chrome_trace, text_table};
+use netfi_obs::{DispatchProbe, EventKind, ObsEvent, Registry, Stamped};
+use netfi_sim::{SimDuration, SimTime};
+
+use crate::report::{registry_tables, Table};
+use crate::results::ScenarioError;
+use crate::scenarios::udpcheck::MESSAGE;
+
+/// Ring capacity armed on every component recorder.
+const RING: usize = 512;
+
+/// Everything an observed run produces.
+#[derive(Debug)]
+pub struct ObservedCampaign {
+    /// The merged, deterministically sorted event bundle from every
+    /// recorder (device, switch, interfaces, hosts, campaign phases).
+    pub events: Vec<Stamped<ObsEvent>>,
+    /// Per-layer detection counts, fabric gauges and latency histograms.
+    pub registry: Registry,
+    /// Events evicted from any bounded ring during the run.
+    pub dropped: u64,
+    /// Total engine dispatches seen by the probe.
+    pub dispatches: u64,
+}
+
+impl ObservedCampaign {
+    /// The Chrome `trace_event` JSON export of the event bundle.
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace(&self.events)
+    }
+
+    /// The deterministic text-table export of the registry.
+    pub fn text_table(&self) -> String {
+        text_table("observed campaign", &self.registry)
+    }
+
+    /// The registry rendered as campaign-report tables.
+    pub fn report_tables(&self) -> Vec<Table> {
+        registry_tables("observed campaign", &self.registry)
+    }
+}
+
+/// Runs the fixed observed campaign: three hosts, the injector spliced
+/// into host 1's link, a detected (non-aliasing) UDP payload corruption
+/// with CRC-8 repair, a sender stream into the corrupted link and a
+/// ping-pong latency workload on the clean pair.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+pub fn observed_campaign(seed: u64) -> Result<ObservedCampaign, ScenarioError> {
+    let options = TestbedOptions {
+        hosts: 3,
+        intercept_host: Some(1),
+        seed,
+        ..TestbedOptions::default()
+    };
+    let mut tb = build_testbed_probed(options, DispatchProbe::new(RING), |i, host| {
+        if i == 2 {
+            host.add_workload(Workload::PingPong {
+                peer: EthAddr::myricom(1),
+                count: 50,
+                payload_len: 16,
+                timeout: SimDuration::from_ms(50),
+            });
+        }
+    })?;
+    let device = tb.injector.ok_or(ScenarioError::NoInjector)?;
+
+    // Arm every layer's recorder before anything interesting happens.
+    for &h in &tb.hosts {
+        let host = tb
+            .engine
+            .component_as_mut::<Host>(h)
+            .ok_or(ScenarioError::WrongComponent("Host"))?;
+        host.obs_mut().arm(RING);
+        host.nic_mut().obs_mut().arm(RING);
+    }
+    tb.engine
+        .component_as_mut::<Switch>(tb.switch)
+        .ok_or(ScenarioError::WrongComponent("Switch"))?
+        .obs_mut()
+        .arm(RING);
+    tb.engine
+        .component_as_mut::<InjectorDevice>(device)
+        .ok_or(ScenarioError::WrongComponent("InjectorDevice"))?
+        .obs_mut()
+        .arm(RING);
+
+    // Campaign phases, recorded as spans in the bundle's "campaign" scope.
+    let mut phases: Vec<Stamped<ObsEvent>> = Vec::new();
+    let phase = |at: SimTime, ev: ObsEvent, phases: &mut Vec<Stamped<ObsEvent>>| {
+        phases.push(Stamped { time: at, value: ev });
+    };
+
+    // Phase 1: let the fabric map itself.
+    phase(
+        tb.engine.now(),
+        ObsEvent::begin("campaign", "map", 0),
+        &mut phases,
+    );
+    tb.engine.run_until(SimTime::from_ms(2_500));
+    phase(
+        tb.engine.now(),
+        ObsEvent::end("campaign", "map", 0),
+        &mut phases,
+    );
+
+    // Phase 2: program the injector over its serial line — a detected
+    // corruption with CRC-8 repair, so the fault survives the link layer
+    // and is caught by the UDP checksum at the destination host.
+    phase(
+        tb.engine.now(),
+        ObsEvent::begin("campaign", "program", 0),
+        &mut phases,
+    );
+    let config = InjectorConfig::builder()
+        .match_mode(MatchMode::On)
+        .compare(u32::from_be_bytes(*b"Have"), 0xFFFF_FFFF)
+        .corrupt_replace(u32::from_be_bytes(*b"XaXe"), 0xFFFF_FFFF)
+        .recompute_crc(true)
+        .build();
+    let program_at = tb.engine.now();
+    let programmed =
+        crate::runner::program_injector(&mut tb.engine, device, program_at, DirSelect::B, &config);
+    tb.engine.run_until(programmed);
+    phase(
+        tb.engine.now(),
+        ObsEvent::end("campaign", "program", 0),
+        &mut phases,
+    );
+
+    // Phase 3: inject — stream the paper's message into the corrupted
+    // link.
+    let sends: u64 = 40;
+    phase(
+        tb.engine.now(),
+        ObsEvent::begin("campaign", "inject", sends),
+        &mut phases,
+    );
+    for k in 0..sends {
+        let at = tb.engine.now() + SimDuration::from_ms(5) * k;
+        tb.engine.schedule(
+            at,
+            tb.hosts[0],
+            Ev::App(Box::new(HostCmd::SendUdp {
+                dest: EthAddr::myricom(2),
+                datagram: UdpDatagram::new(6_000, SINK_PORT, MESSAGE.to_vec()),
+            })),
+        );
+    }
+    tb.engine
+        .run_for(SimDuration::from_ms(5) * sends + SimDuration::from_ms(100));
+    phase(
+        tb.engine.now(),
+        ObsEvent::end("campaign", "inject", sends),
+        &mut phases,
+    );
+
+    // Collect: merge every recorder into one bundle and fold counters.
+    let mut events = phases;
+    let mut dropped = 0;
+
+    let mut report = MmonReport::default();
+    for &h in &tb.hosts {
+        let host = tb
+            .engine
+            .component_as::<Host>(h)
+            .ok_or(ScenarioError::WrongComponent("Host"))?;
+        events.extend(host.obs().events().copied());
+        events.extend(host.nic().obs().events().copied());
+        dropped += host.obs().dropped() + host.nic().obs().dropped();
+        report.interfaces.push(InterfaceSnapshot::capture(host.nic()));
+    }
+    let sw = tb
+        .engine
+        .component_as::<Switch>(tb.switch)
+        .ok_or(ScenarioError::WrongComponent("Switch"))?;
+    events.extend(sw.obs().events().copied());
+    dropped += sw.obs().dropped();
+    report.switches.push(SwitchSnapshot::capture(sw));
+    let dev = tb
+        .engine
+        .component_as::<InjectorDevice>(device)
+        .ok_or(ScenarioError::WrongComponent("InjectorDevice"))?;
+    events.extend(dev.obs().events().copied());
+    dropped += dev.obs().dropped();
+
+    sort_bundle(&mut events);
+
+    let mut registry = report.to_registry();
+    for &h in &tb.hosts {
+        let host = tb
+            .engine
+            .component_as::<Host>(h)
+            .ok_or(ScenarioError::WrongComponent("Host"))?;
+        let u = host.udp_stats();
+        registry.add("udp.tx", u.tx);
+        registry.add("udp.rx_ok", u.rx_ok);
+        registry.add("udp.rx_checksum_drops", u.rx_checksum_drops);
+        registry.add("udp.rx_malformed", u.rx_malformed);
+    }
+    // Latency percentiles come from the sampled events; detection events
+    // are counted per site so the table shows what each layer *saw*, next
+    // to what its counters say happened.
+    for ev in &events {
+        match ev.value.kind {
+            EventKind::Sample => {
+                registry.record(&format!("{}.{}", ev.value.scope, ev.value.name), ev.value.value);
+            }
+            EventKind::Instant => {
+                registry.add(&format!("events.{}.{}", ev.value.scope, ev.value.name), 1);
+            }
+            EventKind::Begin | EventKind::End => {}
+        }
+    }
+    let probe = tb.engine.probe();
+    registry.set_gauge("engine.dispatches", probe.total() as i64);
+    registry.set_gauge("engine.components", tb.engine.component_count() as i64);
+    let dispatches = probe.total();
+    dropped += probe.trace_dropped();
+
+    Ok(ObservedCampaign {
+        events,
+        registry,
+        dropped,
+        dispatches,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observed_campaign_sees_every_layer() {
+        let run = observed_campaign(11).unwrap();
+        // The device injected and repaired the CRC; the host's UDP layer
+        // caught what the link layer could no longer detect.
+        assert!(run.registry.counter("events.device.inject") > 0);
+        assert!(run.registry.counter("events.device.crc_repair") > 0);
+        assert!(run.registry.counter("events.host.checksum_drop") > 0);
+        assert_eq!(
+            run.registry.counter("events.host.checksum_drop"),
+            run.registry.counter("udp.rx_checksum_drops")
+        );
+        // The ping-pong workload produced latency samples.
+        let rtt = run.registry.histogram("host.rtt_ns").unwrap();
+        assert!(rtt.count() >= 50);
+        assert!(rtt.percentiles().p50 > 0);
+        // The fabric mapped and the probe watched the engine do it.
+        assert!(run.registry.counter("interface.maps_built") > 0);
+        assert!(run.dispatches > 1000);
+        // Phases bracket the run.
+        assert_eq!(run.events[0].value.scope, "campaign");
+        assert_eq!(run.events[0].value.kind, EventKind::Begin);
+    }
+
+    #[test]
+    fn observed_campaign_is_reproducible() {
+        let a = observed_campaign(11).unwrap();
+        let b = observed_campaign(11).unwrap();
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.chrome_trace(), b.chrome_trace());
+        assert_eq!(a.text_table(), b.text_table());
+    }
+
+    #[test]
+    fn report_tables_render() {
+        let run = observed_campaign(11).unwrap();
+        let tables = run.report_tables();
+        assert_eq!(tables.len(), 2);
+        let text = tables[0].render();
+        assert!(text.contains("udp.rx_checksum_drops"));
+        let latency = tables[1].render();
+        assert!(latency.contains("host.rtt_ns"));
+        assert!(latency.contains("p99"));
+    }
+}

@@ -96,6 +96,46 @@ impl fmt::Display for Table {
     }
 }
 
+/// Renders an obs [`Registry`] as campaign-report tables: a
+/// `metric / value` table of the per-layer detection counters and gauges,
+/// and — when any histograms were collected — a latency-percentile table.
+///
+/// Registry iteration is sorted, so for a fixed registry the rendered
+/// tables are byte-identical across runs.
+///
+/// [`Registry`]: netfi_obs::Registry
+pub fn registry_tables(title: &str, registry: &netfi_obs::Registry) -> Vec<Table> {
+    let mut out = Vec::new();
+    let mut counts = Table::new(title, &["metric", "value"]);
+    for (name, value) in registry.counters() {
+        counts.row(&[name.to_string(), value.to_string()]);
+    }
+    for (name, value) in registry.gauges() {
+        counts.row(&[name.to_string(), value.to_string()]);
+    }
+    if !counts.is_empty() {
+        out.push(counts);
+    }
+    let mut latency = Table::new(
+        format!("{title} (latency percentiles)"),
+        &["histogram", "count", "p50", "p95", "p99"],
+    );
+    for (name, hist) in registry.histograms() {
+        let p = hist.percentiles();
+        latency.row(&[
+            name.to_string(),
+            hist.count().to_string(),
+            p.p50.to_string(),
+            p.p95.to_string(),
+            p.p99.to_string(),
+        ]);
+    }
+    if !latency.is_empty() {
+        out.push(latency);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -12,7 +12,7 @@ use netfi_core::corrupt::CorruptMode;
 use netfi_core::trigger::MatchMode;
 use netfi_myrinet::event::Ev;
 use netfi_phy::serial::UartConfig;
-use netfi_sim::{ComponentId, Engine, SimDuration, SimTime};
+use netfi_sim::{ComponentId, Engine, Probe, SimDuration, SimTime};
 
 /// Builds the serial command sequence that programs `config` on the
 /// selected direction(s).
@@ -55,8 +55,8 @@ pub fn script_bytes(commands: &[Command]) -> Vec<u8> {
 
 /// Schedules a command script at the device, one byte per UART frame time
 /// starting at `at`. Returns the time the last byte arrives.
-pub fn schedule_script(
-    engine: &mut Engine<Ev>,
+pub fn schedule_script<P: Probe>(
+    engine: &mut Engine<Ev, P>,
     device: ComponentId,
     at: SimTime,
     commands: &[Command],
@@ -71,8 +71,8 @@ pub fn schedule_script(
 }
 
 /// Schedules the full programming of `config` (direction `dir`) at `at`.
-pub fn program_injector(
-    engine: &mut Engine<Ev>,
+pub fn program_injector<P: Probe>(
+    engine: &mut Engine<Ev, P>,
     device: ComponentId,
     at: SimTime,
     dir: DirSelect,
@@ -84,8 +84,8 @@ pub fn program_injector(
 /// Schedules a duty-cycled campaign: the trigger is switched ON at the
 /// start of each period and OFF after `on_for`, from `from` until `until`.
 /// The configuration itself must already be programmed.
-pub fn schedule_duty_cycle(
-    engine: &mut Engine<Ev>,
+pub fn schedule_duty_cycle<P: Probe>(
+    engine: &mut Engine<Ev, P>,
     device: ComponentId,
     from: SimTime,
     until: SimTime,

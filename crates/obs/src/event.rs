@@ -1,0 +1,177 @@
+//! The observation vocabulary: timestamped events with static labels.
+//!
+//! Labels are `&'static str` by design: emitting an observation must not
+//! allocate, and the fixed label set keeps exports deterministic. The
+//! `value` field carries whatever scalar the site finds useful — a port
+//! number, a byte offset, a latency in nanoseconds — and the exporters
+//! surface it verbatim.
+
+use std::fmt;
+
+use netfi_sim::SimTime;
+
+/// What an [`ObsEvent`] marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EventKind {
+    /// A point observation (a drop, a trigger fire, a checksum reject).
+    Instant,
+    /// The opening edge of a span (a STOP interval, a mapping round, a
+    /// campaign phase).
+    Begin,
+    /// The closing edge of a span opened with [`EventKind::Begin`].
+    End,
+    /// A sampled value; `value` is the sample (e.g. a latency in ns).
+    Sample,
+}
+
+impl EventKind {
+    /// Short stable tag used by the text renderings.
+    pub fn tag(self) -> &'static str {
+        match self {
+            EventKind::Instant => "i",
+            EventKind::Begin => "B",
+            EventKind::End => "E",
+            EventKind::Sample => "S",
+        }
+    }
+}
+
+/// One observation emitted by an instrumented layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsEvent {
+    /// The emitting layer ("engine", "switch", "injector", "udp", …).
+    /// Becomes the Chrome trace thread.
+    pub scope: &'static str,
+    /// The event name within the scope ("overflow_drop", "inject", …).
+    pub name: &'static str,
+    /// Instant, span edge or sample.
+    pub kind: EventKind,
+    /// Site-defined scalar payload.
+    pub value: u64,
+}
+
+impl ObsEvent {
+    /// A point observation.
+    pub fn instant(scope: &'static str, name: &'static str, value: u64) -> ObsEvent {
+        ObsEvent {
+            scope,
+            name,
+            kind: EventKind::Instant,
+            value,
+        }
+    }
+
+    /// A span-opening edge.
+    pub fn begin(scope: &'static str, name: &'static str, value: u64) -> ObsEvent {
+        ObsEvent {
+            scope,
+            name,
+            kind: EventKind::Begin,
+            value,
+        }
+    }
+
+    /// A span-closing edge.
+    pub fn end(scope: &'static str, name: &'static str, value: u64) -> ObsEvent {
+        ObsEvent {
+            scope,
+            name,
+            kind: EventKind::End,
+            value,
+        }
+    }
+
+    /// A sampled value (e.g. a latency in nanoseconds).
+    pub fn sample(scope: &'static str, name: &'static str, value: u64) -> ObsEvent {
+        ObsEvent {
+            scope,
+            name,
+            kind: EventKind::Sample,
+            value,
+        }
+    }
+}
+
+impl fmt::Display for ObsEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} {} {}",
+            self.scope,
+            self.name,
+            self.kind.tag(),
+            self.value
+        )
+    }
+}
+
+/// A value stamped with the simulated time it was observed at.
+///
+/// Field-compatible with the record type the old `netfi-sim` trace buffer
+/// used, so harness code reads `rec.time` / `rec.value` unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stamped<T> {
+    /// When the observation was made (simulated time, never wall time).
+    pub time: SimTime,
+    /// The observed value.
+    pub value: T,
+}
+
+/// Sorts a merged event bundle into the deterministic export order:
+/// by time, then scope, name, kind and value so that records collected
+/// from different recorders interleave identically on every run.
+pub fn sort_bundle(events: &mut [Stamped<ObsEvent>]) {
+    events.sort_by(|a, b| {
+        (a.time, a.value.scope, a.value.name, a.value.kind, a.value.value).cmp(&(
+            b.time,
+            b.value.scope,
+            b.value.name,
+            b.value.kind,
+            b.value.value,
+        ))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kind() {
+        assert_eq!(ObsEvent::instant("s", "n", 1).kind, EventKind::Instant);
+        assert_eq!(ObsEvent::begin("s", "n", 1).kind, EventKind::Begin);
+        assert_eq!(ObsEvent::end("s", "n", 1).kind, EventKind::End);
+        assert_eq!(ObsEvent::sample("s", "n", 1).kind, EventKind::Sample);
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let ev = ObsEvent::instant("switch", "overflow_drop", 3);
+        assert_eq!(ev.to_string(), "switch:overflow_drop i 3");
+    }
+
+    #[test]
+    fn bundle_sort_is_total_and_deterministic() {
+        let mut a = vec![
+            Stamped {
+                time: SimTime::from_ns(5),
+                value: ObsEvent::instant("b", "x", 0),
+            },
+            Stamped {
+                time: SimTime::from_ns(5),
+                value: ObsEvent::instant("a", "x", 0),
+            },
+            Stamped {
+                time: SimTime::from_ns(1),
+                value: ObsEvent::instant("z", "x", 0),
+            },
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        sort_bundle(&mut a);
+        sort_bundle(&mut b);
+        assert_eq!(a, b);
+        assert_eq!(a[0].value.scope, "z");
+        assert_eq!(a[1].value.scope, "a");
+    }
+}

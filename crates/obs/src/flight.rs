@@ -1,0 +1,204 @@
+//! The flight recorder: a bounded, allocation-free ring of stamped records.
+//!
+//! This is the software generalization of the paper's SDRAM capture
+//! memory — "the FPGA can be programmed to keep the bytes surrounding the
+//! fault injection event" (§3.2) — applied to every layer: the ring keeps
+//! the most recent `capacity` records, so when an injection trigger fires
+//! the recorder holds the events around it. Storage is reserved once at
+//! construction; a steady-state `push` writes in place and never touches
+//! the allocator, which is why this file opts into the allocation lint.
+
+// netfi-lint: deny(hot-path-alloc)
+//
+// `push` runs on instrumented hot paths (per-frame, per-drop). The only
+// allocation is the one-time slot reservation in the constructor.
+
+use std::fmt;
+
+use netfi_sim::SimTime;
+
+use crate::event::Stamped;
+
+/// A bounded ring of timestamped records, oldest evicted first.
+///
+/// # Example
+///
+/// ```
+/// use netfi_obs::FlightRecorder;
+/// use netfi_sim::SimTime;
+///
+/// let mut ring = FlightRecorder::new(2);
+/// ring.push(SimTime::from_ns(1), "a");
+/// ring.push(SimTime::from_ns(2), "b");
+/// ring.push(SimTime::from_ns(3), "c"); // evicts "a"
+/// let values: Vec<_> = ring.iter().map(|r| r.value).collect();
+/// assert_eq!(values, ["b", "c"]);
+/// assert_eq!(ring.dropped(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlightRecorder<T> {
+    slots: Vec<Stamped<T>>,
+    capacity: usize,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+    dropped: u64,
+}
+
+impl<T> FlightRecorder<T> {
+    /// Creates a recorder holding at most `capacity` records. The slot
+    /// storage is reserved up front; `push` never reallocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> FlightRecorder<T> {
+        assert!(capacity > 0, "flight recorder capacity must be non-zero");
+        FlightRecorder {
+            // One-time slot reservation; `Vec::with_capacity` is the
+            // sanctioned construction-time allocation under the lint.
+            slots: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Appends a record, evicting the oldest if the ring is full.
+    pub fn push(&mut self, time: SimTime, value: T) {
+        let record = Stamped { time, value };
+        if self.slots.len() < self.capacity {
+            self.slots.push(record);
+        } else if let Some(slot) = self.slots.get_mut(self.head) {
+            *slot = record;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of records currently held.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// `true` if no records are held.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Maximum number of records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of records evicted due to capacity.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates oldest-to-newest.
+    pub fn iter(&self) -> impl Iterator<Item = &Stamped<T>> {
+        let (tail, front) = (
+            self.slots.get(self.head..).unwrap_or_default(),
+            self.slots.get(..self.head).unwrap_or_default(),
+        );
+        tail.iter().chain(front.iter())
+    }
+
+    /// The most recent record, if any.
+    pub fn last(&self) -> Option<&Stamped<T>> {
+        if self.slots.len() < self.capacity {
+            self.slots.last()
+        } else {
+            let newest = (self.head + self.capacity - 1) % self.capacity;
+            self.slots.get(newest)
+        }
+    }
+
+    /// Removes all records; the eviction counter is preserved.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.head = 0;
+    }
+}
+
+impl<T: fmt::Display> FlightRecorder<T> {
+    /// Renders the ring as one `[time] value` line per record, oldest
+    /// first (the format the old trace buffer used, kept for reports).
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for r in self.iter() {
+            let _ = writeln!(out, "[{}] {}", r.time, r.value);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_most_recent_in_order() {
+        let mut ring = FlightRecorder::new(3);
+        for i in 0..5u32 {
+            ring.push(SimTime::from_ns(u64::from(i)), i);
+        }
+        let vals: Vec<u32> = ring.iter().map(|r| r.value).collect();
+        assert_eq!(vals, vec![2, 3, 4]);
+        assert_eq!(ring.dropped(), 2);
+        assert_eq!(ring.last().unwrap().value, 4);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.capacity(), 3);
+    }
+
+    #[test]
+    fn partial_fill_iterates_in_push_order() {
+        let mut ring = FlightRecorder::new(8);
+        ring.push(SimTime::from_ns(1), "x");
+        ring.push(SimTime::from_ns(2), "y");
+        let vals: Vec<&str> = ring.iter().map(|r| r.value).collect();
+        assert_eq!(vals, vec!["x", "y"]);
+        assert_eq!(ring.last().unwrap().value, "y");
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = FlightRecorder::<u8>::new(0);
+    }
+
+    #[test]
+    fn clear_preserves_dropped_counter() {
+        let mut ring = FlightRecorder::new(1);
+        ring.push(SimTime::ZERO, 1);
+        ring.push(SimTime::ZERO, 2);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+        // And the ring still works after a clear.
+        ring.push(SimTime::from_ns(9), 3);
+        assert_eq!(ring.last().unwrap().value, 3);
+    }
+
+    #[test]
+    fn push_never_reallocates() {
+        let mut ring = FlightRecorder::new(4);
+        let cap_before = ring.slots.capacity();
+        for i in 0..100u64 {
+            ring.push(SimTime::from_ns(i), i);
+        }
+        assert_eq!(ring.slots.capacity(), cap_before);
+        assert_eq!(ring.dropped(), 96);
+    }
+
+    #[test]
+    fn render_includes_timestamps() {
+        let mut ring = FlightRecorder::new(4);
+        ring.push(SimTime::from_ns(1), "hello");
+        let s = ring.render();
+        assert!(s.contains("1.000ns"));
+        assert!(s.contains("hello"));
+    }
+}

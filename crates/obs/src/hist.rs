@@ -1,0 +1,334 @@
+//! Log₂-bucketed histograms with percentile extraction.
+//!
+//! Latencies in the simulated network span six orders of magnitude (a
+//! 12.5 ns character period to ~235 µs host round trips), so fixed-width
+//! bins either blur the small end or explode in count. A [`LogHistogram`]
+//! buckets by the value's bit length — 65 buckets cover all of `u64` — and
+//! keeps per-bucket count/min/max/sum, which makes nearest-rank quantile
+//! extraction *exact* whenever the values inside the rank's bucket are a
+//! single point or consecutive evenly spaced integers, and a tight
+//! interpolation otherwise.
+
+use std::fmt;
+
+/// Per-bucket accounting.
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    count: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+impl Bucket {
+    const EMPTY: Bucket = Bucket {
+        count: 0,
+        min: 0,
+        max: 0,
+        sum: 0,
+    };
+}
+
+/// Number of buckets: value 0, plus one per bit length 1..=64.
+const BUCKETS: usize = 65;
+
+/// The standard percentile triple campaign reports quote.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+}
+
+impl fmt::Display for Percentiles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p50={} p95={} p99={}", self.p50, self.p95, self.p99)
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples.
+///
+/// # Example
+///
+/// ```
+/// use netfi_obs::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in 1..=100u64 {
+///     h.record(v);
+/// }
+/// // Consecutive integers interpolate exactly.
+/// assert_eq!(h.quantile(0.50), 50);
+/// assert_eq!(h.quantile(0.95), 95);
+/// assert_eq!(h.quantile(0.99), 99);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    buckets: [Bucket; BUCKETS],
+    total: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index: 0 for the value 0, otherwise the value's bit length.
+fn bucket_index(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            buckets: [Bucket::EMPTY; BUCKETS],
+            total: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bucket = &mut self.buckets[bucket_index(value)];
+        if bucket.count == 0 {
+            bucket.min = value;
+            bucket.max = value;
+        } else {
+            bucket.min = bucket.min.min(value);
+            bucket.max = bucket.max.max(value);
+        }
+        bucket.count += 1;
+        bucket.sum += u128::from(value);
+        self.total += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// `true` if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        self.buckets
+            .iter()
+            .find(|b| b.count > 0)
+            .map_or(0, |b| b.min)
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.buckets
+            .iter()
+            .rev()
+            .find(|b| b.count > 0)
+            .map_or(0, |b| b.max)
+    }
+
+    /// Arithmetic mean of the samples (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let sum: u128 = self.buckets.iter().map(|b| b.sum).sum();
+        sum as f64 / self.total as f64
+    }
+
+    /// Nearest-rank quantile with in-bucket linear interpolation.
+    ///
+    /// The rank `ceil(q · n)` is located in its bucket; if the bucket holds
+    /// a single distinct value that value is returned exactly, otherwise
+    /// the result interpolates linearly between the bucket's recorded min
+    /// and max by rank position — exact for consecutive evenly spaced
+    /// integers, a tight bound otherwise.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let clamped = q.clamp(0.0, 1.0);
+        let rank = ((clamped * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cumulative = 0u64;
+        for bucket in &self.buckets {
+            if bucket.count == 0 {
+                continue;
+            }
+            if rank <= cumulative + bucket.count {
+                if bucket.min == bucket.max || bucket.count == 1 {
+                    return bucket.min;
+                }
+                let position = rank - cumulative; // 1..=bucket.count
+                let fraction = (position - 1) as f64 / (bucket.count - 1) as f64;
+                let spread = (bucket.max - bucket.min) as f64;
+                return bucket.min + (fraction * spread + 0.5) as u64;
+            }
+            cumulative += bucket.count;
+        }
+        self.max()
+    }
+
+    /// The p50/p95/p99 triple.
+    pub fn percentiles(&self) -> Percentiles {
+        Percentiles {
+            p50: self.quantile(0.50),
+            p95: self.quantile(0.95),
+            p99: self.quantile(0.99),
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            if theirs.count == 0 {
+                continue;
+            }
+            if mine.count == 0 {
+                mine.min = theirs.min;
+                mine.max = theirs.max;
+            } else {
+                mine.min = mine.min.min(theirs.min);
+                mine.max = mine.max.max(theirs.max);
+            }
+            mine.count += theirs.count;
+            mine.sum += theirs.sum;
+        }
+        self.total += other.total;
+    }
+
+    /// Non-empty buckets as `(bit_length, count)` pairs, ascending.
+    pub fn buckets(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.count > 0)
+            .map(|(i, b)| (i, b.count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_bit_length() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn percentiles_exact_on_consecutive_integers() {
+        // 1..=1000: every bucket holds a run of consecutive integers, so
+        // the in-bucket interpolation reproduces nearest-rank exactly.
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        for (q, expect) in [(0.50, 500), (0.95, 950), (0.99, 990), (1.0, 1000)] {
+            assert_eq!(h.quantile(q), expect, "q={q}");
+        }
+        assert_eq!(h.quantile(0.001), 1);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn percentiles_exact_on_point_masses() {
+        // 90 samples of 100 ns, 9 of 1000 ns, 1 of 10_000 ns: each bucket
+        // is a single point, so every quantile is exact.
+        let mut h = LogHistogram::new();
+        for _ in 0..90 {
+            h.record(100);
+        }
+        for _ in 0..9 {
+            h.record(1_000);
+        }
+        h.record(10_000);
+        let p = h.percentiles();
+        assert_eq!(p, Percentiles { p50: 100, p95: 1_000, p99: 1_000 });
+        assert_eq!(h.quantile(1.0), 10_000);
+        assert_eq!(h.quantile(0.999), 10_000);
+    }
+
+    #[test]
+    fn exact_on_evenly_spaced_values_within_a_bucket() {
+        // 40, 44, 48, … 60 all share bucket 6 and are evenly spaced: the
+        // interpolation lands on the recorded values exactly.
+        let mut h = LogHistogram::new();
+        for v in (40..=60u64).step_by(4) {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 48);
+        assert_eq!(h.quantile(1.0), 60);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = LogHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.percentiles(), Percentiles::default());
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn zero_values_have_their_own_bucket() {
+        let mut h = LogHistogram::new();
+        h.record(0);
+        h.record(0);
+        h.record(8);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 8);
+        let buckets: Vec<(usize, u64)> = h.buckets().collect();
+        assert_eq!(buckets, vec![(0, 2), (4, 1)]);
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extremes() {
+        let mut a = LogHistogram::new();
+        let mut b = LogHistogram::new();
+        for v in 1..=50u64 {
+            a.record(v);
+        }
+        for v in 51..=100u64 {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 100);
+        assert_eq!(a.quantile(0.95), 95);
+        assert_eq!(a.min(), 1);
+        assert_eq!(a.max(), 100);
+    }
+
+    #[test]
+    fn mean_matches_sum() {
+        let mut h = LogHistogram::new();
+        for v in [2u64, 4, 6] {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 4.0);
+    }
+
+    #[test]
+    fn display_of_percentiles() {
+        let p = Percentiles { p50: 1, p95: 2, p99: 3 };
+        assert_eq!(p.to_string(), "p50=1 p95=2 p99=3");
+    }
+}

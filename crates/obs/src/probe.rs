@@ -1,0 +1,171 @@
+//! The engine dispatch probe.
+//!
+//! [`DispatchProbe`] plugs into the engine's static-dispatch observation
+//! seam (`netfi_sim::engine::Probe`) and records, per component: how many
+//! events it handled and how many it emitted, plus a bounded flight trace
+//! of recent dispatches. Because the probe is a type parameter of the
+//! engine, a simulation built without one (`NullProbe`) pays nothing —
+//! the hooks inline to empty bodies.
+
+use netfi_sim::engine::Probe;
+use netfi_sim::{ComponentId, SimTime};
+
+use crate::event::{ObsEvent, Stamped};
+use crate::flight::FlightRecorder;
+
+/// Counts per-component dispatches and keeps a bounded dispatch trace.
+#[derive(Debug)]
+pub struct DispatchProbe {
+    dispatches: Vec<u64>,
+    emitted: Vec<u64>,
+    total: u64,
+    first: Option<SimTime>,
+    last: SimTime,
+    ring: FlightRecorder<ObsEvent>,
+}
+
+impl DispatchProbe {
+    /// A probe whose dispatch trace keeps the last `ring_capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ring_capacity` is zero.
+    pub fn new(ring_capacity: usize) -> DispatchProbe {
+        DispatchProbe {
+            dispatches: Vec::new(),
+            emitted: Vec::new(),
+            total: 0,
+            first: None,
+            last: SimTime::ZERO,
+            ring: FlightRecorder::new(ring_capacity),
+        }
+    }
+
+    /// Total events dispatched while this probe was installed.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events dispatched to one component.
+    pub fn dispatches_for(&self, id: ComponentId) -> u64 {
+        self.dispatches.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// Events emitted (scheduled) by one component while handling its own.
+    pub fn emitted_by(&self, id: ComponentId) -> u64 {
+        self.emitted.get(id.index()).copied().unwrap_or(0)
+    }
+
+    /// Per-component dispatch counts, indexed by [`ComponentId::index`].
+    pub fn dispatch_counts(&self) -> &[u64] {
+        &self.dispatches
+    }
+
+    /// Time of the first observed dispatch, if any.
+    pub fn first_dispatch(&self) -> Option<SimTime> {
+        self.first
+    }
+
+    /// Time of the most recent observed dispatch.
+    pub fn last_dispatch(&self) -> SimTime {
+        self.last
+    }
+
+    /// The bounded dispatch trace, oldest first. Each event's `value` is
+    /// the destination component's index.
+    pub fn trace(&self) -> impl Iterator<Item = &Stamped<ObsEvent>> {
+        self.ring.iter()
+    }
+
+    /// Dispatches evicted from the bounded trace.
+    pub fn trace_dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+}
+
+fn bump(counts: &mut Vec<u64>, index: usize) {
+    if counts.len() <= index {
+        counts.resize(index + 1, 0);
+    }
+    if let Some(slot) = counts.get_mut(index) {
+        *slot += 1;
+    }
+}
+
+impl Probe for DispatchProbe {
+    #[inline]
+    fn on_dispatch(&mut self, now: SimTime, dst: ComponentId, _events_processed: u64) {
+        bump(&mut self.dispatches, dst.index());
+        self.total += 1;
+        if self.first.is_none() {
+            self.first = Some(now);
+        }
+        self.last = now;
+        self.ring.push(
+            now,
+            ObsEvent::instant("engine", "dispatch", dst.index() as u64),
+        );
+    }
+
+    #[inline]
+    fn on_deliver(&mut self, _now: SimTime, dst: ComponentId, emitted: usize) {
+        let index = dst.index();
+        if self.emitted.len() <= index {
+            self.emitted.resize(index + 1, 0);
+        }
+        if let Some(slot) = self.emitted.get_mut(index) {
+            *slot += emitted as u64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(engine: &mut netfi_sim::Engine<u32, DispatchProbe>) -> ComponentId {
+        struct Nop;
+        impl netfi_sim::Component<u32> for Nop {
+            fn on_event(&mut self, ctx: &mut netfi_sim::Context<'_, u32>, payload: u32) {
+                if payload > 0 {
+                    ctx.send_self(netfi_sim::SimDuration::from_ns(1), payload - 1);
+                }
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+                self
+            }
+        }
+        engine.add_component(Box::new(Nop))
+    }
+
+    #[test]
+    fn probe_counts_dispatches_and_emissions() {
+        let mut engine = netfi_sim::Engine::with_probe(DispatchProbe::new(8));
+        let c = id(&mut engine);
+        engine.schedule(SimTime::ZERO, c, 3);
+        engine.run();
+        let probe = engine.probe();
+        assert_eq!(probe.total(), 4);
+        assert_eq!(probe.dispatches_for(c), 4);
+        assert_eq!(probe.emitted_by(c), 3);
+        assert_eq!(probe.first_dispatch(), Some(SimTime::ZERO));
+        assert_eq!(probe.last_dispatch(), SimTime::from_ns(3));
+        assert_eq!(probe.trace().count(), 4);
+        assert_eq!(probe.trace_dropped(), 0);
+        assert_eq!(probe.dispatch_counts(), &[4]);
+    }
+
+    #[test]
+    fn trace_is_bounded() {
+        let mut engine = netfi_sim::Engine::with_probe(DispatchProbe::new(2));
+        let c = id(&mut engine);
+        engine.schedule(SimTime::ZERO, c, 9);
+        engine.run();
+        let probe = engine.probe();
+        assert_eq!(probe.trace().count(), 2);
+        assert_eq!(probe.trace_dropped(), 8);
+    }
+}

@@ -1,0 +1,119 @@
+//! The armable recorder components embed.
+//!
+//! A [`Recorder`] is the deployment vehicle for the flight recorder: a
+//! component owns one, constructed disarmed (no storage, a single `None`
+//! branch per emission — nothing on the allocator, nothing in cache), and
+//! a harness arms it before a run it wants to observe. This mirrors how
+//! the paper's device idles transparently until NFTAPE programs it over
+//! the serial line.
+
+use netfi_sim::SimTime;
+
+use crate::event::{ObsEvent, Stamped};
+use crate::flight::FlightRecorder;
+use crate::sink::Sink;
+
+/// A runtime-armable bounded event sink.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    ring: Option<FlightRecorder<ObsEvent>>,
+}
+
+impl Recorder {
+    /// A disarmed recorder: no storage, emissions are discarded.
+    pub const fn disarmed() -> Recorder {
+        Recorder { ring: None }
+    }
+
+    /// Arms the recorder with a ring of `capacity` events. Re-arming
+    /// replaces the ring (previous contents are discarded).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn arm(&mut self, capacity: usize) {
+        self.ring = Some(FlightRecorder::new(capacity));
+    }
+
+    /// Disarms and drops any captured events.
+    pub fn disarm(&mut self) {
+        self.ring = None;
+    }
+
+    /// `true` while emissions are being captured.
+    pub fn is_armed(&self) -> bool {
+        self.ring.is_some()
+    }
+
+    /// Captured events, oldest first (empty when disarmed).
+    pub fn events(&self) -> impl Iterator<Item = &Stamped<ObsEvent>> {
+        self.ring.iter().flat_map(|r| r.iter())
+    }
+
+    /// Number of captured events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.as_ref().map_or(0, |r| r.len())
+    }
+
+    /// `true` when nothing is captured (also when disarmed).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted from the ring since arming.
+    pub fn dropped(&self) -> u64 {
+        self.ring.as_ref().map_or(0, |r| r.dropped())
+    }
+}
+
+impl Sink for Recorder {
+    #[inline]
+    fn emit(&mut self, time: SimTime, event: ObsEvent) {
+        if let Some(ring) = &mut self.ring {
+            ring.push(time, event);
+        }
+    }
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        self.ring.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disarmed_discards_everything() {
+        let mut r = Recorder::disarmed();
+        assert!(!r.enabled());
+        r.instant(SimTime::ZERO, "a", "b", 1);
+        assert!(r.is_empty());
+        assert_eq!(r.events().count(), 0);
+    }
+
+    #[test]
+    fn armed_captures_bounded() {
+        let mut r = Recorder::default();
+        r.arm(2);
+        assert!(r.is_armed() && r.enabled());
+        for i in 0..3u64 {
+            r.instant(SimTime::from_ns(i), "s", "n", i);
+        }
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.dropped(), 1);
+        let values: Vec<u64> = r.events().map(|e| e.value.value).collect();
+        assert_eq!(values, vec![1, 2]);
+    }
+
+    #[test]
+    fn disarm_drops_capture() {
+        let mut r = Recorder::disarmed();
+        r.arm(4);
+        r.instant(SimTime::ZERO, "s", "n", 1);
+        r.disarm();
+        assert!(!r.is_armed());
+        assert!(r.is_empty());
+    }
+}

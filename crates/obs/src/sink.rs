@@ -1,0 +1,112 @@
+//! Static-dispatch emission: the [`Sink`] trait and the no-op sink.
+//!
+//! Instrumented code is written generic over `S: Sink` and monomorphized
+//! per sink type. With [`NullSink`] every emission is an empty inlined
+//! call, so the disabled configuration compiles to nothing measurable on
+//! the hot path — the same contract the engine's `Probe` hook makes one
+//! layer down.
+
+use netfi_sim::SimTime;
+
+use crate::event::ObsEvent;
+
+/// Receives observations. All provided helpers funnel into [`Sink::emit`],
+/// so implementors write one method.
+pub trait Sink {
+    /// Accepts one observation at simulated time `time`.
+    fn emit(&mut self, time: SimTime, event: ObsEvent);
+
+    /// `false` when emissions are discarded; emit sites may skip building
+    /// expensive values when disabled.
+    #[inline]
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Emits a point observation.
+    #[inline]
+    fn instant(&mut self, time: SimTime, scope: &'static str, name: &'static str, value: u64) {
+        self.emit(time, ObsEvent::instant(scope, name, value));
+    }
+
+    /// Emits a span-opening edge.
+    #[inline]
+    fn begin(&mut self, time: SimTime, scope: &'static str, name: &'static str, value: u64) {
+        self.emit(time, ObsEvent::begin(scope, name, value));
+    }
+
+    /// Emits a span-closing edge.
+    #[inline]
+    fn end(&mut self, time: SimTime, scope: &'static str, name: &'static str, value: u64) {
+        self.emit(time, ObsEvent::end(scope, name, value));
+    }
+
+    /// Emits a sampled value.
+    #[inline]
+    fn sample(&mut self, time: SimTime, scope: &'static str, name: &'static str, value: u64) {
+        self.emit(time, ObsEvent::sample(scope, name, value));
+    }
+}
+
+/// The disabled sink: every method is an empty `#[inline(always)]` body,
+/// so instrumentation generic over it vanishes at compile time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    #[inline(always)]
+    fn emit(&mut self, _time: SimTime, _event: ObsEvent) {}
+
+    #[inline(always)]
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A sink that appends into a plain vector — unbounded, for tests and
+/// offline analysis (the bounded in-simulation sink is
+/// [`crate::record::Recorder`]).
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    /// The collected observations, in emission order.
+    pub events: Vec<crate::event::Stamped<ObsEvent>>,
+}
+
+impl VecSink {
+    /// An empty sink.
+    pub fn new() -> VecSink {
+        VecSink { events: Vec::new() }
+    }
+}
+
+impl Sink for VecSink {
+    fn emit(&mut self, time: SimTime, event: ObsEvent) {
+        self.events.push(crate::event::Stamped { time, value: event });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_sink_reports_disabled_and_discards() {
+        let mut s = NullSink;
+        assert!(!s.enabled());
+        s.instant(SimTime::ZERO, "a", "b", 1);
+        s.begin(SimTime::ZERO, "a", "b", 1);
+        s.end(SimTime::ZERO, "a", "b", 1);
+        s.sample(SimTime::ZERO, "a", "b", 1);
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order() {
+        let mut s = VecSink::new();
+        s.instant(SimTime::from_ns(1), "a", "x", 7);
+        s.sample(SimTime::from_ns(2), "a", "y", 9);
+        assert!(s.enabled());
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.events[0].value.name, "x");
+        assert_eq!(s.events[1].value.value, 9);
+    }
+}

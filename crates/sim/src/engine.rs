@@ -140,10 +140,49 @@ impl<M> Context<'_, M> {
     }
 }
 
+/// An observation seam on the engine's dispatch loop.
+///
+/// The probe is a *type parameter* of [`Engine`], so the choice of probe is
+/// made at compile time and dispatch is static. The default, [`NullProbe`],
+/// has empty `#[inline(always)]` hooks: an unprobed engine compiles to the
+/// same dispatch loop it had before the seam existed. A real probe (e.g.
+/// `netfi-obs`'s `DispatchProbe`) sees every delivery without the engine
+/// paying for observation when it is off.
+///
+/// `Debug` is a supertrait so harness structs generic over their probe can
+/// keep `#[derive(Debug)]`.
+pub trait Probe: fmt::Debug + 'static {
+    /// Called when an event is popped, immediately before delivery.
+    ///
+    /// `events_processed` is the running delivery count *including* this
+    /// event.
+    #[inline(always)]
+    fn on_dispatch(&mut self, now: SimTime, dst: ComponentId, events_processed: u64) {
+        let _ = (now, dst, events_processed);
+    }
+
+    /// Called after the component handled the event, before the emitted
+    /// events are drained into the queue. `emitted` is how many events the
+    /// handler scheduled.
+    #[inline(always)]
+    fn on_deliver(&mut self, now: SimTime, dst: ComponentId, emitted: usize) {
+        let _ = (now, dst, emitted);
+    }
+}
+
+/// The no-op probe: both hooks inline to nothing.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullProbe;
+
+impl Probe for NullProbe {}
+
 /// The event-driven simulation engine.
 ///
-/// See the [crate-level documentation](crate) for a complete example.
-pub struct Engine<M> {
+/// See the [crate-level documentation](crate) for a complete example. The
+/// `P` parameter selects the observation [`Probe`]; it defaults to
+/// [`NullProbe`] (no observation, no overhead), so existing
+/// `Engine<M>`-typed code is unaffected.
+pub struct Engine<M, P: Probe = NullProbe> {
     components: Vec<Box<dyn Component<M>>>,
     queue: BinaryHeap<QueuedEvent<M>>,
     now: SimTime,
@@ -154,9 +193,10 @@ pub struct Engine<M> {
     /// into the heap after each `on_event`, so the hot path performs no
     /// per-event allocation once its high-water capacity is reached.
     outbox: Vec<QueuedEvent<M>>,
+    probe: P,
 }
 
-impl<M> fmt::Debug for Engine<M> {
+impl<M, P: Probe> fmt::Debug for Engine<M, P> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Engine")
             .field("components", &self.components.len())
@@ -174,8 +214,15 @@ impl<M: 'static> Default for Engine<M> {
 }
 
 impl<M: 'static> Engine<M> {
-    /// Creates an empty engine at time zero.
+    /// Creates an empty engine at time zero with no observation probe.
     pub fn new() -> Self {
+        Engine::with_probe(NullProbe)
+    }
+}
+
+impl<M: 'static, P: Probe> Engine<M, P> {
+    /// Creates an empty engine at time zero observed by `probe`.
+    pub fn with_probe(probe: P) -> Self {
         Engine {
             // lint: allow(hot-path-alloc) one-time constructor; both Vec::new are capacity 0
             components: Vec::new(),
@@ -186,7 +233,18 @@ impl<M: 'static> Engine<M> {
             stop_requested: false,
             // lint: allow(hot-path-alloc) reusable outbox, allocated once and drained in place
             outbox: Vec::new(),
+            probe,
         }
+    }
+
+    /// Borrows the observation probe.
+    pub fn probe(&self) -> &P {
+        &self.probe
+    }
+
+    /// Mutably borrows the observation probe (e.g. to arm or drain it).
+    pub fn probe_mut(&mut self) -> &mut P {
+        &mut self.probe
     }
 
     /// Registers a component and returns its id.
@@ -249,6 +307,7 @@ impl<M: 'static> Engine<M> {
         debug_assert!(ev.time >= self.now);
         self.now = ev.time;
         self.events_processed += 1;
+        self.probe.on_dispatch(self.now, ev.dst, self.events_processed);
 
         debug_assert!(self.outbox.is_empty());
         {
@@ -262,6 +321,7 @@ impl<M: 'static> Engine<M> {
             };
             component.on_event(&mut ctx, ev.payload);
         }
+        self.probe.on_deliver(self.now, ev.dst, self.outbox.len());
         for out in self.outbox.drain(..) {
             assert!(
                 out.dst.index() < self.components.len(),
@@ -473,6 +533,47 @@ mod tests {
         let mut e: Engine<u32> = Engine::new();
         assert!(!e.step());
         assert_eq!(e.events_processed(), 0);
+    }
+
+    #[derive(Debug, Default)]
+    struct CountingProbe {
+        dispatches: u64,
+        emitted: u64,
+    }
+
+    impl Probe for CountingProbe {
+        fn on_dispatch(&mut self, _now: SimTime, _dst: ComponentId, _n: u64) {
+            self.dispatches += 1;
+        }
+        fn on_deliver(&mut self, _now: SimTime, _dst: ComponentId, emitted: usize) {
+            self.emitted += emitted as u64;
+        }
+    }
+
+    #[test]
+    fn probe_sees_every_dispatch_and_emission() {
+        let mut e = Engine::with_probe(CountingProbe::default());
+        let a = e.add_component(Box::new(PingPong { peer: None, remaining: 0, bounces: 0 }));
+        e.component_as_mut::<PingPong>(a).unwrap().peer = Some(a);
+        e.schedule(SimTime::ZERO, a, 3);
+        e.run();
+        // Payload counts down 3→0: four deliveries, three of which emit.
+        assert_eq!(e.probe().dispatches, 4);
+        assert_eq!(e.probe().emitted, 3);
+        e.probe_mut().dispatches = 0;
+        assert_eq!(e.probe().dispatches, 0);
+    }
+
+    #[test]
+    fn null_probe_engine_matches_probed_run() {
+        fn run<P: Probe>(mut e: Engine<u32, P>) -> (SimTime, u64) {
+            let a = e.add_component(Box::new(PingPong { peer: None, remaining: 0, bounces: 0 }));
+            e.component_as_mut::<PingPong>(a).unwrap().peer = Some(a);
+            e.schedule(SimTime::ZERO, a, 5);
+            e.run();
+            (e.now(), e.events_processed())
+        }
+        assert_eq!(run(Engine::new()), run(Engine::with_probe(CountingProbe::default())));
     }
 
     #[test]

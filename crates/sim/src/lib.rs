@@ -17,8 +17,9 @@
 //!   fan-out and capture snapshots without copying.
 //! - [`metrics`]: counters, Welford summaries and fixed-bin histograms used by
 //!   the experiment harnesses.
-//! - [`trace`]: a bounded ring buffer for event traces (the software analogue
-//!   of the paper's SDRAM capture memory).
+//! - [`engine::Probe`]: a compile-time observation seam on the dispatch
+//!   loop. The default [`NullProbe`] costs nothing; `netfi-obs` plugs a
+//!   real probe in to watch dispatches without perturbing the run.
 //!
 //! # Example
 //!
@@ -55,9 +56,8 @@ pub mod engine;
 pub mod metrics;
 pub mod rng;
 pub mod time;
-pub mod trace;
 
 pub use bytes::SharedBytes;
-pub use engine::{Component, ComponentId, Context, Engine};
+pub use engine::{Component, ComponentId, Context, Engine, NullProbe, Probe};
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

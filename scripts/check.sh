@@ -22,3 +22,10 @@ echo "== engine bench =="
     --out target/BENCH_engine.json
 echo "summary: target/BENCH_engine.json"
 cat target/BENCH_engine.json
+
+echo "== obs overhead gate =="
+./target/release/bench_obs --sim-ms 2000 --samples 5 \
+    --baseline target/BENCH_engine.json --min-ratio 0.8 \
+    --out target/BENCH_obs.json
+echo "summary: target/BENCH_obs.json"
+cat target/BENCH_obs.json

@@ -15,6 +15,8 @@
 //!   monitoring and fault-injection device.
 //! - [`netstack`] — UDP/addressing/workloads on simulated hosts.
 //! - [`nftape`] — the campaign management framework.
+//! - [`obs`] — deterministic observability: spans, metrics, flight
+//!   recording and failure-analysis exports.
 //!
 //! See the repository README for a quickstart and DESIGN.md for the system
 //! inventory.
@@ -27,5 +29,6 @@ pub use netfi_fc as fc;
 pub use netfi_myrinet as myrinet;
 pub use netfi_netstack as netstack;
 pub use netfi_nftape as nftape;
+pub use netfi_obs as obs;
 pub use netfi_phy as phy;
 pub use netfi_sim as sim;

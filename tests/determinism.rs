@@ -168,6 +168,53 @@ fn campaign_results_golden_hash() {
     assert_eq!(fnv1a(text.as_bytes()), 0xA700_F551_56B5_1037);
 }
 
+/// Golden hashes of the observed campaign's two export artifacts. The
+/// obs subsystem's contract is that observation is deterministic end to
+/// end: the same seeded campaign, run with every flight recorder armed
+/// and the engine dispatch probe installed, exports byte-identical
+/// Chrome-trace JSON and text tables on every rerun. If a change
+/// legitimately alters the campaign's observable behaviour, update the
+/// constants in the same commit and say why.
+#[test]
+fn observed_exports_golden_hash() {
+    use netfi::nftape::observed::observed_campaign;
+    let run = observed_campaign(11).unwrap();
+    let rerun = observed_campaign(11).unwrap();
+    let chrome = run.chrome_trace();
+    let table = run.text_table();
+    // Byte-identical across reruns …
+    assert_eq!(chrome, rerun.chrome_trace());
+    assert_eq!(table, rerun.text_table());
+    // … and pinned across commits.
+    assert_eq!(fnv1a(chrome.as_bytes()), 0xBC3B_4DA1_B316_3F10);
+    assert_eq!(fnv1a(table.as_bytes()), 0x9EA5_7953_A6F8_C154);
+}
+
+/// Percentile extraction is exact wherever the log-bucketed histogram
+/// holds full resolution: single-sample buckets and per-bucket-uniform
+/// distributions interpolate back to the exact rank value.
+#[test]
+fn histogram_percentiles_are_exact_on_known_distributions() {
+    use netfi::obs::LogHistogram;
+    // 1..=1000 uniform: the nearest-rank percentiles are the ranks
+    // themselves.
+    let mut h = LogHistogram::new();
+    for v in 1..=1000u64 {
+        h.record(v);
+    }
+    let p = h.percentiles();
+    assert_eq!((p.p50, p.p95, p.p99), (500, 950, 990));
+    assert_eq!(h.quantile(0.0), h.min());
+    assert_eq!(h.quantile(1.0), 1000);
+    // A constant distribution is exact at every quantile.
+    let mut c = LogHistogram::new();
+    for _ in 0..37 {
+        c.record(4096);
+    }
+    let pc = c.percentiles();
+    assert_eq!((pc.p50, pc.p95, pc.p99), (4096, 4096, 4096));
+}
+
 /// The event-rate meter is pure sim-time arithmetic (its wall-clock
 /// dependency was removed when `netfi-lint` started enforcing the
 /// determinism rules), so bracketing the same seeded run twice yields

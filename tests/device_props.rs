@@ -89,10 +89,10 @@ fn run(frames: &[Frame], with_device: bool) -> Vec<Frame> {
     let link = Link::myrinet_640(1.0);
     if with_device {
         let dev = engine.add_component(Box::new(InjectorDevice::with_name("prop")));
-        connect::<Probe, InjectorDevice>(&mut engine, (a, 0), (dev, 0), &link).unwrap();
-        connect::<InjectorDevice, Probe>(&mut engine, (dev, 1), (b, 0), &link).unwrap();
+        connect::<Probe, InjectorDevice, _>(&mut engine, (a, 0), (dev, 0), &link).unwrap();
+        connect::<InjectorDevice, Probe, _>(&mut engine, (dev, 1), (b, 0), &link).unwrap();
     } else {
-        connect::<Probe, Probe>(&mut engine, (a, 0), (b, 0), &link).unwrap();
+        connect::<Probe, Probe, _>(&mut engine, (a, 0), (b, 0), &link).unwrap();
     }
     for (i, frame) in frames.iter().enumerate() {
         engine.schedule(

@@ -33,8 +33,8 @@ fn build(seed: u64) -> Fabric {
         capture_capacity: 64,
         traffic_capacity: 256,
     })));
-    connect::<Switch, InjectorDevice>(&mut engine, (sw0, 7), (device, 0), &link).unwrap();
-    connect::<InjectorDevice, Switch>(&mut engine, (device, 1), (sw1, 7), &link).unwrap();
+    connect::<Switch, InjectorDevice, _>(&mut engine, (sw0, 7), (device, 0), &link).unwrap();
+    connect::<InjectorDevice, Switch, _>(&mut engine, (device, 1), (sw1, 7), &link).unwrap();
 
     let mut hosts = Vec::new();
     for i in 0..4usize {
@@ -57,7 +57,7 @@ fn build(seed: u64) -> Fabric {
             });
         }
         let h = engine.add_component(Box::new(host));
-        connect::<Host, Switch>(&mut engine, (h, 0), (sw, port), &link).unwrap();
+        connect::<Host, Switch, _>(&mut engine, (h, 0), (sw, port), &link).unwrap();
         engine.schedule(SimTime::ZERO, h, Ev::App(Box::new(HostCmd::Start)));
         hosts.push(h);
     }

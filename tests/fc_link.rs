@@ -133,8 +133,8 @@ fn build(bb_credit: u32) -> (Engine<Ev>, ComponentId, ComponentId, ComponentId) 
     let b = engine.add_component(Box::new(FcEndpoint::new(bb_credit)));
     let dev = engine.add_component(Box::new(InjectorDevice::with_name("fc-fi")));
     let link = Link::fibre_channel(5.0);
-    connect::<FcEndpoint, InjectorDevice>(&mut engine, (a, 0), (dev, 0), &link).unwrap();
-    connect::<InjectorDevice, FcEndpoint>(&mut engine, (dev, 1), (b, 0), &link).unwrap();
+    connect::<FcEndpoint, InjectorDevice, _>(&mut engine, (a, 0), (dev, 0), &link).unwrap();
+    connect::<InjectorDevice, FcEndpoint, _>(&mut engine, (dev, 1), (b, 0), &link).unwrap();
     (engine, a, b, dev)
 }
 
