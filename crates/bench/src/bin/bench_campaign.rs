@@ -1,0 +1,86 @@
+//! End-to-end campaign wall time, serial vs parallel.
+//!
+//! Runs the paper's full campaign list and a multi-seed observed suite
+//! twice — once on a single worker, once fanned out over `--workers`
+//! scoped threads — verifies the outputs are byte-identical (the parallel
+//! runner's determinism contract), and emits `BENCH_campaign.json` with
+//! both wall times and the speedup.
+//!
+//! The speedup scales with physical cores: each worker spins a private
+//! CPU-bound simulation engine, so on a single-core runner the parallel
+//! pass is expected to tie (or slightly trail) the serial one, and the
+//! JSON records the core count so readers can tell which case they are
+//! looking at.
+//!
+//! ```text
+//! cargo run -p netfi-bench --release --bin bench_campaign -- \
+//!     [--out BENCH_campaign.json] [--workers N] [--suite-seeds 4]
+//! ```
+
+use netfi_bench::arg;
+use netfi_bench::harness::JsonObject;
+use netfi_nftape::campaign::{paper_campaigns, run_campaigns_with_workers};
+use netfi_nftape::observed::observed_suite;
+use netfi_nftape::runner::worker_count;
+use std::time::Instant;
+
+fn main() {
+    let out_path: String = arg("--out", "BENCH_campaign.json".to_string());
+    let requested: usize = arg("--workers", 0);
+    let workers = worker_count((requested > 0).then_some(requested));
+    let suite_seeds: u64 = arg("--suite-seeds", 4);
+
+    // --- the paper's campaign list, serial then parallel ---
+    let specs = paper_campaigns(1);
+    let start = Instant::now();
+    let serial_rows = run_campaigns_with_workers(&specs, 1).unwrap();
+    let serial_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let parallel_rows = run_campaigns_with_workers(&specs, workers).unwrap();
+    let parallel_secs = start.elapsed().as_secs_f64();
+    assert_eq!(parallel_rows, serial_rows, "worker count changed campaign results");
+    let rows: usize = serial_rows.iter().map(Vec::len).sum();
+    println!(
+        "campaigns: {} specs, {rows} rows | serial {serial_secs:.2} s, {workers} workers {parallel_secs:.2} s ({:.2}x)",
+        specs.len(),
+        serial_secs / parallel_secs
+    );
+
+    // --- the observed suite (every recorder armed), serial then parallel ---
+    let seeds: Vec<u64> = (0..suite_seeds).map(|k| 11 + 10 * k).collect();
+    let start = Instant::now();
+    let suite_serial = observed_suite(&seeds, 1).unwrap();
+    let suite_serial_secs = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let suite_parallel = observed_suite(&seeds, workers).unwrap();
+    let suite_parallel_secs = start.elapsed().as_secs_f64();
+    let fingerprint = suite_serial.fingerprint();
+    assert_eq!(
+        suite_parallel.fingerprint(),
+        fingerprint,
+        "worker count changed suite exports"
+    );
+    println!(
+        "observed suite: {} scenarios | serial {suite_serial_secs:.2} s, {workers} workers {suite_parallel_secs:.2} s ({:.2}x), fingerprint {fingerprint:#018x}",
+        seeds.len(),
+        suite_serial_secs / suite_parallel_secs
+    );
+
+    let json = JsonObject::new()
+        .str("bench", "campaign")
+        .int("cores", netfi_nftape::default_workers() as u64)
+        .int("workers", workers as u64)
+        .int("specs", specs.len() as u64)
+        .int("rows", rows as u64)
+        .num("serial_wall_secs", serial_secs)
+        .num("parallel_wall_secs", parallel_secs)
+        .num("speedup", serial_secs / parallel_secs)
+        .int("suite_scenarios", seeds.len() as u64)
+        .num("suite_serial_wall_secs", suite_serial_secs)
+        .num("suite_parallel_wall_secs", suite_parallel_secs)
+        .num("suite_speedup", suite_serial_secs / suite_parallel_secs)
+        .str("suite_fingerprint", &format!("{fingerprint:#018x}"))
+        .render();
+    std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH json");
+    println!("wrote {out_path}");
+}

@@ -2,10 +2,12 @@
 //! the kernel sustain on the saturated three-node testbed, and how long
 //! does the paper's full campaign list take wall-clock?
 //!
-//! Emits `BENCH_engine.json` (events/sec, ns/event, campaign wall time)
-//! so the perf trajectory is tracked from PR 1 on. If a previously
-//! committed `BENCH_engine.baseline.json` exists next to the output, the
-//! report includes the speedup against it.
+//! Emits `BENCH_engine.json` (events/sec, ns/event, campaign wall time,
+//! serial and parallel) so the perf trajectory is tracked from PR 1 on.
+//! Throughput is min-of-samples (see the comment in `main`); the median
+//! rides along in the JSON. If a previously committed
+//! `BENCH_engine.baseline.json` exists next to the output, the report
+//! includes the speedup against it.
 //!
 //! ```text
 //! cargo run -p netfi-bench --release --bin bench_engine -- \
@@ -16,7 +18,8 @@ use netfi_bench::harness::{Bench, JsonObject};
 use netfi_bench::{arg, extract_number};
 use netfi_myrinet::addr::EthAddr;
 use netfi_netstack::{build_testbed, Host, TestbedOptions, Workload};
-use netfi_nftape::campaign::{paper_campaigns, run_campaigns_parallel};
+use netfi_nftape::campaign::{paper_campaigns, run_campaigns_with_workers};
+use netfi_nftape::runner::default_workers;
 use netfi_sim::{SimDuration, SimTime};
 use std::hint::black_box;
 use std::time::Instant;
@@ -60,17 +63,24 @@ fn run_saturated_testbed(sim_ms: u64, seed: u64) -> u64 {
 fn main() {
     let out_path: String = arg("--out", "BENCH_engine.json".to_string());
     let sim_ms: u64 = arg("--sim-ms", 2_000);
-    let samples: u32 = arg("--samples", 5);
+    let samples: u32 = arg("--samples", 15);
     let campaigns: u32 = arg("--campaigns", 1);
 
     // --- engine throughput on the saturated testbed ---
+    //
+    // Throughput is computed from the *fastest* sample, not the median:
+    // the workload is single-threaded and deterministic, so every sample
+    // does identical work and differences between them are pure scheduler
+    // interference. On a shared (or single-core) box the min is the
+    // least-interfered measurement; the median is kept in the JSON so the
+    // noise level itself stays visible.
     let events = run_saturated_testbed(sim_ms, 12345);
     let m = Bench::new(format!("engine/saturated_testbed_{sim_ms}ms"))
         .samples(samples)
         .warmup(1)
         .run(|| black_box(run_saturated_testbed(sim_ms, 12345)));
     println!("{}", m.report());
-    let wall_ns = m.median_sample_ns() as f64;
+    let wall_ns = m.min_sample_ns() as f64;
     let events_per_sec = events as f64 / (wall_ns / 1e9);
     let ns_per_event = wall_ns / events as f64;
     println!(
@@ -80,17 +90,29 @@ fn main() {
         ns_per_event
     );
 
-    // --- campaign wall time (the paper's whole evaluation, in parallel) ---
-    let campaign_secs = if campaigns > 0 {
+    // --- campaign wall time (the paper's whole evaluation) ---
+    //
+    // Timed twice: serial (one worker) and fanned out one worker per
+    // core, so the JSON records both the work and the parallel speedup.
+    // On a single-core runner the two are expected to match.
+    let workers = default_workers();
+    let (campaign_secs, campaign_serial_secs) = if campaigns > 0 {
         let specs = paper_campaigns(1);
         let start = Instant::now();
-        let results = run_campaigns_parallel(&specs).unwrap();
+        let serial = run_campaigns_with_workers(&specs, 1).unwrap();
+        let serial_secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let results = run_campaigns_with_workers(&specs, workers).unwrap();
         let secs = start.elapsed().as_secs_f64();
+        assert_eq!(results, serial, "worker count changed campaign results");
         let rows: usize = results.iter().map(Vec::len).sum();
-        println!("campaigns: {} specs, {} rows in {:.2} s", specs.len(), rows, secs);
-        secs
+        println!(
+            "campaigns: {} specs, {rows} rows in {secs:.2} s ({workers} workers; serial {serial_secs:.2} s)",
+            specs.len()
+        );
+        (secs, serial_secs)
     } else {
-        0.0
+        (0.0, 0.0)
     };
 
     let mut json = JsonObject::new()
@@ -98,10 +120,13 @@ fn main() {
         .str("workload", "saturated_3node_testbed")
         .int("sim_ms", sim_ms)
         .int("events", events)
-        .num("wall_ms_median", wall_ns / 1e6)
+        .num("wall_ms_min", wall_ns / 1e6)
+        .num("wall_ms_median", m.median_sample_ns() as f64 / 1e6)
         .num("events_per_sec", events_per_sec)
         .num("ns_per_event", ns_per_event)
-        .num("campaign_wall_secs", campaign_secs);
+        .int("campaign_workers", workers as u64)
+        .num("campaign_wall_secs", campaign_secs)
+        .num("campaign_serial_wall_secs", campaign_serial_secs);
 
     // Compare against a committed baseline, if one is present.
     let baseline_path = std::path::Path::new(&out_path)

@@ -528,7 +528,7 @@ impl Component<Ev> for InjectorDevice {
                 }
             }
             Ev::Serial(byte) => self.on_serial(byte),
-            Ev::App(_) => {}
+            Ev::App(_) | Ev::Deliver { .. } | Ev::Send { .. } => {}
         }
     }
 

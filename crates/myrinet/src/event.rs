@@ -11,8 +11,9 @@ use std::any::Any;
 use std::fmt;
 
 use netfi_phy::Link;
-use netfi_sim::{ComponentId, Engine, Probe, SimDuration};
+use netfi_sim::{ComponentId, Engine, Probe, SharedBytes, SimDuration};
 
+use crate::addr::EthAddr;
 use crate::frame::Frame;
 
 /// An event delivered to a component.
@@ -32,9 +33,32 @@ pub enum Ev {
         /// Generation at scheduling time; stale generations are ignored.
         gen: u64,
     },
+    /// A received payload crossing from the NIC to the host's application
+    /// layer (scheduled after the receive overhead). The hot receive path:
+    /// carried inline, no boxing.
+    Deliver {
+        /// Source physical address.
+        src: EthAddr,
+        /// Bytes above the link header — a window into the wire image.
+        data: SharedBytes,
+    },
+    /// A transmit request crossing from the host's application layer to
+    /// the NIC (scheduled after the send overhead). The hot send path:
+    /// carried inline, no boxing. `tag` is opaque application context
+    /// (netstack packs the UDP port pair into it).
+    Send {
+        /// Destination physical address.
+        dest: EthAddr,
+        /// Application-defined context carried alongside the payload.
+        tag: u32,
+        /// Payload bytes to transmit.
+        payload: SharedBytes,
+    },
     /// A byte arriving on a serial (RS-232) configuration line.
     Serial(u8),
     /// An application-level event; hosts downcast to their own types.
+    /// Control-plane only (workload start, harness commands) — the
+    /// per-packet paths use [`Ev::Deliver`] and [`Ev::Send`].
     App(Box<dyn Any>),
 }
 
@@ -43,6 +67,17 @@ impl fmt::Debug for Ev {
         match self {
             Ev::Rx { port, frame } => f.debug_struct("Rx").field("port", port).field("frame", frame).finish(),
             Ev::Timer { kind, gen } => f.debug_struct("Timer").field("kind", kind).field("gen", gen).finish(),
+            Ev::Deliver { src, data } => f
+                .debug_struct("Deliver")
+                .field("src", src)
+                .field("len", &data.len())
+                .finish(),
+            Ev::Send { dest, tag, payload } => f
+                .debug_struct("Send")
+                .field("dest", dest)
+                .field("tag", tag)
+                .field("len", &payload.len())
+                .finish(),
             Ev::Serial(b) => f.debug_tuple("Serial").field(b).finish(),
             Ev::App(_) => f.write_str("App(..)"),
         }

@@ -10,14 +10,27 @@
 
 /// Computes the one's-complement sum of `data` folded to 16 bits
 /// (big-endian word order; odd trailing byte padded with zero).
+///
+/// Accumulates eight bytes per iteration: a big-endian `u64` read is the
+/// concatenation of four 16-bit words, and summing the two 32-bit halves
+/// into a wide accumulator adds all four words at once — one's-complement
+/// addition is associative and the deferred carries are folded at the
+/// end, so the result is bit-identical to the word-at-a-time loop.
 fn ones_complement_sum(data: &[u8]) -> u16 {
-    let mut sum: u32 = 0;
-    let mut chunks = data.chunks_exact(2);
+    let mut sum: u64 = 0;
+    let mut chunks = data.chunks_exact(8);
     for chunk in &mut chunks {
-        sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+        let w = u64::from_be_bytes([
+            chunk[0], chunk[1], chunk[2], chunk[3], chunk[4], chunk[5], chunk[6], chunk[7],
+        ]);
+        sum += (w >> 32) + (w & 0xFFFF_FFFF);
     }
-    if let [last] = chunks.remainder() {
-        sum += u32::from(u16::from_be_bytes([*last, 0]));
+    let mut rest = chunks.remainder().chunks_exact(2);
+    for chunk in &mut rest {
+        sum += u64::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+    }
+    if let [last] = rest.remainder() {
+        sum += u64::from(u16::from_be_bytes([*last, 0]));
     }
     while sum > 0xFFFF {
         sum = (sum & 0xFFFF) + (sum >> 16);

@@ -158,17 +158,16 @@ pub enum HostCmd {
     },
 }
 
-/// Internal deferred actions (modelling host software latency).
-///
-/// Only actions that carry a payload are boxed `App` events; the purely
-/// scalar ones (pong timeout, sender tick, start retry) travel as plain
-/// [`Ev::Timer`] events in the application timer-class range, which keeps
-/// them off the allocator entirely.
-enum Action {
-    /// A send reaches the NIC after the send overhead.
-    NicSend { dest: EthAddr, datagram: UdpDatagram },
-    /// A received packet reaches the application after the recv overhead.
-    AppDeliver { src: EthAddr, wire: SharedBytes },
+// Deferred OS work (modelling host software latency) travels as unboxed
+// events: sends as [`Ev::Send`] (the UDP port pair packed into the tag),
+// deliveries as [`Ev::Deliver`], and the purely scalar ones (pong
+// timeout, sender tick, start retry) as plain [`Ev::Timer`] events in
+// the application timer-class range — nothing on the per-packet path
+// touches the allocator for the event itself.
+
+/// Packs a UDP port pair into an [`Ev::Send`] application tag.
+fn send_tag(src_port: u16, dst_port: u16) -> u32 {
+    (u32::from(src_port) << 16) | u32::from(dst_port)
 }
 
 /// Ping-pong: give up waiting for the reply (`gen` carries the sequence
@@ -309,7 +308,14 @@ impl Host {
 
     fn send_udp(&mut self, ctx: &mut Context<'_, Ev>, dest: EthAddr, datagram: UdpDatagram) {
         let delay = self.op_delay(self.config.send_overhead);
-        ctx.send_self(delay, Ev::App(Box::new(Action::NicSend { dest, datagram })));
+        ctx.send_self(
+            delay,
+            Ev::Send {
+                dest,
+                tag: send_tag(datagram.src_port, datagram.dst_port),
+                payload: datagram.payload,
+            },
+        );
     }
 
     fn start_workload(&mut self, ctx: &mut Context<'_, Ev>, i: usize) {
@@ -428,23 +434,6 @@ impl Host {
         }
     }
 
-    fn on_action(&mut self, ctx: &mut Context<'_, Ev>, action: Action) {
-        match action {
-            Action::NicSend { dest, datagram } => {
-                // Scatter-gather transmit: the checksummed UDP header from
-                // the stack, the payload from its shared buffer; the NIC
-                // assembles the wire image in its single allocation. A
-                // failed send (no route) is a lost message; counters at
-                // the NIC record it.
-                let header = datagram.header_bytes();
-                let _ = self
-                    .nic
-                    .send_data_parts(ctx, dest, &[&header, &datagram.payload]);
-            }
-            Action::AppDeliver { src, wire } => self.on_app_deliver(ctx, src, wire),
-        }
-    }
-
     fn on_pong_timeout(&mut self, ctx: &mut Context<'_, Ev>, i: usize, seq: u64) {
         if let Some((expect, _)) = self.ping[i].outstanding {
             if expect == seq {
@@ -497,7 +486,7 @@ impl Component<Ev> for Host {
             Ev::Rx { frame, .. } => {
                 if let Some(Delivery { src, data, .. }) = self.nic.handle_rx(ctx, frame) {
                     let delay = self.op_delay(self.config.recv_overhead);
-                    ctx.send_self(delay, Ev::App(Box::new(Action::AppDeliver { src, wire: data })));
+                    ctx.send_self(delay, Ev::Deliver { src, data });
                 }
             }
             Ev::Timer { kind, gen } => match split_timer_kind(kind) {
@@ -509,21 +498,28 @@ impl Component<Ev> for Host {
                     if let Some(Delivery { src, data, .. }) = self.nic.handle_timer(ctx, kind, gen)
                     {
                         let delay = self.op_delay(self.config.recv_overhead);
-                        ctx.send_self(
-                            delay,
-                            Ev::App(Box::new(Action::AppDeliver { src, wire: data })),
-                        );
+                        ctx.send_self(delay, Ev::Deliver { src, data });
                     }
                 }
             },
-            Ev::App(any) => {
-                let any = match any.downcast::<Action>() {
-                    Ok(action) => {
-                        self.on_action(ctx, *action);
-                        return;
-                    }
-                    Err(original) => original,
+            Ev::Deliver { src, data } => self.on_app_deliver(ctx, src, data),
+            Ev::Send { dest, tag, payload } => {
+                // Scatter-gather transmit: the checksummed UDP header from
+                // the stack, the payload from its shared buffer; the NIC
+                // assembles the wire image in its single allocation. A
+                // failed send (no route) is a lost message; counters at
+                // the NIC record it.
+                let datagram = UdpDatagram {
+                    src_port: (tag >> 16) as u16,
+                    dst_port: tag as u16,
+                    payload,
                 };
+                let header = datagram.header_bytes();
+                let _ = self
+                    .nic
+                    .send_data_parts(ctx, dest, &[&header, &datagram.payload]);
+            }
+            Ev::App(any) => {
                 if let Ok(cmd) = any.downcast::<HostCmd>() {
                     match *cmd {
                         HostCmd::Start => {
@@ -770,10 +766,10 @@ mod tests {
         engine.schedule(
             engine.now(),
             hosts[1],
-            Ev::App(Box::new(Action::AppDeliver {
+            Ev::Deliver {
                 src: EthAddr::myricom(1),
-                wire: wire.into(),
-            })),
+                data: wire.into(),
+            },
         );
         engine.run_until(engine.now() + SimDuration::from_ms(1));
         let h1 = engine.component_as::<Host>(hosts[1]).unwrap();

@@ -220,7 +220,7 @@ pub fn paper_campaigns(seed: u64) -> Vec<CampaignSpec> {
 
 /// Executes many campaigns concurrently (each campaign owns its own
 /// engine, so they parallelize perfectly) and returns results in spec
-/// order.
+/// order, using one worker per available core.
 ///
 /// # Errors
 ///
@@ -229,12 +229,39 @@ pub fn paper_campaigns(seed: u64) -> Vec<CampaignSpec> {
 pub fn run_campaigns_parallel(
     specs: &[CampaignSpec],
 ) -> Result<Vec<Vec<RunResult>>, ScenarioError> {
+    run_campaigns_with_workers(specs, crate::runner::default_workers())
+}
+
+/// Executes many campaigns over exactly `workers` scoped threads and
+/// returns results in spec order.
+///
+/// Determinism does not depend on the worker count: every campaign runs
+/// on a private engine (its own RNG streams, its own event queue), workers
+/// claim scenario *indices* from a shared counter, and each result is
+/// written into its spec-index slot. Only the assignment of scenarios to
+/// threads — which no result depends on — varies between runs, so
+/// `workers == 1` and `workers == N` produce byte-identical output.
+///
+/// # Errors
+///
+/// Returns the first (in spec order) [`ScenarioError`], if any campaign
+/// failed to build or read its test bed.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn run_campaigns_with_workers(
+    specs: &[CampaignSpec],
+    workers: usize,
+) -> Result<Vec<Vec<RunResult>>, ScenarioError> {
+    assert!(workers > 0, "worker count must be non-zero");
     let results = std::sync::Mutex::new(vec![Ok(Vec::new()); specs.len()]);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(specs.len().max(1));
+    let workers = workers.min(specs.len().max(1));
+    // Each campaign runs on a private engine and lands in its spec-index
+    // slot, so the worker count cannot change any output byte (DESIGN.md
+    // §10 spells out the argument).
+    // lint: allow(thread-spawn) deterministic scenario fan-out over scoped workers
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {

@@ -30,7 +30,10 @@ pub mod runner;
 pub mod scenarios;
 pub mod serialize;
 
-pub use campaign::{run_campaign, CampaignSpec, FaultSpec};
-pub use observed::{observed_campaign, ObservedCampaign};
+pub use campaign::{
+    run_campaign, run_campaigns_parallel, run_campaigns_with_workers, CampaignSpec, FaultSpec,
+};
+pub use observed::{observed_campaign, observed_suite, ObservedCampaign, ObservedSuite};
 pub use report::{registry_tables, Table};
 pub use results::{RunResult, ScenarioError};
+pub use runner::{default_workers, worker_count};

@@ -10,6 +10,11 @@
 //! `trace_event` JSON and the text table — are byte-identical across
 //! reruns of the same seed (pinned by golden hash in
 //! `tests/determinism.rs`).
+//!
+//! [`observed_suite`] scales this to many scenarios: each seed's campaign
+//! runs on a private engine in a scoped worker thread, and the per-run
+//! registries are folded back in seed order, so the suite's exports are
+//! byte-identical for any `--workers` setting.
 
 use netfi_core::command::DirSelect;
 use netfi_core::config::InjectorConfig;
@@ -253,6 +258,135 @@ pub fn observed_campaign(seed: u64) -> Result<ObservedCampaign, ScenarioError> {
     })
 }
 
+/// A multi-scenario observed campaign: one [`observed_campaign`] per seed,
+/// fanned out over scoped worker threads, folded back deterministically.
+///
+/// Each scenario runs on a **private** engine, testbed and recorder set,
+/// so scenarios share no mutable state; workers claim scenario indices
+/// from an atomic counter and park each finished run in its index slot.
+/// The fold then walks the slots in index order: registries merge
+/// left-to-right, drop/dispatch totals sum. Nothing in the output can
+/// observe which thread ran which scenario, so the suite is byte-identical
+/// for any worker count (pinned by `tests/determinism.rs`).
+#[derive(Debug)]
+pub struct ObservedSuite {
+    /// The per-scenario runs, in seed order.
+    pub runs: Vec<ObservedCampaign>,
+    /// The seeds, as given.
+    pub seeds: Vec<u64>,
+    /// Every scenario's registry folded in scenario-index order.
+    pub registry: Registry,
+    /// Total ring evictions across scenarios.
+    pub dropped: u64,
+    /// Total engine dispatches across scenarios.
+    pub dispatches: u64,
+}
+
+impl ObservedSuite {
+    /// The suite registry rendered as campaign-report tables.
+    pub fn report_tables(&self) -> Vec<Table> {
+        registry_tables("observed suite", &self.registry)
+    }
+
+    /// The deterministic text-table export of the folded registry.
+    pub fn text_table(&self) -> String {
+        text_table("observed suite", &self.registry)
+    }
+
+    /// Per-scenario Chrome `trace_event` exports, in seed order.
+    pub fn chrome_traces(&self) -> Vec<String> {
+        self.runs.iter().map(ObservedCampaign::chrome_trace).collect()
+    }
+
+    /// FNV-1a fingerprint over every export the suite produces: the text
+    /// table, each report table and each scenario's Chrome trace, in
+    /// order. Two suites with the same fingerprint rendered the same
+    /// bytes — the determinism tests compare this across worker counts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        eat(self.text_table().as_bytes());
+        for table in self.report_tables() {
+            eat(table.render().as_bytes());
+        }
+        for trace in self.chrome_traces() {
+            eat(trace.as_bytes());
+        }
+        hash
+    }
+}
+
+/// Runs [`observed_campaign`] for every seed over `workers` scoped
+/// threads and folds the results in seed order.
+///
+/// # Errors
+///
+/// Returns the first (in seed order) [`ScenarioError`], if any scenario
+/// failed to build or read its test bed.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn observed_suite(seeds: &[u64], workers: usize) -> Result<ObservedSuite, ScenarioError> {
+    assert!(workers > 0, "worker count must be non-zero");
+    let slots: Vec<std::sync::Mutex<Option<Result<ObservedCampaign, ScenarioError>>>> =
+        seeds.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = workers.min(seeds.len().max(1));
+    // Every run lands in its seed-index slot and the fold below walks
+    // slots in index order, so the worker count cannot change any output
+    // byte.
+    // lint: allow(thread-spawn) deterministic scenario fan-out over scoped workers
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&seed) = seeds.get(i) else { break };
+                let run = observed_campaign(seed);
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(run);
+            });
+        }
+    });
+    let mut runs = Vec::with_capacity(seeds.len());
+    for slot in slots {
+        match slot
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
+            Some(Ok(run)) => runs.push(run),
+            Some(Err(e)) => return Err(e),
+            // A worker can only skip a slot by panicking mid-scenario, and
+            // scenario code is panic-checked; treat it as a build failure.
+            None => return Err(ScenarioError::WrongComponent("ObservedCampaign")),
+        }
+    }
+    let mut registry = Registry::new();
+    let mut dropped = 0;
+    let mut dispatches = 0;
+    for run in &runs {
+        registry.merge(&run.registry);
+        dropped += run.dropped;
+        dispatches += run.dispatches;
+    }
+    // Gauges overwrite on merge (last scenario wins); the suite-wide
+    // dispatch total is the meaningful engine gauge, so set it explicitly.
+    registry.set_gauge("engine.dispatches", dispatches as i64);
+    Ok(ObservedSuite {
+        runs,
+        seeds: seeds.to_vec(),
+        registry,
+        dropped,
+        dispatches,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,6 +422,30 @@ mod tests {
         assert_eq!(a.events, b.events);
         assert_eq!(a.chrome_trace(), b.chrome_trace());
         assert_eq!(a.text_table(), b.text_table());
+    }
+
+    #[test]
+    fn suite_folds_independent_of_worker_count() {
+        let seeds = [11, 12, 13];
+        let one = observed_suite(&seeds, 1).unwrap();
+        let three = observed_suite(&seeds, 3).unwrap();
+        assert_eq!(one.fingerprint(), three.fingerprint());
+        assert_eq!(one.text_table(), three.text_table());
+        assert_eq!(one.chrome_traces(), three.chrome_traces());
+        // The fold really is a sum of the per-scenario runs.
+        let solo: u64 = seeds
+            .iter()
+            .map(|&s| observed_campaign(s).unwrap().registry.counter("udp.tx"))
+            .sum();
+        assert_eq!(one.registry.counter("udp.tx"), solo);
+        assert_eq!(one.registry.gauge("engine.dispatches"), Some(one.dispatches as i64));
+        assert_eq!(one.runs.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker count")]
+    fn suite_rejects_zero_workers() {
+        let _ = observed_suite(&[1], 0);
     }
 
     #[test]

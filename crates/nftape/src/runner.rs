@@ -14,6 +14,26 @@ use netfi_myrinet::event::Ev;
 use netfi_phy::serial::UartConfig;
 use netfi_sim::{ComponentId, Engine, Probe, SimDuration, SimTime};
 
+/// The default campaign fan-out width: one worker per available core.
+///
+/// Campaign workers are CPU-bound (each spins a private simulation
+/// engine), so oversubscribing buys nothing; the paper's NFTAPE control
+/// host likewise ran one experiment per target machine.
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Resolves a `--workers` style request: an explicit request wins (it is
+/// how the determinism tests pin 1-vs-N), otherwise one worker per core.
+pub fn worker_count(requested: Option<usize>) -> usize {
+    match requested {
+        Some(n) if n > 0 => n,
+        _ => default_workers(),
+    }
+}
+
 /// Builds the serial command sequence that programs `config` on the
 /// selected direction(s).
 pub fn commands_for_config(dir: DirSelect, config: &InjectorConfig) -> Vec<Command> {

@@ -199,6 +199,7 @@ pub fn control_symbol_row(
         .engine
         .component_as::<Switch>(tb.switch)
         .ok_or(ScenarioError::WrongComponent("Switch"))?;
+    // lint: allow(env-access) NETFI_DEBUG gates stderr diagnostics only, never results
     if std::env::var("NETFI_DEBUG").is_ok() {
         if let Some(dev) = tb.engine.component_as::<netfi_core::InjectorDevice>(device) {
             eprintln!("ROW {mask}->{replacement}: inputs={:?}", sw.input_buffer_stats());
@@ -389,6 +390,7 @@ pub fn gap_timeout(
     tb.engine.run_until(t0 + window);
     tb.engine.run_for(SimDuration::from_ms(100));
     let delta = TrafficSnapshot::capture(&tb)?.delta(&before);
+    // lint: allow(env-access) NETFI_DEBUG gates stderr diagnostics only, never results
     if std::env::var("NETFI_DEBUG").is_ok() {
         for i in 0..tb.hosts.len() {
             if let Some(h) = tb.engine.component_as::<Host>(tb.hosts[i]) {

@@ -30,6 +30,15 @@ pub struct Link {
     data_rate_bps: u64,
     cable_meters: f64,
     bit_error_rate: f64,
+    // Serialization/propagation times are consulted on every frame hop,
+    // so the division by the data rate is decomposed once at construction:
+    // one character is 8e12 / bps picoseconds, held as quotient and
+    // remainder. `transfer_time` then reproduces the exact rounded-up
+    // division with a multiply (plus one u64 divide only when the rate
+    // does not divide 8e12 evenly — both Myrinet rates do).
+    char8_q: u64,
+    char8_r: u64,
+    prop_ps: u64,
 }
 
 impl Link {
@@ -44,10 +53,14 @@ impl Link {
             cable_meters >= 0.0 && cable_meters.is_finite(),
             "cable length must be a non-negative finite number"
         );
+        const CHAR_BITS_PS: u64 = 8 * 1_000_000_000_000;
         Link {
             data_rate_bps,
             cable_meters,
             bit_error_rate: 0.0,
+            char8_q: CHAR_BITS_PS / data_rate_bps,
+            char8_r: CHAR_BITS_PS % data_rate_bps,
+            prop_ps: (cable_meters * PROPAGATION_PS_PER_METER as f64).round() as u64,
         }
     }
 
@@ -95,17 +108,30 @@ impl Link {
 
     /// One-way propagation delay down the cable.
     pub fn propagation_delay(&self) -> SimDuration {
-        SimDuration::from_ps((self.cable_meters * PROPAGATION_PS_PER_METER as f64).round() as u64)
+        SimDuration::from_ps(self.prop_ps)
     }
 
     /// The time one 8-bit character occupies the wire.
     pub fn char_period(&self) -> SimDuration {
-        SimDuration::from_bits(8, self.data_rate_bps)
+        self.transfer_time(1)
     }
 
     /// The time `bytes` occupy the wire (serialization delay).
+    ///
+    /// Exactly `SimDuration::from_bits(bytes * 8, rate)` — with
+    /// `8e12 = q·rate + r`, `ceil(n·8e12 / rate) = n·q + ceil(n·r / rate)`
+    /// — but the division is precomputed, so the common case is a single
+    /// multiply.
+    #[inline]
     pub fn transfer_time(&self, bytes: usize) -> SimDuration {
-        SimDuration::from_bits(bytes as u64 * 8, self.data_rate_bps)
+        let n = bytes as u64;
+        match (n.checked_mul(self.char8_q), n.checked_mul(self.char8_r)) {
+            (Some(whole), Some(0)) => SimDuration::from_ps(whole),
+            (Some(whole), Some(rem)) => {
+                SimDuration::from_ps(whole.saturating_add(rem.div_ceil(self.data_rate_bps)))
+            }
+            _ => SimDuration::from_bits(n * 8, self.data_rate_bps),
+        }
     }
 
     /// Total first-bit-in to last-bit-out latency for a `bytes`-long frame.

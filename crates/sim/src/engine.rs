@@ -10,14 +10,13 @@
 //
 // The event loop (`step`) is the simulator's innermost loop. The only
 // allocations permitted here are one-time constructor ones (allowlisted
-// below); the queue, outbox and component table amortise to zero
+// below); the timing-wheel queue and component table amortise to zero
 // allocations at steady state.
 
 use std::any::Any;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 use std::fmt;
 
+use crate::queue::TimingWheel;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies a component registered with an [`Engine`].
@@ -53,40 +52,22 @@ pub trait Component<M>: 'static {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
-struct QueuedEvent<M> {
-    time: SimTime,
-    seq: u64,
-    dst: ComponentId,
-    payload: M,
-}
-
-impl<M> PartialEq for QueuedEvent<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for QueuedEvent<M> {}
-impl<M> PartialOrd for QueuedEvent<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for QueuedEvent<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest event pops first.
-        (other.time, other.seq).cmp(&(self.time, self.seq))
-    }
-}
+/// What the queue stores per event: destination and payload. Time and
+/// sequence number are the wheel's ordering key.
+type Queued<M> = (ComponentId, M);
 
 /// Scheduling context handed to a component while it handles an event.
 ///
 /// All side effects a component can have on the simulation — scheduling
-/// future events, stopping the run — go through the context.
+/// future events, stopping the run — go through the context. Events are
+/// pushed straight into the engine's timing wheel (no intermediate
+/// outbox), so an emitted event is handled exactly once.
 pub struct Context<'a, M> {
     now: SimTime,
     self_id: ComponentId,
     seq: &'a mut u64,
-    outbox: &'a mut Vec<QueuedEvent<M>>,
+    queue: &'a mut TimingWheel<Queued<M>>,
+    components: u32,
     stop_requested: &'a mut bool,
 }
 
@@ -111,15 +92,18 @@ impl<M> Context<'_, M> {
     }
 
     /// Schedules `payload` for delivery to `dst` after `delay`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dst` is not a registered component.
     pub fn send(&mut self, dst: ComponentId, delay: SimDuration, payload: M) {
+        assert!(
+            dst.0 < self.components,
+            "event addressed to unknown component {dst}"
+        );
         let seq = *self.seq;
         *self.seq += 1;
-        self.outbox.push(QueuedEvent {
-            time: self.now + delay,
-            seq,
-            dst,
-            payload,
-        });
+        self.queue.push(self.now + delay, seq, (dst, payload));
     }
 
     /// Schedules `payload` for delivery back to the current component.
@@ -161,9 +145,8 @@ pub trait Probe: fmt::Debug + 'static {
         let _ = (now, dst, events_processed);
     }
 
-    /// Called after the component handled the event, before the emitted
-    /// events are drained into the queue. `emitted` is how many events the
-    /// handler scheduled.
+    /// Called after the component handled the event. `emitted` is how
+    /// many events the handler scheduled.
     #[inline(always)]
     fn on_deliver(&mut self, now: SimTime, dst: ComponentId, emitted: usize) {
         let _ = (now, dst, emitted);
@@ -184,15 +167,14 @@ impl Probe for NullProbe {}
 /// `Engine<M>`-typed code is unaffected.
 pub struct Engine<M, P: Probe = NullProbe> {
     components: Vec<Box<dyn Component<M>>>,
-    queue: BinaryHeap<QueuedEvent<M>>,
+    /// The event queue: a bucketed timing wheel (see [`crate::queue`])
+    /// that preserves the exact `(time, seq)` delivery order the old
+    /// binary heap had, at O(1) push/pop instead of O(log n) sifts.
+    queue: TimingWheel<Queued<M>>,
     now: SimTime,
     seq: u64,
     events_processed: u64,
     stop_requested: bool,
-    /// Reusable scratch for events emitted during one delivery. Drained
-    /// into the heap after each `on_event`, so the hot path performs no
-    /// per-event allocation once its high-water capacity is reached.
-    outbox: Vec<QueuedEvent<M>>,
     probe: P,
 }
 
@@ -224,15 +206,13 @@ impl<M: 'static, P: Probe> Engine<M, P> {
     /// Creates an empty engine at time zero observed by `probe`.
     pub fn with_probe(probe: P) -> Self {
         Engine {
-            // lint: allow(hot-path-alloc) one-time constructor; both Vec::new are capacity 0
+            // lint: allow(hot-path-alloc) one-time constructor; the component table starts at capacity 0
             components: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: TimingWheel::new(),
             now: SimTime::ZERO,
             seq: 0,
             events_processed: 0,
             stop_requested: false,
-            // lint: allow(hot-path-alloc) reusable outbox, allocated once and drained in place
-            outbox: Vec::new(),
             probe,
         }
     }
@@ -281,12 +261,7 @@ impl<M: 'static, P: Probe> Engine<M, P> {
         assert!(dst.index() < self.components.len(), "unknown component {dst}");
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(QueuedEvent {
-            time,
-            seq,
-            dst,
-            payload,
-        });
+        self.queue.push(time, seq, (dst, payload));
     }
 
     /// Schedules `payload` for delivery to `dst` after `delay` from now.
@@ -295,41 +270,38 @@ impl<M: 'static, P: Probe> Engine<M, P> {
     }
 
     /// Delivers the next event. Returns `false` if the queue was empty.
-    ///
-    /// # Panics
-    ///
-    /// Panics if an event addresses a component that was never registered
-    /// (unreachable if events were created through the checked APIs).
     pub fn step(&mut self) -> bool {
-        let Some(ev) = self.queue.pop() else {
+        self.step_due(SimTime::MAX)
+    }
+
+    /// Delivers the next event if it is due at or before `deadline`.
+    /// One queue walk covers both the deadline check and the pop.
+    #[inline]
+    fn step_due(&mut self, deadline: SimTime) -> bool {
+        let Some((time, _seq, (dst, payload))) = self.queue.pop_due(deadline) else {
             return false;
         };
-        debug_assert!(ev.time >= self.now);
-        self.now = ev.time;
+        debug_assert!(time >= self.now);
+        self.now = time;
         self.events_processed += 1;
-        self.probe.on_dispatch(self.now, ev.dst, self.events_processed);
+        self.probe.on_dispatch(self.now, dst, self.events_processed);
 
-        debug_assert!(self.outbox.is_empty());
+        let seq_before = self.seq;
         {
-            let component = &mut self.components[ev.dst.index()];
+            let registered = u32::try_from(self.components.len()).unwrap_or(u32::MAX);
+            let component = &mut self.components[dst.index()];
             let mut ctx = Context {
                 now: self.now,
-                self_id: ev.dst,
+                self_id: dst,
                 seq: &mut self.seq,
-                outbox: &mut self.outbox,
+                queue: &mut self.queue,
+                components: registered,
                 stop_requested: &mut self.stop_requested,
             };
-            component.on_event(&mut ctx, ev.payload);
+            component.on_event(&mut ctx, payload);
         }
-        self.probe.on_deliver(self.now, ev.dst, self.outbox.len());
-        for out in self.outbox.drain(..) {
-            assert!(
-                out.dst.index() < self.components.len(),
-                "event addressed to unknown component {}",
-                out.dst
-            );
-            self.queue.push(out);
-        }
+        let emitted = (self.seq - seq_before) as usize;
+        self.probe.on_deliver(self.now, dst, emitted);
         true
     }
 
@@ -344,14 +316,7 @@ impl<M: 'static, P: Probe> Engine<M, P> {
     /// delivered; the engine clock never passes `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
         self.stop_requested = false;
-        while !self.stop_requested {
-            match self.queue.peek() {
-                Some(ev) if ev.time <= deadline => {
-                    self.step();
-                }
-                _ => break,
-            }
-        }
+        while !self.stop_requested && self.step_due(deadline) {}
         if self.now < deadline && !self.stop_requested {
             self.now = deadline;
         }

@@ -54,10 +54,12 @@
 pub mod bytes;
 pub mod engine;
 pub mod metrics;
+pub mod queue;
 pub mod rng;
 pub mod time;
 
 pub use bytes::SharedBytes;
 pub use engine::{Component, ComponentId, Context, Engine, NullProbe, Probe};
+pub use queue::TimingWheel;
 pub use rng::DetRng;
 pub use time::{SimDuration, SimTime};

@@ -1,0 +1,480 @@
+//! The engine's event queue: a bucketed timing wheel with a far-future
+//! overflow heap.
+//!
+//! PR 1 left the event queue on `BinaryHeap<QueuedEvent>`: every push and
+//! pop is a sift over `(time, seq)` keys that touches O(log n) scattered
+//! cache lines while moving 56-byte events around. At the saturated
+//! testbed's steady-state depth (~30 events) those two sifts cost more
+//! than a quarter of the whole per-event budget. The wheel replaces them
+//! with O(1) bucket appends and pops:
+//!
+//! - **Near future** (within [`WHEEL_SPAN`] of the cursor): events land in
+//!   one of [`SLOTS`] fixed time buckets of [`SLOT_PS`] picoseconds each.
+//!   A bucket is sorted at most once, lazily, when the cursor reaches it;
+//!   an occupancy bitmap (one bit per slot, [`WORDS`](self) `u64` words —
+//!   two cache lines) finds the next occupied bucket in a few word
+//!   operations. The whole index plus the slot headers stays small enough
+//!   to live in L1/L2; the first wheel cut (8192 fine-grained slots)
+//!   measured *slower* than this one purely from slot-header cache misses.
+//! - **Far future** (beyond the wheel's horizon): events overflow into a
+//!   small min-heap and are re-cascaded into buckets as the cursor
+//!   advances and the horizon moves past them.
+//!
+//! Ordering is *exactly* the heap's: ascending `(time, seq)`, so
+//! same-instant events deliver in scheduling order. `seq` is unique, so
+//! the order is total and a bucket's unstable sort is deterministic. The
+//! property test in `crates/sim/tests/props.rs` pits the wheel against a
+//! reference `BinaryHeap` on randomized streams with duplicate timestamps,
+//! and the golden event-trace hashes in `tests/determinism.rs` pin that
+//! the swap changed nothing observable.
+
+// netfi-lint: deny(hot-path-alloc)
+//
+// Push and pop run once per simulated event. The only allocations allowed
+// here are the one-time constructor ones (allowlisted below); buckets and
+// the overflow heap retain their high-water capacity, so steady state
+// performs no per-event allocation.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// log2 of the bucket granularity in picoseconds: 2^24 ps ≈ 16.8 µs.
+///
+/// Coarse enough that a wheel rotation spans ~17 ms of simulated time
+/// from only [`SLOTS`] buckets, so the testbeds' 10 ms timers stay inside
+/// the wheel instead of churning the overflow heap. The grain was tuned
+/// against finer settings (2^21 × 8192 slots, 2^23 × 2048): fewer, fatter
+/// buckets won because the slot-header array shrinks below cache size and
+/// the extra in-bucket sorting is cheaper than the misses it replaces.
+const SLOT_SHIFT: u32 = 24;
+/// Bucket granularity in picoseconds.
+pub const SLOT_PS: u64 = 1 << SLOT_SHIFT;
+/// Number of buckets; must be a power of two (mask indexing) and a
+/// multiple of 64 (whole bitmap words).
+pub const SLOTS: usize = 1024;
+/// The wheel's horizon: how far past the cursor a bucket can represent
+/// (≈ 17.2 ms of simulated time). Events beyond it overflow into the heap.
+pub const WHEEL_SPAN: u64 = SLOT_PS * SLOTS as u64;
+
+const SLOT_MASK: u64 = SLOTS as u64 - 1;
+const WORDS: usize = SLOTS / 64;
+
+/// One queued item: the ordering key plus the caller's payload.
+struct Entry<T> {
+    time: SimTime,
+    seq: u64,
+    item: T,
+}
+
+impl<T> Entry<T> {
+    #[inline(always)]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
+    }
+}
+
+/// Overflow-heap wrapper: min-heap order on `(time, seq)`.
+struct FarEntry<T>(Entry<T>);
+
+impl<T> PartialEq for FarEntry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.key() == other.0.key()
+    }
+}
+impl<T> Eq for FarEntry<T> {}
+impl<T> PartialOrd for FarEntry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for FarEntry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest entry is on top.
+        other.0.key().cmp(&self.0.key())
+    }
+}
+
+/// One wheel bucket: events whose time falls in the same [`SLOT_PS`]
+/// window, plus whether they are currently held in descending `(time,
+/// seq)` order (so the next event to deliver is `items.last()`).
+/// (Packing `sorted` into a side bitmap to shrink the slot to `Vec` size
+/// was measured and did not beat this layout.)
+struct Slot<T> {
+    items: Vec<Entry<T>>,
+    sorted: bool,
+}
+
+/// A hierarchical timing wheel ordered by ascending `(time, seq)`.
+///
+/// Drop-in replacement for the engine's former `BinaryHeap`: `push` keys
+/// an item by `(time, seq)`, `pop` returns items in exactly the order the
+/// heap produced — ascending time, scheduling order within a time. The
+/// `seq` values pushed must be unique (the engine's are: one counter
+/// assigns them); duplicate times are expected and welcome.
+///
+/// `peek_time` never commits the cursor: the minimum is located through
+/// the occupancy bitmap without moving the wheel, so a caller that peeks,
+/// declines (deadline reached) and later schedules *earlier* events —
+/// still at or after the last popped time — stays correct.
+pub struct TimingWheel<T> {
+    /// Fixed-size (not a slice) so `idx & SLOT_MASK` provably fits and
+    /// the per-event indexing compiles without bounds checks.
+    slots: Box<[Slot<T>; SLOTS]>,
+    /// One bit per slot index; set while the slot holds any event.
+    occupied: [u64; WORDS],
+    /// Absolute bucket number (`time_ps >> SLOT_SHIFT`) of the cursor.
+    /// Every wheel-resident event's bucket is in `[base, base + SLOTS)`;
+    /// every overflow event's bucket is `>= base + SLOTS`.
+    base: u64,
+    /// Far-future events, cascaded in as the horizon advances.
+    overflow: BinaryHeap<FarEntry<T>>,
+    len: usize,
+}
+
+impl<T> fmt::Debug for TimingWheel<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimingWheel")
+            .field("len", &self.len)
+            .field("base", &self.base)
+            .field("overflow", &self.overflow.len())
+            .finish()
+    }
+}
+
+impl<T> Default for TimingWheel<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TimingWheel<T> {
+    /// Creates an empty wheel with its cursor at time zero.
+    pub fn new() -> TimingWheel<T> {
+        TimingWheel {
+            // lint: allow(hot-path-alloc) one-time constructor; every bucket Vec starts at capacity 0
+            slots: Box::new(std::array::from_fn(|_| Slot { items: Vec::new(), sorted: true })),
+            occupied: [0; WORDS],
+            base: 0,
+            // lint: allow(hot-path-alloc) one-time constructor; the heap grows to its high-water mark once
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of queued events.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when nothing is queued.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queues `item` under the key `(time, seq)`.
+    ///
+    /// Times earlier than the last popped event's bucket are not
+    /// representable (the engine never schedules into the past); in debug
+    /// builds that misuse is caught by an assertion.
+    #[inline]
+    pub fn push(&mut self, time: SimTime, seq: u64, item: T) {
+        let bucket = time.as_ps() >> SLOT_SHIFT;
+        debug_assert!(bucket >= self.base, "push into the wheel's past");
+        self.len += 1;
+        if bucket < self.base + SLOTS as u64 {
+            self.place(bucket, Entry { time, seq, item });
+        } else {
+            self.overflow.push(FarEntry(Entry { time, seq, item }));
+        }
+    }
+
+    /// Inserts an in-window entry into its bucket, preserving the
+    /// descending order of already-sorted buckets.
+    #[inline]
+    fn place(&mut self, bucket: u64, entry: Entry<T>) {
+        let idx = (bucket & SLOT_MASK) as usize;
+        self.occupied[idx / 64] |= 1 << (idx % 64);
+        let slot = &mut self.slots[idx];
+        if slot.items.is_empty() {
+            slot.items.push(entry);
+            slot.sorted = true;
+        } else if slot.sorted && bucket == self.base {
+            // The cursor is draining this bucket from the back; keep the
+            // descending order so `pop` stays O(1).
+            let key = entry.key();
+            let at = slot.items.partition_point(|e| e.key() > key);
+            slot.items.insert(at, entry);
+        } else {
+            slot.items.push(entry);
+            slot.sorted = false;
+        }
+    }
+
+    /// The `(time, seq)`-minimal queued event's time, without popping it
+    /// and without advancing the cursor.
+    #[inline]
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if self.len == 0 {
+            return None;
+        }
+        match self.locate_min() {
+            Some((_, idx)) => self.slots[idx].items.last().map(|e| e.time),
+            None => self.overflow.peek().map(|e| e.0.time),
+        }
+    }
+
+    /// Removes and returns the `(time, seq)`-minimal event as
+    /// `(time, seq, item)`.
+    #[inline]
+    pub fn pop(&mut self) -> Option<(SimTime, u64, T)> {
+        self.pop_due(SimTime::MAX)
+    }
+
+    /// Removes and returns the minimal event only if its time is at or
+    /// before `deadline`; otherwise leaves the queue (and the cursor)
+    /// untouched. This is `peek` + `pop` in one queue walk.
+    #[inline]
+    pub fn pop_due(&mut self, deadline: SimTime) -> Option<(SimTime, u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        let (bucket, idx) = match self.locate_min() {
+            Some(found) => found,
+            None => {
+                // Everything queued is beyond the horizon: jump the wheel
+                // to the overflow's first bucket and refill.
+                let first = self.overflow.peek().map(|e| e.0.time.as_ps())? >> SLOT_SHIFT;
+                if (self.overflow.peek().map(|e| e.0.time)?) > deadline {
+                    return None;
+                }
+                self.base = first;
+                self.cascade();
+                (first, (first & SLOT_MASK) as usize)
+            }
+        };
+        let slot = &mut self.slots[idx];
+        match slot.items.last() {
+            Some(next) if next.time <= deadline => {}
+            _ => return None,
+        }
+        let entry = slot.items.pop()?;
+        if slot.items.is_empty() {
+            self.occupied[idx / 64] &= !(1 << (idx % 64));
+        }
+        self.len -= 1;
+        // Commit: the cursor moves to the popped event's bucket. Every
+        // event the engine schedules from here on is at or after the
+        // popped time, so nothing can land below the new base. Cascading
+        // after the pop is safe: overflow events lie beyond the *old*
+        // horizon, so none of them can precede the entry just popped.
+        if bucket > self.base {
+            self.base = bucket;
+            if !self.overflow.is_empty() {
+                self.cascade();
+            }
+        }
+        Some((entry.time, entry.seq, entry.item))
+    }
+
+    /// Finds the wheel bucket holding the minimal event, sorting it on
+    /// first touch. Returns `None` when every queued event is in the
+    /// overflow heap. Does not move `base`.
+    #[inline]
+    fn locate_min(&mut self) -> Option<(u64, usize)> {
+        let from = (self.base & SLOT_MASK) as usize;
+        let distance = self.next_occupied(from)?;
+        let bucket = self.base + distance as u64;
+        let idx = (bucket & SLOT_MASK) as usize;
+        let slot = &mut self.slots[idx];
+        if !slot.sorted {
+            // Keys are unique, so the unstable sort is deterministic.
+            slot.items.sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
+            slot.sorted = true;
+        }
+        Some((bucket, idx))
+    }
+
+    /// Circular distance (in slots, `0..SLOTS`) from `from` to the first
+    /// occupied slot, or `None` if the wheel is empty.
+    #[inline]
+    fn next_occupied(&self, from: usize) -> Option<usize> {
+        let (word0, bit0) = (from / 64, from % 64);
+        let first = self.occupied[word0] >> bit0;
+        if first != 0 {
+            return Some(first.trailing_zeros() as usize);
+        }
+        // Ring scan over the remaining words: the bitmap is WORDS (= 16)
+        // words, two cache lines, so a straight loop beats a summary level.
+        for step in 1..=WORDS {
+            let w = (word0 + step) % WORDS;
+            let mut bits = self.occupied[w];
+            if step == WORDS {
+                // Wrapped all the way around: only the bits below `from`
+                // are left to inspect (the rest were covered by `first`).
+                bits &= (1u64 << bit0) - 1;
+            }
+            if bits != 0 {
+                let idx = w * 64 + bits.trailing_zeros() as usize;
+                return Some((idx + SLOTS - from) % SLOTS);
+            }
+        }
+        None
+    }
+
+    /// Moves every overflow event that the advanced horizon now covers
+    /// into its wheel bucket.
+    fn cascade(&mut self) {
+        let horizon = self.base + SLOTS as u64;
+        while let Some(top) = self.overflow.peek() {
+            let bucket = top.0.time.as_ps() >> SLOT_SHIFT;
+            if bucket >= horizon {
+                break;
+            }
+            if let Some(FarEntry(entry)) = self.overflow.pop() {
+                self.place(bucket, entry);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(wheel: &mut TimingWheel<u32>) -> Vec<(u64, u64, u32)> {
+        let mut out = Vec::new();
+        while let Some((t, s, v)) = wheel.pop() {
+            out.push((t.as_ps(), s, v));
+        }
+        out
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut w = TimingWheel::new();
+        w.push(SimTime::from_ns(30), 0, 30);
+        w.push(SimTime::from_ns(10), 1, 10);
+        w.push(SimTime::from_ns(10), 2, 11);
+        w.push(SimTime::from_ns(20), 3, 20);
+        assert_eq!(w.len(), 4);
+        assert_eq!(
+            drain(&mut w),
+            vec![(10_000, 1, 10), (10_000, 2, 11), (20_000, 3, 20), (30_000, 0, 30)]
+        );
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn far_future_events_cascade_back() {
+        let mut w = TimingWheel::new();
+        // Beyond the horizon (~17 ms): lives in the overflow heap first.
+        w.push(SimTime::from_ms(50), 0, 1);
+        w.push(SimTime::from_ms(100), 1, 2);
+        w.push(SimTime::from_ns(5), 2, 0);
+        assert_eq!(
+            drain(&mut w),
+            vec![
+                (5_000, 2, 0),
+                (SimTime::from_ms(50).as_ps(), 0, 1),
+                (SimTime::from_ms(100).as_ps(), 1, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut w = TimingWheel::new();
+        w.push(SimTime::from_ns(10), 0, 0);
+        assert_eq!(w.pop().map(|(t, ..)| t), Some(SimTime::from_ns(10)));
+        // Same-bucket, same-time push after a pop: delivered next, in seq
+        // order, even though the bucket was already being drained.
+        w.push(SimTime::from_ns(500), 1, 1);
+        w.push(SimTime::from_ns(10), 2, 2);
+        w.push(SimTime::from_ns(10), 3, 3);
+        assert_eq!(
+            drain(&mut w),
+            vec![(10_000, 2, 2), (10_000, 3, 3), (500_000, 1, 1)]
+        );
+    }
+
+    #[test]
+    fn peek_does_not_commit_the_cursor() {
+        let mut w = TimingWheel::new();
+        w.push(SimTime::from_ms(20), 0, 0);
+        // Peeking at a far-future event must not advance the wheel …
+        assert_eq!(w.peek_time(), Some(SimTime::from_ms(20)));
+        // … so an earlier (but still future) event pushed afterwards is
+        // still representable and pops first.
+        w.push(SimTime::from_ms(4), 1, 1);
+        w.push(SimTime::from_us(3), 2, 2);
+        assert_eq!(w.peek_time(), Some(SimTime::from_us(3)));
+        assert_eq!(
+            drain(&mut w),
+            vec![
+                (SimTime::from_us(3).as_ps(), 2, 2),
+                (SimTime::from_ms(4).as_ps(), 1, 1),
+                (SimTime::from_ms(20).as_ps(), 0, 0),
+            ]
+        );
+    }
+
+    #[test]
+    fn pop_due_respects_the_deadline() {
+        let mut w = TimingWheel::new();
+        w.push(SimTime::from_ns(10), 0, 0);
+        w.push(SimTime::from_ms(30), 1, 1);
+        assert!(w.pop_due(SimTime::from_ns(5)).is_none());
+        assert_eq!(w.pop_due(SimTime::from_ns(10)).map(|(.., v)| v), Some(0));
+        // The far event sits in overflow; a deadline before it must not
+        // jump the wheel forward.
+        assert!(w.pop_due(SimTime::from_ms(29)).is_none());
+        w.push(SimTime::from_ms(1), 2, 2);
+        assert_eq!(w.pop_due(SimTime::from_ms(29)).map(|(.., v)| v), Some(2));
+        assert_eq!(w.pop_due(SimTime::from_ms(30)).map(|(.., v)| v), Some(1));
+        assert!(w.pop().is_none());
+    }
+
+    #[test]
+    fn bucket_boundary_and_same_bucket_distinct_times() {
+        let mut w = TimingWheel::new();
+        // Two distinct times in one bucket, pushed out of order.
+        w.push(SimTime::from_ps(SLOT_PS - 1), 0, 1);
+        w.push(SimTime::from_ps(1), 1, 0);
+        // Exactly on a bucket boundary.
+        w.push(SimTime::from_ps(SLOT_PS), 2, 2);
+        assert_eq!(
+            drain(&mut w),
+            vec![(1, 1, 0), (SLOT_PS - 1, 0, 1), (SLOT_PS, 2, 2)]
+        );
+    }
+
+    #[test]
+    fn full_rotation_reuses_slots() {
+        let mut w = TimingWheel::new();
+        let mut seq = 0;
+        // March the cursor through several full rotations, one event per
+        // half-horizon, so slots are reused with new bucket numbers.
+        let mut expect = Vec::new();
+        for k in 0..40u64 {
+            let t = SimTime::from_ps(k * (WHEEL_SPAN / 2 + 12_345));
+            w.push(t, seq, k as u32);
+            expect.push((t.as_ps(), seq, k as u32));
+            seq += 1;
+        }
+        assert_eq!(drain(&mut w), expect);
+    }
+
+    #[test]
+    fn empty_wheel_behaves() {
+        let mut w: TimingWheel<u8> = TimingWheel::new();
+        assert!(w.is_empty());
+        assert_eq!(w.peek_time(), None);
+        assert!(w.pop().is_none());
+        assert!(w.pop_due(SimTime::MAX).is_none());
+    }
+}

@@ -168,7 +168,13 @@ impl SimDuration {
     #[allow(clippy::expect_used)]
     pub fn from_bits(bits: u64, bits_per_sec: u64) -> Self {
         assert!(bits_per_sec > 0, "bits_per_sec must be non-zero");
-        // ps = bits * 1e12 / bps, computed in u128 to avoid overflow.
+        // ps = bits * 1e12 / bps. Any realistic transfer (bits < ~1.8e7,
+        // i.e. anything under ~2 MB) fits the product in u64, where the
+        // rounded-up division is a single hardware divide; the u128 path
+        // (a software `__udivti3` call) is only the overflow fallback.
+        if let Some(product) = bits.checked_mul(1_000_000_000_000) {
+            return SimDuration(product.div_ceil(bits_per_sec));
+        }
         let ps = (bits as u128 * 1_000_000_000_000u128).div_ceil(bits_per_sec as u128);
         // lint: allow(expect) documented panic; a >213-day transfer is a caller bug
         SimDuration(u64::try_from(ps).expect("duration overflows u64 picoseconds"))

@@ -3,8 +3,10 @@
 //! are bit-for-bit reproducible.
 
 use netfi_sim::metrics::{Histogram, LossMeter, Summary};
-use netfi_sim::{Component, Context, DetRng, Engine, SimDuration, SimTime};
+use netfi_sim::{Component, Context, DetRng, Engine, SimDuration, SimTime, TimingWheel};
 use std::any::Any;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 const CASES: usize = 256;
 
@@ -137,6 +139,87 @@ fn loss_meter_consistent() {
         assert_eq!(m.lost(), sent.saturating_sub(received));
         let rate = m.loss_rate();
         assert!((0.0..=1.0).contains(&rate));
+    }
+}
+
+/// The timing wheel agrees with a reference `BinaryHeap` on every
+/// operation of a randomized interleaved push/pop/pop_due stream.
+///
+/// The stream generator is adversarial on purpose: offsets of zero (pushes
+/// at exactly the cursor time), sub-bucket offsets (ties inside one slot),
+/// exact duplicates of the previous timestamp (FIFO broken only by `seq`),
+/// offsets across the wheel span (forcing overflow parking and cascade),
+/// and `pop_due` deadlines that land before, on and after the queue
+/// minimum. The one invariant the generator honours is the engine's:
+/// never push earlier than the last popped time.
+#[test]
+fn wheel_matches_reference_heap() {
+    let mut rng = DetRng::new(0x7157_0009);
+    for _ in 0..CASES {
+        let mut wheel: TimingWheel<u32> = TimingWheel::new();
+        let mut reference: BinaryHeap<Reverse<(SimTime, u64, u32)>> = BinaryHeap::new();
+        let mut now = SimTime::ZERO; // last popped time; pushes stay >= now
+        let mut last_pushed = now;
+        let mut seq = 0u64;
+        let ops = 64 + rng.gen_index(192);
+        for _ in 0..ops {
+            match rng.gen_index(8) {
+                // Push (biased: the queue must mostly grow or pops see
+                // nothing but empties).
+                0..=4 => {
+                    let time = match rng.gen_index(5) {
+                        0 => now,
+                        1 => last_pushed.max(now),
+                        2 => now + SimDuration::from_ps(rng.gen_range(0..1 << 10)),
+                        3 => now + SimDuration::from_ps(rng.gen_range(0..1 << 30)),
+                        // Beyond the wheel span (2^34 ps): overflow path.
+                        _ => now + SimDuration::from_ps(rng.gen_range(1 << 34..1 << 36)),
+                    };
+                    wheel.push(time, seq, seq as u32);
+                    reference.push(Reverse((time, seq, seq as u32)));
+                    last_pushed = time;
+                    seq += 1;
+                }
+                // Pop the minimum.
+                5..=6 => {
+                    let got = wheel.pop();
+                    let want = reference.pop().map(|Reverse((t, s, v))| (t, s, v));
+                    assert_eq!(got, want, "pop diverged");
+                    if let Some((t, _, _)) = got {
+                        now = t;
+                    }
+                }
+                // Pop against a deadline that may or may not be reached.
+                _ => {
+                    let deadline = now + SimDuration::from_ps(rng.gen_range(0..1 << 35));
+                    let due = reference
+                        .peek()
+                        .is_some_and(|Reverse((t, _, _))| *t <= deadline);
+                    let got = wheel.pop_due(deadline);
+                    let want = if due {
+                        reference.pop().map(|Reverse((t, s, v))| (t, s, v))
+                    } else {
+                        None
+                    };
+                    assert_eq!(got, want, "pop_due({deadline:?}) diverged");
+                    if let Some((t, _, _)) = got {
+                        now = t;
+                    }
+                }
+            }
+            assert_eq!(wheel.len(), reference.len(), "len diverged");
+            assert_eq!(
+                wheel.peek_time(),
+                reference.peek().map(|Reverse((t, _, _))| *t),
+                "peek diverged"
+            );
+        }
+        // Drain: the full remaining order must match exactly.
+        while let Some(Reverse(want)) = reference.pop() {
+            assert_eq!(wheel.pop(), Some(want), "drain diverged");
+        }
+        assert!(wheel.is_empty());
+        assert_eq!(wheel.pop(), None);
     }
 }
 

@@ -18,10 +18,54 @@ echo "== lint (netfi-lint workspace invariants) =="
 ./target/release/netfi-lint .
 
 echo "== engine bench =="
-./target/release/bench_engine --sim-ms 2000 --samples 9 --campaigns 0 \
+# 31 samples: throughput is min-of-samples, and on a shared box the min
+# needs a wide net to dodge scheduler-noise phases (each sample is ~5 ms).
+./target/release/bench_engine --sim-ms 2000 --samples 31 --campaigns 0 \
     --out target/BENCH_engine.json
 echo "summary: target/BENCH_engine.json"
 cat target/BENCH_engine.json
+
+echo "== engine bench regression gate =="
+# The committed BENCH_engine.json is the reference: a run must sustain at
+# least 0.9x its events/sec. The slack absorbs scheduler noise, and the
+# retries absorb sustained slow phases (shared hosts dip 20-30% for
+# minutes at a time, e.g. right after the build above) — a genuine
+# regression fails every attempt. When a change makes the engine faster,
+# refresh the committed file in the same PR so the gate ratchets forward.
+extract() { awk -F'"'"$2"'": ' '/"'"$2"'"/ { gsub(/[,}].*/, "", $2); print $2 }' "$1"; }
+committed=$(extract BENCH_engine.json events_per_sec)
+gate_ok=0
+for attempt in 1 2 3; do
+    current=$(extract target/BENCH_engine.json events_per_sec)
+    if awk -v c="$current" -v b="$committed" -v a="$attempt" 'BEGIN {
+        ratio = c / b
+        printf "attempt %s: committed %.0f ev/s, this run %.0f (%.2fx)\n", a, b, c, ratio
+        if (ratio > 1.1) {
+            print "note: >1.1x the committed number — refresh BENCH_engine.json in this PR"
+        }
+        exit !(ratio >= 0.9)
+    }'; then
+        gate_ok=1
+        break
+    fi
+    if [ "$attempt" -lt 3 ]; then
+        echo "below 0.9x — letting the machine settle, then retrying"
+        sleep 15
+        ./target/release/bench_engine --sim-ms 2000 --samples 31 --campaigns 0 \
+            --out target/BENCH_engine.json > /dev/null
+    fi
+done
+if [ "$gate_ok" -ne 1 ]; then
+    echo "REGRESSION: engine throughput stayed below 0.9x the committed BENCH_engine.json"
+    echo "(if the machine is busy, re-run on an idle box before reverting anything)"
+    exit 1
+fi
+
+echo "== campaign bench (serial vs parallel, determinism cross-check) =="
+./target/release/bench_campaign --suite-seeds 2 \
+    --out target/BENCH_campaign.json
+echo "summary: target/BENCH_campaign.json"
+cat target/BENCH_campaign.json
 
 echo "== obs overhead gate =="
 ./target/release/bench_obs --sim-ms 2000 --samples 5 \

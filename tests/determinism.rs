@@ -190,6 +190,56 @@ fn observed_exports_golden_hash() {
     assert_eq!(fnv1a(table.as_bytes()), 0x9EA5_7953_A6F8_C154);
 }
 
+/// The parallel campaign runner's contract: the worker count is invisible
+/// in the output. A full observed suite (three seeded scenarios, every
+/// recorder armed) run with 1, 2 and 8 workers must produce byte-identical
+/// merged report tables, text tables and Chrome-trace exports — the same
+/// guarantee, scenario-for-scenario, as a serial run.
+#[test]
+fn observed_suite_identical_across_worker_counts() {
+    use netfi::nftape::observed::{observed_campaign, observed_suite};
+    let seeds = [11, 21, 31];
+    let w1 = observed_suite(&seeds, 1).unwrap();
+    let w2 = observed_suite(&seeds, 2).unwrap();
+    let w8 = observed_suite(&seeds, 8).unwrap();
+    // Fingerprint covers every export artifact (tables + traces).
+    assert_eq!(w1.fingerprint(), w2.fingerprint());
+    assert_eq!(w1.fingerprint(), w8.fingerprint());
+    // Spot-check the artifacts byte-for-byte, not just the hash.
+    assert_eq!(w1.text_table(), w8.text_table());
+    assert_eq!(w1.chrome_traces(), w8.chrome_traces());
+    let render = |s: &netfi::nftape::ObservedSuite| {
+        s.report_tables().iter().map(|t| t.render()).collect::<Vec<_>>()
+    };
+    assert_eq!(render(&w1), render(&w8));
+    // And the fold matches a plain serial loop over the same seeds.
+    let serial: u64 = seeds
+        .iter()
+        .map(|&s| observed_campaign(s).unwrap().dispatches)
+        .sum();
+    assert_eq!(w1.dispatches, serial);
+}
+
+/// Same contract for the spec-list runner: explicit worker counts change
+/// nothing about the result rows, including their order.
+#[test]
+fn campaign_rows_identical_across_worker_counts() {
+    use netfi::nftape::campaign::{run_campaigns_with_workers, CampaignSpec, FaultSpec};
+    let specs = vec![
+        CampaignSpec::new("udp", FaultSpec::UdpAliasing, 3),
+        CampaignSpec::new("data", FaultSpec::DataType, 4),
+        CampaignSpec::new("misroute", FaultSpec::Misroute, 5),
+        CampaignSpec::new("route msb", FaultSpec::RouteMsb, 6),
+    ];
+    let w1 = run_campaigns_with_workers(&specs, 1).unwrap();
+    let w2 = run_campaigns_with_workers(&specs, 2).unwrap();
+    let w8 = run_campaigns_with_workers(&specs, 8).unwrap();
+    assert_eq!(w1, w2);
+    assert_eq!(w1, w8);
+    let text = format!("{w1:?}");
+    assert_eq!(fnv1a(text.as_bytes()), fnv1a(format!("{w8:?}").as_bytes()));
+}
+
 /// Percentile extraction is exact wherever the log-bucketed histogram
 /// holds full resolution: single-sample buckets and per-bucket-uniform
 /// distributions interpolate back to the exact rank value.
