@@ -17,10 +17,10 @@
 use netfi_bench::harness::{Bench, JsonObject};
 use netfi_bench::{arg, extract_number};
 use netfi_myrinet::addr::EthAddr;
-use netfi_netstack::{build_testbed, Host, TestbedOptions, Workload};
+use netfi_netstack::{build_testbed, Host, Testbed, TestbedOptions, Workload};
 use netfi_nftape::campaign::{paper_campaigns, run_campaigns_with_workers};
 use netfi_nftape::runner::default_workers;
-use netfi_sim::{SimDuration, SimTime};
+use netfi_sim::{NullProbe, ShardSpec, ShardedEngine, SimDuration, SimTime, Simulation};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -29,35 +29,64 @@ use std::time::Instant;
 /// injector device intercepting host 1's link — the same topology the
 /// determinism suite pins down, driven hard enough that the event queue
 /// never drains.
+fn saturated_options(seed: u64) -> TestbedOptions {
+    TestbedOptions {
+        intercept_host: Some(1),
+        seed,
+        paper_era_hosts: true,
+        ..TestbedOptions::default()
+    }
+}
+
+fn saturated_workloads(i: usize, host: &mut Host) {
+    if i == 0 {
+        host.add_workload(Workload::Sender {
+            dest: EthAddr::myricom(2),
+            interval: SimDuration::from_ms(3),
+            payload_len: 256,
+            forbidden: vec![],
+            burst: 2,
+        });
+    }
+    if i == 2 {
+        host.add_workload(Workload::Flood {
+            peer: EthAddr::myricom(1),
+            payload_len: 64,
+            timeout: SimDuration::from_ms(10),
+        });
+    }
+}
+
 fn run_saturated_testbed(sim_ms: u64, seed: u64) -> u64 {
-    let mut tb = build_testbed(
-        TestbedOptions {
-            intercept_host: Some(1),
-            seed,
-            paper_era_hosts: true,
-            ..TestbedOptions::default()
-        },
-        |i, host: &mut Host| {
-            if i == 0 {
-                host.add_workload(Workload::Sender {
-                    dest: EthAddr::myricom(2),
-                    interval: SimDuration::from_ms(3),
-                    payload_len: 256,
-                    forbidden: vec![],
-                    burst: 2,
-                });
-            }
-            if i == 2 {
-                host.add_workload(Workload::Flood {
-                    peer: EthAddr::myricom(1),
-                    payload_len: 64,
-                    timeout: SimDuration::from_ms(10),
-                });
-            }
-        },
-    ).unwrap();
+    let mut tb = build_testbed(saturated_options(seed), saturated_workloads).unwrap();
     tb.engine.run_until(SimTime::from_ms(sim_ms));
     tb.engine.events_processed()
+}
+
+/// The same saturated testbed executed by the conservative-window sharded
+/// engine (`netfi_sim::shard`): switch on shard 0, one shard per host, the
+/// injector riding in its intercepted host's shard. Byte-identical output
+/// is pinned by `tests/determinism.rs`; here we only time it.
+fn run_saturated_testbed_sharded(sim_ms: u64, seed: u64, workers: usize) -> (u64, u64, u64) {
+    let options = saturated_options(seed);
+    let lookahead = options.link.propagation_delay();
+    let tb = build_testbed(options, saturated_workloads).unwrap();
+    let device = tb.injector.expect("intercept_host wires an injector");
+    let mut affinity = vec![0u16; tb.engine.component_count()];
+    for (i, h) in tb.hosts.iter().enumerate() {
+        affinity[h.index()] = i as u16 + 1;
+    }
+    affinity[device.index()] = affinity[tb.hosts[1].index()];
+    let Testbed { engine, .. } = tb;
+    let spec = ShardSpec {
+        affinity,
+        lookahead,
+        workers,
+    };
+    let mut sim: ShardedEngine<_, NullProbe> =
+        ShardedEngine::from_engine(engine, spec, |_| NullProbe);
+    sim.run_until(SimTime::from_ms(sim_ms));
+    (sim.events_processed(), sim.rounds(), sim.cross_events())
 }
 
 fn main() {
@@ -88,6 +117,34 @@ fn main() {
         wall_ns / 1e6,
         events_per_sec,
         ns_per_event
+    );
+
+    // --- sharded engine throughput on the same testbed ---
+    //
+    // The conservative-window sharded executor, same workload and seed.
+    // The serial `events_per_sec` above stays the ratchet input; this
+    // number tracks what the window/mailbox machinery costs (on a
+    // single-core runner it is expected to be *slower* than serial — the
+    // rounds are pure overhead until there are cores to spread them on).
+    let shard_workers = default_workers();
+    let (sharded_events, shard_rounds, shard_cross) =
+        run_saturated_testbed_sharded(sim_ms, 12345, shard_workers);
+    assert_eq!(
+        sharded_events, events,
+        "sharded run must process the identical event stream"
+    );
+    let ms = Bench::new(format!("engine/sharded_testbed_{sim_ms}ms_w{shard_workers}"))
+        .samples(samples)
+        .warmup(1)
+        .run(|| black_box(run_saturated_testbed_sharded(sim_ms, 12345, shard_workers)));
+    println!("{}", ms.report());
+    let sharded_wall_ns = ms.min_sample_ns() as f64;
+    let sharded_events_per_sec = sharded_events as f64 / (sharded_wall_ns / 1e9);
+    println!(
+        "sharded: {sharded_events} events, {shard_rounds} rounds, {shard_cross} cross-shard \
+         -> {:.0} events/s ({shard_workers} workers, {:.2}x serial)",
+        sharded_events_per_sec,
+        sharded_events_per_sec / events_per_sec
     );
 
     // --- campaign wall time (the paper's whole evaluation) ---
@@ -124,6 +181,10 @@ fn main() {
         .num("wall_ms_median", m.median_sample_ns() as f64 / 1e6)
         .num("events_per_sec", events_per_sec)
         .num("ns_per_event", ns_per_event)
+        .int("sharded_workers", shard_workers as u64)
+        .num("sharded_events_per_sec", sharded_events_per_sec)
+        .int("sharded_rounds", shard_rounds)
+        .int("sharded_cross_events", shard_cross)
         .int("campaign_workers", workers as u64)
         .num("campaign_wall_secs", campaign_secs)
         .num("campaign_serial_wall_secs", campaign_serial_secs);

@@ -58,8 +58,9 @@ pub enum Ev {
     Serial(u8),
     /// An application-level event; hosts downcast to their own types.
     /// Control-plane only (workload start, harness commands) — the
-    /// per-packet paths use [`Ev::Deliver`] and [`Ev::Send`].
-    App(Box<dyn Any>),
+    /// per-packet paths use [`Ev::Deliver`] and [`Ev::Send`]. `Send` so
+    /// the whole event vocabulary can cross shard-worker boundaries.
+    App(Box<dyn Any + Send>),
 }
 
 impl fmt::Debug for Ev {

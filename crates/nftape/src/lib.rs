@@ -18,7 +18,7 @@
 //!   and GAP throughput experiments, packet-type corruption, physical-
 //!   address corruption (including Figure 11) and UDP checksum aliasing.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
@@ -33,7 +33,10 @@ pub mod serialize;
 pub use campaign::{
     run_campaign, run_campaigns_parallel, run_campaigns_with_workers, CampaignSpec, FaultSpec,
 };
-pub use observed::{observed_campaign, observed_suite, ObservedCampaign, ObservedSuite};
+pub use observed::{
+    observed_campaign, observed_campaign_sharded, observed_suite, ObservedCampaign, ObservedSuite,
+    ShardedObserved,
+};
 pub use report::{registry_tables, Table};
 pub use results::{RunResult, ScenarioError};
 pub use runner::{default_workers, worker_count};

@@ -25,12 +25,14 @@ use netfi_myrinet::event::Ev;
 use netfi_myrinet::monitor::{InterfaceSnapshot, MmonReport, SwitchSnapshot};
 use netfi_myrinet::switch::Switch;
 use netfi_netstack::{
-    build_testbed_probed, Host, HostCmd, TestbedOptions, UdpDatagram, Workload, SINK_PORT,
+    build_testbed, build_testbed_probed, Host, HostCmd, Testbed, TestbedOptions, UdpDatagram,
+    Workload, SINK_PORT,
 };
 use netfi_obs::event::sort_bundle;
 use netfi_obs::export::{chrome_trace, text_table};
 use netfi_obs::{DispatchProbe, EventKind, ObsEvent, Registry, Stamped};
-use netfi_sim::{SimDuration, SimTime};
+use netfi_sim::shard::{ShardSpec, ShardedEngine};
+use netfi_sim::{ComponentId, SimDuration, SimTime, Simulation};
 
 use crate::report::{registry_tables, Table};
 use crate::results::ScenarioError;
@@ -70,77 +72,78 @@ impl ObservedCampaign {
     }
 }
 
-/// Runs the fixed observed campaign: three hosts, the injector spliced
-/// into host 1's link, a detected (non-aliasing) UDP payload corruption
-/// with CRC-8 repair, a sender stream into the corrupted link and a
-/// ping-pong latency workload on the clean pair.
-///
-/// # Errors
-///
-/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
-pub fn observed_campaign(seed: u64) -> Result<ObservedCampaign, ScenarioError> {
-    let options = TestbedOptions {
+/// The fixed campaign topology: three hosts, the injector spliced into
+/// host 1's link.
+fn campaign_options(seed: u64) -> TestbedOptions {
+    TestbedOptions {
         hosts: 3,
         intercept_host: Some(1),
         seed,
         ..TestbedOptions::default()
-    };
-    let mut tb = build_testbed_probed(options, DispatchProbe::new(RING), |i, host| {
-        if i == 2 {
-            host.add_workload(Workload::PingPong {
-                peer: EthAddr::myricom(1),
-                count: 50,
-                payload_len: 16,
-                timeout: SimDuration::from_ms(50),
-            });
-        }
-    })?;
-    let device = tb.injector.ok_or(ScenarioError::NoInjector)?;
+    }
+}
 
-    // Arm every layer's recorder before anything interesting happens.
-    for &h in &tb.hosts {
-        let host = tb
-            .engine
+/// The fixed campaign workload: a ping-pong latency probe on the clean
+/// pair (host 2 against host 0).
+fn campaign_workload(i: usize, host: &mut Host) {
+    if i == 2 {
+        host.add_workload(Workload::PingPong {
+            peer: EthAddr::myricom(1),
+            count: 50,
+            payload_len: 16,
+            timeout: SimDuration::from_ms(50),
+        });
+    }
+}
+
+/// Arms every layer's flight recorder before anything interesting happens.
+fn arm_recorders(
+    sim: &mut impl Simulation<Ev>,
+    hosts: &[ComponentId],
+    switch: ComponentId,
+    device: ComponentId,
+) -> Result<(), ScenarioError> {
+    for &h in hosts {
+        let host = sim
             .component_as_mut::<Host>(h)
             .ok_or(ScenarioError::WrongComponent("Host"))?;
         host.obs_mut().arm(RING);
         host.nic_mut().obs_mut().arm(RING);
     }
-    tb.engine
-        .component_as_mut::<Switch>(tb.switch)
+    sim.component_as_mut::<Switch>(switch)
         .ok_or(ScenarioError::WrongComponent("Switch"))?
         .obs_mut()
         .arm(RING);
-    tb.engine
-        .component_as_mut::<InjectorDevice>(device)
+    sim.component_as_mut::<InjectorDevice>(device)
         .ok_or(ScenarioError::WrongComponent("InjectorDevice"))?
         .obs_mut()
         .arm(RING);
+    Ok(())
+}
 
-    // Campaign phases, recorded as spans in the bundle's "campaign" scope.
+/// Drives the three campaign phases — map, program, inject — on any
+/// [`Simulation`] executor, recording each phase as a span in the
+/// bundle's "campaign" scope.
+fn drive_phases(
+    sim: &mut impl Simulation<Ev>,
+    hosts: &[ComponentId],
+    device: ComponentId,
+) -> Vec<Stamped<ObsEvent>> {
     let mut phases: Vec<Stamped<ObsEvent>> = Vec::new();
     let phase = |at: SimTime, ev: ObsEvent, phases: &mut Vec<Stamped<ObsEvent>>| {
         phases.push(Stamped { time: at, value: ev });
     };
 
     // Phase 1: let the fabric map itself.
-    phase(
-        tb.engine.now(),
-        ObsEvent::begin("campaign", "map", 0),
-        &mut phases,
-    );
-    tb.engine.run_until(SimTime::from_ms(2_500));
-    phase(
-        tb.engine.now(),
-        ObsEvent::end("campaign", "map", 0),
-        &mut phases,
-    );
+    phase(sim.now(), ObsEvent::begin("campaign", "map", 0), &mut phases);
+    sim.run_until(SimTime::from_ms(2_500));
+    phase(sim.now(), ObsEvent::end("campaign", "map", 0), &mut phases);
 
     // Phase 2: program the injector over its serial line — a detected
     // corruption with CRC-8 repair, so the fault survives the link layer
     // and is caught by the UDP checksum at the destination host.
     phase(
-        tb.engine.now(),
+        sim.now(),
         ObsEvent::begin("campaign", "program", 0),
         &mut phases,
     );
@@ -150,12 +153,12 @@ pub fn observed_campaign(seed: u64) -> Result<ObservedCampaign, ScenarioError> {
         .corrupt_replace(u32::from_be_bytes(*b"XaXe"), 0xFFFF_FFFF)
         .recompute_crc(true)
         .build();
-    let program_at = tb.engine.now();
+    let program_at = sim.now();
     let programmed =
-        crate::runner::program_injector(&mut tb.engine, device, program_at, DirSelect::B, &config);
-    tb.engine.run_until(programmed);
+        crate::runner::program_injector(sim, device, program_at, DirSelect::B, &config);
+    sim.run_until(programmed);
     phase(
-        tb.engine.now(),
+        sim.now(),
         ObsEvent::end("campaign", "program", 0),
         &mut phases,
     );
@@ -164,37 +167,48 @@ pub fn observed_campaign(seed: u64) -> Result<ObservedCampaign, ScenarioError> {
     // link.
     let sends: u64 = 40;
     phase(
-        tb.engine.now(),
+        sim.now(),
         ObsEvent::begin("campaign", "inject", sends),
         &mut phases,
     );
     for k in 0..sends {
-        let at = tb.engine.now() + SimDuration::from_ms(5) * k;
-        tb.engine.schedule(
+        let at = sim.now() + SimDuration::from_ms(5) * k;
+        sim.schedule(
             at,
-            tb.hosts[0],
+            hosts[0],
             Ev::App(Box::new(HostCmd::SendUdp {
                 dest: EthAddr::myricom(2),
                 datagram: UdpDatagram::new(6_000, SINK_PORT, MESSAGE.to_vec()),
             })),
         );
     }
-    tb.engine
-        .run_for(SimDuration::from_ms(5) * sends + SimDuration::from_ms(100));
+    sim.run_for(SimDuration::from_ms(5) * sends + SimDuration::from_ms(100));
     phase(
-        tb.engine.now(),
+        sim.now(),
         ObsEvent::end("campaign", "inject", sends),
         &mut phases,
     );
+    phases
+}
 
-    // Collect: merge every recorder into one bundle and fold counters.
+/// Collects the run: merges every recorder into one sorted bundle and
+/// folds counters, snapshots and the engine probe into the registry.
+/// Identical component state yields byte-identical exports, whichever
+/// executor ran the campaign.
+fn collect(
+    sim: &impl Simulation<Ev>,
+    hosts: &[ComponentId],
+    switch: ComponentId,
+    device: ComponentId,
+    phases: Vec<Stamped<ObsEvent>>,
+    probe: &DispatchProbe,
+) -> Result<ObservedCampaign, ScenarioError> {
     let mut events = phases;
     let mut dropped = 0;
 
     let mut report = MmonReport::default();
-    for &h in &tb.hosts {
-        let host = tb
-            .engine
+    for &h in hosts {
+        let host = sim
             .component_as::<Host>(h)
             .ok_or(ScenarioError::WrongComponent("Host"))?;
         events.extend(host.obs().events().copied());
@@ -202,15 +216,13 @@ pub fn observed_campaign(seed: u64) -> Result<ObservedCampaign, ScenarioError> {
         dropped += host.obs().dropped() + host.nic().obs().dropped();
         report.interfaces.push(InterfaceSnapshot::capture(host.nic()));
     }
-    let sw = tb
-        .engine
-        .component_as::<Switch>(tb.switch)
+    let sw = sim
+        .component_as::<Switch>(switch)
         .ok_or(ScenarioError::WrongComponent("Switch"))?;
     events.extend(sw.obs().events().copied());
     dropped += sw.obs().dropped();
     report.switches.push(SwitchSnapshot::capture(sw));
-    let dev = tb
-        .engine
+    let dev = sim
         .component_as::<InjectorDevice>(device)
         .ok_or(ScenarioError::WrongComponent("InjectorDevice"))?;
     events.extend(dev.obs().events().copied());
@@ -219,9 +231,8 @@ pub fn observed_campaign(seed: u64) -> Result<ObservedCampaign, ScenarioError> {
     sort_bundle(&mut events);
 
     let mut registry = report.to_registry();
-    for &h in &tb.hosts {
-        let host = tb
-            .engine
+    for &h in hosts {
+        let host = sim
             .component_as::<Host>(h)
             .ok_or(ScenarioError::WrongComponent("Host"))?;
         let u = host.udp_stats();
@@ -244,9 +255,8 @@ pub fn observed_campaign(seed: u64) -> Result<ObservedCampaign, ScenarioError> {
             EventKind::Begin | EventKind::End => {}
         }
     }
-    let probe = tb.engine.probe();
     registry.set_gauge("engine.dispatches", probe.total() as i64);
-    registry.set_gauge("engine.components", tb.engine.component_count() as i64);
+    registry.set_gauge("engine.components", sim.component_count() as i64);
     let dispatches = probe.total();
     dropped += probe.trace_dropped();
 
@@ -255,6 +265,103 @@ pub fn observed_campaign(seed: u64) -> Result<ObservedCampaign, ScenarioError> {
         registry,
         dropped,
         dispatches,
+    })
+}
+
+/// Runs the fixed observed campaign: three hosts, the injector spliced
+/// into host 1's link, a detected (non-aliasing) UDP payload corruption
+/// with CRC-8 repair, a sender stream into the corrupted link and a
+/// ping-pong latency workload on the clean pair.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+pub fn observed_campaign(seed: u64) -> Result<ObservedCampaign, ScenarioError> {
+    let mut tb = build_testbed_probed(
+        campaign_options(seed),
+        DispatchProbe::new(RING),
+        campaign_workload,
+    )?;
+    let device = tb.injector.ok_or(ScenarioError::NoInjector)?;
+    let hosts = tb.hosts.clone();
+    arm_recorders(&mut tb.engine, &hosts, tb.switch, device)?;
+    let phases = drive_phases(&mut tb.engine, &hosts, device);
+    collect(&tb.engine, &hosts, tb.switch, device, phases, tb.engine.probe())
+}
+
+/// An [`ObservedCampaign`] produced by the sharded engine, plus the
+/// scheduling statistics that back its determinism argument.
+#[derive(Debug)]
+pub struct ShardedObserved {
+    /// The campaign exports — byte-identical to [`observed_campaign`]'s
+    /// for the same seed (pinned in `tests/determinism.rs`).
+    pub campaign: ObservedCampaign,
+    /// Affinity shards the engine ran with.
+    pub shards: usize,
+    /// Conservative windows executed.
+    pub rounds: u64,
+    /// Events that crossed a shard boundary through the mailbox.
+    pub cross_events: u64,
+    /// Same-`(time, destination)` mailbox ties from different source
+    /// shards. For these events byte-identity is established by the golden
+    /// export hashes rather than by construction (see `netfi_sim::shard`
+    /// and DESIGN.md §11); the count is worker-count-invariant.
+    pub cross_collisions: u64,
+}
+
+/// [`observed_campaign`], executed by a [`ShardedEngine`]: the switch, each
+/// host, and the injector (grouped with its intercepted host, as in the
+/// paper's per-link placement) become affinity shards, with the link
+/// propagation delay as the conservative lookahead.
+///
+/// The exports are byte-identical to the serial campaign's for **any**
+/// `workers` — `tests/determinism.rs` pins workers 1/2/4 against the same
+/// golden hashes the serial campaign carries.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn observed_campaign_sharded(seed: u64, workers: usize) -> Result<ShardedObserved, ScenarioError> {
+    let options = campaign_options(seed);
+    let lookahead = options.link.propagation_delay();
+    let tb = build_testbed(options, campaign_workload)?;
+    let device = tb.injector.ok_or(ScenarioError::NoInjector)?;
+
+    // Affinity: shard 0 is the switch; each host gets its own shard; the
+    // injector lives in its intercepted host's shard (their splice is an
+    // intra-shard link, free to be faster than the lookahead).
+    let mut affinity = vec![0u16; tb.engine.component_count()];
+    for (i, h) in tb.hosts.iter().enumerate() {
+        affinity[h.index()] = i as u16 + 1;
+    }
+    affinity[device.index()] = affinity[tb.hosts[1].index()];
+
+    let Testbed {
+        engine,
+        hosts,
+        switch,
+        ..
+    } = tb;
+    let spec = ShardSpec {
+        affinity,
+        lookahead,
+        workers,
+    };
+    let mut sim = ShardedEngine::from_engine(engine, spec, |_| DispatchProbe::new(RING));
+    arm_recorders(&mut sim, &hosts, switch, device)?;
+    let phases = drive_phases(&mut sim, &hosts, device);
+    let probe = DispatchProbe::merged(sim.probes());
+    let campaign = collect(&sim, &hosts, switch, device, phases, &probe)?;
+    Ok(ShardedObserved {
+        campaign,
+        shards: sim.shard_count(),
+        rounds: sim.rounds(),
+        cross_events: sim.cross_events(),
+        cross_collisions: sim.cross_collisions(),
     })
 }
 
@@ -413,6 +520,36 @@ mod tests {
         // Phases bracket the run.
         assert_eq!(run.events[0].value.scope, "campaign");
         assert_eq!(run.events[0].value.kind, EventKind::Begin);
+    }
+
+    #[test]
+    fn sharded_campaign_matches_serial_byte_for_byte() {
+        let serial = observed_campaign(11).unwrap();
+        let mut collisions = Vec::new();
+        for workers in [1, 2] {
+            let run = observed_campaign_sharded(11, workers).unwrap();
+            assert_eq!(
+                run.campaign.chrome_trace(),
+                serial.chrome_trace(),
+                "workers={workers}"
+            );
+            assert_eq!(run.campaign.text_table(), serial.text_table());
+            assert_eq!(run.campaign.events, serial.events);
+            assert_eq!(run.campaign.dispatches, serial.dispatches);
+            // Switch + 3 hosts (device rides with host 1).
+            assert_eq!(run.shards, 4);
+            assert!(run.rounds > 0);
+            assert!(run.cross_events > 0);
+            collisions.push(run.cross_collisions);
+        }
+        // This topology has periodic symmetric ties (host 0 and host 2
+        // both hitting the switch on the same instant during mapping), so
+        // the collision monitor is non-zero — the export equality above is
+        // the proof the merge resolved them exactly as the serial engine
+        // did (DESIGN.md §11 explains why). The counter itself is part of
+        // the deterministic schedule, so it cannot vary with workers.
+        assert!(collisions[0] > 0);
+        assert!(collisions.iter().all(|&c| c == collisions[0]));
     }
 
     #[test]

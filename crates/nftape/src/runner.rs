@@ -12,7 +12,7 @@ use netfi_core::corrupt::CorruptMode;
 use netfi_core::trigger::MatchMode;
 use netfi_myrinet::event::Ev;
 use netfi_phy::serial::UartConfig;
-use netfi_sim::{ComponentId, Engine, Probe, SimDuration, SimTime};
+use netfi_sim::{ComponentId, SimDuration, SimTime, Simulation};
 
 /// The default campaign fan-out width: one worker per available core.
 ///
@@ -75,8 +75,11 @@ pub fn script_bytes(commands: &[Command]) -> Vec<u8> {
 
 /// Schedules a command script at the device, one byte per UART frame time
 /// starting at `at`. Returns the time the last byte arrives.
-pub fn schedule_script<P: Probe>(
-    engine: &mut Engine<Ev, P>,
+///
+/// Generic over [`Simulation`], so the same script drives a serial
+/// `Engine` or a `ShardedEngine` identically.
+pub fn schedule_script(
+    sim: &mut impl Simulation<Ev>,
     device: ComponentId,
     at: SimTime,
     commands: &[Command],
@@ -84,28 +87,28 @@ pub fn schedule_script<P: Probe>(
     let uart = UartConfig::rs232_115200();
     let mut t = at;
     for byte in script_bytes(commands) {
-        engine.schedule(t, device, Ev::Serial(byte));
+        sim.schedule(t, device, Ev::Serial(byte));
         t += uart.frame_duration();
     }
     t
 }
 
 /// Schedules the full programming of `config` (direction `dir`) at `at`.
-pub fn program_injector<P: Probe>(
-    engine: &mut Engine<Ev, P>,
+pub fn program_injector(
+    sim: &mut impl Simulation<Ev>,
     device: ComponentId,
     at: SimTime,
     dir: DirSelect,
     config: &InjectorConfig,
 ) -> SimTime {
-    schedule_script(engine, device, at, &commands_for_config(dir, config))
+    schedule_script(sim, device, at, &commands_for_config(dir, config))
 }
 
 /// Schedules a duty-cycled campaign: the trigger is switched ON at the
 /// start of each period and OFF after `on_for`, from `from` until `until`.
 /// The configuration itself must already be programmed.
-pub fn schedule_duty_cycle<P: Probe>(
-    engine: &mut Engine<Ev, P>,
+pub fn schedule_duty_cycle(
+    sim: &mut impl Simulation<Ev>,
     device: ComponentId,
     from: SimTime,
     until: SimTime,
@@ -116,10 +119,10 @@ pub fn schedule_duty_cycle<P: Probe>(
     assert!(on_for <= period, "on_for must not exceed the period");
     let mut t = from;
     while t < until {
-        schedule_script(engine, device, t, &[Command::MatchMode(mode_when_on)]);
+        schedule_script(sim, device, t, &[Command::MatchMode(mode_when_on)]);
         let off_at = t + on_for;
         if off_at < until {
-            schedule_script(engine, device, off_at, &[Command::MatchMode(MatchMode::Off)]);
+            schedule_script(sim, device, off_at, &[Command::MatchMode(MatchMode::Off)]);
         }
         t += period;
     }
@@ -129,6 +132,7 @@ pub fn schedule_duty_cycle<P: Probe>(
 mod tests {
     use super::*;
     use netfi_core::trigger::MatchMode;
+    use netfi_sim::Engine;
 
     #[test]
     fn config_script_roundtrip() {

@@ -8,7 +8,7 @@
 //! stack, with the same constraint the hardware had: observation must not
 //! perturb the observed system.
 //!
-//! Everything here is stamped exclusively with [`SimTime`] — no wall
+//! Everything here is stamped exclusively with [`netfi_sim::SimTime`] — no wall
 //! clocks — so enabling observation never changes simulation behaviour,
 //! and two runs of the same seed export byte-identical artifacts.
 //!
@@ -36,7 +36,7 @@
 //!   `netfi_sim::engine::Probe`) that counts event dispatches per
 //!   component and keeps a bounded dispatch trace.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 

@@ -22,6 +22,9 @@ pub struct DispatchProbe {
     first: Option<SimTime>,
     last: SimTime,
     ring: FlightRecorder<ObsEvent>,
+    /// Evictions inherited from the probes a [`DispatchProbe::merged`]
+    /// probe was folded from; zero on a directly-installed probe.
+    carried_dropped: u64,
 }
 
 impl DispatchProbe {
@@ -38,6 +41,61 @@ impl DispatchProbe {
             first: None,
             last: SimTime::ZERO,
             ring: FlightRecorder::new(ring_capacity),
+            carried_dropped: 0,
+        }
+    }
+
+    /// Folds per-shard probes into one whole-engine export.
+    ///
+    /// A `ShardedEngine` (see `netfi_sim::shard`) installs one probe per
+    /// affinity shard; this constructor sums their counters elementwise,
+    /// takes the earliest first-dispatch and latest last-dispatch, merges
+    /// the dispatch traces by time (ties keep shard order — the traces are
+    /// diagnostic, not part of any pinned export), and carries the parts'
+    /// eviction counts forward into [`DispatchProbe::trace_dropped`].
+    pub fn merged<'a>(parts: impl IntoIterator<Item = &'a DispatchProbe>) -> DispatchProbe {
+        let mut dispatches: Vec<u64> = Vec::new();
+        let mut emitted: Vec<u64> = Vec::new();
+        let mut total = 0;
+        let mut first: Option<SimTime> = None;
+        let mut last = SimTime::ZERO;
+        let mut carried_dropped = 0;
+        let mut trace: Vec<Stamped<ObsEvent>> = Vec::new();
+        for part in parts {
+            if dispatches.len() < part.dispatches.len() {
+                dispatches.resize(part.dispatches.len(), 0);
+            }
+            for (sum, n) in dispatches.iter_mut().zip(&part.dispatches) {
+                *sum += n;
+            }
+            if emitted.len() < part.emitted.len() {
+                emitted.resize(part.emitted.len(), 0);
+            }
+            for (sum, n) in emitted.iter_mut().zip(&part.emitted) {
+                *sum += n;
+            }
+            total += part.total;
+            first = match (first, part.first) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (a, b) => a.or(b),
+            };
+            last = last.max(part.last);
+            carried_dropped += part.ring.dropped() + part.carried_dropped;
+            trace.extend(part.ring.iter().copied());
+        }
+        trace.sort_by_key(|e| e.time);
+        let mut ring = FlightRecorder::new(trace.len().max(1));
+        for event in &trace {
+            ring.push(event.time, event.value);
+        }
+        DispatchProbe {
+            dispatches,
+            emitted,
+            total,
+            first,
+            last,
+            ring,
+            carried_dropped,
         }
     }
 
@@ -77,9 +135,10 @@ impl DispatchProbe {
         self.ring.iter()
     }
 
-    /// Dispatches evicted from the bounded trace.
+    /// Dispatches evicted from the bounded trace (including, for a
+    /// [`DispatchProbe::merged`] probe, evictions in the folded parts).
     pub fn trace_dropped(&self) -> u64 {
-        self.ring.dropped()
+        self.ring.dropped() + self.carried_dropped
     }
 }
 
@@ -156,6 +215,39 @@ mod tests {
         assert_eq!(probe.trace().count(), 4);
         assert_eq!(probe.trace_dropped(), 0);
         assert_eq!(probe.dispatch_counts(), &[4]);
+    }
+
+    #[test]
+    fn merged_probe_folds_parts() {
+        let mut a = netfi_sim::Engine::with_probe(DispatchProbe::new(2));
+        let ca = id(&mut a);
+        a.schedule(SimTime::ZERO, ca, 4);
+        a.run();
+        let mut b = netfi_sim::Engine::with_probe(DispatchProbe::new(8));
+        let cb = id(&mut b);
+        b.schedule(SimTime::from_ns(10), cb, 1);
+        b.run();
+        let merged = DispatchProbe::merged([a.probe(), b.probe()]);
+        assert_eq!(merged.total(), a.probe().total() + b.probe().total());
+        assert_eq!(merged.dispatches_for(ca), 7);
+        assert_eq!(merged.emitted_by(ca), 5);
+        assert_eq!(merged.first_dispatch(), Some(SimTime::ZERO));
+        assert_eq!(merged.last_dispatch(), SimTime::from_ns(11));
+        // a's ring of 2 evicted 3 of its 5 dispatches; the merged trace
+        // keeps everything that survived, in time order.
+        assert_eq!(merged.trace_dropped(), 3);
+        assert_eq!(merged.trace().count(), 4);
+        let times: Vec<_> = merged.trace().map(|e| e.time).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn merged_of_nothing_is_empty() {
+        let merged = DispatchProbe::merged([]);
+        assert_eq!(merged.total(), 0);
+        assert_eq!(merged.first_dispatch(), None);
+        assert_eq!(merged.trace().count(), 0);
+        assert_eq!(merged.trace_dropped(), 0);
     }
 
     #[test]

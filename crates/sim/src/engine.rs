@@ -41,7 +41,13 @@ impl fmt::Display for ComponentId {
 /// Implementors also supply the `as_any` hooks so experiment harnesses can
 /// downcast components back to their concrete types after a run (see
 /// [`Engine::component_as`]).
-pub trait Component<M>: 'static {
+///
+/// `Send` is a supertrait so any engine can be decomposed into a
+/// [`crate::shard::ShardedEngine`], whose affinity groups execute on scoped
+/// worker threads. Component state is plain owned data everywhere in this
+/// workspace, so the bound costs nothing; it rules out `Rc`/`RefCell`
+/// state, which would also defeat the determinism story.
+pub trait Component<M>: 'static + Send {
     /// Called when an event addressed to this component becomes due.
     fn on_event(&mut self, ctx: &mut Context<'_, M>, payload: M);
 
@@ -54,7 +60,33 @@ pub trait Component<M>: 'static {
 
 /// What the queue stores per event: destination and payload. Time and
 /// sequence number are the wheel's ordering key.
-type Queued<M> = (ComponentId, M);
+pub(crate) type Queued<M> = (ComponentId, M);
+
+/// A send that crossed a shard boundary during a conservative window.
+/// Captured in the emitting shard's outbox and merged into the destination
+/// shard's wheel at the window barrier (see [`crate::shard`]).
+pub(crate) struct CrossSend<M> {
+    pub(crate) time: SimTime,
+    pub(crate) dst: ComponentId,
+    pub(crate) payload: M,
+}
+
+/// Sharded-execution routing state threaded through a [`Context`].
+///
+/// Present only while a [`crate::shard::ShardedEngine`] is delivering a
+/// window batch; the serial engine always runs with `route: None`, so its
+/// dispatch loop pays one always-false branch per send.
+pub(crate) struct ShardRoute<'a, M> {
+    /// Component index → shard id, for the whole engine.
+    pub(crate) affinity: &'a [u16],
+    /// The shard this context is executing in.
+    pub(crate) home: u16,
+    /// Last instant (inclusive) of the current conservative window.
+    /// Cross-shard sends must land strictly after it.
+    pub(crate) window_last: SimTime,
+    /// Captures cross-shard sends for the barrier merge.
+    pub(crate) outbox: &'a mut Vec<CrossSend<M>>,
+}
 
 /// Scheduling context handed to a component while it handles an event.
 ///
@@ -69,6 +101,7 @@ pub struct Context<'a, M> {
     queue: &'a mut TimingWheel<Queued<M>>,
     components: u32,
     stop_requested: &'a mut bool,
+    route: Option<ShardRoute<'a, M>>,
 }
 
 impl<M> fmt::Debug for Context<'_, M> {
@@ -101,9 +134,24 @@ impl<M> Context<'_, M> {
             dst.0 < self.components,
             "event addressed to unknown component {dst}"
         );
+        let time = self.now + delay;
         let seq = *self.seq;
         *self.seq += 1;
-        self.queue.push(self.now + delay, seq, (dst, payload));
+        if let Some(route) = self.route.as_mut() {
+            if route.affinity[dst.index()] != route.home {
+                // The conservative-window invariant: a cross-shard send may
+                // not land inside the window the shards are executing, or
+                // the destination shard could already have run past it.
+                assert!(
+                    time > route.window_last,
+                    "cross-shard send to {dst} lands inside the conservative \
+                     window; the affinity partition violates the lookahead bound"
+                );
+                route.outbox.push(CrossSend { time, dst, payload });
+                return;
+            }
+        }
+        self.queue.push(time, seq, (dst, payload));
     }
 
     /// Schedules `payload` for delivery back to the current component.
@@ -119,8 +167,38 @@ impl<M> Context<'_, M> {
     }
 
     /// Asks the engine to stop after the current event completes.
+    ///
+    /// Under a [`crate::shard::ShardedEngine`] the request takes effect at
+    /// the current window barrier: the stopping shard delivers no further
+    /// events, other shards finish their window batch, and the run ends at
+    /// the round boundary (see the module docs of [`crate::shard`]).
     pub fn stop(&mut self) {
         *self.stop_requested = true;
+    }
+}
+
+impl<'a, M> Context<'a, M> {
+    /// Builds a context for one sharded-window delivery. Only
+    /// [`crate::shard`] calls this; the serial engine builds its contexts
+    /// inline with `route: None`.
+    pub(crate) fn for_shard(
+        now: SimTime,
+        self_id: ComponentId,
+        seq: &'a mut u64,
+        queue: &'a mut TimingWheel<Queued<M>>,
+        components: u32,
+        stop_requested: &'a mut bool,
+        route: ShardRoute<'a, M>,
+    ) -> Context<'a, M> {
+        Context {
+            now,
+            self_id,
+            seq,
+            queue,
+            components,
+            stop_requested,
+            route: Some(route),
+        }
     }
 }
 
@@ -297,6 +375,7 @@ impl<M: 'static, P: Probe> Engine<M, P> {
                 queue: &mut self.queue,
                 components: registered,
                 stop_requested: &mut self.stop_requested,
+                route: None,
             };
             component.on_event(&mut ctx, payload);
         }
@@ -356,6 +435,106 @@ impl<M: 'static, P: Probe> Engine<M, P> {
     /// Number of registered components.
     pub fn component_count(&self) -> usize {
         self.components.len()
+    }
+
+    /// Decomposes the engine into the pieces a
+    /// [`crate::shard::ShardedEngine`] redistributes: the component table,
+    /// the pending event queue and the clock/sequence state. The donor's
+    /// probe is dropped — the sharded engine installs one probe per shard.
+    pub(crate) fn into_shard_parts(self) -> ShardParts<M> {
+        ShardParts {
+            components: self.components,
+            queue: self.queue,
+            now: self.now,
+            events_processed: self.events_processed,
+        }
+    }
+}
+
+/// What [`Engine::into_shard_parts`] yields (see [`crate::shard`]).
+pub(crate) struct ShardParts<M> {
+    pub(crate) components: Vec<Box<dyn Component<M>>>,
+    pub(crate) queue: TimingWheel<Queued<M>>,
+    pub(crate) now: SimTime,
+    pub(crate) events_processed: u64,
+}
+
+/// The control surface shared by the serial [`Engine`] and the
+/// [`crate::shard::ShardedEngine`].
+///
+/// Harness code written against this trait (building scripts, scheduling
+/// stimulus, running phases, downcasting components afterwards) runs
+/// unchanged on either executor — which is how `nftape`'s observed
+/// campaign pins the sharded engine against the serial golden hashes.
+/// The trait has generic methods, so it is meant for `impl Simulation<M>`
+/// bounds rather than trait objects.
+pub trait Simulation<M> {
+    /// The current simulated time (see [`Engine::now`]).
+    fn now(&self) -> SimTime;
+
+    /// Total events delivered so far.
+    fn events_processed(&self) -> u64;
+
+    /// Events still queued.
+    fn pending_events(&self) -> usize;
+
+    /// Number of registered components.
+    fn component_count(&self) -> usize;
+
+    /// Schedules `payload` for delivery to `dst` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is in the past or `dst` is not registered.
+    fn schedule(&mut self, time: SimTime, dst: ComponentId, payload: M);
+
+    /// Runs until `deadline` (events at exactly `deadline` are delivered;
+    /// the clock never passes it), the queue drains, or a stop request.
+    fn run_until(&mut self, deadline: SimTime);
+
+    /// Schedules `payload` for delivery to `dst` after `delay` from now.
+    fn schedule_after(&mut self, delay: SimDuration, dst: ComponentId, payload: M) {
+        let time = self.now() + delay;
+        self.schedule(time, dst, payload);
+    }
+
+    /// Runs for `span` of simulated time from now.
+    fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.now() + span;
+        self.run_until(deadline);
+    }
+
+    /// Downcasts a component to its concrete type.
+    fn component_as<T: 'static>(&self, id: ComponentId) -> Option<&T>;
+
+    /// Mutably downcasts a component to its concrete type.
+    fn component_as_mut<T: 'static>(&mut self, id: ComponentId) -> Option<&mut T>;
+}
+
+impl<M: 'static, P: Probe> Simulation<M> for Engine<M, P> {
+    fn now(&self) -> SimTime {
+        Engine::now(self)
+    }
+    fn events_processed(&self) -> u64 {
+        Engine::events_processed(self)
+    }
+    fn pending_events(&self) -> usize {
+        Engine::pending_events(self)
+    }
+    fn component_count(&self) -> usize {
+        Engine::component_count(self)
+    }
+    fn schedule(&mut self, time: SimTime, dst: ComponentId, payload: M) {
+        Engine::schedule(self, time, dst, payload);
+    }
+    fn run_until(&mut self, deadline: SimTime) {
+        Engine::run_until(self, deadline);
+    }
+    fn component_as<T: 'static>(&self, id: ComponentId) -> Option<&T> {
+        Engine::component_as(self, id)
+    }
+    fn component_as_mut<T: 'static>(&mut self, id: ComponentId) -> Option<&mut T> {
+        Engine::component_as_mut(self, id)
     }
 }
 

@@ -20,6 +20,10 @@
 //! - [`engine::Probe`]: a compile-time observation seam on the dispatch
 //!   loop. The default [`NullProbe`] costs nothing; `netfi-obs` plugs a
 //!   real probe in to watch dispatches without perturbing the run.
+//! - [`shard::ShardedEngine`]: conservative-window parallel execution of one
+//!   engine run across component-affinity shards, byte-identical to the
+//!   serial engine for any worker count. The [`Simulation`] trait is the
+//!   control surface shared by both executors.
 //!
 //! # Example
 //!
@@ -47,7 +51,7 @@
 //! assert_eq!(engine.now(), SimTime::ZERO + SimDuration::from_ns(30));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(missing_debug_implementations)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
@@ -56,10 +60,12 @@ pub mod engine;
 pub mod metrics;
 pub mod queue;
 pub mod rng;
+pub mod shard;
 pub mod time;
 
 pub use bytes::SharedBytes;
-pub use engine::{Component, ComponentId, Context, Engine, NullProbe, Probe};
+pub use engine::{Component, ComponentId, Context, Engine, NullProbe, Probe, Simulation};
 pub use queue::TimingWheel;
 pub use rng::DetRng;
+pub use shard::{ShardSpec, ShardedEngine};
 pub use time::{SimDuration, SimTime};

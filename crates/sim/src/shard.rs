@@ -1,0 +1,854 @@
+//! Component-affinity sharding: parallelism *inside* one engine run.
+//!
+//! A [`ShardedEngine`] partitions an engine's components into affinity
+//! groups ("shards") and executes them with conservative-window
+//! synchronization — the classic conservative parallel-DES recipe, shaped
+//! to this workspace's determinism contract:
+//!
+//! 1. **Affinity partition.** Every component belongs to exactly one shard
+//!    (the paper's per-direction pipelines are the natural grouping: each
+//!    host-side pipeline is independent between link crossings). A shard
+//!    owns its components and a private [`TimingWheel`], so within a shard
+//!    execution is *exactly* the serial engine: `(time, seq)` order, seq
+//!    assigned at scheduling time.
+//! 2. **Conservative windows.** Each round, the engine takes the global
+//!    minimum due time `s` and lets every shard deliver all events in
+//!    `[s, s + lookahead)`. The lookahead is the minimum cross-shard
+//!    latency (for linked components, serialization + propagation), so no
+//!    event delivered in the window can cause a *cross-shard* event inside
+//!    it — shards cannot affect each other mid-window. An `assert!` in
+//!    `Context::send` enforces the bound on every cross-shard send.
+//! 3. **Deterministic mailbox merge.** Cross-shard sends are captured in
+//!    per-shard outboxes and merged at the window barrier in
+//!    `(time, src_shard, emit_order)` order; destination-local sequence
+//!    numbers are assigned in that merged order. The merge order is a pure
+//!    function of simulation state, so the observable event stream is
+//!    byte-identical for **any worker count** — workers only execute
+//!    pre-determined per-shard batches between barriers.
+//!
+//! Equality with the serial engine holds for every per-component delivery
+//! sequence — and therefore for every export derived from component state
+//! — except in one residual case: two events with the *same delivery
+//! time* and the *same destination* emitted from *different* shards order
+//! by `(src_shard, emit_order)` here and by global emission order
+//! serially. [`ShardedEngine::cross_collisions`] counts those candidate
+//! ties so harnesses know when the argument leans on the end-to-end
+//! oracle — the golden export hashes in `tests/determinism.rs` — rather
+//! than on construction alone. (Shard ids follow component registration
+//! order, which is also how symmetric tie chains resolve serially, so in
+//! practice ties merge identically; the hashes verify it.) DESIGN.md §11
+//! has the full argument, including the designs that lost.
+//!
+//! # Example
+//!
+//! Build serially, then shard — the component ids, pending events and
+//! clock carry over, so the same harness code drives either executor:
+//!
+//! ```
+//! use netfi_sim::shard::{ShardSpec, ShardedEngine};
+//! use netfi_sim::{Component, ComponentId, Context, Engine, NullProbe};
+//! use netfi_sim::{SimDuration, SimTime, Simulation};
+//!
+//! struct Counter { peer: Option<ComponentId>, heard: u64 }
+//!
+//! impl Component<u64> for Counter {
+//!     fn on_event(&mut self, ctx: &mut Context<'_, u64>, payload: u64) {
+//!         self.heard += 1;
+//!         if payload > 0 {
+//!             if let Some(peer) = self.peer {
+//!                 // 10 ns >= the lookahead below: legal across shards.
+//!                 ctx.send(peer, SimDuration::from_ns(10), payload - 1);
+//!             }
+//!         }
+//!     }
+//!     fn as_any(&self) -> &dyn std::any::Any { self }
+//!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+//! }
+//!
+//! fn build() -> (Engine<u64>, ComponentId, ComponentId) {
+//!     let mut e = Engine::new();
+//!     let a = e.add_component(Box::new(Counter { peer: None, heard: 0 }));
+//!     let b = e.add_component(Box::new(Counter { peer: Some(a), heard: 0 }));
+//!     e.component_as_mut::<Counter>(a).unwrap().peer = Some(b);
+//!     e.schedule(SimTime::ZERO, a, 40);
+//!     (e, a, b)
+//! }
+//!
+//! // Serial reference run …
+//! let (mut serial, a, b) = build();
+//! serial.run_until(SimTime::from_ms(1));
+//!
+//! // … and the same simulation, sharded one component per shard.
+//! let (engine, _, _) = build();
+//! let spec = ShardSpec {
+//!     affinity: vec![0, 1],
+//!     lookahead: SimDuration::from_ns(10),
+//!     workers: 2,
+//! };
+//! let mut sharded = ShardedEngine::from_engine(engine, spec, |_| NullProbe);
+//! sharded.run_until(SimTime::from_ms(1));
+//!
+//! assert_eq!(sharded.events_processed(), serial.events_processed());
+//! assert_eq!(
+//!     sharded.component_as::<Counter>(a).unwrap().heard,
+//!     serial.component_as::<Counter>(a).unwrap().heard,
+//! );
+//! assert_eq!(sharded.component_as::<Counter>(b).unwrap().heard, 20);
+//! assert_eq!(sharded.cross_collisions(), 0);
+//! ```
+
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Barrier, Mutex, PoisonError};
+
+use crate::engine::{Component, ComponentId, Context, CrossSend, Probe, Queued, ShardRoute, Simulation};
+use crate::queue::TimingWheel;
+use crate::time::{SimDuration, SimTime};
+
+/// How to shard an engine: the partition, the time bound, the fan-out.
+#[derive(Debug, Clone)]
+pub struct ShardSpec {
+    /// Shard id per component index ([`ComponentId::index`]). Shard count
+    /// is `max + 1`; every component must be covered.
+    pub affinity: Vec<u16>,
+    /// The conservative window length: a lower bound on the delay of any
+    /// cross-shard send. For components linked by a physical link this is
+    /// the link's propagation delay (serialization only adds to it).
+    pub lookahead: SimDuration,
+    /// Worker threads to execute window batches on. `1` runs every round
+    /// inline with no threads. The output is byte-identical for any value.
+    pub workers: usize,
+}
+
+/// An event in flight between shards, tagged with its source shard. The
+/// mailbox vector is filled in `(src_shard, emit_order)` order and stably
+/// sorted by time, yielding the deterministic merge order.
+struct Routed<M> {
+    time: SimTime,
+    src: u16,
+    dst: ComponentId,
+    payload: M,
+}
+
+/// One affinity group: a slice of the component table plus a private
+/// clock, wheel and probe. Within a shard, dispatch is *identical* to the
+/// serial engine's.
+struct Shard<M, P: Probe> {
+    home: u16,
+    components: Vec<Box<dyn Component<M>>>,
+    wheel: TimingWheel<Queued<M>>,
+    seq: u64,
+    now: SimTime,
+    events: u64,
+    stop: bool,
+    probe: P,
+    outbox: Vec<CrossSend<M>>,
+}
+
+impl<M: 'static, P: Probe> Shard<M, P> {
+    /// Delivers every due event in the window ending at `window_last`
+    /// (inclusive). Exactly the serial `step_due` loop, against the
+    /// shard's private wheel, with cross-shard sends diverted to the
+    /// outbox by the routed [`Context`].
+    fn run_window(&mut self, window_last: SimTime, affinity: &[u16], locs: &[u32], total: u32) {
+        while !self.stop {
+            let Some((time, _seq, (dst, payload))) = self.wheel.pop_due(window_last) else {
+                break;
+            };
+            debug_assert!(time >= self.now);
+            self.now = time;
+            self.events += 1;
+            self.probe.on_dispatch(time, dst, self.events);
+            let seq_before = self.seq;
+            {
+                let component = &mut self.components[locs[dst.index()] as usize];
+                let mut ctx = Context::for_shard(
+                    time,
+                    dst,
+                    &mut self.seq,
+                    &mut self.wheel,
+                    total,
+                    &mut self.stop,
+                    ShardRoute {
+                        affinity,
+                        home: self.home,
+                        window_last,
+                        outbox: &mut self.outbox,
+                    },
+                );
+                component.on_event(&mut ctx, payload);
+            }
+            let emitted = (self.seq - seq_before) as usize;
+            self.probe.on_deliver(time, dst, emitted);
+        }
+    }
+
+    /// Next due time of this shard's wheel, as picoseconds (`u64::MAX`
+    /// when empty) — the form the coordinator's min-reduction uses.
+    fn next_due_ps(&mut self) -> u64 {
+        self.wheel.peek_time().map_or(u64::MAX, |t| t.as_ps())
+    }
+}
+
+/// The sharded engine: affinity groups of an [`crate::Engine`], run under
+/// conservative-window scheduling with a deterministic mailbox merge.
+///
+/// Construct one with [`ShardedEngine::from_engine`] (see the
+/// [module docs](self) for the model and a compiled example). Drive it
+/// through the same [`Simulation`] surface the serial engine implements.
+pub struct ShardedEngine<M, P: Probe = crate::engine::NullProbe> {
+    shards: Vec<Shard<M, P>>,
+    affinity: Vec<u16>,
+    /// Component index → index within its shard's component table.
+    locs: Vec<u32>,
+    lookahead: SimDuration,
+    workers: usize,
+    components_total: u32,
+    now: SimTime,
+    /// Events the donor engine had already delivered at conversion.
+    base_events: u64,
+    rounds: u64,
+    cross_events: u64,
+    cross_collisions: u64,
+    stopped: bool,
+}
+
+impl<M, P: Probe> fmt::Debug for ShardedEngine<M, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("shards", &self.shards.len())
+            .field("components", &self.affinity.len())
+            .field("workers", &self.workers)
+            .field("lookahead", &self.lookahead)
+            .field("now", &self.now)
+            .field("rounds", &self.rounds)
+            .field("cross_events", &self.cross_events)
+            .finish()
+    }
+}
+
+impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
+    /// Decomposes a serially-built engine into shards.
+    ///
+    /// Component ids, pending events and the clock all carry over: events
+    /// are re-routed to their destination shard in global `(time, seq)`
+    /// order, which preserves every per-destination delivery order. The
+    /// donor's probe is dropped; `probe_for` supplies one probe per shard
+    /// (merge them afterwards with e.g. `netfi-obs`'s merged dispatch
+    /// probe).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the affinity table does not cover every component, the
+    /// lookahead is zero, or `workers` is zero.
+    pub fn from_engine<P0: Probe>(
+        engine: crate::Engine<M, P0>,
+        spec: ShardSpec,
+        mut probe_for: impl FnMut(usize) -> P,
+    ) -> ShardedEngine<M, P> {
+        let parts = engine.into_shard_parts();
+        let n = parts.components.len();
+        assert!(
+            spec.affinity.len() == n,
+            "affinity table must cover every component"
+        );
+        assert!(spec.lookahead.as_ps() > 0, "lookahead must be positive");
+        assert!(spec.workers > 0, "worker count must be non-zero");
+        let nshards = spec
+            .affinity
+            .iter()
+            .map(|&s| s as usize + 1)
+            .max()
+            .unwrap_or(1);
+        let mut shards: Vec<Shard<M, P>> = (0..nshards)
+            .map(|i| Shard {
+                home: i as u16,
+                components: Vec::new(),
+                wheel: TimingWheel::new(),
+                seq: 0,
+                now: parts.now,
+                events: 0,
+                stop: false,
+                probe: probe_for(i),
+                outbox: Vec::new(),
+            })
+            .collect();
+        let mut locs = vec![0u32; n];
+        for (idx, component) in parts.components.into_iter().enumerate() {
+            let shard = &mut shards[spec.affinity[idx] as usize];
+            locs[idx] = shard.components.len() as u32;
+            shard.components.push(component);
+        }
+        // Pending events re-route in global (time, seq) order, so each
+        // destination's relative order — the thing local seqs encode — is
+        // exactly what the serial engine would have delivered.
+        let mut queue = parts.queue;
+        while let Some((time, _seq, (dst, payload))) = queue.pop() {
+            let shard = &mut shards[spec.affinity[dst.index()] as usize];
+            let seq = shard.seq;
+            shard.seq += 1;
+            shard.wheel.push(time, seq, (dst, payload));
+        }
+        ShardedEngine {
+            shards,
+            affinity: spec.affinity,
+            locs,
+            lookahead: spec.lookahead,
+            workers: spec.workers,
+            components_total: n as u32,
+            now: parts.now,
+            base_events: parts.events_processed,
+            rounds: 0,
+            cross_events: 0,
+            cross_collisions: 0,
+            stopped: false,
+        }
+    }
+
+    /// Number of affinity groups.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The worker-thread count this engine executes windows on.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The conservative window length.
+    pub fn lookahead(&self) -> SimDuration {
+        self.lookahead
+    }
+
+    /// Synchronization rounds (windows) executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Events that crossed a shard boundary through the mailbox.
+    pub fn cross_events(&self) -> u64 {
+        self.cross_events
+    }
+
+    /// Mailbox entries that tied on `(time, destination)` across different
+    /// source shards — the one case where the merge order is not *provably*
+    /// the serial engine's global emission order. A non-zero count does not
+    /// mean divergence (symmetric flows usually tie-break the same way both
+    /// engines resolve them); it means the byte-identity argument leans on
+    /// the end-to-end export comparison for those events. The count is a
+    /// pure function of the simulation, so it is identical for every worker
+    /// count; see the [module docs](self).
+    pub fn cross_collisions(&self) -> u64 {
+        self.cross_collisions
+    }
+
+    /// The shard a component is assigned to.
+    pub fn shard_of(&self, id: ComponentId) -> Option<usize> {
+        self.affinity.get(id.index()).map(|&s| s as usize)
+    }
+
+    /// Borrows one shard's observation probe.
+    pub fn probe(&self, shard: usize) -> Option<&P> {
+        self.shards.get(shard).map(|s| &s.probe)
+    }
+
+    /// Iterates over every shard's probe, in shard order.
+    pub fn probes(&self) -> impl Iterator<Item = &P> + '_ {
+        self.shards.iter().map(|s| &s.probe)
+    }
+
+    /// Events delivered by one shard.
+    pub fn shard_events(&self, shard: usize) -> u64 {
+        self.shards.get(shard).map_or(0, |s| s.events)
+    }
+
+    fn window_last(start_ps: u64, lookahead: SimDuration, deadline: SimTime) -> SimTime {
+        let end = start_ps.saturating_add(lookahead.as_ps() - 1);
+        SimTime::from_ps(end.min(deadline.as_ps()))
+    }
+
+    /// Stably sorts a mailbox by time — the vector arrives in
+    /// `(src_shard, emit_order)` order, so the result is the canonical
+    /// `(time, src_shard, emit_order)` merge order — and counts
+    /// same-`(time, dst)` entries from different source shards.
+    fn sort_and_count(mailbox: &mut [Routed<M>]) -> u64 {
+        mailbox.sort_by_key(|r| r.time);
+        let mut collisions = 0;
+        let mut i = 0;
+        while i < mailbox.len() {
+            let mut j = i + 1;
+            while j < mailbox.len() && mailbox[j].time == mailbox[i].time {
+                j += 1;
+            }
+            for a in i..j {
+                for b in a + 1..j {
+                    if mailbox[a].dst == mailbox[b].dst && mailbox[a].src != mailbox[b].src {
+                        collisions += 1;
+                    }
+                }
+            }
+            i = j;
+        }
+        collisions
+    }
+
+    /// Pushes merged mailbox entries into their destination shards,
+    /// assigning destination-local sequence numbers in merge order.
+    fn distribute(shards: &mut [Shard<M, P>], affinity: &[u16], mailbox: &mut Vec<Routed<M>>) {
+        for routed in mailbox.drain(..) {
+            let shard = &mut shards[affinity[routed.dst.index()] as usize];
+            let seq = shard.seq;
+            shard.seq += 1;
+            shard.wheel.push(routed.time, seq, (routed.dst, routed.payload));
+        }
+    }
+
+    /// The inline executor: same rounds, no threads. `workers == 1` (or a
+    /// single shard) takes this path; it is the reference the threaded
+    /// path must be indistinguishable from.
+    fn run_rounds_inline(&mut self, deadline: SimTime) {
+        let ShardedEngine {
+            ref mut shards,
+            ref affinity,
+            ref locs,
+            lookahead,
+            components_total,
+            ..
+        } = *self;
+        let mut mailbox: Vec<Routed<M>> = Vec::new();
+        loop {
+            let start_ps = shards.iter_mut().map(Shard::next_due_ps).min().unwrap_or(u64::MAX);
+            if start_ps == u64::MAX || start_ps > deadline.as_ps() {
+                break;
+            }
+            let window_last = Self::window_last(start_ps, lookahead, deadline);
+            self.rounds += 1;
+            for shard in shards.iter_mut() {
+                shard.run_window(window_last, affinity, locs, components_total);
+            }
+            for shard in shards.iter_mut() {
+                let home = shard.home;
+                for CrossSend { time, dst, payload } in shard.outbox.drain(..) {
+                    mailbox.push(Routed { time, src: home, dst, payload });
+                }
+            }
+            self.cross_events += mailbox.len() as u64;
+            self.cross_collisions += Self::sort_and_count(&mut mailbox);
+            Self::distribute(shards, affinity, &mut mailbox);
+            if shards.iter().any(|s| s.stop) {
+                self.stopped = true;
+                break;
+            }
+        }
+    }
+
+    /// The threaded executor: shards are statically chunked over `workers`
+    /// scoped threads; the coordinator (this thread) merges mailboxes and
+    /// opens windows between two barrier waits per round. Every decision
+    /// is a function of simulation state gathered at barriers, so this
+    /// path is byte-indistinguishable from [`Self::run_rounds_inline`].
+    fn run_rounds_threaded(&mut self, deadline: SimTime) {
+        let nshards = self.shards.len();
+        let workers = self.workers.min(nshards);
+        let chunk = nshards.div_ceil(workers);
+        let affinity: &[u16] = &self.affinity;
+        let locs: &[u32] = &self.locs;
+        let lookahead = self.lookahead;
+        let components_total = self.components_total;
+
+        // Shared round state. Barriers order every access: the window and
+        // inboxes are written by the coordinator before barrier A and read
+        // by workers after it; mins/outboxes/stop are written by workers
+        // before barrier B and read by the coordinator after it. Relaxed
+        // atomics suffice under that happens-before.
+        let barrier = Barrier::new(workers + 1);
+        let window_ps = AtomicU64::new(0);
+        let exit = AtomicBool::new(false);
+        let stop_flag = AtomicBool::new(false);
+        let mins: Vec<AtomicU64> = self
+            .shards
+            .iter_mut()
+            .map(|s| AtomicU64::new(s.next_due_ps()))
+            .collect();
+        let inboxes: Vec<Mutex<Vec<Routed<M>>>> =
+            (0..nshards).map(|_| Mutex::new(Vec::new())).collect();
+        let outboxes: Vec<Mutex<Vec<CrossSend<M>>>> =
+            (0..nshards).map(|_| Mutex::new(Vec::new())).collect();
+
+        let mut rounds = 0u64;
+        let mut cross_events = 0u64;
+        let mut cross_collisions = 0u64;
+        let mut mailbox: Vec<Routed<M>> = Vec::new();
+
+        // lint: allow(thread-spawn) conservative-window fan-out: workers only execute pre-determined per-shard batches between barriers; merge order is a pure function of simulation state, so the schedule cannot reach any output byte
+        std::thread::scope(|scope| {
+            for shard_chunk in self.shards.chunks_mut(chunk) {
+                let barrier = &barrier;
+                let window_ps = &window_ps;
+                let exit = &exit;
+                let stop_flag = &stop_flag;
+                let mins = &mins;
+                let inboxes = &inboxes;
+                let outboxes = &outboxes;
+                scope.spawn(move || loop {
+                    barrier.wait(); // A: window opened (or exit).
+                    if exit.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let window_last = SimTime::from_ps(window_ps.load(Ordering::Relaxed));
+                    for shard in shard_chunk.iter_mut() {
+                        let sid = shard.home as usize;
+                        {
+                            let mut inbox = inboxes[sid]
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner);
+                            for routed in inbox.drain(..) {
+                                let seq = shard.seq;
+                                shard.seq += 1;
+                                shard.wheel.push(routed.time, seq, (routed.dst, routed.payload));
+                            }
+                        }
+                        shard.run_window(window_last, affinity, locs, components_total);
+                        if shard.stop {
+                            stop_flag.store(true, Ordering::Relaxed);
+                        }
+                        {
+                            let mut slot = outboxes[sid]
+                                .lock()
+                                .unwrap_or_else(PoisonError::into_inner);
+                            std::mem::swap(&mut *slot, &mut shard.outbox);
+                        }
+                        mins[sid].store(shard.next_due_ps(), Ordering::Relaxed);
+                    }
+                    barrier.wait(); // B: window drained, outboxes deposited.
+                });
+            }
+
+            loop {
+                // Gather: outbox slots in shard order keep the mailbox in
+                // (src_shard, emit_order) order before the stable sort.
+                for (sid, slot) in outboxes.iter().enumerate() {
+                    let mut deposited = slot.lock().unwrap_or_else(PoisonError::into_inner);
+                    for CrossSend { time, dst, payload } in deposited.drain(..) {
+                        mailbox.push(Routed { time, src: sid as u16, dst, payload });
+                    }
+                }
+                cross_events += mailbox.len() as u64;
+                cross_collisions += Self::sort_and_count(&mut mailbox);
+                let mut next_ps = mins
+                    .iter()
+                    .map(|m| m.load(Ordering::Relaxed))
+                    .min()
+                    .unwrap_or(u64::MAX);
+                if let Some(first) = mailbox.first() {
+                    next_ps = next_ps.min(first.time.as_ps());
+                }
+                if stop_flag.load(Ordering::Relaxed) || next_ps > deadline.as_ps() {
+                    exit.store(true, Ordering::Relaxed);
+                    barrier.wait(); // A: release workers into their exit.
+                    break;
+                }
+                for routed in mailbox.drain(..) {
+                    inboxes[affinity[routed.dst.index()] as usize]
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .push(routed);
+                }
+                window_ps.store(
+                    Self::window_last(next_ps, lookahead, deadline).as_ps(),
+                    Ordering::Relaxed,
+                );
+                rounds += 1;
+                barrier.wait(); // A: open the window.
+                barrier.wait(); // B: wait for the batch.
+            }
+        });
+
+        self.rounds += rounds;
+        self.cross_events += cross_events;
+        self.cross_collisions += cross_collisions;
+        self.stopped = stop_flag.load(Ordering::Relaxed);
+        // A stop can leave merged-but-undistributed mailbox entries (the
+        // serial engine likewise leaves its queue populated on stop); park
+        // them in the destination wheels in the same merge order so
+        // `pending_events` and any later run see them.
+        Self::distribute(&mut self.shards, &self.affinity, &mut mailbox);
+    }
+}
+
+impl<M: Send + 'static, P: Probe + Send> Simulation<M> for ShardedEngine<M, P> {
+    fn now(&self) -> SimTime {
+        self.now
+    }
+
+    fn events_processed(&self) -> u64 {
+        self.base_events + self.shards.iter().map(|s| s.events).sum::<u64>()
+    }
+
+    fn pending_events(&self) -> usize {
+        self.shards.iter().map(|s| s.wheel.len()).sum()
+    }
+
+    fn component_count(&self) -> usize {
+        self.affinity.len()
+    }
+
+    fn schedule(&mut self, time: SimTime, dst: ComponentId, payload: M) {
+        assert!(time >= self.now, "cannot schedule into the past");
+        assert!(dst.index() < self.affinity.len(), "unknown component {dst}");
+        let shard = &mut self.shards[self.affinity[dst.index()] as usize];
+        let seq = shard.seq;
+        shard.seq += 1;
+        shard.wheel.push(time, seq, (dst, payload));
+    }
+
+    fn run_until(&mut self, deadline: SimTime) {
+        self.stopped = false;
+        for shard in &mut self.shards {
+            shard.stop = false;
+        }
+        if self.workers <= 1 || self.shards.len() <= 1 {
+            self.run_rounds_inline(deadline);
+        } else {
+            self.run_rounds_threaded(deadline);
+        }
+        let max_now = self.shards.iter().map(|s| s.now).max().unwrap_or(self.now);
+        if max_now > self.now {
+            self.now = max_now;
+        }
+        if self.now < deadline && !self.stopped {
+            self.now = deadline;
+        }
+    }
+
+    fn component_as<T: 'static>(&self, id: ComponentId) -> Option<&T> {
+        let shard = *self.affinity.get(id.index())? as usize;
+        let loc = *self.locs.get(id.index())? as usize;
+        self.shards
+            .get(shard)?
+            .components
+            .get(loc)?
+            .as_any()
+            .downcast_ref::<T>()
+    }
+
+    fn component_as_mut<T: 'static>(&mut self, id: ComponentId) -> Option<&mut T> {
+        let shard = *self.affinity.get(id.index())? as usize;
+        let loc = *self.locs.get(id.index())? as usize;
+        self.shards
+            .get_mut(shard)?
+            .components
+            .get_mut(loc)?
+            .as_any_mut()
+            .downcast_mut::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::NullProbe;
+    use crate::Engine;
+    use std::any::Any;
+
+    /// Relays a countdown to its peer with a fixed delay, recording every
+    /// delivery.
+    #[derive(Debug)]
+    struct Relay {
+        peer: Option<ComponentId>,
+        delay: SimDuration,
+        log: Vec<(SimTime, u64)>,
+    }
+
+    impl Component<u64> for Relay {
+        fn on_event(&mut self, ctx: &mut Context<'_, u64>, payload: u64) {
+            self.log.push((ctx.now(), payload));
+            if payload > 0 {
+                if let Some(peer) = self.peer {
+                    ctx.send(peer, self.delay, payload - 1);
+                }
+            }
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+    }
+
+    fn ring(n: usize, delay: SimDuration, hops: u64) -> (Engine<u64>, Vec<ComponentId>) {
+        let mut e = Engine::new();
+        let ids: Vec<ComponentId> = (0..n)
+            .map(|_| {
+                e.add_component(Box::new(Relay {
+                    peer: None,
+                    delay,
+                    log: Vec::new(),
+                }))
+            })
+            .collect();
+        for i in 0..n {
+            e.component_as_mut::<Relay>(ids[i]).unwrap().peer = Some(ids[(i + 1) % n]);
+        }
+        e.schedule(SimTime::ZERO, ids[0], hops);
+        (e, ids)
+    }
+
+    fn logs(ids: &[ComponentId], sim: &impl Simulation<u64>) -> Vec<Vec<(SimTime, u64)>> {
+        ids.iter()
+            .map(|&id| sim.component_as::<Relay>(id).unwrap().log.clone())
+            .collect()
+    }
+
+    #[test]
+    fn sharded_ring_matches_serial_for_every_worker_count() {
+        let delay = SimDuration::from_ns(25);
+        let deadline = SimTime::from_ms(1);
+        let (mut serial, ids) = ring(4, delay, 100);
+        serial.run_until(deadline);
+        let want = logs(&ids, &serial);
+        for workers in [1, 2, 4] {
+            let (engine, ids) = ring(4, delay, 100);
+            let spec = ShardSpec {
+                affinity: vec![0, 1, 2, 3],
+                lookahead: delay,
+                workers,
+            };
+            let mut sharded = ShardedEngine::from_engine(engine, spec, |_| NullProbe);
+            sharded.run_until(deadline);
+            assert_eq!(logs(&ids, &sharded), want, "workers={workers}");
+            assert_eq!(sharded.events_processed(), serial.events_processed());
+            assert_eq!(sharded.now(), serial.now());
+            assert_eq!(sharded.cross_collisions(), 0);
+            assert_eq!(sharded.cross_events(), 100);
+            assert!(sharded.rounds() > 0);
+        }
+    }
+
+    #[test]
+    fn intra_shard_sends_may_undercut_the_lookahead() {
+        // Ring of 4 in 2 shards of 2: neighbours within a shard talk at
+        // 1 ns while the lookahead is 25 ns — legal, because only
+        // cross-shard sends carry the bound.
+        #[derive(Debug)]
+        struct Hub;
+        impl Component<u64> for Hub {
+            fn on_event(&mut self, _ctx: &mut Context<'_, u64>, _p: u64) {}
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+        }
+        let build = || {
+            let mut e = Engine::new();
+            let a = e.add_component(Box::new(Relay {
+                peer: None,
+                delay: SimDuration::from_ns(1),
+                log: Vec::new(),
+            }));
+            let b = e.add_component(Box::new(Relay {
+                peer: None,
+                delay: SimDuration::from_ns(25),
+                log: Vec::new(),
+            }));
+            let c = e.add_component(Box::new(Relay {
+                peer: None,
+                delay: SimDuration::from_ns(1),
+                log: Vec::new(),
+            }));
+            let d = e.add_component(Box::new(Relay {
+                peer: None,
+                delay: SimDuration::from_ns(25),
+                log: Vec::new(),
+            }));
+            let _ = e.add_component(Box::new(Hub));
+            e.component_as_mut::<Relay>(a).unwrap().peer = Some(b);
+            e.component_as_mut::<Relay>(b).unwrap().peer = Some(c);
+            e.component_as_mut::<Relay>(c).unwrap().peer = Some(d);
+            e.component_as_mut::<Relay>(d).unwrap().peer = Some(a);
+            e.schedule(SimTime::ZERO, a, 64);
+            (e, vec![a, b, c, d])
+        };
+        let (mut serial, ids) = build();
+        serial.run_until(SimTime::from_ms(1));
+        let want = logs(&ids, &serial);
+        for workers in [1, 3] {
+            let (engine, ids) = build();
+            let spec = ShardSpec {
+                affinity: vec![0, 0, 1, 1, 0],
+                lookahead: SimDuration::from_ns(25),
+                workers,
+            };
+            let mut sharded = ShardedEngine::from_engine(engine, spec, |_| NullProbe);
+            sharded.run_until(SimTime::from_ms(1));
+            assert_eq!(logs(&ids, &sharded), want, "workers={workers}");
+            // Half the hops are intra-shard.
+            assert_eq!(sharded.cross_events(), 32);
+        }
+    }
+
+    #[test]
+    fn schedule_between_runs_routes_to_the_right_shard() {
+        let (engine, ids) = ring(2, SimDuration::from_ns(10), 0);
+        let spec = ShardSpec {
+            affinity: vec![0, 1],
+            lookahead: SimDuration::from_ns(10),
+            workers: 2,
+        };
+        let mut sharded = ShardedEngine::from_engine(engine, spec, |_| NullProbe);
+        sharded.run_until(SimTime::from_us(1));
+        sharded.schedule(SimTime::from_us(2), ids[1], 0);
+        assert_eq!(sharded.pending_events(), 1);
+        sharded.run_until(SimTime::from_us(3));
+        assert_eq!(sharded.pending_events(), 0);
+        assert_eq!(sharded.component_as::<Relay>(ids[1]).unwrap().log.len(), 1);
+        assert_eq!(sharded.now(), SimTime::from_us(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the conservative window")]
+    fn cross_shard_send_below_lookahead_is_rejected() {
+        let (engine, _) = ring(2, SimDuration::from_ns(1), 5);
+        let spec = ShardSpec {
+            affinity: vec![0, 1],
+            lookahead: SimDuration::from_ns(100),
+            workers: 1,
+        };
+        let mut sharded = ShardedEngine::from_engine(engine, spec, |_| NullProbe);
+        sharded.run_until(SimTime::from_ms(1));
+    }
+
+    #[test]
+    fn per_shard_probes_sum_to_the_serial_dispatch_count() {
+        #[derive(Debug, Default)]
+        struct CountProbe {
+            dispatches: u64,
+            emitted: u64,
+        }
+        impl Probe for CountProbe {
+            fn on_dispatch(&mut self, _now: SimTime, _dst: ComponentId, _n: u64) {
+                self.dispatches += 1;
+            }
+            fn on_deliver(&mut self, _now: SimTime, _dst: ComponentId, emitted: usize) {
+                self.emitted += emitted as u64;
+            }
+        }
+        let (mut serial, _) = ring(3, SimDuration::from_ns(10), 30);
+        serial.run_until(SimTime::from_ms(1));
+        let (engine, _) = ring(3, SimDuration::from_ns(10), 30);
+        let spec = ShardSpec {
+            affinity: vec![0, 1, 2],
+            lookahead: SimDuration::from_ns(10),
+            workers: 2,
+        };
+        let mut sharded = ShardedEngine::from_engine(engine, spec, |_| CountProbe::default());
+        sharded.run_until(SimTime::from_ms(1));
+        let dispatches: u64 = sharded.probes().map(|p| p.dispatches).sum();
+        let emitted: u64 = sharded.probes().map(|p| p.emitted).sum();
+        assert_eq!(dispatches, serial.events_processed());
+        assert_eq!(emitted, 30);
+    }
+}

@@ -14,6 +14,9 @@ cargo test -q --workspace --offline
 echo "== clippy (-D warnings) =="
 cargo clippy --all-targets --offline -- -D warnings
 
+echo "== rustdoc (warning-free, missing_docs denied) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
+
 echo "== lint (netfi-lint workspace invariants) =="
 ./target/release/netfi-lint .
 

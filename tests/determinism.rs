@@ -190,6 +190,40 @@ fn observed_exports_golden_hash() {
     assert_eq!(fnv1a(table.as_bytes()), 0x9EA5_7953_A6F8_C154);
 }
 
+/// The sharded engine's contract, pinned against the *serial* golden
+/// hashes above: running the same observed campaign inside one
+/// `ShardedEngine` — components partitioned into affinity shards, windows
+/// executed on scoped worker threads — exports the same bytes as the
+/// serial engine, for workers 1, 2 and 4. This is engine-level
+/// parallelism (inside one run), complementing the campaign-level
+/// fan-out checked below; DESIGN.md §11 carries the argument.
+#[test]
+fn sharded_observed_campaign_matches_serial_golden_hash() {
+    use netfi::nftape::observed::observed_campaign_sharded;
+    let mut collisions = Vec::new();
+    for workers in [1, 2, 4] {
+        let run = observed_campaign_sharded(11, workers).unwrap();
+        assert_eq!(
+            fnv1a(run.campaign.chrome_trace().as_bytes()),
+            0xBC3B_4DA1_B316_3F10,
+            "workers={workers}"
+        );
+        assert_eq!(
+            fnv1a(run.campaign.text_table().as_bytes()),
+            0x9EA5_7953_A6F8_C154,
+            "workers={workers}"
+        );
+        assert_eq!(run.shards, 4);
+        assert!(run.rounds > 0);
+        assert!(run.cross_events > 0);
+        collisions.push((run.rounds, run.cross_events, run.cross_collisions));
+    }
+    // The window schedule, mailbox traffic and tie monitor are functions
+    // of the simulation alone — identical whatever the thread count.
+    assert_eq!(collisions[0], collisions[1]);
+    assert_eq!(collisions[0], collisions[2]);
+}
+
 /// The parallel campaign runner's contract: the worker count is invisible
 /// in the output. A full observed suite (three seeded scenarios, every
 /// recorder armed) run with 1, 2 and 8 workers must produce byte-identical
