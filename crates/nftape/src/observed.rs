@@ -302,10 +302,12 @@ pub struct ShardedObserved {
     pub rounds: u64,
     /// Events that crossed a shard boundary through the mailbox.
     pub cross_events: u64,
-    /// Same-`(time, destination)` mailbox ties from different source
-    /// shards. For these events byte-identity is established by the golden
-    /// export hashes rather than by construction (see `netfi_sim::shard`
-    /// and DESIGN.md §11); the count is worker-count-invariant.
+    /// Same-`(time, destination)` ties between a merged cross-shard event
+    /// and either a mailbox entry from a different source shard or an
+    /// intra-shard event emitted during the same window. For these events
+    /// byte-identity is established by the golden export hashes rather
+    /// than by construction (see `netfi_sim::shard` and DESIGN.md §11);
+    /// the count is worker-count-invariant.
     pub cross_collisions: u64,
 }
 

@@ -86,6 +86,11 @@ pub(crate) struct ShardRoute<'a, M> {
     pub(crate) window_last: SimTime,
     /// Captures cross-shard sends for the barrier merge.
     pub(crate) outbox: &'a mut Vec<CrossSend<M>>,
+    /// Records `(time, dst)` of intra-shard sends landing beyond the
+    /// window — the local half of a potential tie with a cross-shard
+    /// event merged at the barrier (see
+    /// `crate::shard::ShardedEngine::cross_collisions`).
+    pub(crate) window_sends: &'a mut Vec<(SimTime, ComponentId)>,
 }
 
 /// Scheduling context handed to a component while it handles an event.
@@ -149,6 +154,12 @@ impl<M> Context<'_, M> {
                 );
                 route.outbox.push(CrossSend { time, dst, payload });
                 return;
+            }
+            if time > route.window_last {
+                // An intra-shard send beyond the window can tie on
+                // (time, dst) with a cross-shard event merged at the
+                // barrier; record it for the shard engine's tie monitor.
+                route.window_sends.push((time, dst));
             }
         }
         self.queue.push(time, seq, (dst, payload));

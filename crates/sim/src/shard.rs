@@ -28,16 +28,22 @@
 //!
 //! Equality with the serial engine holds for every per-component delivery
 //! sequence — and therefore for every export derived from component state
-//! — except in one residual case: two events with the *same delivery
-//! time* and the *same destination* emitted from *different* shards order
-//! by `(src_shard, emit_order)` here and by global emission order
-//! serially. [`ShardedEngine::cross_collisions`] counts those candidate
-//! ties so harnesses know when the argument leans on the end-to-end
-//! oracle — the golden export hashes in `tests/determinism.rs` — rather
-//! than on construction alone. (Shard ids follow component registration
-//! order, which is also how symmetric tie chains resolve serially, so in
-//! practice ties merge identically; the hashes verify it.) DESIGN.md §11
-//! has the full argument, including the designs that lost.
+//! — except when two events tie on the *same delivery time* at the *same
+//! destination* and at least one of them crossed a shard boundary. Two
+//! such cases exist: a mailbox event against another mailbox event from a
+//! *different* source shard (ordered `(src_shard, emit_order)` here,
+//! global emission order serially), and a mailbox event against an
+//! *intra-shard* event emitted during the same window (local seqs are
+//! assigned mid-window, merged seqs after it, so the sharded engine
+//! always delivers local-before-cross while the serial engine follows
+//! emission order). [`ShardedEngine::cross_collisions`] counts both kinds
+//! of candidate tie so harnesses know when the argument leans on the
+//! end-to-end oracle — the golden export hashes in
+//! `tests/determinism.rs` — rather than on construction alone. (Shard ids
+//! follow component registration order, which is also how symmetric tie
+//! chains resolve serially, so in practice ties merge identically; the
+//! hashes verify it.) DESIGN.md §11 has the full argument, including the
+//! designs that lost.
 //!
 //! # Example
 //!
@@ -143,6 +149,11 @@ struct Shard<M, P: Probe> {
     stop: bool,
     probe: P,
     outbox: Vec<CrossSend<M>>,
+    /// `(time, dst)` of intra-shard sends from the last executed window
+    /// that land beyond it — the local candidates for a `(time, dst)` tie
+    /// with a merged cross-shard event (see
+    /// [`ShardedEngine::cross_collisions`]).
+    window_sends: Vec<(SimTime, ComponentId)>,
 }
 
 impl<M: 'static, P: Probe> Shard<M, P> {
@@ -151,6 +162,7 @@ impl<M: 'static, P: Probe> Shard<M, P> {
     /// shard's private wheel, with cross-shard sends diverted to the
     /// outbox by the routed [`Context`].
     fn run_window(&mut self, window_last: SimTime, affinity: &[u16], locs: &[u32], total: u32) {
+        self.window_sends.clear();
         while !self.stop {
             let Some((time, _seq, (dst, payload))) = self.wheel.pop_due(window_last) else {
                 break;
@@ -174,6 +186,7 @@ impl<M: 'static, P: Probe> Shard<M, P> {
                         home: self.home,
                         window_last,
                         outbox: &mut self.outbox,
+                        window_sends: &mut self.window_sends,
                     },
                 );
                 component.on_event(&mut ctx, payload);
@@ -187,6 +200,12 @@ impl<M: 'static, P: Probe> Shard<M, P> {
     /// when empty) — the form the coordinator's min-reduction uses.
     fn next_due_ps(&mut self) -> u64 {
         self.wheel.peek_time().map_or(u64::MAX, |t| t.as_ps())
+    }
+
+    /// Whether an intra-shard send recorded during the last executed
+    /// window ties with a merged cross-shard event on `(time, dst)`.
+    fn ties_local(&self, time: SimTime, dst: ComponentId) -> bool {
+        self.window_sends.iter().any(|&(t, d)| t == time && d == dst)
     }
 }
 
@@ -271,6 +290,7 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
                 stop: false,
                 probe: probe_for(i),
                 outbox: Vec::new(),
+                window_sends: Vec::new(),
             })
             .collect();
         let mut locs = vec![0u32; n];
@@ -330,14 +350,19 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
         self.cross_events
     }
 
-    /// Mailbox entries that tied on `(time, destination)` across different
-    /// source shards — the one case where the merge order is not *provably*
-    /// the serial engine's global emission order. A non-zero count does not
-    /// mean divergence (symmetric flows usually tie-break the same way both
-    /// engines resolve them); it means the byte-identity argument leans on
-    /// the end-to-end export comparison for those events. The count is a
-    /// pure function of the simulation, so it is identical for every worker
-    /// count; see the [module docs](self).
+    /// Merged events that tied on `(time, destination)` with an event from
+    /// another shard — the cases where the merge order is not *provably*
+    /// the serial engine's global emission order. Two kinds are counted:
+    /// mailbox entries tying with a mailbox entry from a *different*
+    /// source shard, and mailbox entries tying with an *intra-shard* event
+    /// emitted during the same window (which the sharded engine always
+    /// delivers first, whatever order the serial engine emitted the pair
+    /// in). A non-zero count does not mean divergence (symmetric flows
+    /// usually tie-break the same way both engines resolve them); it means
+    /// the byte-identity argument leans on the end-to-end export
+    /// comparison for those events. The count is a pure function of the
+    /// simulation, so it is identical for every worker count; see the
+    /// [module docs](self).
     pub fn cross_collisions(&self) -> u64 {
         self.cross_collisions
     }
@@ -434,6 +459,10 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
             }
             self.cross_events += mailbox.len() as u64;
             self.cross_collisions += Self::sort_and_count(&mut mailbox);
+            self.cross_collisions += mailbox
+                .iter()
+                .filter(|r| shards[affinity[r.dst.index()] as usize].ties_local(r.time, r.dst))
+                .count() as u64;
             Self::distribute(shards, affinity, &mut mailbox);
             if shards.iter().any(|s| s.stop) {
                 self.stopped = true;
@@ -442,8 +471,9 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
         }
     }
 
-    /// The threaded executor: shards are statically chunked over `workers`
-    /// scoped threads; the coordinator (this thread) merges mailboxes and
+    /// The threaded executor: shards are statically chunked over at most
+    /// `workers` scoped threads (ceil-div chunking may need fewer threads
+    /// than workers); the coordinator (this thread) merges mailboxes and
     /// opens windows between two barrier waits per round. Every decision
     /// is a function of simulation state gathered at barriers, so this
     /// path is byte-indistinguishable from [`Self::run_rounds_inline`].
@@ -451,6 +481,11 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
         let nshards = self.shards.len();
         let workers = self.workers.min(nshards);
         let chunk = nshards.div_ceil(workers);
+        // Ceil-div chunking can produce fewer chunks than `workers`
+        // (5 shards over 4 workers → chunks of 2 → 3 threads); the
+        // barrier must count the threads actually spawned or every
+        // `wait` deadlocks.
+        let nthreads = nshards.div_ceil(chunk);
         let affinity: &[u16] = &self.affinity;
         let locs: &[u32] = &self.locs;
         let lookahead = self.lookahead;
@@ -461,10 +496,17 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
         // by workers after it; mins/outboxes/stop are written by workers
         // before barrier B and read by the coordinator after it. Relaxed
         // atomics suffice under that happens-before.
-        let barrier = Barrier::new(workers + 1);
+        let barrier = Barrier::new(nthreads + 1);
         let window_ps = AtomicU64::new(0);
         let exit = AtomicBool::new(false);
         let stop_flag = AtomicBool::new(false);
+        let local_ties = AtomicU64::new(0);
+        // A component panic (e.g. the conservative-window assert) must
+        // not strand the other threads at a barrier: the worker traps the
+        // payload here, keeps pacing the barriers, and the coordinator
+        // re-raises it after the scope joins.
+        let panicked = AtomicBool::new(false);
+        let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         let mins: Vec<AtomicU64> = self
             .shards
             .iter_mut()
@@ -487,44 +529,82 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
                 let window_ps = &window_ps;
                 let exit = &exit;
                 let stop_flag = &stop_flag;
+                let local_ties = &local_ties;
+                let panicked = &panicked;
+                let panic_payload = &panic_payload;
                 let mins = &mins;
                 let inboxes = &inboxes;
                 let outboxes = &outboxes;
-                scope.spawn(move || loop {
-                    barrier.wait(); // A: window opened (or exit).
-                    if exit.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let window_last = SimTime::from_ps(window_ps.load(Ordering::Relaxed));
-                    for shard in shard_chunk.iter_mut() {
-                        let sid = shard.home as usize;
-                        {
-                            let mut inbox = inboxes[sid]
-                                .lock()
-                                .unwrap_or_else(PoisonError::into_inner);
-                            for routed in inbox.drain(..) {
-                                let seq = shard.seq;
-                                shard.seq += 1;
-                                shard.wheel.push(routed.time, seq, (routed.dst, routed.payload));
+                scope.spawn(move || {
+                    let mut dead = false;
+                    loop {
+                        barrier.wait(); // A: window opened (or exit).
+                        if exit.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        // A dead worker still paces the barriers so the
+                        // others can reach the coordinator's exit order.
+                        if dead {
+                            barrier.wait(); // B (degenerate round).
+                            continue;
+                        }
+                        let window_last = SimTime::from_ps(window_ps.load(Ordering::Relaxed));
+                        let round = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            for shard in shard_chunk.iter_mut() {
+                                let sid = shard.home as usize;
+                                {
+                                    let mut inbox = inboxes[sid]
+                                        .lock()
+                                        .unwrap_or_else(PoisonError::into_inner);
+                                    for routed in inbox.drain(..) {
+                                        // The previous window's local sends
+                                        // are still on record: count merge
+                                        // ties before assigning seqs.
+                                        if shard.ties_local(routed.time, routed.dst) {
+                                            local_ties.fetch_add(1, Ordering::Relaxed);
+                                        }
+                                        let seq = shard.seq;
+                                        shard.seq += 1;
+                                        shard.wheel.push(routed.time, seq, (routed.dst, routed.payload));
+                                    }
+                                }
+                                shard.run_window(window_last, affinity, locs, components_total);
+                                if shard.stop {
+                                    stop_flag.store(true, Ordering::Relaxed);
+                                }
+                                {
+                                    let mut slot = outboxes[sid]
+                                        .lock()
+                                        .unwrap_or_else(PoisonError::into_inner);
+                                    std::mem::swap(&mut *slot, &mut shard.outbox);
+                                }
+                                mins[sid].store(shard.next_due_ps(), Ordering::Relaxed);
                             }
-                        }
-                        shard.run_window(window_last, affinity, locs, components_total);
-                        if shard.stop {
-                            stop_flag.store(true, Ordering::Relaxed);
-                        }
-                        {
-                            let mut slot = outboxes[sid]
+                        }));
+                        if let Err(payload) = round {
+                            dead = true;
+                            let mut slot = panic_payload
                                 .lock()
                                 .unwrap_or_else(PoisonError::into_inner);
-                            std::mem::swap(&mut *slot, &mut shard.outbox);
+                            if slot.is_none() {
+                                *slot = Some(payload);
+                            }
+                            drop(slot);
+                            panicked.store(true, Ordering::Relaxed);
                         }
-                        mins[sid].store(shard.next_due_ps(), Ordering::Relaxed);
+                        barrier.wait(); // B: window drained, outboxes deposited.
                     }
-                    barrier.wait(); // B: window drained, outboxes deposited.
                 });
             }
 
             loop {
+                // A worker died mid-round: its shard state is suspect and
+                // its mins are stale, so release everyone and re-raise.
+                if panicked.load(Ordering::Relaxed) {
+                    exit.store(true, Ordering::Relaxed);
+                    barrier.wait(); // A: release workers into their exit.
+                    break;
+                }
                 // Gather: outbox slots in shard order keep the mailbox in
                 // (src_shard, emit_order) order before the stable sort.
                 for (sid, slot) in outboxes.iter().enumerate() {
@@ -564,9 +644,26 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
             }
         });
 
+        if let Some(payload) = panic_payload
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
+        {
+            // Fail as loudly as the inline path: the first component
+            // panic (its message intact) becomes this call's panic.
+            std::panic::resume_unwind(payload);
+        }
         self.rounds += rounds;
         self.cross_events += cross_events;
-        self.cross_collisions += cross_collisions;
+        self.cross_collisions += cross_collisions + local_ties.load(Ordering::Relaxed);
+        // Mailbox entries still in hand exited before any worker could
+        // drain them; count their local ties (the final window's records
+        // are still on the shards) exactly as a drain would have.
+        self.cross_collisions += mailbox
+            .iter()
+            .filter(|r| {
+                self.shards[self.affinity[r.dst.index()] as usize].ties_local(r.time, r.dst)
+            })
+            .count() as u64;
         self.stopped = stop_flag.load(Ordering::Relaxed);
         // A stop can leave merged-but-undistributed mailbox entries (the
         // serial engine likewise leaves its queue populated on stop); park
@@ -809,6 +906,92 @@ mod tests {
     }
 
     #[test]
+    fn uneven_shard_to_worker_chunking_terminates_and_matches_serial() {
+        // 5 shards over 4 workers: ceil-div chunking (chunks of 2) spawns
+        // 3 threads, fewer than `workers` — the barrier-sizing regression
+        // case that used to deadlock. Workers=3 chunks evenly and rides
+        // along as the control.
+        let delay = SimDuration::from_ns(25);
+        let deadline = SimTime::from_ms(1);
+        let (mut serial, ids) = ring(5, delay, 100);
+        serial.run_until(deadline);
+        let want = logs(&ids, &serial);
+        for workers in [3, 4] {
+            let (engine, ids) = ring(5, delay, 100);
+            let spec = ShardSpec {
+                affinity: vec![0, 1, 2, 3, 4],
+                lookahead: delay,
+                workers,
+            };
+            let mut sharded = ShardedEngine::from_engine(engine, spec, |_| NullProbe);
+            sharded.run_until(deadline);
+            assert_eq!(logs(&ids, &sharded), want, "workers={workers}");
+            assert_eq!(sharded.events_processed(), serial.events_processed());
+            assert_eq!(sharded.now(), serial.now());
+        }
+    }
+
+    #[test]
+    fn same_window_local_tie_is_counted_and_worker_invariant() {
+        // a (shard 0) and c (shard 1) both fire at t = 0 and send to
+        // b (shard 1) with the same 100 ns delay: a's arrival crosses
+        // shards, c's stays local, and the two tie on (time, dst). The
+        // serial engine orders the pair by emission (a first); the
+        // sharded merge assigns local seqs during the window and merged
+        // seqs after it (c first) — exactly the residual case the tie
+        // monitor must flag. The sharded outcome itself is still
+        // identical for every worker count.
+        let relay = |delay| {
+            Box::new(Relay {
+                peer: None,
+                delay,
+                log: Vec::new(),
+            })
+        };
+        let build = || {
+            let mut e = Engine::new();
+            let a = e.add_component(relay(SimDuration::from_ns(100)));
+            let b = e.add_component(relay(SimDuration::from_ns(100)));
+            let c = e.add_component(relay(SimDuration::from_ns(100)));
+            e.component_as_mut::<Relay>(a).unwrap().peer = Some(b);
+            e.component_as_mut::<Relay>(c).unwrap().peer = Some(b);
+            e.schedule(SimTime::ZERO, a, 5);
+            e.schedule(SimTime::ZERO, c, 9);
+            (e, vec![a, b, c])
+        };
+        let (mut serial, ids) = build();
+        serial.run_until(SimTime::from_ms(1));
+        let t = SimTime::from_ns(100);
+        assert_eq!(
+            serial.component_as::<Relay>(ids[1]).unwrap().log,
+            vec![(t, 4), (t, 8)],
+            "serial order is emission order: a's event first"
+        );
+        for workers in [1, 2] {
+            let (engine, ids) = build();
+            let spec = ShardSpec {
+                affinity: vec![0, 1, 1],
+                lookahead: SimDuration::from_ns(100),
+                workers,
+            };
+            let mut sharded = ShardedEngine::from_engine(engine, spec, |_| NullProbe);
+            sharded.run_until(SimTime::from_ms(1));
+            assert_eq!(sharded.cross_events(), 1, "workers={workers}");
+            assert_eq!(
+                sharded.cross_collisions(),
+                1,
+                "the local-vs-merged tie must be counted (workers={workers})"
+            );
+            // The divergence the counter flags: local-before-cross.
+            assert_eq!(
+                sharded.component_as::<Relay>(ids[1]).unwrap().log,
+                vec![(t, 8), (t, 4)],
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "inside the conservative window")]
     fn cross_shard_send_below_lookahead_is_rejected() {
         let (engine, _) = ring(2, SimDuration::from_ns(1), 5);
@@ -816,6 +999,22 @@ mod tests {
             affinity: vec![0, 1],
             lookahead: SimDuration::from_ns(100),
             workers: 1,
+        };
+        let mut sharded = ShardedEngine::from_engine(engine, spec, |_| NullProbe);
+        sharded.run_until(SimTime::from_ms(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the conservative window")]
+    fn cross_shard_send_below_lookahead_is_rejected_threaded() {
+        // Same violation under the threaded executor: the worker's panic
+        // must propagate out of `run_until` (with its message intact)
+        // instead of stranding the coordinator at a barrier.
+        let (engine, _) = ring(2, SimDuration::from_ns(1), 5);
+        let spec = ShardSpec {
+            affinity: vec![0, 1],
+            lookahead: SimDuration::from_ns(100),
+            workers: 2,
         };
         let mut sharded = ShardedEngine::from_engine(engine, spec, |_| NullProbe);
         sharded.run_until(SimTime::from_ms(1));
