@@ -1,27 +1,33 @@
-//! End-to-end campaign wall time, serial vs parallel.
+//! End-to-end campaign wall time: serial vs parallel, fresh vs forked.
 //!
 //! Runs the paper's full campaign list and a multi-seed observed suite
 //! twice — once on a single worker, once fanned out over `--workers`
 //! scoped threads — verifies the outputs are byte-identical (the parallel
-//! runner's determinism contract), and emits `BENCH_campaign.json` with
-//! both wall times and the speedup.
+//! runner's determinism contract), then prices the chaos grid both ways:
+//! one test bed per failure spec (fresh) against one map-warmed donor
+//! forked per spec (`netfi_nftape::grid`). Emits `BENCH_campaign.json`
+//! with every wall time and speedup.
 //!
-//! The speedup scales with physical cores: each worker spins a private
-//! CPU-bound simulation engine, so on a single-core runner the parallel
-//! pass is expected to tie (or slightly trail) the serial one, and the
-//! JSON records the core count so readers can tell which case they are
-//! looking at.
+//! The parallel speedups scale with physical cores: each worker spins a
+//! private CPU-bound simulation engine, so on a single-core runner the
+//! parallel pass is expected to tie (or slightly trail) the serial one,
+//! and the JSON records the core count so readers can tell which case
+//! they are looking at. The fork-vs-fresh speedup does *not* need cores —
+//! it removes work (N−1 warm-ups) instead of spreading it.
 //!
 //! ```text
 //! cargo run -p netfi-bench --release --bin bench_campaign -- \
-//!     [--out BENCH_campaign.json] [--workers N] [--suite-seeds 4]
+//!     [--out BENCH_campaign.json] [--workers N] [--suite-seeds 4] \
+//!     [--mode all|classic|fork]
 //! ```
 
 use netfi_bench::arg;
 use netfi_bench::harness::JsonObject;
 use netfi_nftape::campaign::{paper_campaigns, run_campaigns_with_workers};
+use netfi_nftape::grid::{fork_grid, fresh_grid, grid_specs, warm_campaign};
 use netfi_nftape::observed::observed_suite;
 use netfi_nftape::runner::worker_count;
+use std::hint::black_box;
 use std::time::Instant;
 
 fn main() {
@@ -29,58 +35,118 @@ fn main() {
     let requested: usize = arg("--workers", 0);
     let workers = worker_count((requested > 0).then_some(requested));
     let suite_seeds: u64 = arg("--suite-seeds", 4);
+    let mode: String = arg("--mode", "all".to_string());
+    let run_classic = mode != "fork";
+    let run_fork = mode != "classic";
 
-    // --- the paper's campaign list, serial then parallel ---
-    let specs = paper_campaigns(1);
-    let start = Instant::now();
-    let serial_rows = run_campaigns_with_workers(&specs, 1).unwrap();
-    let serial_secs = start.elapsed().as_secs_f64();
-    let start = Instant::now();
-    let parallel_rows = run_campaigns_with_workers(&specs, workers).unwrap();
-    let parallel_secs = start.elapsed().as_secs_f64();
-    assert_eq!(parallel_rows, serial_rows, "worker count changed campaign results");
-    let rows: usize = serial_rows.iter().map(Vec::len).sum();
-    println!(
-        "campaigns: {} specs, {rows} rows | serial {serial_secs:.2} s, {workers} workers {parallel_secs:.2} s ({:.2}x)",
-        specs.len(),
-        serial_secs / parallel_secs
-    );
-
-    // --- the observed suite (every recorder armed), serial then parallel ---
-    let seeds: Vec<u64> = (0..suite_seeds).map(|k| 11 + 10 * k).collect();
-    let start = Instant::now();
-    let suite_serial = observed_suite(&seeds, 1).unwrap();
-    let suite_serial_secs = start.elapsed().as_secs_f64();
-    let start = Instant::now();
-    let suite_parallel = observed_suite(&seeds, workers).unwrap();
-    let suite_parallel_secs = start.elapsed().as_secs_f64();
-    let fingerprint = suite_serial.fingerprint();
-    assert_eq!(
-        suite_parallel.fingerprint(),
-        fingerprint,
-        "worker count changed suite exports"
-    );
-    println!(
-        "observed suite: {} scenarios | serial {suite_serial_secs:.2} s, {workers} workers {suite_parallel_secs:.2} s ({:.2}x), fingerprint {fingerprint:#018x}",
-        seeds.len(),
-        suite_serial_secs / suite_parallel_secs
-    );
-
-    let json = JsonObject::new()
+    let mut json = JsonObject::new()
         .str("bench", "campaign")
-        .int("cores", netfi_nftape::default_workers() as u64)
-        .int("workers", workers as u64)
-        .int("specs", specs.len() as u64)
-        .int("rows", rows as u64)
-        .num("serial_wall_secs", serial_secs)
-        .num("parallel_wall_secs", parallel_secs)
-        .num("speedup", serial_secs / parallel_secs)
-        .int("suite_scenarios", seeds.len() as u64)
-        .num("suite_serial_wall_secs", suite_serial_secs)
-        .num("suite_parallel_wall_secs", suite_parallel_secs)
-        .num("suite_speedup", suite_serial_secs / suite_parallel_secs)
-        .str("suite_fingerprint", &format!("{fingerprint:#018x}"))
-        .render();
-    std::fs::write(&out_path, format!("{json}\n")).expect("write BENCH json");
+        .int(
+            "cores",
+            std::thread::available_parallelism().map_or(1, usize::from) as u64,
+        )
+        .int("workers", workers as u64);
+
+    if run_classic {
+        // --- the paper's campaign list, serial then parallel ---
+        let specs = paper_campaigns(1);
+        let start = Instant::now();
+        let serial_rows = run_campaigns_with_workers(&specs, 1).unwrap();
+        let serial_secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let parallel_rows = run_campaigns_with_workers(&specs, workers).unwrap();
+        let parallel_secs = start.elapsed().as_secs_f64();
+        assert_eq!(parallel_rows, serial_rows, "worker count changed campaign results");
+        let rows: usize = serial_rows.iter().map(Vec::len).sum();
+        println!(
+            "campaigns: {} specs, {rows} rows | serial {serial_secs:.2} s, {workers} workers {parallel_secs:.2} s ({:.2}x)",
+            specs.len(),
+            serial_secs / parallel_secs
+        );
+
+        // --- the observed suite (every recorder armed), serial then parallel ---
+        let seeds: Vec<u64> = (0..suite_seeds).map(|k| 11 + 10 * k).collect();
+        let start = Instant::now();
+        let suite_serial = observed_suite(&seeds, 1).unwrap();
+        let suite_serial_secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let suite_parallel = observed_suite(&seeds, workers).unwrap();
+        let suite_parallel_secs = start.elapsed().as_secs_f64();
+        let fingerprint = suite_serial.fingerprint();
+        assert_eq!(
+            suite_parallel.fingerprint(),
+            fingerprint,
+            "worker count changed suite exports"
+        );
+        println!(
+            "observed suite: {} scenarios | serial {suite_serial_secs:.2} s, {workers} workers {suite_parallel_secs:.2} s ({:.2}x), fingerprint {fingerprint:#018x}",
+            seeds.len(),
+            suite_serial_secs / suite_parallel_secs
+        );
+
+        json = json
+            .int("specs", specs.len() as u64)
+            .int("rows", rows as u64)
+            .num("serial_wall_secs", serial_secs)
+            .num("parallel_wall_secs", parallel_secs)
+            .num("speedup", serial_secs / parallel_secs)
+            .int("suite_scenarios", seeds.len() as u64)
+            .num("suite_serial_wall_secs", suite_serial_secs)
+            .num("suite_parallel_wall_secs", suite_parallel_secs)
+            .num("suite_speedup", suite_serial_secs / suite_parallel_secs)
+            .str("suite_fingerprint", &format!("{fingerprint:#018x}"));
+    }
+
+    if run_fork {
+        // --- the chaos grid: fresh-per-spec vs fork-from-one-donor ---
+        //
+        // The breakdown first: one warm-up (the 2.5 simulated seconds of
+        // mapping traffic every scenario pays when built fresh) and the
+        // cost of forking the donor once per spec. Then the head-to-head
+        // grids, which must render byte-identical results.
+        let grid = grid_specs();
+        let start = Instant::now();
+        let warm = warm_campaign(11).unwrap();
+        let fork_warm_secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        for _ in &grid {
+            black_box(warm.fork_engine());
+        }
+        let fork_secs = start.elapsed().as_secs_f64();
+        drop(warm);
+
+        let start = Instant::now();
+        let forked = fork_grid(11, &grid, workers).unwrap();
+        let fork_grid_secs = start.elapsed().as_secs_f64();
+        let start = Instant::now();
+        let fresh = fresh_grid(11, &grid, workers).unwrap();
+        let fresh_grid_secs = start.elapsed().as_secs_f64();
+        let grid_fingerprint = forked.fingerprint();
+        assert_eq!(
+            grid_fingerprint,
+            fresh.fingerprint(),
+            "fork grid diverged from fresh grid"
+        );
+        println!(
+            "chaos grid: {} specs, {workers} workers | warm-up {fork_warm_secs:.3} s once, \
+             {} forks {fork_secs:.4} s | fork grid {fork_grid_secs:.2} s vs fresh grid \
+             {fresh_grid_secs:.2} s ({:.2}x), fingerprint {grid_fingerprint:#018x}",
+            grid.len(),
+            grid.len(),
+            fresh_grid_secs / fork_grid_secs
+        );
+
+        json = json
+            .int("fork_specs", grid.len() as u64)
+            .num("fork_warm_secs", fork_warm_secs)
+            .num("fork_secs", fork_secs)
+            .num("fork_grid_wall_secs", fork_grid_secs)
+            .num("fresh_grid_wall_secs", fresh_grid_secs)
+            .num("fork_grid_speedup", fresh_grid_secs / fork_grid_secs)
+            .str("grid_fingerprint", &format!("{grid_fingerprint:#018x}"));
+    }
+
+    let rendered = json.render();
+    std::fs::write(&out_path, format!("{rendered}\n")).expect("write BENCH json");
     println!("wrote {out_path}");
 }

@@ -174,6 +174,10 @@ fn main() {
 
     let mut json = JsonObject::new()
         .str("bench", "engine")
+        .int(
+            "cores",
+            std::thread::available_parallelism().map_or(1, usize::from) as u64,
+        )
         .str("workload", "saturated_3node_testbed")
         .int("sim_ms", sim_ms)
         .int("events", events)

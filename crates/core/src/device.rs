@@ -116,6 +116,7 @@ pub struct ChannelStats {
     pub id_counts: BTreeMap<(EthAddr, EthAddr), u64>,
 }
 
+#[derive(Clone)]
 struct Channel {
     injector: FifoInjector,
     capture: CaptureBuffer,
@@ -150,6 +151,7 @@ impl Default for DeviceConfig {
 }
 
 /// The in-line fault injector and monitor.
+#[derive(Clone)]
 pub struct InjectorDevice {
     config: DeviceConfig,
     /// Authoritative editable per-direction configurations.
@@ -539,6 +541,10 @@ impl Component<Ev> for InjectorDevice {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+
+    fn fork(&self) -> Box<dyn Component<Ev>> {
+        Box::new(self.clone())
+    }
 }
 
 #[cfg(test)]
@@ -551,6 +557,7 @@ mod tests {
     use netfi_sim::{ComponentId, Engine, SimTime};
 
     /// Bare endpoint that records frames and can transmit them.
+    #[derive(Clone)]
     struct Probe {
         egress: EgressPort,
         rx: Vec<(SimTime, Frame)>,
@@ -590,6 +597,9 @@ mod tests {
                 }
                 _ => {}
             }
+        }
+        fn fork(&self) -> Box<dyn Component<Ev>> {
+            Box::new(self.clone())
         }
         fn as_any(&self) -> &dyn Any {
             self

@@ -27,7 +27,7 @@ pub struct PortStats {
 }
 
 /// One end of a Fibre Channel link.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct NPort {
     /// Credits currently available for transmission.
     credits: u32,

@@ -1,0 +1,15 @@
+// Fixture: a snapshot/fork seam that breaks determinism — the captured
+// component table iterates in hash order (line 7) and the fork stamps
+// itself with the wall clock (line 12). A real `Snapshot` impl may do
+// neither: forks must be bit-identical to fresh runs.
+pub struct Snapshot {
+    taken_at_ns: u128,
+    components: std::collections::HashMap<u64, Vec<u8>>,
+}
+
+pub fn fork(base: &Snapshot) -> Snapshot {
+    Snapshot {
+        taken_at_ns: std::time::Instant::now().elapsed().as_nanos(),
+        components: base.components.clone(),
+    }
+}

@@ -38,6 +38,22 @@ fn unordered_collection_fixture() {
     assert!(r.violations[0].message.contains("HashMap"));
 }
 
+/// The snapshot/fork seam added with the chaos grid lives in the strict
+/// determinism scope like everything else in `sim`: a fork must replay
+/// bit-identically, so a capture path that reads the wall clock or holds
+/// state in a hash-ordered collection is a lint violation, not a style
+/// choice. The fixture plants both inside a `Snapshot` impl and the scan
+/// must report exactly them.
+#[test]
+fn snapshot_fork_fixture() {
+    let r = scan(include_str!("fixtures/snapshot_fork.rs"));
+    assert_findings(
+        &r,
+        &[(7, "unordered-collection"), (12, "wall-clock")],
+    );
+    assert!(r.violations[1].message.contains("SimTime"));
+}
+
 #[test]
 fn env_access_fixture() {
     let r = scan(include_str!("fixtures/env_access.rs"));

@@ -64,6 +64,32 @@ fn workspace_has_no_lint_violations() {
         bad.violations.iter().any(|v| v.rule == "hot-path-alloc"),
         "deny(hot-path-alloc) marker in flight.rs is not live"
     );
+    // The snapshot/fork seam is inside the determinism scope: the capture
+    // code in `sim` scans clean under the strict policy, and the rules are
+    // live there — planting a wall-clock read or a hash-ordered collection
+    // in `snapshot.rs` must fire. A fork that consulted either could not
+    // be bit-identical to a fresh run.
+    let snapshot = std::fs::read_to_string(root.join("crates/sim/src/snapshot.rs"))
+        .expect("read crates/sim/src/snapshot.rs");
+    let file = netfi_lint::scan_source(&snapshot, netfi_lint::policy_for("sim"));
+    assert!(
+        file.violations.is_empty(),
+        "the snapshot/fork seam must scan clean: {:#?}",
+        file.violations
+    );
+    let planted = snapshot.replace(
+        "pub trait Fork {",
+        "pub trait Fork {\n    // planted by workspace_clean.rs\n}\nfn stamp() -> std::time::SystemTime { std::time::SystemTime::now() }\nfn table() -> std::collections::HashMap<u8, u8> { std::collections::HashMap::new() }\npub trait ForkPlanted {",
+    );
+    assert_ne!(planted, snapshot, "plant site missing from snapshot.rs");
+    let bad = netfi_lint::scan_source(&planted, netfi_lint::policy_for("sim"));
+    for rule in ["wall-clock", "unordered-collection"] {
+        assert!(
+            bad.violations.iter().any(|v| v.rule == rule),
+            "{rule} is not live in crates/sim/src/snapshot.rs"
+        );
+    }
+
     // Suppressions are budgeted: every one is a reviewed escape hatch, and
     // this ceiling keeps the count from silently creeping. Raise it in the
     // same commit that adds a justified allow-comment. The floor pins that
@@ -74,8 +100,11 @@ fn workspace_has_no_lint_violations() {
         "nftape's allowlist entries vanished from the budget: {}",
         report.suppressions
     );
+    // Raised 30 -> 35 with the chaos grid: two scoped fan-out sites in
+    // `nftape::grid` (fork and fresh grids) and the timing-wheel fork's
+    // slot rebuild in `sim::queue` each carry a reviewed allow-comment.
     assert!(
-        report.suppressions <= 30,
+        report.suppressions <= 35,
         "allow-comment suppressions grew to {} — review before raising the budget",
         report.suppressions
     );

@@ -83,7 +83,7 @@ pub struct EgressStats {
 }
 
 /// The sending half of one link attachment.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EgressPort {
     port: u8,
     peer: Option<PortPeer>,
@@ -322,6 +322,7 @@ mod tests {
     use std::any::Any;
 
     /// A component wrapping one egress port, for driving in tests.
+    #[derive(Clone)]
     struct Sender {
         egress: EgressPort,
     }
@@ -358,8 +359,12 @@ mod tests {
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
         }
+        fn fork(&self) -> Box<dyn Component<Ev>> {
+            Box::new(self.clone())
+        }
     }
 
+    #[derive(Clone)]
     struct Sink {
         rx: Vec<(SimTime, Frame)>,
     }
@@ -375,6 +380,9 @@ mod tests {
         }
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
+        }
+        fn fork(&self) -> Box<dyn Component<Ev>> {
+            Box::new(self.clone())
         }
     }
 

@@ -11,10 +11,46 @@ use std::any::Any;
 use std::fmt;
 
 use netfi_phy::Link;
-use netfi_sim::{ComponentId, Engine, Probe, SharedBytes, SimDuration};
+use netfi_sim::{ComponentId, Engine, Fork, Probe, SharedBytes, SimDuration};
 
 use crate::addr::EthAddr;
 use crate::frame::Frame;
+
+/// A type-erased application message carried by [`Ev::App`].
+///
+/// Blanket-implemented for every `Any + Send + Clone` type, so call sites
+/// construct messages exactly as they would a `Box<dyn Any>`:
+/// `Ev::App(Box::new(value))`. The extra [`fork_app`](AppMsg::fork_app)
+/// method is the type-erased seam that lets [`Ev`] implement
+/// [`netfi_sim::Fork`]: an engine snapshot must deep-copy pending app
+/// events without knowing their concrete types.
+pub trait AppMsg: Any + Send {
+    /// Deep, deterministic copy of the message (see [`netfi_sim::Fork`]).
+    fn fork_app(&self) -> Box<dyn AppMsg>;
+    /// Converts the box into `Box<dyn Any>` for downcasting.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+impl<T: Any + Send + Clone> AppMsg for T {
+    fn fork_app(&self) -> Box<dyn AppMsg> {
+        Box::new(self.clone())
+    }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+impl dyn AppMsg {
+    /// Downcasts the boxed message to a concrete type, mirroring
+    /// `Box<dyn Any>::downcast` so receiver call sites keep their shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message back (as `Box<dyn Any>`) if it is not a `T`.
+    pub fn downcast<T: Any>(self: Box<Self>) -> Result<Box<T>, Box<dyn Any>> {
+        self.into_any().downcast()
+    }
+}
 
 /// An event delivered to a component.
 pub enum Ev {
@@ -58,9 +94,38 @@ pub enum Ev {
     Serial(u8),
     /// An application-level event; hosts downcast to their own types.
     /// Control-plane only (workload start, harness commands) — the
-    /// per-packet paths use [`Ev::Deliver`] and [`Ev::Send`]. `Send` so
-    /// the whole event vocabulary can cross shard-worker boundaries.
-    App(Box<dyn Any + Send>),
+    /// per-packet paths use [`Ev::Deliver`] and [`Ev::Send`]. [`AppMsg`]
+    /// is `Send` (so the vocabulary crosses shard-worker boundaries) and
+    /// forkable (so pending app events survive an engine snapshot).
+    App(Box<dyn AppMsg>),
+}
+
+impl Fork for Ev {
+    fn fork(&self) -> Self {
+        match self {
+            Ev::Rx { port, frame } => Ev::Rx {
+                port: *port,
+                frame: frame.clone(),
+            },
+            Ev::Timer { kind, gen } => Ev::Timer {
+                kind: *kind,
+                gen: *gen,
+            },
+            // SharedBytes is copy-on-write: the refcount bump is a correct
+            // deep copy (writers copy first), so forks stay independent.
+            Ev::Deliver { src, data } => Ev::Deliver {
+                src: *src,
+                data: data.fork(),
+            },
+            Ev::Send { dest, tag, payload } => Ev::Send {
+                dest: *dest,
+                tag: *tag,
+                payload: payload.fork(),
+            },
+            Ev::Serial(b) => Ev::Serial(*b),
+            Ev::App(msg) => Ev::App(msg.fork_app()),
+        }
+    }
 }
 
 impl fmt::Debug for Ev {
@@ -178,6 +243,7 @@ mod tests {
     use netfi_phy::ControlSymbol;
     use netfi_sim::{Component, Context};
 
+    #[derive(Clone)]
     struct Probe {
         ports: Vec<Option<PortPeer>>,
         rx: Vec<(u8, Frame)>,
@@ -210,6 +276,9 @@ mod tests {
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
         }
+        fn fork(&self) -> Box<dyn Component<Ev>> {
+            Box::new(self.clone())
+        }
     }
 
     #[test]
@@ -240,6 +309,9 @@ mod tests {
         }
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
+        }
+        fn fork(&self) -> Box<dyn Component<Ev>> {
+            Box::new(NotAProbe)
         }
     }
 
@@ -295,5 +367,43 @@ mod tests {
         assert!(t.contains("Timer"));
         let a = format!("{:?}", Ev::App(Box::new(5u32)));
         assert!(a.contains("App"));
+    }
+
+    #[test]
+    fn ev_fork_preserves_every_variant() {
+        let rx = Ev::Rx {
+            port: 2,
+            frame: Frame::control(ControlSymbol::Go),
+        };
+        match rx.fork() {
+            Ev::Rx { port, frame } => {
+                assert_eq!(port, 2);
+                assert_eq!(frame.as_control(), Some(ControlSymbol::Go));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let app = Ev::App(Box::new(42u32));
+        match app.fork() {
+            Ev::App(msg) => assert_eq!(*msg.downcast::<u32>().unwrap(), 42),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // The original is still intact after the fork.
+        match app {
+            Ev::App(msg) => assert_eq!(*msg.downcast::<u32>().unwrap(), 42),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let send = Ev::Send {
+            dest: EthAddr::myricom(7),
+            tag: 9,
+            payload: SharedBytes::from(vec![1, 2, 3]),
+        };
+        match send.fork() {
+            Ev::Send { dest, tag, payload } => {
+                assert_eq!(dest, EthAddr::myricom(7));
+                assert_eq!(tag, 9);
+                assert_eq!(&*payload, &[1, 2, 3]);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 }

@@ -191,7 +191,7 @@ impl InterfaceConfig {
 }
 
 /// The host interface.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct HostInterface {
     config: InterfaceConfig,
     eth_addr: EthAddr,
@@ -880,11 +880,13 @@ mod tests {
 
     /// Minimal host wrapping a HostInterface (netfi-netstack provides the
     /// full-featured version).
+    #[derive(Clone)]
     struct TestHost {
         nic: HostInterface,
         delivered: Vec<Delivery>,
     }
 
+    #[derive(Clone)]
     enum Cmd {
         Start,
         Send(EthAddr, Vec<u8>),
@@ -924,6 +926,9 @@ mod tests {
         }
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
+        }
+        fn fork(&self) -> Box<dyn Component<Ev>> {
+            Box::new(self.clone())
         }
     }
 

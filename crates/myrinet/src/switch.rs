@@ -77,9 +77,11 @@ pub struct SwitchStats {
     pub long_timeout_releases: u64,
     /// Held paths reclaimed by a late GAP.
     pub gap_releases: u64,
+    /// Frames discarded at a severed port (fault-grid link deactivation).
+    pub severed_drops: u64,
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct InputPort {
     sbuf: SlackBuffer,
     queue: VecDeque<PacketFrame>,
@@ -96,13 +98,17 @@ struct InputPort {
 }
 
 /// An N-port Myrinet crossbar switch.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Switch {
     name: String,
     inputs: Vec<InputPort>,
     egress: Vec<EgressPort>,
     hold_gen: Vec<u64>,
     refresh_armed: Vec<bool>,
+    /// Ports severed by a fault-grid [`sever_port`](Switch::sever_port):
+    /// frames arriving on or routed out of a severed port are discarded,
+    /// modelling a cut cable without rewiring the topology.
+    severed: Vec<bool>,
     config: SwitchConfig,
     stats: SwitchStats,
     rr_cursor: usize,
@@ -138,6 +144,7 @@ impl Switch {
             egress: (0..ports).map(|p| EgressPort::new(p as u8)).collect(),
             hold_gen: vec![0; ports],
             refresh_armed: vec![false; ports],
+            severed: vec![false; ports],
             config,
             stats: SwitchStats::default(),
             rr_cursor: 0,
@@ -183,6 +190,22 @@ impl Switch {
     /// Whether the given output port is currently held.
     pub fn output_held(&self, port: u8) -> bool {
         self.egress[port as usize].is_held()
+    }
+
+    /// Severs `port`: every frame arriving on it or routed out of it is
+    /// silently discarded from now on, modelling a cut cable. Used by the
+    /// fault grid to deactivate links on a forked engine without rewiring.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `port` is out of range.
+    pub fn sever_port(&mut self, port: u8) {
+        self.severed[port as usize] = true;
+    }
+
+    /// Whether `port` has been severed.
+    pub fn port_severed(&self, port: u8) -> bool {
+        self.severed[port as usize]
     }
 
     /// Per-input `(peak occupancy, overflow count)` of the slack buffers.
@@ -348,6 +371,17 @@ impl Switch {
             return true;
         };
         let out = (route_byte & !ROUTE_SWITCH_FLAG) as usize;
+        if out < self.severed.len() && self.severed[out] {
+            // The outgoing cable is cut: the packet enters the dead link
+            // and vanishes.
+            let Some(pf) = self.inputs[i].queue.pop_front() else {
+                return false;
+            };
+            self.drain_input(ctx, i, pf.wire_len());
+            self.stats.severed_drops += 1;
+            self.obs.instant(ctx.now(), "switch", "severed_drop", i as u64);
+            return true;
+        }
         if out >= self.egress.len() || !self.egress[out].is_attached() {
             // "directing packets to the wrong ports on the switch … resulted
             // in the expected packet losses" (§4.3.2).
@@ -469,10 +503,21 @@ impl Attach for Switch {
 impl Component<Ev> for Switch {
     fn on_event(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
         match ev {
-            Ev::Rx { port, frame } => match frame {
-                Frame::Control(code) => self.on_control(ctx, port as usize, code),
-                Frame::Packet(pf) => self.on_packet(ctx, port as usize, pf),
-            },
+            Ev::Rx { port, frame } => {
+                // A severed input is a cut cable: whatever was in flight on
+                // it never arrives.
+                if self.severed[port as usize] {
+                    if matches!(frame, Frame::Packet(_)) {
+                        self.stats.severed_drops += 1;
+                        self.obs.instant(ctx.now(), "switch", "severed_drop", u64::from(port));
+                    }
+                    return;
+                }
+                match frame {
+                    Frame::Control(code) => self.on_control(ctx, port as usize, code),
+                    Frame::Packet(pf) => self.on_packet(ctx, port as usize, pf),
+                }
+            }
             Ev::Timer { kind, gen } => self.on_timer(ctx, kind, gen),
             _ => {}
         }
@@ -484,6 +529,10 @@ impl Component<Ev> for Switch {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn fork(&self) -> Box<dyn Component<Ev>> {
+        Box::new(self.clone())
     }
 }
 
@@ -497,6 +546,7 @@ mod tests {
 
     /// A host-like endpoint that records everything it receives and can be
     /// told to send packets.
+    #[derive(Clone)]
     struct Endpoint {
         egress: EgressPort,
         rx_packets: Vec<PacketFrame>,
@@ -553,6 +603,9 @@ mod tests {
         }
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
+        }
+        fn fork(&self) -> Box<dyn Component<Ev>> {
+            Box::new(self.clone())
         }
     }
 
@@ -770,5 +823,26 @@ mod tests {
     #[should_panic(expected = "1..=64")]
     fn rejects_too_many_ports() {
         let _ = Switch::new("bad", 65, SwitchConfig::default());
+    }
+
+    #[test]
+    fn severed_port_drops_both_directions() {
+        let (mut engine, sw, hosts) = three_host_net();
+        engine.component_as_mut::<Switch>(sw).unwrap().sever_port(1);
+        // Inbound on the severed port: lost.
+        send_from(&mut engine, hosts[1], data_packet(2, b"from cut"));
+        // Outbound through the severed port: lost.
+        send_from(&mut engine, hosts[0], data_packet(1, b"to cut"));
+        // Control traffic between healthy ports still flows.
+        send_from(&mut engine, hosts[0], data_packet(2, b"healthy"));
+        engine.run();
+        let s = engine.component_as::<Switch>(sw).unwrap();
+        assert!(s.port_severed(1));
+        assert_eq!(s.stats().severed_drops, 2);
+        assert_eq!(s.stats().forwarded, 1);
+        let h1 = engine.component_as::<Endpoint>(hosts[1]).unwrap();
+        assert!(h1.rx_packets.is_empty());
+        let h2 = engine.component_as::<Endpoint>(hosts[2]).unwrap();
+        assert_eq!(h2.rx_packets.len(), 1);
     }
 }

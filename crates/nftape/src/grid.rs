@@ -1,0 +1,675 @@
+//! The chaos grid: one warmed engine, many forked failure scenarios.
+//!
+//! Every campaign in this crate pays the same fixed cost before anything
+//! interesting happens: 2.5 simulated seconds of mapping traffic while the
+//! fabric elects a mapper, discovers routes and settles. A grid of N
+//! failure scenarios over the same topology therefore costs
+//! N × (warm-up + fault phases) when each scenario builds its own test
+//! bed. This module converts that to 1 × warm-up + N × fault phases: a
+//! donor engine runs the map phase once, its full deterministic state is
+//! captured with [`netfi_sim::Engine::snapshot`], and each scenario runs
+//! on an independent [`fork`](netfi_sim::EngineSnapshot::fork) of that
+//! capture.
+//!
+//! A scenario is a declarative [`FailureSpec`]: hosts to power off, switch
+//! ports to sever, and an optional injector program, applied to the fork
+//! *after* the map phase — exactly the paper's model of a healthy network
+//! that degrades mid-mission. Because a fork is bit-identical to a fresh
+//! engine warmed to the same state (`tests/determinism.rs` pins this with
+//! the golden export hashes), [`fork_grid`] and [`fresh_grid`] produce
+//! byte-identical results for every spec and every worker count.
+
+use netfi_core::command::DirSelect;
+use netfi_core::config::InjectorConfig;
+use netfi_core::trigger::MatchMode;
+use netfi_myrinet::addr::EthAddr;
+use netfi_myrinet::event::Ev;
+use netfi_myrinet::switch::Switch;
+use netfi_netstack::{build_testbed_probed, Host, HostCmd, UdpDatagram, SINK_PORT};
+use netfi_obs::{DispatchProbe, ObsEvent, Stamped};
+use netfi_phy::ControlSymbol;
+use netfi_sim::{ComponentId, Engine, EngineSnapshot, SimDuration};
+
+use crate::observed::{
+    arm_recorders, campaign_options, campaign_workload, collect, drive_map_phase,
+    ObservedCampaign, RING,
+};
+use crate::results::ScenarioError;
+use crate::runner::program_injector;
+use crate::scenarios::udpcheck::MESSAGE;
+
+/// One declarative failure scenario, applied to a fork of the warmed
+/// donor engine before the fault phases run.
+#[derive(Debug, Clone, Default)]
+pub struct FailureSpec {
+    /// Scenario name, carried into the result and the grid fingerprint.
+    pub name: String,
+    /// Host indices (into the test bed's host list) to power off. The
+    /// host stays wired but ignores every subsequent event — the paper's
+    /// silent node failure.
+    pub deactivate_nodes: Vec<usize>,
+    /// Switch ports to sever. Frames arriving on or routed out of a
+    /// severed port are dropped and counted — the paper's link failure.
+    pub deactivate_links: Vec<u8>,
+    /// Optional injector program for host 1's spliced link, written over
+    /// the device's serial command protocol as part of the fault phases.
+    pub injector: Option<(DirSelect, InjectorConfig)>,
+}
+
+impl FailureSpec {
+    /// The no-failure baseline: the fork just replays healthy traffic.
+    pub fn healthy(name: &str) -> FailureSpec {
+        FailureSpec {
+            name: name.to_string(),
+            ..FailureSpec::default()
+        }
+    }
+
+    /// Powers off one host.
+    pub fn node_off(name: &str, host: usize) -> FailureSpec {
+        FailureSpec {
+            name: name.to_string(),
+            deactivate_nodes: vec![host],
+            ..FailureSpec::default()
+        }
+    }
+
+    /// Severs one switch port (the test bed wires host `i` to port `i`).
+    pub fn link_severed(name: &str, port: u8) -> FailureSpec {
+        FailureSpec {
+            name: name.to_string(),
+            deactivate_links: vec![port],
+            ..FailureSpec::default()
+        }
+    }
+
+    /// Programs the injector on host 1's link.
+    pub fn inject(name: &str, dir: DirSelect, config: InjectorConfig) -> FailureSpec {
+        FailureSpec {
+            name: name.to_string(),
+            injector: Some((dir, config)),
+            ..FailureSpec::default()
+        }
+    }
+}
+
+/// The default chaos grid: 19 scenarios over the fixed three-host
+/// topology, mirroring the 19-spec paper campaign — a healthy baseline,
+/// every single-node failure, every single-link failure, and twelve
+/// injector programs spanning the device's corruption families.
+pub fn grid_specs() -> Vec<FailureSpec> {
+    let compare = u32::from_be_bytes(*b"Have");
+    let replace = u32::from_be_bytes(*b"XaXe");
+    let mut specs = vec![FailureSpec::healthy("healthy")];
+    for host in 0..3 {
+        specs.push(FailureSpec::node_off(&format!("node-off-{host}"), host));
+    }
+    for port in 0..3u8 {
+        specs.push(FailureSpec::link_severed(
+            &format!("link-severed-{port}"),
+            port,
+        ));
+    }
+    let inject = |name: &str, dir, config| FailureSpec::inject(name, dir, config);
+    specs.push(inject(
+        "replace-crc-repaired",
+        DirSelect::B,
+        InjectorConfig::builder()
+            .match_mode(MatchMode::On)
+            .compare(compare, 0xFFFF_FFFF)
+            .corrupt_replace(replace, 0xFFFF_FFFF)
+            .recompute_crc(true)
+            .build(),
+    ));
+    specs.push(inject(
+        "replace-crc-detected",
+        DirSelect::B,
+        InjectorConfig::builder()
+            .match_mode(MatchMode::On)
+            .compare(compare, 0xFFFF_FFFF)
+            .corrupt_replace(replace, 0xFFFF_FFFF)
+            .recompute_crc(false)
+            .build(),
+    ));
+    specs.push(inject(
+        "replace-once",
+        DirSelect::B,
+        InjectorConfig::builder()
+            .match_mode(MatchMode::Once)
+            .compare(compare, 0xFFFF_FFFF)
+            .corrupt_replace(replace, 0xFFFF_FFFF)
+            .recompute_crc(true)
+            .build(),
+    ));
+    specs.push(inject(
+        "replace-dir-a",
+        DirSelect::A,
+        InjectorConfig::builder()
+            .match_mode(MatchMode::On)
+            .compare(compare, 0xFFFF_FFFF)
+            .corrupt_replace(replace, 0xFFFF_FFFF)
+            .recompute_crc(true)
+            .build(),
+    ));
+    specs.push(inject(
+        "replace-both-dirs",
+        DirSelect::Both,
+        InjectorConfig::builder()
+            .match_mode(MatchMode::On)
+            .compare(compare, 0xFFFF_FFFF)
+            .corrupt_replace(replace, 0xFFFF_FFFF)
+            .recompute_crc(true)
+            .build(),
+    ));
+    specs.push(inject(
+        "toggle-low-byte",
+        DirSelect::B,
+        InjectorConfig::builder()
+            .match_mode(MatchMode::On)
+            .compare(compare, 0xFFFF_FFFF)
+            .corrupt_toggle(0x0000_00FF)
+            .recompute_crc(true)
+            .build(),
+    ));
+    specs.push(inject(
+        "toggle-msb",
+        DirSelect::B,
+        InjectorConfig::builder()
+            .match_mode(MatchMode::On)
+            .compare(compare, 0xFFFF_FFFF)
+            .corrupt_toggle(0x8000_0000)
+            .recompute_crc(true)
+            .build(),
+    ));
+    specs.push(inject(
+        "masked-half-word",
+        DirSelect::B,
+        InjectorConfig::builder()
+            .match_mode(MatchMode::On)
+            .compare(compare & 0xFFFF_0000, 0xFFFF_0000)
+            .corrupt_replace(replace & 0xFFFF_0000, 0xFFFF_0000)
+            .recompute_crc(true)
+            .build(),
+    ));
+    specs.push(inject(
+        "gap-to-stop",
+        DirSelect::B,
+        InjectorConfig::control_swap(ControlSymbol::Gap.encode(), ControlSymbol::Stop.encode()),
+    ));
+    specs.push(inject(
+        "gap-to-idle",
+        DirSelect::B,
+        InjectorConfig::control_swap(ControlSymbol::Gap.encode(), ControlSymbol::Idle.encode()),
+    ));
+    specs.push(inject(
+        "stop-to-go",
+        DirSelect::B,
+        InjectorConfig::control_swap(ControlSymbol::Stop.encode(), ControlSymbol::Go.encode()),
+    ));
+    specs.push(inject(
+        "seu-bitflips",
+        DirSelect::B,
+        InjectorConfig::builder()
+            .match_mode(MatchMode::On)
+            .random_seu(0.001)
+            .build(),
+    ));
+    specs
+}
+
+/// One scenario's rendered result: everything the grid compares and
+/// fingerprints. Holding the exports (rather than the raw bundle) keeps a
+/// 19-spec grid small while still pinning every byte the scenario
+/// produced.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridRun {
+    /// The [`FailureSpec::name`] this run executed.
+    pub spec: String,
+    /// The Chrome `trace_event` JSON export of the scenario's bundle.
+    pub chrome_trace: String,
+    /// The deterministic text-table export of the scenario's registry.
+    pub text_table: String,
+    /// Engine dispatches observed during the scenario (map phase
+    /// included — the fork inherits the donor probe's counters).
+    pub dispatches: u64,
+    /// Ring evictions across the scenario's recorders.
+    pub dropped: u64,
+}
+
+/// A full grid of scenario results, in spec order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GridResult {
+    /// One result per spec, in the order the specs were given.
+    pub runs: Vec<GridRun>,
+}
+
+impl GridResult {
+    /// FNV-1a fingerprint over every run's name and exports, in order.
+    /// Equal fingerprints mean the grids rendered the same bytes — the
+    /// determinism tests compare this across worker counts and between
+    /// [`fork_grid`] and [`fresh_grid`].
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                hash ^= u64::from(b);
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+        };
+        for run in &self.runs {
+            eat(run.spec.as_bytes());
+            eat(run.chrome_trace.as_bytes());
+            eat(run.text_table.as_bytes());
+            eat(&run.dispatches.to_le_bytes());
+            eat(&run.dropped.to_le_bytes());
+        }
+        hash
+    }
+}
+
+/// A donor campaign warmed through the map phase, ready to be forked once
+/// per [`FailureSpec`]. Holds the engine snapshot plus everything a fork
+/// needs to replay the fault phases: component ids and the map-phase span
+/// events each scenario's bundle starts from.
+pub struct WarmedCampaign {
+    snapshot: EngineSnapshot<Ev, DispatchProbe>,
+    hosts: Vec<ComponentId>,
+    switch: ComponentId,
+    device: ComponentId,
+    map_phases: Vec<Stamped<ObsEvent>>,
+}
+
+impl std::fmt::Debug for WarmedCampaign {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WarmedCampaign")
+            .field("snapshot", &self.snapshot)
+            .field("hosts", &self.hosts)
+            .field("switch", &self.switch)
+            .field("device", &self.device)
+            .field("map_phases", &self.map_phases.len())
+            .finish()
+    }
+}
+
+impl WarmedCampaign {
+    /// Forks the donor and runs one scenario on the fork: apply the spec,
+    /// drive the fault phases, collect the exports. The donor is left
+    /// untouched and can be forked again.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ScenarioError`] if the spec names a missing host or
+    /// the forked test bed cannot be read.
+    pub fn fork_run(&self, spec: &FailureSpec) -> Result<GridRun, ScenarioError> {
+        let mut engine = self.snapshot.fork();
+        run_fault_phases(
+            &mut engine,
+            spec,
+            &self.hosts,
+            self.switch,
+            self.device,
+            self.map_phases.clone(),
+        )
+    }
+
+    /// Forks the donor engine without running anything — the O(state)
+    /// unit the grid's amortization argument prices (benchmarked by
+    /// `bench_campaign --mode fork`).
+    pub fn fork_engine(&self) -> Engine<Ev, DispatchProbe> {
+        self.snapshot.fork()
+    }
+
+    /// The number of pending events captured in the donor snapshot.
+    pub fn pending_events(&self) -> usize {
+        self.snapshot.pending_events()
+    }
+}
+
+/// Builds the fixed campaign test bed and runs the map phase once,
+/// capturing the warmed engine state into a forkable snapshot.
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+pub fn warm_campaign(seed: u64) -> Result<WarmedCampaign, ScenarioError> {
+    let mut tb = build_testbed_probed(
+        campaign_options(seed),
+        DispatchProbe::new(RING),
+        campaign_workload,
+    )?;
+    let device = tb.injector.ok_or(ScenarioError::NoInjector)?;
+    let hosts = tb.hosts.clone();
+    arm_recorders(&mut tb.engine, &hosts, tb.switch, device)?;
+    let map_phases = drive_map_phase(&mut tb.engine);
+    Ok(WarmedCampaign {
+        snapshot: tb.engine.snapshot(),
+        hosts,
+        switch: tb.switch,
+        device,
+        map_phases,
+    })
+}
+
+/// Runs one scenario the expensive way: a fresh test bed, the full map
+/// phase, then the same spec application and fault phases a fork runs.
+/// This is the oracle [`fork_grid`] is measured against — for equal seed
+/// and spec its result is byte-identical to [`WarmedCampaign::fork_run`].
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+pub fn fresh_run(seed: u64, spec: &FailureSpec) -> Result<GridRun, ScenarioError> {
+    let mut tb = build_testbed_probed(
+        campaign_options(seed),
+        DispatchProbe::new(RING),
+        campaign_workload,
+    )?;
+    let device = tb.injector.ok_or(ScenarioError::NoInjector)?;
+    let hosts = tb.hosts.clone();
+    arm_recorders(&mut tb.engine, &hosts, tb.switch, device)?;
+    let map_phases = drive_map_phase(&mut tb.engine);
+    run_fault_phases(&mut tb.engine, spec, &hosts, tb.switch, device, map_phases)
+}
+
+/// Applies the spec's failures, drives the program + inject phases, and
+/// collects the exports. Shared verbatim between the fork and fresh
+/// paths, so any divergence between them is the snapshot's fault alone.
+fn run_fault_phases(
+    engine: &mut Engine<Ev, DispatchProbe>,
+    spec: &FailureSpec,
+    hosts: &[ComponentId],
+    switch: ComponentId,
+    device: ComponentId,
+    mut phases: Vec<Stamped<ObsEvent>>,
+) -> Result<GridRun, ScenarioError> {
+    // Apply the declarative failures, in spec order, before any fault
+    // traffic: the scenario starts from a network that has already broken.
+    for &n in &spec.deactivate_nodes {
+        let &id = hosts.get(n).ok_or(ScenarioError::WrongComponent("Host"))?;
+        engine
+            .component_as_mut::<Host>(id)
+            .ok_or(ScenarioError::WrongComponent("Host"))?
+            .power_off();
+        phases.push(Stamped {
+            time: engine.now(),
+            value: ObsEvent::instant("grid", "node_off", n as u64),
+        });
+    }
+    for &port in &spec.deactivate_links {
+        engine
+            .component_as_mut::<Switch>(switch)
+            .ok_or(ScenarioError::WrongComponent("Switch"))?
+            .sever_port(port);
+        phases.push(Stamped {
+            time: engine.now(),
+            value: ObsEvent::instant("grid", "link_severed", u64::from(port)),
+        });
+    }
+
+    // Program the injector over its serial line, if the spec asks for it.
+    if let Some((dir, config)) = &spec.injector {
+        phases.push(Stamped {
+            time: engine.now(),
+            value: ObsEvent::begin("campaign", "program", 0),
+        });
+        let programmed = program_injector(engine, device, engine.now(), *dir, config);
+        engine.run_until(programmed);
+        phases.push(Stamped {
+            time: engine.now(),
+            value: ObsEvent::end("campaign", "program", 0),
+        });
+    }
+
+    // Inject: the same 40-message stream the observed campaign drives into
+    // host 1's link, plus settle time.
+    let sends: u64 = 40;
+    phases.push(Stamped {
+        time: engine.now(),
+        value: ObsEvent::begin("campaign", "inject", sends),
+    });
+    for k in 0..sends {
+        let at = engine.now() + SimDuration::from_ms(5) * k;
+        engine.schedule(
+            at,
+            hosts[0],
+            Ev::App(Box::new(HostCmd::SendUdp {
+                dest: EthAddr::myricom(2),
+                datagram: UdpDatagram::new(6_000, SINK_PORT, MESSAGE.to_vec()),
+            })),
+        );
+    }
+    engine.run_for(SimDuration::from_ms(5) * sends + SimDuration::from_ms(100));
+    phases.push(Stamped {
+        time: engine.now(),
+        value: ObsEvent::end("campaign", "inject", sends),
+    });
+
+    let run = collect(engine, hosts, switch, device, phases, engine.probe())?;
+    Ok(render(spec, run))
+}
+
+/// Renders a collected campaign into the grid's compact result form.
+fn render(spec: &FailureSpec, run: ObservedCampaign) -> GridRun {
+    GridRun {
+        spec: spec.name.clone(),
+        chrome_trace: run.chrome_trace(),
+        text_table: run.text_table(),
+        dispatches: run.dispatches,
+        dropped: run.dropped,
+    }
+}
+
+/// Runs every spec on a fork of one warmed donor, fanned over `workers`
+/// scoped threads: 1 × warm-up + N × fault phases.
+///
+/// The coordinator warms the donor and pre-forks one engine per spec
+/// serially (forking is O(state); components are `Send` but the snapshot
+/// is not shareable across threads), then workers claim spec indices from
+/// an atomic counter and run the fault phases on their private forks. The
+/// fold walks result slots in spec order, so the worker count cannot
+/// change any output byte — `tests/determinism.rs` pins workers 1/2/8
+/// against the same fingerprint.
+///
+/// # Errors
+///
+/// Returns the first (in spec order) [`ScenarioError`], if any.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn fork_grid(
+    seed: u64,
+    specs: &[FailureSpec],
+    workers: usize,
+) -> Result<GridResult, ScenarioError> {
+    assert!(workers > 0, "worker count must be non-zero");
+    let warm = warm_campaign(seed)?;
+    let workers = workers.min(specs.len().max(1));
+    if workers == 1 {
+        // One effective worker: fork and run inline, no thread scope.
+        let mut runs = Vec::with_capacity(specs.len());
+        for spec in specs {
+            runs.push(warm.fork_run(spec)?);
+        }
+        return Ok(GridResult { runs });
+    }
+    let mut forks = Vec::with_capacity(specs.len());
+    for _ in specs {
+        forks.push(std::sync::Mutex::new(Some(warm.snapshot.fork())));
+    }
+    let slots: Vec<std::sync::Mutex<Option<Result<GridRun, ScenarioError>>>> =
+        specs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    // Each fork is private to the worker that claims its index, and the
+    // fold below walks slots in spec order.
+    // lint: allow(thread-spawn) deterministic grid fan-out over scoped workers
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let Some(mut engine) = forks[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                else {
+                    break;
+                };
+                let run = run_fault_phases(
+                    &mut engine,
+                    spec,
+                    &warm.hosts,
+                    warm.switch,
+                    warm.device,
+                    warm.map_phases.clone(),
+                );
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(run);
+            });
+        }
+    });
+    fold_grid(slots)
+}
+
+/// Runs every spec the expensive way — a private test bed and a full map
+/// phase each — fanned over `workers` scoped threads: N × (warm-up +
+/// fault phases). The baseline [`fork_grid`] is benchmarked against.
+///
+/// # Errors
+///
+/// Returns the first (in spec order) [`ScenarioError`], if any.
+///
+/// # Panics
+///
+/// Panics if `workers` is zero.
+pub fn fresh_grid(
+    seed: u64,
+    specs: &[FailureSpec],
+    workers: usize,
+) -> Result<GridResult, ScenarioError> {
+    assert!(workers > 0, "worker count must be non-zero");
+    let workers = workers.min(specs.len().max(1));
+    if workers == 1 {
+        let mut runs = Vec::with_capacity(specs.len());
+        for spec in specs {
+            runs.push(fresh_run(seed, spec)?);
+        }
+        return Ok(GridResult { runs });
+    }
+    let slots: Vec<std::sync::Mutex<Option<Result<GridRun, ScenarioError>>>> =
+        specs.iter().map(|_| std::sync::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    // lint: allow(thread-spawn) deterministic grid fan-out over scoped workers
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                let run = fresh_run(seed, spec);
+                *slots[i]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(run);
+            });
+        }
+    });
+    fold_grid(slots)
+}
+
+/// Walks result slots in spec order, surfacing the first error.
+fn fold_grid(
+    slots: Vec<std::sync::Mutex<Option<Result<GridRun, ScenarioError>>>>,
+) -> Result<GridResult, ScenarioError> {
+    let mut runs = Vec::with_capacity(slots.len());
+    for slot in slots {
+        match slot
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+        {
+            Some(Ok(run)) => runs.push(run),
+            Some(Err(e)) => return Err(e),
+            // A worker can only skip a slot by panicking mid-scenario;
+            // treat it as a failed build.
+            None => return Err(ScenarioError::WrongComponent("GridRun")),
+        }
+    }
+    Ok(GridResult { runs })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_nineteen_specs_with_unique_names() {
+        let specs = grid_specs();
+        assert_eq!(specs.len(), 19);
+        let mut names: Vec<_> = specs.iter().map(|s| s.name.clone()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 19);
+    }
+
+    #[test]
+    fn fork_run_matches_fresh_run_byte_for_byte() {
+        let warm = warm_campaign(11).unwrap();
+        assert!(warm.pending_events() > 0);
+        for spec in [
+            FailureSpec::healthy("healthy"),
+            FailureSpec::node_off("node-off-0", 0),
+            FailureSpec::link_severed("link-severed-2", 2),
+            grid_specs()[7].clone(), // replace-crc-repaired
+        ] {
+            let forked = warm.fork_run(&spec).unwrap();
+            let fresh = fresh_run(11, &spec).unwrap();
+            assert_eq!(forked, fresh, "spec {}", spec.name);
+        }
+    }
+
+    #[test]
+    fn donor_survives_forking() {
+        let warm = warm_campaign(11).unwrap();
+        let spec = FailureSpec::node_off("node-off-1", 1);
+        let a = warm.fork_run(&spec).unwrap();
+        let b = warm.fork_run(&spec).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn failed_specs_change_the_outcome() {
+        let warm = warm_campaign(11).unwrap();
+        let healthy = warm.fork_run(&FailureSpec::healthy("healthy")).unwrap();
+        // Powering off the sender silences the inject stream.
+        let node = warm
+            .fork_run(&FailureSpec::node_off("node-off-0", 0))
+            .unwrap();
+        assert_ne!(node.text_table, healthy.text_table);
+        // Severing the receiver's port drops the stream at the switch.
+        let link = warm
+            .fork_run(&FailureSpec::link_severed("link-severed-1", 1))
+            .unwrap();
+        assert_ne!(link.text_table, healthy.text_table);
+        assert!(link.text_table.contains("severed"));
+    }
+
+    #[test]
+    fn bad_node_index_is_an_error() {
+        let warm = warm_campaign(11).unwrap();
+        let err = warm
+            .fork_run(&FailureSpec::node_off("node-off-9", 9))
+            .unwrap_err();
+        assert!(matches!(err, ScenarioError::WrongComponent("Host")));
+    }
+
+    #[test]
+    fn grid_is_worker_count_invariant_and_matches_fresh() {
+        let specs: Vec<FailureSpec> = grid_specs().into_iter().take(4).collect();
+        let fork1 = fork_grid(11, &specs, 1).unwrap();
+        let fork2 = fork_grid(11, &specs, 2).unwrap();
+        assert_eq!(fork1.fingerprint(), fork2.fingerprint());
+        assert_eq!(fork1, fork2);
+        let fresh = fresh_grid(11, &specs, 2).unwrap();
+        assert_eq!(fork1.fingerprint(), fresh.fingerprint());
+        assert_eq!(fork1, fresh);
+    }
+}

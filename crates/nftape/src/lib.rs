@@ -13,6 +13,10 @@
 //! - [`observed`]: the fixed campaign run with `netfi-obs` armed at every
 //!   layer — flight recorders, engine dispatch probe, metrics registry —
 //!   exported as a Chrome trace and a deterministic text table.
+//! - [`grid`]: the chaos grid — one map-warmed donor engine captured with
+//!   `Engine::snapshot` and forked per declarative [`grid::FailureSpec`]
+//!   (nodes powered off, links severed, injector programs), amortizing
+//!   the campaign warm-up across every scenario.
 //! - [`scenarios`]: one prebuilt scenario per table/figure of the paper's
 //!   evaluation — Table 2 (latency), Table 4 (control symbols), the STOP
 //!   and GAP throughput experiments, packet-type corruption, physical-
@@ -23,6 +27,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod campaign;
+pub mod grid;
 pub mod observed;
 pub mod report;
 pub mod results;
@@ -33,9 +38,13 @@ pub mod serialize;
 pub use campaign::{
     run_campaign, run_campaigns_parallel, run_campaigns_with_workers, CampaignSpec, FaultSpec,
 };
+pub use grid::{
+    fork_grid, fresh_grid, fresh_run, grid_specs, warm_campaign, FailureSpec, GridResult, GridRun,
+    WarmedCampaign,
+};
 pub use observed::{
-    observed_campaign, observed_campaign_sharded, observed_suite, ObservedCampaign, ObservedSuite,
-    ShardedObserved,
+    observed_campaign, observed_campaign_forked, observed_campaign_sharded, observed_suite,
+    ObservedCampaign, ObservedSuite, ShardedObserved,
 };
 pub use report::{registry_tables, Table};
 pub use results::{RunResult, ScenarioError};

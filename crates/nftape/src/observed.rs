@@ -39,7 +39,7 @@ use crate::results::ScenarioError;
 use crate::scenarios::udpcheck::MESSAGE;
 
 /// Ring capacity armed on every component recorder.
-const RING: usize = 512;
+pub(crate) const RING: usize = 512;
 
 /// Everything an observed run produces.
 #[derive(Debug)]
@@ -74,7 +74,7 @@ impl ObservedCampaign {
 
 /// The fixed campaign topology: three hosts, the injector spliced into
 /// host 1's link.
-fn campaign_options(seed: u64) -> TestbedOptions {
+pub(crate) fn campaign_options(seed: u64) -> TestbedOptions {
     TestbedOptions {
         hosts: 3,
         intercept_host: Some(1),
@@ -85,7 +85,7 @@ fn campaign_options(seed: u64) -> TestbedOptions {
 
 /// The fixed campaign workload: a ping-pong latency probe on the clean
 /// pair (host 2 against host 0).
-fn campaign_workload(i: usize, host: &mut Host) {
+pub(crate) fn campaign_workload(i: usize, host: &mut Host) {
     if i == 2 {
         host.add_workload(Workload::PingPong {
             peer: EthAddr::myricom(1),
@@ -97,7 +97,7 @@ fn campaign_workload(i: usize, host: &mut Host) {
 }
 
 /// Arms every layer's flight recorder before anything interesting happens.
-fn arm_recorders(
+pub(crate) fn arm_recorders(
     sim: &mut impl Simulation<Ev>,
     hosts: &[ComponentId],
     switch: ComponentId,
@@ -121,23 +121,37 @@ fn arm_recorders(
     Ok(())
 }
 
-/// Drives the three campaign phases — map, program, inject — on any
-/// [`Simulation`] executor, recording each phase as a span in the
-/// bundle's "campaign" scope.
-fn drive_phases(
+/// Drives phase 1 — map — on any [`Simulation`] executor: the fabric
+/// elects a mapper, discovers routes and settles. This is the expensive
+/// warm-up the fork grid amortizes: it runs once on a donor engine whose
+/// post-map state is snapshotted and forked per scenario.
+pub(crate) fn drive_map_phase(sim: &mut impl Simulation<Ev>) -> Vec<Stamped<ObsEvent>> {
+    let mut phases: Vec<Stamped<ObsEvent>> = Vec::new();
+    phases.push(Stamped {
+        time: sim.now(),
+        value: ObsEvent::begin("campaign", "map", 0),
+    });
+    sim.run_until(SimTime::from_ms(2_500));
+    phases.push(Stamped {
+        time: sim.now(),
+        value: ObsEvent::end("campaign", "map", 0),
+    });
+    phases
+}
+
+/// Drives the fault phases — program, inject — that follow the map phase,
+/// appending their spans to `phases`. Runs identically on a freshly
+/// warmed engine and on a fork of a warmed engine's snapshot; the golden
+/// hashes in `tests/determinism.rs` pin that equivalence.
+fn drive_fault_phases(
     sim: &mut impl Simulation<Ev>,
     hosts: &[ComponentId],
     device: ComponentId,
-) -> Vec<Stamped<ObsEvent>> {
-    let mut phases: Vec<Stamped<ObsEvent>> = Vec::new();
+    phases: &mut Vec<Stamped<ObsEvent>>,
+) {
     let phase = |at: SimTime, ev: ObsEvent, phases: &mut Vec<Stamped<ObsEvent>>| {
         phases.push(Stamped { time: at, value: ev });
     };
-
-    // Phase 1: let the fabric map itself.
-    phase(sim.now(), ObsEvent::begin("campaign", "map", 0), &mut phases);
-    sim.run_until(SimTime::from_ms(2_500));
-    phase(sim.now(), ObsEvent::end("campaign", "map", 0), &mut phases);
 
     // Phase 2: program the injector over its serial line — a detected
     // corruption with CRC-8 repair, so the fault survives the link layer
@@ -145,7 +159,7 @@ fn drive_phases(
     phase(
         sim.now(),
         ObsEvent::begin("campaign", "program", 0),
-        &mut phases,
+        phases,
     );
     let config = InjectorConfig::builder()
         .match_mode(MatchMode::On)
@@ -160,7 +174,7 @@ fn drive_phases(
     phase(
         sim.now(),
         ObsEvent::end("campaign", "program", 0),
-        &mut phases,
+        phases,
     );
 
     // Phase 3: inject — stream the paper's message into the corrupted
@@ -169,7 +183,7 @@ fn drive_phases(
     phase(
         sim.now(),
         ObsEvent::begin("campaign", "inject", sends),
-        &mut phases,
+        phases,
     );
     for k in 0..sends {
         let at = sim.now() + SimDuration::from_ms(5) * k;
@@ -186,8 +200,20 @@ fn drive_phases(
     phase(
         sim.now(),
         ObsEvent::end("campaign", "inject", sends),
-        &mut phases,
+        phases,
     );
+}
+
+/// Drives the full campaign — map, program, inject — on any
+/// [`Simulation`] executor, recording each phase as a span in the
+/// bundle's "campaign" scope.
+fn drive_phases(
+    sim: &mut impl Simulation<Ev>,
+    hosts: &[ComponentId],
+    device: ComponentId,
+) -> Vec<Stamped<ObsEvent>> {
+    let mut phases = drive_map_phase(sim);
+    drive_fault_phases(sim, hosts, device, &mut phases);
     phases
 }
 
@@ -195,7 +221,7 @@ fn drive_phases(
 /// folds counters, snapshots and the engine probe into the registry.
 /// Identical component state yields byte-identical exports, whichever
 /// executor ran the campaign.
-fn collect(
+pub(crate) fn collect(
     sim: &impl Simulation<Ev>,
     hosts: &[ComponentId],
     switch: ComponentId,
@@ -287,6 +313,35 @@ pub fn observed_campaign(seed: u64) -> Result<ObservedCampaign, ScenarioError> {
     arm_recorders(&mut tb.engine, &hosts, tb.switch, device)?;
     let phases = drive_phases(&mut tb.engine, &hosts, device);
     collect(&tb.engine, &hosts, tb.switch, device, phases, tb.engine.probe())
+}
+
+/// [`observed_campaign`], with the fault phases executed on a **fork** of
+/// the warmed engine: the donor runs the map phase, its state is captured
+/// into an `EngineSnapshot`, and the program + inject phases run on a
+/// fork of that capture while the donor is left untouched.
+///
+/// This is the headline correctness claim of the snapshot seam: the fork
+/// must be bit-identical to the fresh run reaching the same state, so
+/// this function's exports hash to the **same** golden values
+/// `tests/determinism.rs` pins for [`observed_campaign`].
+///
+/// # Errors
+///
+/// Returns a [`ScenarioError`] if the test bed cannot be built or read.
+pub fn observed_campaign_forked(seed: u64) -> Result<ObservedCampaign, ScenarioError> {
+    let mut tb = build_testbed_probed(
+        campaign_options(seed),
+        DispatchProbe::new(RING),
+        campaign_workload,
+    )?;
+    let device = tb.injector.ok_or(ScenarioError::NoInjector)?;
+    let hosts = tb.hosts.clone();
+    arm_recorders(&mut tb.engine, &hosts, tb.switch, device)?;
+    let mut phases = drive_map_phase(&mut tb.engine);
+    let snapshot = tb.engine.snapshot();
+    let mut fork = snapshot.fork();
+    drive_fault_phases(&mut fork, &hosts, device, &mut phases);
+    collect(&fork, &hosts, tb.switch, device, phases, fork.probe())
 }
 
 /// An [`ObservedCampaign`] produced by the sharded engine, plus the
@@ -443,10 +498,21 @@ impl ObservedSuite {
 /// Panics if `workers` is zero.
 pub fn observed_suite(seeds: &[u64], workers: usize) -> Result<ObservedSuite, ScenarioError> {
     assert!(workers > 0, "worker count must be non-zero");
+    let workers = workers.min(seeds.len().max(1));
+    if workers == 1 {
+        // One effective worker (a 1-core box, or one seed): the thread
+        // scope would add spawn/join and mutex traffic for zero
+        // parallelism, so run the scenarios inline. Same fold, same
+        // bytes — only the scheduling differs.
+        let mut runs = Vec::with_capacity(seeds.len());
+        for &seed in seeds {
+            runs.push(observed_campaign(seed)?);
+        }
+        return Ok(fold_suite(runs, seeds));
+    }
     let slots: Vec<std::sync::Mutex<Option<Result<ObservedCampaign, ScenarioError>>>> =
         seeds.iter().map(|_| std::sync::Mutex::new(None)).collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers = workers.min(seeds.len().max(1));
     // Every run lands in its seed-index slot and the fold below walks
     // slots in index order, so the worker count cannot change any output
     // byte.
@@ -476,6 +542,11 @@ pub fn observed_suite(seeds: &[u64], workers: usize) -> Result<ObservedSuite, Sc
             None => return Err(ScenarioError::WrongComponent("ObservedCampaign")),
         }
     }
+    Ok(fold_suite(runs, seeds))
+}
+
+/// Folds per-scenario runs (already in seed order) into the suite export.
+fn fold_suite(runs: Vec<ObservedCampaign>, seeds: &[u64]) -> ObservedSuite {
     let mut registry = Registry::new();
     let mut dropped = 0;
     let mut dispatches = 0;
@@ -487,13 +558,13 @@ pub fn observed_suite(seeds: &[u64], workers: usize) -> Result<ObservedSuite, Sc
     // Gauges overwrite on merge (last scenario wins); the suite-wide
     // dispatch total is the meaningful engine gauge, so set it explicitly.
     registry.set_gauge("engine.dispatches", dispatches as i64);
-    Ok(ObservedSuite {
+    ObservedSuite {
         runs,
         seeds: seeds.to_vec(),
         registry,
         dropped,
         dispatches,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -552,6 +623,17 @@ mod tests {
         // the deterministic schedule, so it cannot vary with workers.
         assert!(collisions[0] > 0);
         assert!(collisions.iter().all(|&c| c == collisions[0]));
+    }
+
+    #[test]
+    fn forked_campaign_matches_fresh_byte_for_byte() {
+        let fresh = observed_campaign(11).unwrap();
+        let forked = observed_campaign_forked(11).unwrap();
+        assert_eq!(forked.events, fresh.events);
+        assert_eq!(forked.chrome_trace(), fresh.chrome_trace());
+        assert_eq!(forked.text_table(), fresh.text_table());
+        assert_eq!(forked.dispatches, fresh.dispatches);
+        assert_eq!(forked.dropped, fresh.dropped);
     }
 
     #[test]

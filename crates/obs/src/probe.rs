@@ -14,7 +14,11 @@ use crate::event::{ObsEvent, Stamped};
 use crate::flight::FlightRecorder;
 
 /// Counts per-component dispatches and keeps a bounded dispatch trace.
-#[derive(Debug)]
+///
+/// `Clone` is the probe's snapshot seam: `Engine::snapshot` clones the
+/// installed probe, so a forked engine resumes with identical counters
+/// and trace state.
+#[derive(Debug, Clone)]
 pub struct DispatchProbe {
     dispatches: Vec<u64>,
     emitted: Vec<u64>,
@@ -195,6 +199,9 @@ mod tests {
             }
             fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
                 self
+            }
+            fn fork(&self) -> Box<dyn netfi_sim::Component<u32>> {
+                Box::new(Nop)
             }
         }
         engine.add_component(Box::new(Nop))

@@ -17,6 +17,7 @@ use std::any::Any;
 use std::fmt;
 
 use crate::queue::TimingWheel;
+use crate::snapshot::Fork;
 use crate::time::{SimDuration, SimTime};
 
 /// Identifies a component registered with an [`Engine`].
@@ -56,6 +57,15 @@ pub trait Component<M>: 'static + Send {
 
     /// Mutable upcast for downcasting by harnesses.
     fn as_any_mut(&mut self) -> &mut dyn Any;
+
+    /// Deep-copies the component for an [`EngineSnapshot`].
+    ///
+    /// The copy must carry *all* state that can influence future event
+    /// processing — queues, RNG positions, counters, generation numbers,
+    /// flow-control flags — so a forked engine replays bit-identically to
+    /// the original (see [`crate::snapshot`]). Components whose state is
+    /// plain owned data implement this as `Box::new(self.clone())`.
+    fn fork(&self) -> Box<dyn Component<M>>;
 }
 
 /// What the queue stores per event: destination and payload. Time and
@@ -462,6 +472,100 @@ impl<M: 'static, P: Probe> Engine<M, P> {
     }
 }
 
+impl<M: Fork + 'static, P: Probe + Clone> Engine<M, P> {
+    /// Captures the engine's full deterministic state — components, the
+    /// timing wheel (buckets, overflow heap, bitmap, cursor), clock,
+    /// sequence counter, delivery count and probe — into an immutable
+    /// [`EngineSnapshot`].
+    ///
+    /// The canonical use is amortising campaign warm-up: run one engine
+    /// to a warmed state, snapshot it once, then
+    /// [`fork`](EngineSnapshot::fork) the snapshot into an independent
+    /// runnable engine per failure scenario in O(state), with no
+    /// re-simulation. Each fork replays bit-identically to a fresh run
+    /// that reached the same state (pinned end-to-end by the golden
+    /// export hashes in `tests/determinism.rs`).
+    pub fn snapshot(&self) -> EngineSnapshot<M, P> {
+        EngineSnapshot {
+            components: self.components.iter().map(|c| c.fork()).collect(),
+            queue: self.queue.fork(),
+            now: self.now,
+            seq: self.seq,
+            events_processed: self.events_processed,
+            // lint: allow(hot-path-alloc) snapshot capture is campaign setup, not the event loop
+            probe: self.probe.clone(),
+        }
+    }
+}
+
+/// An immutable capture of a warmed [`Engine`], forkable into independent
+/// runnable engines (see [`Engine::snapshot`] and [`crate::snapshot`]).
+///
+/// The snapshot holds its own deep copy of every component, the full
+/// timing-wheel state (buckets in their exact order, lazy-sort flags, the
+/// overflow heap, the occupancy bitmap and cursor), the clock, the
+/// sequence counter, the delivery count, and the probe. It holds *no*
+/// reference back to the donor engine: the donor may keep running — or be
+/// dropped — without affecting any fork taken later.
+pub struct EngineSnapshot<M, P: Probe = NullProbe> {
+    components: Vec<Box<dyn Component<M>>>,
+    queue: TimingWheel<Queued<M>>,
+    now: SimTime,
+    seq: u64,
+    events_processed: u64,
+    probe: P,
+}
+
+impl<M, P: Probe> fmt::Debug for EngineSnapshot<M, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EngineSnapshot")
+            .field("components", &self.components.len())
+            .field("queued", &self.queue.len())
+            .field("now", &self.now)
+            .field("events_processed", &self.events_processed)
+            .finish()
+    }
+}
+
+impl<M: Fork + 'static, P: Probe + Clone> EngineSnapshot<M, P> {
+    /// Builds an independent runnable [`Engine`] from the captured state.
+    ///
+    /// Forking is O(state): components and queued events are deep-copied,
+    /// nothing is re-simulated. The fork resumes at the capture's clock
+    /// and sequence counter with `stop_requested` cleared, so its event
+    /// trajectory is exactly the donor's from the capture instant on —
+    /// until the caller perturbs it (a failure spec, new stimulus).
+    pub fn fork(&self) -> Engine<M, P> {
+        Engine {
+            components: self.components.iter().map(|c| c.fork()).collect(),
+            queue: self.queue.fork(),
+            now: self.now,
+            seq: self.seq,
+            events_processed: self.events_processed,
+            stop_requested: false,
+            // lint: allow(hot-path-alloc) fork construction is campaign setup, not the event loop
+            probe: self.probe.clone(),
+        }
+    }
+}
+
+impl<M, P: Probe> EngineSnapshot<M, P> {
+    /// The simulated time the capture was taken at.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Events that were pending when the capture was taken.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of captured components.
+    pub fn component_count(&self) -> usize {
+        self.components.len()
+    }
+}
+
 /// What [`Engine::into_shard_parts`] yields (see [`crate::shard`]).
 pub(crate) struct ShardParts<M> {
     pub(crate) components: Vec<Box<dyn Component<M>>>,
@@ -553,7 +657,7 @@ impl<M: 'static, P: Probe> Simulation<M> for Engine<M, P> {
 mod tests {
     use super::*;
 
-    #[derive(Debug, Default)]
+    #[derive(Debug, Clone, Default)]
     struct Recorder {
         seen: Vec<(u64, u32)>, // (time in ns, value)
     }
@@ -568,9 +672,12 @@ mod tests {
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
         }
+        fn fork(&self) -> Box<dyn Component<u32>> {
+            Box::new(self.clone())
+        }
     }
 
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct PingPong {
         peer: Option<ComponentId>,
         remaining: u32,
@@ -594,6 +701,9 @@ mod tests {
         }
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
+        }
+        fn fork(&self) -> Box<dyn Component<u32>> {
+            Box::new(self.clone())
         }
     }
 
@@ -690,7 +800,7 @@ mod tests {
         assert_eq!(e.events_processed(), 0);
     }
 
-    #[derive(Debug, Default)]
+    #[derive(Debug, Clone, Default)]
     struct CountingProbe {
         dispatches: u64,
         emitted: u64,
@@ -729,6 +839,75 @@ mod tests {
             (e.now(), e.events_processed())
         }
         assert_eq!(run(Engine::new()), run(Engine::with_probe(CountingProbe::default())));
+    }
+
+    #[test]
+    fn fork_replays_identically_to_the_donor() {
+        // Warm an engine partway through a ping-pong, snapshot, then let
+        // the donor and a fork finish independently: identical state.
+        let mut e = Engine::new();
+        let a = e.add_component(Box::new(PingPong { peer: None, remaining: 0, bounces: 0 }));
+        let b = e.add_component(Box::new(PingPong { peer: Some(a), remaining: 0, bounces: 0 }));
+        e.component_as_mut::<PingPong>(a).unwrap().peer = Some(b);
+        e.schedule(SimTime::ZERO, a, 10);
+        e.run_until(SimTime::from_ns(22));
+
+        let snap = e.snapshot();
+        assert_eq!(snap.now(), e.now());
+        assert_eq!(snap.pending_events(), e.pending_events());
+        assert_eq!(snap.component_count(), 2);
+        assert!(format!("{snap:?}").contains("EngineSnapshot"));
+
+        let mut f = snap.fork();
+        e.run();
+        f.run();
+        assert_eq!(f.now(), e.now());
+        assert_eq!(f.events_processed(), e.events_processed());
+        for id in [a, b] {
+            assert_eq!(
+                f.component_as::<PingPong>(id).unwrap().bounces,
+                e.component_as::<PingPong>(id).unwrap().bounces
+            );
+        }
+    }
+
+    #[test]
+    fn forks_are_mutually_independent() {
+        let mut e = Engine::new();
+        let r = e.add_component(Box::new(Recorder::default()));
+        e.schedule(SimTime::from_ns(10), r, 1);
+        e.schedule(SimTime::from_ns(20), r, 2);
+        let snap = e.snapshot();
+        // Perturb one fork; the other and the donor must not see it.
+        let mut f1 = snap.fork();
+        let mut f2 = snap.fork();
+        f1.schedule(SimTime::from_ns(15), r, 99);
+        f1.run();
+        f2.run();
+        e.run();
+        assert_eq!(
+            f1.component_as::<Recorder>(r).unwrap().seen,
+            vec![(10, 1), (15, 99), (20, 2)]
+        );
+        assert_eq!(f2.component_as::<Recorder>(r).unwrap().seen, vec![(10, 1), (20, 2)]);
+        assert_eq!(e.component_as::<Recorder>(r).unwrap().seen, vec![(10, 1), (20, 2)]);
+    }
+
+    #[test]
+    fn snapshot_carries_the_probe_state() {
+        let mut e = Engine::with_probe(CountingProbe::default());
+        let a = e.add_component(Box::new(PingPong { peer: None, remaining: 0, bounces: 0 }));
+        e.component_as_mut::<PingPong>(a).unwrap().peer = Some(a);
+        e.schedule(SimTime::ZERO, a, 5);
+        e.run_until(SimTime::from_ns(7));
+        let mid_dispatches = e.probe().dispatches;
+        let snap = e.snapshot();
+        let mut f = snap.fork();
+        e.run();
+        f.run();
+        assert!(mid_dispatches > 0);
+        assert_eq!(f.probe().dispatches, e.probe().dispatches);
+        assert_eq!(f.probe().emitted, e.probe().emitted);
     }
 
     #[test]

@@ -24,6 +24,11 @@
 //!   engine run across component-affinity shards, byte-identical to the
 //!   serial engine for any worker count. The [`Simulation`] trait is the
 //!   control surface shared by both executors.
+//! - [`snapshot::Fork`] / [`engine::EngineSnapshot`]: capture a warmed
+//!   engine's full deterministic state once and fork it into independent
+//!   runnable engines in O(state) — the warm-up amortisation behind the
+//!   `nftape` fork grid. A fork replays bit-identically to a fresh run
+//!   reaching the same state.
 //!
 //! # Example
 //!
@@ -41,6 +46,7 @@
 //!     }
 //!     fn as_any(&self) -> &dyn std::any::Any { self }
 //!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+//!     fn fork(&self) -> Box<dyn Component<u32>> { Box::new(Echo { heard: self.heard }) }
 //! }
 //!
 //! let mut engine = Engine::new();
@@ -61,11 +67,13 @@ pub mod metrics;
 pub mod queue;
 pub mod rng;
 pub mod shard;
+pub mod snapshot;
 pub mod time;
 
 pub use bytes::SharedBytes;
-pub use engine::{Component, ComponentId, Context, Engine, NullProbe, Probe, Simulation};
+pub use engine::{Component, ComponentId, Context, Engine, EngineSnapshot, NullProbe, Probe, Simulation};
 pub use queue::TimingWheel;
 pub use rng::DetRng;
 pub use shard::{ShardSpec, ShardedEngine};
+pub use snapshot::Fork;
 pub use time::{SimDuration, SimTime};

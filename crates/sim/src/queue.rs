@@ -342,9 +342,46 @@ impl<T> TimingWheel<T> {
     }
 }
 
+impl<T: crate::snapshot::Fork> crate::snapshot::Fork for TimingWheel<T> {
+    /// Deep-copies the wheel, preserving the exact pop order:
+    ///
+    /// - every bucket's item order and `sorted` flag are copied verbatim,
+    ///   so a lazily-unsorted bucket sorts at the same first-touch moment
+    ///   in the fork as in the original (keys are unique, so the unstable
+    ///   sort is deterministic either way);
+    /// - the overflow heap is rebuilt by iterating the original — its
+    ///   internal array layout may differ, but a binary heap pops strictly
+    ///   by key and `(time, seq)` keys are unique, so the cascade order is
+    ///   identical;
+    /// - the occupancy bitmap, cursor base and length are plain copies.
+    fn fork(&self) -> Self {
+        TimingWheel {
+            // lint: allow(hot-path-alloc) snapshot capture is campaign setup, not the event loop
+            slots: Box::new(std::array::from_fn(|i| Slot {
+                items: self.slots[i]
+                    .items
+                    .iter()
+                    .map(|e| Entry { time: e.time, seq: e.seq, item: e.item.fork() })
+                    .collect(),
+                sorted: self.slots[i].sorted,
+            })),
+            occupied: self.occupied,
+            base: self.base,
+            overflow: self
+                .overflow
+                .iter()
+                .map(|FarEntry(e)| FarEntry(Entry { time: e.time, seq: e.seq, item: e.item.fork() }))
+                .collect(),
+            len: self.len,
+        }
+    }
+}
+
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::snapshot::Fork;
 
     fn drain(wheel: &mut TimingWheel<u32>) -> Vec<(u64, u64, u32)> {
         let mut out = Vec::new();
@@ -467,6 +504,42 @@ mod tests {
             seq += 1;
         }
         assert_eq!(drain(&mut w), expect);
+    }
+
+    #[test]
+    fn fork_mid_drain_pops_identically() {
+        // Build a wheel that exercises every state a fork must capture:
+        // a partially drained sorted bucket, an unsorted bucket, and
+        // overflow entries awaiting a cascade.
+        let mut w = TimingWheel::new();
+        let mut seq = 0;
+        for k in [5u64, 3, 9, 1, 7] {
+            w.push(SimTime::from_ns(10 * k), seq, k as u32);
+            seq += 1;
+        }
+        for k in [40u64, 25, 60] {
+            w.push(SimTime::from_ms(k), seq, k as u32);
+            seq += 1;
+        }
+        // Drain partway so the cursor sits inside a bucket.
+        let _ = w.pop();
+        let _ = w.pop();
+        w.push(SimTime::from_ns(80), seq, 8);
+
+        let mut fork = w.fork();
+        assert_eq!(fork.len(), w.len());
+        assert_eq!(drain(&mut fork), drain(&mut w));
+    }
+
+    #[test]
+    fn fork_is_independent_of_the_original() {
+        let mut w = TimingWheel::new();
+        w.push(SimTime::from_ns(10), 0, 0);
+        let mut fork = w.fork();
+        fork.push(SimTime::from_ns(5), 1, 1);
+        assert_eq!(w.len(), 1);
+        assert_eq!(drain(&mut fork), vec![(5_000, 1, 1), (10_000, 0, 0)]);
+        assert_eq!(drain(&mut w), vec![(10_000, 0, 0)]);
     }
 
     #[test]

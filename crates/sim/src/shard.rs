@@ -69,6 +69,9 @@
 //!     }
 //!     fn as_any(&self) -> &dyn std::any::Any { self }
 //!     fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+//!     fn fork(&self) -> Box<dyn Component<u64>> {
+//!         Box::new(Counter { peer: self.peer, heard: self.heard })
+//!     }
 //! }
 //!
 //! fn build() -> (Engine<u64>, ComponentId, ComponentId) {
@@ -750,7 +753,7 @@ mod tests {
 
     /// Relays a countdown to its peer with a fixed delay, recording every
     /// delivery.
-    #[derive(Debug)]
+    #[derive(Debug, Clone)]
     struct Relay {
         peer: Option<ComponentId>,
         delay: SimDuration,
@@ -771,6 +774,9 @@ mod tests {
         }
         fn as_any_mut(&mut self) -> &mut dyn Any {
             self
+        }
+        fn fork(&self) -> Box<dyn Component<u64>> {
+            Box::new(self.clone())
         }
     }
 
@@ -837,6 +843,9 @@ mod tests {
             }
             fn as_any_mut(&mut self) -> &mut dyn Any {
                 self
+            }
+            fn fork(&self) -> Box<dyn Component<u64>> {
+                Box::new(Hub)
             }
         }
         let build = || {

@@ -1,0 +1,118 @@
+//! Snapshot/fork support: deep, deterministic duplication of engine state.
+//!
+//! A campaign that replays every scenario from t=0 pays the same warm-up
+//! (mapper election, route discovery) once per scenario. The snapshot
+//! seam removes that cost: warm one engine, capture it into an
+//! [`crate::engine::EngineSnapshot`], and [`fork`](Fork::fork) the capture
+//! into as many independent runnable engines as the grid needs — each in
+//! O(state), with no re-simulation.
+//!
+//! [`Fork`] is the capture primitive: a *deep*, *deterministic* copy. It
+//! is deliberately a separate trait from `Clone`:
+//!
+//! - `Clone` on shared-buffer types ([`crate::bytes::SharedBytes`]) is a
+//!   reference-count bump — which is exactly right for a fork too (the
+//!   buffers are copy-on-write, so forks cannot observe each other), but
+//!   the distinction matters for payload types that embed interior
+//!   mutability or external handles: those must not silently satisfy a
+//!   blanket bound and leak shared state across forks.
+//! - A required `fork` method on [`crate::engine::Component`] threads the
+//!   seam through every component layer explicitly; each implementation
+//!   is one visible line that a review can hold to the fork-vs-fresh
+//!   bit-identity contract.
+//!
+//! The correctness claim — a fork is bit-identical to a fresh run that
+//! reached the same state — rests on every `fork` implementation copying
+//! *all* state that can influence future event processing (queues, RNGs,
+//! counters, timers, flow-control flags). The golden-export-hash oracle in
+//! `tests/determinism.rs` pins the claim end-to-end for the full observed
+//! campaign.
+
+/// Deep, deterministic duplication for engine snapshots.
+///
+/// `fork` must return a value whose observable behaviour is identical to
+/// the original's from this instant on: same pending work, same RNG
+/// position, same counters. Implementations must not consult wall-clock
+/// time, global state or anything else outside `self` (the `netfi-lint`
+/// determinism rules police the `sim` code paths).
+pub trait Fork {
+    /// Returns an independent copy with identical observable state.
+    fn fork(&self) -> Self;
+}
+
+/// Implements [`Fork`] as `Clone` for plain owned-data types whose clone
+/// already is a deep, deterministic copy.
+macro_rules! fork_via_clone {
+    ($($ty:ty),* $(,)?) => {
+        $(impl Fork for $ty {
+            #[inline]
+            fn fork(&self) -> Self {
+                self.clone()
+            }
+        })*
+    };
+}
+
+fork_via_clone!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, char, (), String
+);
+
+// Engine vocabulary: all plain owned data. `SharedBytes` is copy-on-write,
+// so the refcount-bump clone is a correct fork (writers copy first).
+fork_via_clone!(
+    crate::time::SimTime,
+    crate::time::SimDuration,
+    crate::engine::ComponentId,
+    crate::bytes::SharedBytes
+);
+
+impl<A: Fork, B: Fork> Fork for (A, B) {
+    fn fork(&self) -> Self {
+        (self.0.fork(), self.1.fork())
+    }
+}
+
+impl<T: Fork> Fork for Option<T> {
+    fn fork(&self) -> Self {
+        self.as_ref().map(Fork::fork)
+    }
+}
+
+impl<T: Fork> Fork for Vec<T> {
+    fn fork(&self) -> Self {
+        self.iter().map(Fork::fork).collect()
+    }
+}
+
+impl<T: Fork> Fork for Box<T> {
+    fn fork(&self) -> Self {
+        Box::new((**self).fork())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytes::SharedBytes;
+    use crate::time::SimTime;
+
+    #[test]
+    fn scalars_and_tuples_fork_by_value() {
+        assert_eq!(7u32.fork(), 7);
+        assert_eq!((SimTime::from_ns(5), 9u64).fork(), (SimTime::from_ns(5), 9));
+        assert_eq!(Some("x".to_string()).fork(), Some("x".to_string()));
+        assert_eq!(vec![1u8, 2, 3].fork(), vec![1, 2, 3]);
+        assert_eq!(Box::new(4i64).fork(), Box::new(4));
+    }
+
+    #[test]
+    fn shared_bytes_fork_is_cow_independent() {
+        let original = SharedBytes::from(vec![1u8, 2, 3]);
+        let mut forked = original.fork();
+        assert_eq!(&*forked, &*original);
+        // Writing to the fork copies first; the original is untouched.
+        forked.make_mut()[0] = 9;
+        assert_eq!(original[0], 1);
+        assert_eq!(forked[0], 9);
+    }
+}

@@ -70,6 +70,23 @@ echo "== campaign bench (serial vs parallel, determinism cross-check) =="
 echo "summary: target/BENCH_campaign.json"
 cat target/BENCH_campaign.json
 
+echo "== fork-grid gate (snapshot/fork bit-identity + amortization) =="
+# Two promises, both hard-failed here. Correctness: the fork-vs-fresh
+# tests pin a forked engine's exports against the same golden hashes a
+# fresh run carries. Performance: the fork grid exists to delete N-1
+# warm-ups, so its wall time may never exceed the fresh grid's (both were
+# just measured by bench_campaign above).
+cargo test -q --release --offline --test determinism fork
+fork_wall=$(extract target/BENCH_campaign.json fork_grid_wall_secs)
+fresh_wall=$(extract target/BENCH_campaign.json fresh_grid_wall_secs)
+if ! awk -v fork="$fork_wall" -v fresh="$fresh_wall" 'BEGIN {
+    printf "fork grid %.2f s vs fresh grid %.2f s (%.2fx)\n", fork, fresh, fresh / fork
+    exit !(fork <= fresh)
+}'; then
+    echo "REGRESSION: the fork grid ran slower than per-spec fresh warm-ups"
+    exit 1
+fi
+
 echo "== obs overhead gate =="
 ./target/release/bench_obs --sim-ms 2000 --samples 5 \
     --baseline target/BENCH_engine.json --min-ratio 0.8 \

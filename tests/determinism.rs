@@ -224,6 +224,41 @@ fn sharded_observed_campaign_matches_serial_golden_hash() {
     assert_eq!(collisions[0], collisions[2]);
 }
 
+/// The snapshot/fork seam's headline contract, pinned against the *same*
+/// golden hashes as the fresh campaign above: warming a donor engine
+/// through the map phase, capturing it with `Engine::snapshot`, and
+/// driving the program + inject phases on a fork must export the exact
+/// bytes a fresh engine produces when it runs all three phases itself.
+/// Nothing in the fork — component state, timing wheel, RNG, sequence
+/// counter, probe — may remember that it was forked.
+#[test]
+fn forked_campaign_matches_fresh_golden_hash() {
+    use netfi::nftape::observed::observed_campaign_forked;
+    let run = observed_campaign_forked(11).unwrap();
+    assert_eq!(fnv1a(run.chrome_trace().as_bytes()), 0xBC3B_4DA1_B316_3F10);
+    assert_eq!(fnv1a(run.text_table().as_bytes()), 0x9EA5_7953_A6F8_C154);
+}
+
+/// The fork grid's contract: forking one warmed donor per failure spec
+/// produces byte-identical results to building and warming a fresh test
+/// bed per spec, and the worker count (1, 2, 8) is invisible in the
+/// output — same fingerprint, same rendered exports, same row order.
+#[test]
+fn fork_grid_matches_fresh_grid_across_worker_counts() {
+    use netfi::nftape::grid::{fork_grid, fresh_grid, grid_specs};
+    let specs = grid_specs();
+    let fresh = fresh_grid(11, &specs, 2).unwrap();
+    for workers in [1, 2, 8] {
+        let forked = fork_grid(11, &specs, workers).unwrap();
+        assert_eq!(
+            forked.fingerprint(),
+            fresh.fingerprint(),
+            "workers={workers}"
+        );
+        assert_eq!(forked, fresh, "workers={workers}");
+    }
+}
+
 /// The parallel campaign runner's contract: the worker count is invisible
 /// in the output. A full observed suite (three seeded scenarios, every
 /// recorder armed) run with 1, 2 and 8 workers must produce byte-identical

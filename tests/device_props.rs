@@ -18,6 +18,7 @@ use netfi::sim::{Component, Context, DetRng, Engine, SimTime};
 const CASES: usize = 32;
 
 /// Endpoint that transmits queued frames and records arrivals.
+#[derive(Clone)]
 struct Probe {
     egress: EgressPort,
     rx: Vec<Frame>,
@@ -63,6 +64,9 @@ impl Component<Ev> for Probe {
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+    fn fork(&self) -> Box<dyn Component<Ev>> {
+        Box::new(self.clone())
     }
 }
 

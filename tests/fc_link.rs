@@ -28,6 +28,7 @@ use netfi::sim::{Component, ComponentId, Context, Engine, SimDuration, SimTime};
 const R_RDY_CODE: u8 = 0x95;
 
 /// An FC endpoint: an N_Port with credit flow control over the engine.
+#[derive(Clone)]
 struct FcEndpoint {
     port: NPort,
     egress: EgressPort,
@@ -60,6 +61,7 @@ impl Attach for FcEndpoint {
     }
 }
 
+#[derive(Clone)]
 enum Cmd {
     Queue(Vec<FcFrame>),
 }
@@ -124,6 +126,9 @@ impl Component<Ev> for FcEndpoint {
     }
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
+    }
+    fn fork(&self) -> Box<dyn Component<Ev>> {
+        Box::new(self.clone())
     }
 }
 
