@@ -1,0 +1,427 @@
+//! The workspace-wide symbol index for structural rules.
+//!
+//! Per-line rules see one line at a time; the fork-completeness rule needs
+//! to relate a `struct`'s field list (one file) to the body of its `Fork`
+//! implementation (possibly another file) and to its derive list. This
+//! module builds that picture: every scanned file is lexed
+//! ([`crate::lexer::lex`]) and item-scanned
+//! ([`crate::lexer::scan_items`]), and the results are folded into one
+//! [`SymbolIndex`] holding
+//!
+//! - **type definitions** — struct fields / enum variants, derive lists,
+//!   body line ranges, keyed by base name;
+//! - **fork sites** — every `impl Fork for T` body, every `fn fork` inside
+//!   an `impl Component<..> for T`, and every type listed in a
+//!   `fork_via_clone!(..)` macro invocation;
+//! - **clone sites** — hand-written `impl Clone for T` bodies, so a fork
+//!   that delegates to `self.clone()` can be checked against the clone
+//!   body when `Clone` is not derived.
+//!
+//! `#[cfg(test)]`-gated items are excluded throughout: test doubles may
+//! shadow live type names and their fork impls owe nothing to the
+//! snapshot contract.
+//!
+//! Name resolution is deliberately conservative (Rust name resolution
+//! without a compiler is a tar pit): a fork site's type name resolves to
+//! the definition in the *same file* first, then to a definition in the
+//! same crate, then to a globally unique definition — and if the name is
+//! still ambiguous, the site is skipped rather than guessed at.
+
+use std::collections::BTreeMap;
+
+use crate::lexer::{lex, scan_items, Field, Item, ItemKind, Line};
+
+/// A struct or enum definition, as recovered by the item scanner.
+#[derive(Debug, Clone)]
+pub struct TypeDef {
+    /// Root-relative label of the defining file.
+    pub file: String,
+    /// 1-based line of the `struct` / `enum` keyword.
+    pub line: usize,
+    /// First line of the field/variant list body (0 for tuple/unit).
+    pub body_start: usize,
+    /// Last line of the field/variant list body (0 for tuple/unit).
+    pub body_end: usize,
+    /// Named fields, or variant names for enums.
+    pub fields: Vec<Field>,
+    /// Traits named in `#[derive(...)]` attributes.
+    pub derives: Vec<String>,
+    /// True for tuple and unit structs: no named fields to check.
+    pub tuple: bool,
+    /// True when the definition is an enum (fields are variants).
+    pub is_enum: bool,
+}
+
+impl TypeDef {
+    /// Whether the type's `Clone` comes from a `#[derive(Clone)]`, which
+    /// copies every field by construction.
+    pub fn derives_clone(&self) -> bool {
+        self.derives.iter().any(|d| d == "Clone")
+    }
+}
+
+/// How a fork body came to exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForkVia {
+    /// A hand-written `impl Fork for T { fn fork(&self) -> Self { .. } }`.
+    ForkTrait,
+    /// The `fn fork(&self) -> Box<dyn Component<M>>` member of an
+    /// `impl Component<..> for T`.
+    ComponentMethod,
+    /// A type listed in a `fork_via_clone!(..)` invocation: the fork *is*
+    /// `Clone`, so completeness reduces to the clone's completeness.
+    CloneMacro,
+}
+
+/// One place a type's fork behaviour is defined.
+#[derive(Debug, Clone)]
+pub struct ForkSite {
+    /// Base name of the forked type.
+    pub type_name: String,
+    /// Root-relative label of the file holding the site.
+    pub file: String,
+    /// 1-based anchor line: the `fn fork` line, or the macro call line.
+    pub line: usize,
+    /// Fork body line range (0,0 for macro sites — there is no body).
+    pub body_start: usize,
+    /// Last body line, inclusive.
+    pub body_end: usize,
+    /// The flavour of the site.
+    pub via: ForkVia,
+}
+
+/// A hand-written `impl Clone for T`, with the `clone` body range.
+#[derive(Debug, Clone)]
+pub struct CloneSite {
+    /// Base name of the cloned type.
+    pub type_name: String,
+    /// Root-relative label of the file holding the impl.
+    pub file: String,
+    /// 1-based line of the `fn clone`.
+    pub line: usize,
+    /// First line of the clone body.
+    pub body_start: usize,
+    /// Last line of the clone body, inclusive.
+    pub body_end: usize,
+}
+
+/// The cross-file symbol index (see module docs).
+#[derive(Debug, Default)]
+pub struct SymbolIndex {
+    /// Type definitions by base name; several crates may reuse a name.
+    pub types: BTreeMap<String, Vec<TypeDef>>,
+    /// Every fork site found, in file order.
+    pub fork_sites: Vec<ForkSite>,
+    /// Hand-written `Clone` impls by type base name.
+    pub clone_sites: BTreeMap<String, Vec<CloneSite>>,
+    /// Lexed lines per file, for body-text and waiver-comment extraction.
+    lines: BTreeMap<String, Vec<Line>>,
+}
+
+impl SymbolIndex {
+    /// Builds the index over `(label, source)` pairs.
+    pub fn build(files: &[(String, String)]) -> SymbolIndex {
+        let mut index = SymbolIndex::default();
+        for (label, source) in files {
+            let lines = lex(source);
+            let items = scan_items(&lines);
+            for item in &items {
+                index.add_item(label, item);
+            }
+            index.lines.insert(label.clone(), lines);
+        }
+        index
+    }
+
+    fn add_item(&mut self, label: &str, item: &Item) {
+        if item.in_test {
+            return;
+        }
+        match item.kind {
+            ItemKind::Struct | ItemKind::Enum => {
+                self.types.entry(item.name.clone()).or_default().push(TypeDef {
+                    file: label.to_string(),
+                    line: item.line,
+                    body_start: item.body_start,
+                    body_end: item.body_end,
+                    fields: item.fields.clone(),
+                    derives: item.derives.clone(),
+                    tuple: item.tuple,
+                    is_enum: item.kind == ItemKind::Enum,
+                });
+            }
+            ItemKind::Impl => {
+                if item.name.is_empty() {
+                    return; // impl for a tuple/reference type: unresolvable
+                }
+                match item.trait_name.as_deref() {
+                    Some("Fork") => {
+                        if let Some(m) = item.methods.iter().find(|m| m.name == "fork") {
+                            self.fork_sites.push(ForkSite {
+                                type_name: item.name.clone(),
+                                file: label.to_string(),
+                                line: m.line,
+                                body_start: m.body_start,
+                                body_end: m.body_end,
+                                via: ForkVia::ForkTrait,
+                            });
+                        }
+                    }
+                    Some("Component") => {
+                        if let Some(m) = item.methods.iter().find(|m| m.name == "fork") {
+                            self.fork_sites.push(ForkSite {
+                                type_name: item.name.clone(),
+                                file: label.to_string(),
+                                line: m.line,
+                                body_start: m.body_start,
+                                body_end: m.body_end,
+                                via: ForkVia::ComponentMethod,
+                            });
+                        }
+                    }
+                    Some("Clone") => {
+                        if let Some(m) = item.methods.iter().find(|m| m.name == "clone") {
+                            self.clone_sites
+                                .entry(item.name.clone())
+                                .or_default()
+                                .push(CloneSite {
+                                    type_name: item.name.clone(),
+                                    file: label.to_string(),
+                                    line: m.line,
+                                    body_start: m.body_start,
+                                    body_end: m.body_end,
+                                });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            ItemKind::MacroCall => {
+                if item.name == "fork_via_clone" {
+                    for arg in &item.macro_args {
+                        self.fork_sites.push(ForkSite {
+                            type_name: arg.clone(),
+                            file: label.to_string(),
+                            line: item.line,
+                            body_start: 0,
+                            body_end: 0,
+                            via: ForkVia::CloneMacro,
+                        });
+                    }
+                }
+            }
+            ItemKind::Fn => {}
+        }
+    }
+
+    /// Resolves a type name from a use site: same file, then same crate,
+    /// then globally unique — `None` when absent or ambiguous.
+    pub fn resolve(&self, name: &str, from_file: &str) -> Option<&TypeDef> {
+        let candidates = self.types.get(name)?;
+        if let Some(def) = candidates.iter().find(|d| d.file == from_file) {
+            return Some(def);
+        }
+        let from_crate = crate_of(from_file);
+        let in_crate: Vec<&TypeDef> = candidates
+            .iter()
+            .filter(|d| crate_of(&d.file) == from_crate)
+            .collect();
+        if let [one] = in_crate.as_slice() {
+            return Some(one);
+        }
+        if !in_crate.is_empty() {
+            return None; // ambiguous within the crate
+        }
+        match candidates.as_slice() {
+            [one] => Some(one),
+            _ => None,
+        }
+    }
+
+    /// Resolves a hand-written `Clone` impl for a type, preferring the
+    /// impl in the type's own file, then its crate, then global unique.
+    pub fn clone_site(&self, type_name: &str, def_file: &str) -> Option<&CloneSite> {
+        let candidates = self.clone_sites.get(type_name)?;
+        if let Some(site) = candidates.iter().find(|s| s.file == def_file) {
+            return Some(site);
+        }
+        let def_crate = crate_of(def_file);
+        let in_crate: Vec<&CloneSite> = candidates
+            .iter()
+            .filter(|s| crate_of(&s.file) == def_crate)
+            .collect();
+        match in_crate.as_slice() {
+            [one] => Some(one),
+            [] => match candidates.as_slice() {
+                [one] => Some(one),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The blanked code text of `file`'s lines `start..=end`, joined with
+    /// newlines. Empty when the file or range is unknown.
+    pub fn code_span(&self, file: &str, start: usize, end: usize) -> String {
+        let Some(lines) = self.lines.get(file) else {
+            return String::new();
+        };
+        let mut out = String::new();
+        for line in lines {
+            if line.number >= start && line.number <= end {
+                out.push_str(&line.code);
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// All `(line, comment)` pairs of `file` whose line falls in
+    /// `start..=end`.
+    pub fn comments_in<'a>(
+        &'a self,
+        file: &str,
+        start: usize,
+        end: usize,
+    ) -> Vec<(usize, &'a str)> {
+        let Some(lines) = self.lines.get(file) else {
+            return Vec::new();
+        };
+        lines
+            .iter()
+            .filter(|l| l.number >= start && l.number <= end && !l.comment.is_empty())
+            .map(|l| (l.number, l.comment.as_str()))
+            .collect()
+    }
+
+    /// The labels of every indexed file, in index order.
+    pub fn files(&self) -> impl Iterator<Item = &str> {
+        self.lines.keys().map(String::as_str)
+    }
+
+    /// The lexed lines of one indexed file.
+    pub fn file_lines(&self, file: &str) -> &[Line] {
+        self.lines.get(file).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Extracts the crate name from a root-relative label:
+/// `crates/<name>/src/...` gives `<name>`, anything else scans as the
+/// root package `netfi`.
+pub fn crate_of(label: &str) -> &str {
+    let mut parts = label.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name,
+        _ => "netfi",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(pairs: &[(&str, &str)]) -> Vec<(String, String)> {
+        pairs
+            .iter()
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn indexes_struct_fields_and_derives() {
+        let index = SymbolIndex::build(&files(&[(
+            "crates/sim/src/a.rs",
+            "#[derive(Debug, Clone)]\npub struct S {\n    pub a: u8,\n    b: Vec<u16>,\n}\n",
+        )]));
+        let def = index.resolve("S", "crates/sim/src/a.rs").expect("S");
+        assert_eq!(
+            def.fields.iter().map(|f| f.name.as_str()).collect::<Vec<_>>(),
+            ["a", "b"]
+        );
+        assert!(def.derives_clone());
+        assert!(!def.tuple && !def.is_enum);
+        assert_eq!((def.body_start, def.body_end), (2, 5));
+    }
+
+    #[test]
+    fn cross_file_resolution_prefers_file_then_crate() {
+        let index = SymbolIndex::build(&files(&[
+            ("crates/sim/src/a.rs", "pub struct S { x: u8 }\n"),
+            ("crates/core/src/b.rs", "pub struct S { y: u8 }\n"),
+            ("crates/core/src/c.rs", "pub fn f() {}\n"),
+        ]));
+        let same_file = index.resolve("S", "crates/sim/src/a.rs").expect("sim S");
+        assert_eq!(same_file.file, "crates/sim/src/a.rs");
+        let same_crate = index.resolve("S", "crates/core/src/c.rs").expect("core S");
+        assert_eq!(same_crate.file, "crates/core/src/b.rs");
+        // From a third crate the name is ambiguous: refuse to guess.
+        assert!(index.resolve("S", "crates/phy/src/d.rs").is_none());
+    }
+
+    #[test]
+    fn fork_sites_cover_trait_component_and_macro() {
+        let src = "\
+pub struct A { x: u8 }
+impl Fork for A {
+    fn fork(&self) -> Self { A { x: self.x } }
+}
+pub struct B { y: u8 }
+impl Component<Ev> for B {
+    fn on_event(&mut self) {}
+    fn fork(&self) -> Box<dyn Component<Ev>> { Box::new(self.clone()) }
+}
+fork_via_clone!(u8, crate::c::C);
+";
+        let index = SymbolIndex::build(&files(&[("crates/sim/src/a.rs", src)]));
+        let kinds: Vec<(&str, ForkVia)> = index
+            .fork_sites
+            .iter()
+            .map(|s| (s.type_name.as_str(), s.via))
+            .collect();
+        assert_eq!(
+            kinds,
+            [
+                ("A", ForkVia::ForkTrait),
+                ("B", ForkVia::ComponentMethod),
+                ("u8", ForkVia::CloneMacro),
+                ("C", ForkVia::CloneMacro),
+            ]
+        );
+        // The component fork's anchor is the `fn fork` line, not the impl.
+        assert_eq!(index.fork_sites[1].line, 8);
+    }
+
+    #[test]
+    fn test_gated_items_stay_out_of_the_index() {
+        let src = "\
+pub struct Live { x: u8 }
+#[cfg(test)]
+mod tests {
+    pub struct Double { y: u8 }
+    impl Fork for Double {
+        fn fork(&self) -> Self { Double { y: 0 } }
+    }
+}
+";
+        let index = SymbolIndex::build(&files(&[("crates/sim/src/a.rs", src)]));
+        assert!(index.resolve("Live", "crates/sim/src/a.rs").is_some());
+        assert!(index.resolve("Double", "crates/sim/src/a.rs").is_none());
+        assert!(index.fork_sites.is_empty());
+    }
+
+    #[test]
+    fn manual_clone_impls_are_indexed() {
+        let src = "\
+pub struct S { a: u8, b: u8 }
+impl Clone for S {
+    fn clone(&self) -> Self {
+        S { a: self.a, b: self.b }
+    }
+}
+";
+        let index = SymbolIndex::build(&files(&[("crates/sim/src/a.rs", src)]));
+        let site = index.clone_site("S", "crates/sim/src/a.rs").expect("clone site");
+        assert_eq!(site.line, 3);
+        assert!(site.body_start > 0 && site.body_end >= site.body_start);
+    }
+}

@@ -8,12 +8,20 @@ const USAGE: &str = "\
 netfi-lint — netfi workspace invariant checker
 
 USAGE:
-    netfi-lint [ROOT]
+    netfi-lint [--format <text|json>] [ROOT]
 
 Scans ROOT/src and ROOT/crates/*/src (default ROOT: the current
 directory) for violations of the workspace invariants: determinism,
-panic-freedom, hot-path allocation discipline and the unsafe/SAFETY
-audit. Prints one `path:line: rule: message` diagnostic per violation.
+panic-freedom, hot-path allocation discipline, the unsafe/SAFETY audit,
+and the structural rules (fork-completeness, dead-suppression,
+relaxed-atomic) over a workspace-wide symbol index.
+
+OPTIONS:
+    --format text    One `path:line: rule: message` line per violation,
+                     then a summary line (the default).
+    --format json    One JSON object: {\"files\", \"suppressions\",
+                     \"violations\": [{\"file\", \"line\", \"rule\",
+                     \"message\"}]} — for CI and tooling.
 
 EXIT CODES:
     0  clean
@@ -21,13 +29,41 @@ EXIT CODES:
     2  usage or I/O error
 ";
 
+enum Format {
+    Text,
+    Json,
+}
+
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
-    for arg in std::env::args().skip(1) {
+    let mut format = Format::Text;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--help" | "-h" => {
                 print!("{USAGE}");
                 return ExitCode::SUCCESS;
+            }
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                other => {
+                    let got = other.unwrap_or("<missing>");
+                    eprintln!("netfi-lint: --format expects `text` or `json`, got `{got}`\n\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            flag if flag.starts_with("--format=") => {
+                match flag.trim_start_matches("--format=") {
+                    "text" => format = Format::Text,
+                    "json" => format = Format::Json,
+                    other => {
+                        eprintln!(
+                            "netfi-lint: --format expects `text` or `json`, got `{other}`\n\n{USAGE}"
+                        );
+                        return ExitCode::from(2);
+                    }
+                }
             }
             flag if flag.starts_with('-') => {
                 eprintln!("netfi-lint: unknown option `{flag}`\n\n{USAGE}");
@@ -44,15 +80,20 @@ fn main() -> ExitCode {
 
     match netfi_lint::scan_workspace(&root) {
         Ok(report) => {
-            for diagnostic in &report.diagnostics {
-                println!("{diagnostic}");
+            match format {
+                Format::Text => {
+                    for line in report.render_lines() {
+                        println!("{line}");
+                    }
+                    println!(
+                        "netfi-lint: {} file(s) scanned, {} violation(s), {} allowed suppression(s)",
+                        report.files,
+                        report.diagnostics.len(),
+                        report.suppressions
+                    );
+                }
+                Format::Json => println!("{}", report.to_json()),
             }
-            println!(
-                "netfi-lint: {} file(s) scanned, {} violation(s), {} allowed suppression(s)",
-                report.files,
-                report.diagnostics.len(),
-                report.suppressions
-            );
             if report.diagnostics.is_empty() {
                 ExitCode::SUCCESS
             } else {

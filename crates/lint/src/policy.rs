@@ -11,6 +11,14 @@
 //! The table below is the single source of truth; unknown crates get the
 //! full rule set so new code starts strict and opts out here, visibly, if
 //! it must.
+//!
+//! The policy gates the *per-line* families. The `determinism` flag also
+//! covers `relaxed-atomic` (an `Ordering::Relaxed` cannot justify a
+//! byte-identity argument across threads). The structural rules —
+//! `fork-completeness` and `dead-suppression` — run workspace-wide over
+//! the symbol index regardless of policy: a fork body owes every field
+//! wherever it lives, and a suppression that suppresses nothing is dead
+//! in any crate.
 
 /// Which rule families apply to a file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -13,7 +13,31 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::policy::policy_for;
-use crate::rules::scan_source;
+use crate::rules::{scan_source, scan_structural};
+
+pub use crate::index::crate_of;
+
+/// One diagnostic with its location, machine-consumable (see
+/// [`WorkspaceReport::to_json`]) and renderable as the classic
+/// `path:line: rule: message` text form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Root-relative file label (`/`-separated on every host OS).
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule identifier.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// The text form: `path:line: rule: message`.
+    pub fn render(&self) -> String {
+        format!("{}:{}: {}: {}", self.file, self.line, self.rule, self.message)
+    }
+}
 
 /// Aggregated result of scanning a workspace.
 #[derive(Debug, Clone, Default)]
@@ -25,13 +49,69 @@ pub struct WorkspaceReport {
     /// `netfi`). Lets gates assert a crate is actually inside the scan
     /// surface, not just named in the policy table.
     pub crates: Vec<String>,
-    /// Total allow-comment suppressions exercised.
+    /// Total suppressions exercised: per-line allow-comments plus
+    /// structural fork-skip waivers.
     pub suppressions: usize,
-    /// Formatted diagnostics, `path:line: rule: message`, in path order.
-    pub diagnostics: Vec<String>,
+    /// All diagnostics — per-line and structural — in (file, line) order.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
-/// Scans `root/src` and `root/crates/*/src`, returning one report.
+impl WorkspaceReport {
+    /// Renders every diagnostic in the classic text form, in order.
+    pub fn render_lines(&self) -> Vec<String> {
+        self.diagnostics.iter().map(Diagnostic::render).collect()
+    }
+
+    /// Serializes the report as a JSON object:
+    /// `{"files": N, "suppressions": N, "violations": [{"file", "line",
+    /// "rule", "message"}, ...]}`. Hand-rolled — the checker stays
+    /// dependency-free — with full string escaping.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"files\": {},\n", self.files));
+        out.push_str(&format!("  \"suppressions\": {},\n", self.suppressions));
+        if self.diagnostics.is_empty() {
+            out.push_str("  \"violations\": []\n");
+        } else {
+            out.push_str("  \"violations\": [\n");
+            for (i, d) in self.diagnostics.iter().enumerate() {
+                let comma = if i + 1 == self.diagnostics.len() { "" } else { "," };
+                out.push_str(&format!(
+                    "    {{\"file\": \"{}\", \"line\": {}, \"rule\": \"{}\", \"message\": \"{}\"}}{comma}\n",
+                    json_escape(&d.file),
+                    d.line,
+                    json_escape(d.rule),
+                    json_escape(&d.message)
+                ));
+            }
+            out.push_str("  ]\n");
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Scans `root/src` and `root/crates/*/src`, returning one report. Runs
+/// the per-line rules under each file's crate policy, then the structural
+/// rules (fork-completeness and friends) over the whole file set at once.
 ///
 /// # Errors
 ///
@@ -52,21 +132,40 @@ pub fn scan_workspace(root: &Path) -> io::Result<WorkspaceReport> {
     files.sort();
 
     let mut report = WorkspaceReport::default();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for (label, path) in &files {
         let crate_name = crate_of(label);
         let source = fs::read_to_string(path)?;
         let file = scan_source(&source, policy_for(crate_name));
         report.files += 1;
-        if report.crates.last().is_none_or(|last| last != crate_name) {
+        if report.crates.last().map_or(true, |last| last != crate_name) {
             report.crates.push(crate_name.to_string());
         }
         report.suppressions += file.suppressions_used;
         for v in file.violations {
-            report
-                .diagnostics
-                .push(format!("{label}:{}: {}: {}", v.line, v.rule, v.message));
+            report.diagnostics.push(Diagnostic {
+                file: label.clone(),
+                line: v.line,
+                rule: v.rule,
+                message: v.message,
+            });
         }
+        sources.push((label.clone(), source));
     }
+
+    let structural = scan_structural(&sources);
+    report.suppressions += structural.waivers_used;
+    for (file, v) in structural.violations {
+        report.diagnostics.push(Diagnostic {
+            file,
+            line: v.line,
+            rule: v.rule,
+            message: v.message,
+        });
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
     Ok(report)
 }
 
@@ -105,16 +204,6 @@ fn label_of(path: &Path) -> String {
     parts.get(anchor..).unwrap_or_default().join("/")
 }
 
-/// Extracts the crate name from a label: `crates/<name>/src/...` gives
-/// `<name>`; the root package's `src/...` scans as `netfi`.
-fn crate_of(label: &str) -> &str {
-    let mut parts = label.split('/');
-    match (parts.next(), parts.next()) {
-        (Some("crates"), Some(name)) => name,
-        _ => "netfi",
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -139,5 +228,40 @@ mod tests {
     fn missing_directories_scan_empty() {
         let report = scan_workspace(Path::new("/definitely/not/a/workspace"));
         assert!(report.is_ok_and(|r| r.files == 0 && r.diagnostics.is_empty()));
+    }
+
+    #[test]
+    fn json_report_escapes_and_shapes() {
+        let report = WorkspaceReport {
+            files: 2,
+            crates: vec!["sim".to_string()],
+            suppressions: 1,
+            diagnostics: vec![Diagnostic {
+                file: "crates/sim/src/a.rs".to_string(),
+                line: 7,
+                rule: "unwrap",
+                message: "a \"quoted\" reason\nwith a newline".to_string(),
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"files\": 2"));
+        assert!(json.contains("\"suppressions\": 1"));
+        assert!(json.contains(r#""file": "crates/sim/src/a.rs""#));
+        assert!(json.contains(r#""line": 7"#));
+        assert!(json.contains(r#"a \"quoted\" reason\nwith a newline"#));
+
+        let empty = WorkspaceReport::default();
+        assert!(empty.to_json().contains("\"violations\": []"));
+    }
+
+    #[test]
+    fn diagnostics_render_the_classic_text_form() {
+        let d = Diagnostic {
+            file: "src/lib.rs".to_string(),
+            line: 3,
+            rule: "panic",
+            message: "boom".to_string(),
+        };
+        assert_eq!(d.render(), "src/lib.rs:3: panic: boom");
     }
 }

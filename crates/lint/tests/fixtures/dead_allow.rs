@@ -1,0 +1,15 @@
+//! Fixture: allow-comments that suppress nothing are themselves flagged.
+//! One live allow (covers the unwrap below it), one dead allow (nothing
+//! on its line or the next), and one dead allow at end-of-file.
+
+pub fn live(o: Option<u8>) -> u8 {
+    // lint: allow(unwrap) proven Some by the caller
+    o.unwrap()
+}
+
+pub fn stranded() -> u8 {
+    // lint: allow(unwrap) the unwrap this covered was refactored away
+    7
+}
+
+// lint: allow(panic) nothing below this line

@@ -1,0 +1,9 @@
+//! Fixture (cross-file pair, definition side): the struct lives here, its
+//! `impl Fork` lives in `fork_cross_impl.rs`. The index must relate the
+//! two across the file boundary — same-crate resolution, since the test
+//! labels both files under `crates/sim/src/`.
+
+pub struct Remote {
+    pub kept: u64,
+    pub dropped: u64,
+}

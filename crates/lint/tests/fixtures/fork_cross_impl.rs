@@ -1,0 +1,12 @@
+//! Fixture (cross-file pair, impl side): forks `Remote`, defined in
+//! `fork_cross_def.rs`, but only copies `kept` — the cross-file
+//! fork-completeness check must flag `dropped` here, at the `fn fork`
+//! line, while citing the field's declaration site in the other file.
+
+use super::fork_cross_def::Remote;
+
+impl Fork for Remote {
+    fn fork(&self) -> Self {
+        Remote { kept: self.kept, ..Remote::default() }
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture: a field-by-field fork that silently drops a field. `Gauge`
+//! gained `high_water` after its `impl Fork` was written; the fork body
+//! copies every other field but never mentions `high_water` (it rides on
+//! `empty()`'s zero), so fork-completeness must flag it — anchored at the
+//! `fn fork` line, naming the field.
+
+pub struct Gauge {
+    pub count: u64,
+    pub sum_ps: u64,
+    pub high_water: u64,
+}
+
+impl Gauge {
+    pub fn empty() -> Gauge {
+        Gauge { count: 0, sum_ps: 0, high_water: 0 }
+    }
+}
+
+impl Fork for Gauge {
+    fn fork(&self) -> Self {
+        let mut next = Gauge::empty();
+        next.count = self.count;
+        next.sum_ps = self.sum_ps;
+        next
+    }
+}

@@ -141,6 +141,51 @@ fn malformed_allowlist_is_itself_a_violation() {
 }
 
 #[test]
+fn relaxed_atomic_fixture() {
+    let r = scan(include_str!("fixtures/relaxed_atomic.rs"));
+    assert_findings(&r, &[(6, "relaxed-atomic"), (11, "relaxed-atomic")]);
+    // Acquire/Release on the lines between are not flagged — the rule
+    // targets the ordering, not atomics in general.
+}
+
+#[test]
+fn dead_allow_fixture() {
+    let r = scan(include_str!("fixtures/dead_allow.rs"));
+    assert_findings(&r, &[(11, "dead-suppression"), (15, "dead-suppression")]);
+    // The live allow still suppresses its unwrap; only it counts.
+    assert_eq!(r.suppressions_used, 1);
+}
+
+/// Hazards that historically desync line or brace tracking — raw strings
+/// holding quotes and braces, char literals holding `"` `{` `}`, nested
+/// block comments, a backslash-newline string continuation — must not
+/// shift the reported line of a violation planted after all of them.
+#[test]
+fn lexer_edges_fixture() {
+    let r = scan(include_str!("fixtures/lexer_edges.rs"));
+    assert_findings(&r, &[(33, "unwrap")]);
+}
+
+/// The item scanner survives the same hazard fixture: the struct declared
+/// after the hazards is recovered with both fields at their true lines.
+#[test]
+fn lexer_edges_do_not_desync_the_item_scanner() {
+    let lines = netfi_lint::lexer::lex(include_str!("fixtures/lexer_edges.rs"));
+    let items = netfi_lint::lexer::scan_items(&lines);
+    let s = items
+        .iter()
+        .find(|i| i.name == "AfterTheHazards")
+        .expect("struct after the hazards was scanned");
+    assert_eq!(s.line, 27);
+    let fields: Vec<(&str, usize)> = s
+        .fields
+        .iter()
+        .map(|f| (f.name.as_str(), f.line))
+        .collect();
+    assert_eq!(fields, [("field_a", 28), ("field_b", 29)]);
+}
+
+#[test]
 fn clean_fixture_reports_nothing() {
     let r = scan(include_str!("fixtures/clean.rs"));
     assert_findings(&r, &[]);

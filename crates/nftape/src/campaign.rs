@@ -271,7 +271,7 @@ pub fn run_campaigns_with_workers(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
                 let Some(spec) = specs.get(i) else { break };
                 let rows = run_campaign(spec);
                 // Campaign workers never panic while holding the lock, but

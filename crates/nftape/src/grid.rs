@@ -506,7 +506,7 @@ pub fn fork_grid(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
                 let Some(spec) = specs.get(i) else { break };
                 let Some(mut engine) = forks[i]
                     .lock()
@@ -564,7 +564,7 @@ pub fn fresh_grid(
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
                 let Some(spec) = specs.get(i) else { break };
                 let run = fresh_run(seed, spec);
                 *slots[i]

@@ -520,7 +520,7 @@ pub fn observed_suite(seeds: &[u64], workers: usize) -> Result<ObservedSuite, Sc
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
                 let Some(&seed) = seeds.get(i) else { break };
                 let run = observed_campaign(seed);
                 *slots[i]

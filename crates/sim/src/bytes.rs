@@ -99,7 +99,7 @@ impl SharedBytes {
         let full = self.start == 0 && self.end as usize == self.data.len();
         let unique = Arc::get_mut(&mut self.data).is_some();
         if !(full && unique) {
-            COW_COPIES.fetch_add(1, Ordering::Relaxed);
+            COW_COPIES.fetch_add(1, Ordering::AcqRel);
             // lint: allow(hot-path-alloc) this IS the sanctioned copy-on-write copy
             self.data = Arc::new(self.data[self.start as usize..self.end as usize].to_vec());
             self.start = 0;
@@ -114,7 +114,7 @@ impl SharedBytes {
     /// Test hook: snapshot before a run, compare after, and an
     /// uncorrupted pass-through must show a delta of zero.
     pub fn copy_count() -> u64 {
-        COW_COPIES.load(Ordering::Relaxed)
+        COW_COPIES.load(Ordering::Acquire)
     }
 }
 

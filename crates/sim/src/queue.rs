@@ -158,7 +158,6 @@ impl<T> TimingWheel<T> {
             slots: Box::new(std::array::from_fn(|_| Slot { items: Vec::new(), sorted: true })),
             occupied: [0; WORDS],
             base: 0,
-            // lint: allow(hot-path-alloc) one-time constructor; the heap grows to its high-water mark once
             overflow: BinaryHeap::new(),
             len: 0,
         }

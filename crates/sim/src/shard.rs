@@ -497,8 +497,12 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
         // Shared round state. Barriers order every access: the window and
         // inboxes are written by the coordinator before barrier A and read
         // by workers after it; mins/outboxes/stop are written by workers
-        // before barrier B and read by the coordinator after it. Relaxed
-        // atomics suffice under that happens-before.
+        // before barrier B and read by the coordinator after it. Each
+        // access additionally carries its own acquire/release edge so the
+        // byte-identity argument never leans on barrier internals — every
+        // value that reaches an output byte is ordered by the access that
+        // published it (the workspace lint rejects `Ordering::Relaxed` in
+        // determinism-scope crates for exactly this reason).
         let barrier = Barrier::new(nthreads + 1);
         let window_ps = AtomicU64::new(0);
         let exit = AtomicBool::new(false);
@@ -542,7 +546,7 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
                     let mut dead = false;
                     loop {
                         barrier.wait(); // A: window opened (or exit).
-                        if exit.load(Ordering::Relaxed) {
+                        if exit.load(Ordering::Acquire) {
                             break;
                         }
                         // A dead worker still paces the barriers so the
@@ -551,7 +555,7 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
                             barrier.wait(); // B (degenerate round).
                             continue;
                         }
-                        let window_last = SimTime::from_ps(window_ps.load(Ordering::Relaxed));
+                        let window_last = SimTime::from_ps(window_ps.load(Ordering::Acquire));
                         let round = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             for shard in shard_chunk.iter_mut() {
                                 let sid = shard.home as usize;
@@ -564,7 +568,7 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
                                         // are still on record: count merge
                                         // ties before assigning seqs.
                                         if shard.ties_local(routed.time, routed.dst) {
-                                            local_ties.fetch_add(1, Ordering::Relaxed);
+                                            local_ties.fetch_add(1, Ordering::AcqRel);
                                         }
                                         let seq = shard.seq;
                                         shard.seq += 1;
@@ -573,7 +577,7 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
                                 }
                                 shard.run_window(window_last, affinity, locs, components_total);
                                 if shard.stop {
-                                    stop_flag.store(true, Ordering::Relaxed);
+                                    stop_flag.store(true, Ordering::Release);
                                 }
                                 {
                                     let mut slot = outboxes[sid]
@@ -581,7 +585,7 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
                                         .unwrap_or_else(PoisonError::into_inner);
                                     std::mem::swap(&mut *slot, &mut shard.outbox);
                                 }
-                                mins[sid].store(shard.next_due_ps(), Ordering::Relaxed);
+                                mins[sid].store(shard.next_due_ps(), Ordering::Release);
                             }
                         }));
                         if let Err(payload) = round {
@@ -593,7 +597,7 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
                                 *slot = Some(payload);
                             }
                             drop(slot);
-                            panicked.store(true, Ordering::Relaxed);
+                            panicked.store(true, Ordering::Release);
                         }
                         barrier.wait(); // B: window drained, outboxes deposited.
                     }
@@ -603,8 +607,8 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
             loop {
                 // A worker died mid-round: its shard state is suspect and
                 // its mins are stale, so release everyone and re-raise.
-                if panicked.load(Ordering::Relaxed) {
-                    exit.store(true, Ordering::Relaxed);
+                if panicked.load(Ordering::Acquire) {
+                    exit.store(true, Ordering::Release);
                     barrier.wait(); // A: release workers into their exit.
                     break;
                 }
@@ -620,14 +624,14 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
                 cross_collisions += Self::sort_and_count(&mut mailbox);
                 let mut next_ps = mins
                     .iter()
-                    .map(|m| m.load(Ordering::Relaxed))
+                    .map(|m| m.load(Ordering::Acquire))
                     .min()
                     .unwrap_or(u64::MAX);
                 if let Some(first) = mailbox.first() {
                     next_ps = next_ps.min(first.time.as_ps());
                 }
-                if stop_flag.load(Ordering::Relaxed) || next_ps > deadline.as_ps() {
-                    exit.store(true, Ordering::Relaxed);
+                if stop_flag.load(Ordering::Acquire) || next_ps > deadline.as_ps() {
+                    exit.store(true, Ordering::Release);
                     barrier.wait(); // A: release workers into their exit.
                     break;
                 }
@@ -639,7 +643,7 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
                 }
                 window_ps.store(
                     Self::window_last(next_ps, lookahead, deadline).as_ps(),
-                    Ordering::Relaxed,
+                    Ordering::Release,
                 );
                 rounds += 1;
                 barrier.wait(); // A: open the window.
@@ -657,7 +661,7 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
         }
         self.rounds += rounds;
         self.cross_events += cross_events;
-        self.cross_collisions += cross_collisions + local_ties.load(Ordering::Relaxed);
+        self.cross_collisions += cross_collisions + local_ties.load(Ordering::Acquire);
         // Mailbox entries still in hand exited before any worker could
         // drain them; count their local ties (the final window's records
         // are still on the shards) exactly as a drain would have.
@@ -667,7 +671,7 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
                 self.shards[self.affinity[r.dst.index()] as usize].ties_local(r.time, r.dst)
             })
             .count() as u64;
-        self.stopped = stop_flag.load(Ordering::Relaxed);
+        self.stopped = stop_flag.load(Ordering::Acquire);
         // A stop can leave merged-but-undistributed mailbox entries (the
         // serial engine likewise leaves its queue populated on stop); park
         // them in the destination wheels in the same merge order so

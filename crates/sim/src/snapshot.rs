@@ -26,7 +26,13 @@
 //! *all* state that can influence future event processing (queues, RNGs,
 //! counters, timers, flow-control flags). The golden-export-hash oracle in
 //! `tests/determinism.rs` pins the claim end-to-end for the full observed
-//! campaign.
+//! campaign — and `netfi-lint`'s structural `fork-completeness` rule now
+//! checks the field inventory statically: every type with an `impl Fork`,
+//! a `Component::fork`, or a listing in the `fork_via_clone!` macro
+//! below is resolved against its declaration, and a declared field the
+//! fork body never reads fails the lint unless waived field-by-field
+//! with `lint: allow(fork-skip) <field>: <reason>`. Growing a struct
+//! without growing its fork is a CI failure, not a latent replay bug.
 
 /// Deep, deterministic duplication for engine snapshots.
 ///

@@ -17,8 +17,30 @@ cargo clippy --all-targets --offline -- -D warnings
 echo "== rustdoc (warning-free, missing_docs denied) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace --offline
 
-echo "== lint (netfi-lint workspace invariants) =="
+echo "== lint (netfi-lint workspace invariants, structural rules) =="
+# One structural pass covers the per-line rules plus fork-completeness,
+# dead-suppression and relaxed-atomic; a non-zero exit on any of them
+# fails the gate here (set -e). The JSON artifact is what CI tooling
+# consumes; the text run above it is for humans reading the log. The
+# suppression-budget ratchet itself lives in
+# crates/lint/tests/workspace_clean.rs, already enforced by the test
+# stage above. The analyzer indexes every workspace source on each run,
+# so its wall time is recorded — it must stay instant-feeling.
+lint_start=$(date +%s%N)
 ./target/release/netfi-lint .
+./target/release/netfi-lint --format json . > target/LINT.json
+lint_end=$(date +%s%N)
+awk -v s="$lint_start" -v e="$lint_end" \
+    'BEGIN { printf "lint wall time: %.3f s (two full scans)\n", (e - s) / 1e9 }'
+# Artifact sanity: the JSON names the three structural rules' scan (a
+# clean report still carries files/suppressions/violations keys).
+for key in files suppressions violations; do
+    grep -q "\"$key\"" target/LINT.json || {
+        echo "target/LINT.json is missing the \"$key\" key"
+        exit 1
+    }
+done
+echo "artifact: target/LINT.json"
 
 echo "== engine bench =="
 # 31 samples: throughput is min-of-samples, and on a shared box the min
