@@ -1,0 +1,111 @@
+//! Sampled fault-injection throughput: the headline injections/sec.
+//!
+//! Warms one donor campaign, then draws and runs a `--points`-sized
+//! statistical injection campaign (`netfi-sample`) at each requested
+//! worker count, asserting the campaign fingerprint and the rendered
+//! coverage report are byte-identical across worker counts — the
+//! sampler's determinism contract. The headline number is
+//! injections/sec: sampled points executed per wall-clock second by the
+//! widest fan-out, warm-up excluded (it is paid once, amortized across
+//! any campaign size).
+//!
+//! Emits `BENCH_injections.json` with the class histogram, Wilson 95%
+//! intervals and the throughput, which `scripts/check.sh` gates against
+//! the committed baseline.
+//!
+//! ```text
+//! cargo run -p netfi-bench --release --bin bench_injections -- \
+//!     [--points 2048] [--seed 11] [--workers N] \
+//!     [--out BENCH_injections.json]
+//! ```
+
+use netfi_bench::arg;
+use netfi_bench::harness::JsonObject;
+use netfi_nftape::grid::warm_campaign;
+use netfi_nftape::runner::worker_count;
+use netfi_sample::{sample_warmed, OutcomeClass, SampleOptions};
+use std::time::Instant;
+
+fn main() {
+    let out_path: String = arg("--out", "BENCH_injections.json".to_string());
+    let points: u64 = arg("--points", 2048);
+    let seed: u64 = arg("--seed", 11);
+    let requested: usize = arg("--workers", 0);
+    let widest = worker_count((requested > 0).then_some(requested));
+
+    let start = Instant::now();
+    let warm = warm_campaign(seed).expect("warm donor campaign");
+    let warm_secs = start.elapsed().as_secs_f64();
+
+    // Worker sweep: 1/2/8 pin the invariance contract (8 exceeds this
+    // topology's parallelism on any box, so oversubscription is covered),
+    // plus the requested width. The headline rate is the best pass.
+    let mut sweep = vec![1usize, 2, 8, widest];
+    sweep.sort_unstable();
+    sweep.dedup();
+
+    let mut campaigns = Vec::new();
+    let mut best_secs = f64::MAX;
+    for &workers in &sweep {
+        let opts = SampleOptions {
+            seed,
+            points,
+            workers,
+        };
+        let start = Instant::now();
+        let campaign = sample_warmed(&warm, &opts).expect("sampled campaign");
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "sampled {points} points, {workers} workers: {secs:.2} s ({:.1} injections/sec), fingerprint {:#018x}",
+            points as f64 / secs,
+            campaign.fingerprint()
+        );
+        best_secs = best_secs.min(secs);
+        campaigns.push(campaign);
+    }
+    let first = &campaigns[0];
+    for (campaign, &workers) in campaigns.iter().zip(&sweep).skip(1) {
+        assert_eq!(
+            campaign.fingerprint(),
+            first.fingerprint(),
+            "worker count {workers} changed the campaign fingerprint"
+        );
+        assert_eq!(
+            campaign.report().render(),
+            first.report().render(),
+            "worker count {workers} changed the coverage report bytes"
+        );
+        assert_eq!(campaign, first, "worker count {workers} changed a record");
+    }
+
+    let report = first.report();
+    println!("{}", report.render());
+    let injections_per_sec = points as f64 / best_secs;
+
+    let mut json = JsonObject::new()
+        .str("bench", "injections")
+        .int(
+            "cores",
+            std::thread::available_parallelism().map_or(1, usize::from) as u64,
+        )
+        .int("workers", widest as u64)
+        .int("points", points)
+        .int("seed", seed)
+        .num("warm_secs", warm_secs)
+        .num("wall_secs", best_secs)
+        .num("injections_per_sec", injections_per_sec)
+        .str("fingerprint", &format!("{:#018x}", first.fingerprint()));
+    for row in &report.rows {
+        json = json
+            .int(row.class.label(), row.count)
+            .num(&format!("{}_lo", row.class.label()), row.low)
+            .num(&format!("{}_hi", row.class.label()), row.high);
+    }
+    // The acceptance contract: every class of the taxonomy is present in
+    // the report, zero-draw classes included.
+    assert_eq!(report.rows.len(), OutcomeClass::ALL.len());
+
+    let rendered = json.render();
+    std::fs::write(&out_path, format!("{rendered}\n")).expect("write BENCH json");
+    println!("wrote {out_path} ({injections_per_sec:.1} injections/sec)");
+}

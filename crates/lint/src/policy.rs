@@ -60,6 +60,12 @@ pub fn policy_for(crate_name: &str) -> Policy {
         // sites, where the justification lives next to the code and counts
         // against the suppression budget.
         "nftape" => Policy::STRICT,
+        // The statistical sampler makes the same promise one level up:
+        // a sampled campaign's fingerprint is a pure function of
+        // (seed, points), whatever the worker count. Its one deliberate
+        // exception — the scoped fan-out workers in its campaign driver —
+        // carries an allow-comment at the spawn site, same as nftape's.
+        "sample" => Policy::STRICT,
         // The lint binary reads argv and walks the filesystem; it stays
         // panic-free.
         "lint" => Policy {
@@ -110,6 +116,13 @@ mod tests {
         // clocks or the environment. Its two sanctioned escapes (scoped
         // fan-out, NETFI_DEBUG) are allow-comments, not a policy hole.
         assert_eq!(policy_for("nftape"), Policy::STRICT);
+    }
+
+    #[test]
+    fn sample_is_fully_strict() {
+        // The sampler's fingerprint is a pure function of (seed, points);
+        // its scoped fan-out is an allow-comment, not a policy hole.
+        assert_eq!(policy_for("sample"), Policy::STRICT);
     }
 
     #[test]

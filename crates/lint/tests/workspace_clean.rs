@@ -34,8 +34,8 @@ fn workspace_has_no_lint_violations() {
     // panic-freedom) scope of the policy table, and this pins that the
     // scope is real — the walker actually visits its sources.
     for name in [
-        "bench", "core", "fc", "lint", "myrinet", "netstack", "nftape", "obs", "phy", "sim",
-        "netfi",
+        "bench", "core", "fc", "lint", "myrinet", "netstack", "nftape", "obs", "phy", "sample",
+        "sim", "netfi",
     ] {
         assert!(
             report.crates.iter().any(|c| c == name),
@@ -100,14 +100,19 @@ fn workspace_has_no_lint_violations() {
         "nftape's allowlist entries vanished from the budget: {}",
         report.suppressions
     );
-    // Lowered 35 -> 32 with the structural analyzer: the dead-suppression
-    // rule found one allow-comment suppressing nothing (the timing wheel's
-    // `BinaryHeap::new()`, which the alloc rule never flagged), and every
-    // remaining allow is verified live by that same rule — so the ceiling
-    // now sits exactly on the measured count. It can only move down, or up
-    // in the same commit that adds a justified (and exercised) allow.
+    // Lowered 35 -> 32 with the structural analyzer (one dead allow
+    // pruned, the rest verified live by the dead-suppression rule), then
+    // raised 32 -> 35 with the sub-tick key scheme: the engine grew a
+    // per-component emission-counter `Vec` (constructor, snapshot and
+    // fork each touch it once on a setup path), and the per-line alloc
+    // rule wants one allow per flagged line. Raised 35 -> 36 with the
+    // statistical sampler: `sample`'s campaign driver fans points across
+    // scoped workers behind one justified thread-spawn allow, mirroring
+    // nftape's. The ceiling sits exactly on the measured count; it can
+    // only move down, or up in the same commit that adds a justified
+    // (and exercised) allow.
     assert!(
-        report.suppressions <= 32,
+        report.suppressions <= 36,
         "allow-comment suppressions grew to {} — review before raising the budget",
         report.suppressions
     );

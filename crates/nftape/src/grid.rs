@@ -32,7 +32,7 @@ use netfi_sim::{ComponentId, Engine, EngineSnapshot, SimDuration};
 
 use crate::observed::{
     arm_recorders, campaign_options, campaign_workload, collect, drive_map_phase,
-    ObservedCampaign, RING,
+    run_phase_budgeted, ObservedCampaign, RING,
 };
 use crate::results::ScenarioError;
 use crate::runner::program_injector;
@@ -323,6 +323,33 @@ impl WarmedCampaign {
     pub fn pending_events(&self) -> usize {
         self.snapshot.pending_events()
     }
+
+    /// The donor snapshot itself, for callers that drive their own fault
+    /// phases on forks (the `netfi-sample` fault-injection sampler).
+    pub fn snapshot(&self) -> &EngineSnapshot<Ev, DispatchProbe> {
+        &self.snapshot
+    }
+
+    /// Component ids of the campaign's hosts, in test-bed order.
+    pub fn hosts(&self) -> &[ComponentId] {
+        &self.hosts
+    }
+
+    /// Component id of the campaign's switch.
+    pub fn switch(&self) -> ComponentId {
+        self.switch
+    }
+
+    /// Component id of the injector device spliced into host 1's link.
+    pub fn device(&self) -> ComponentId {
+        self.device
+    }
+
+    /// The map-phase span events every forked scenario's bundle starts
+    /// from.
+    pub fn map_phases(&self) -> &[Stamped<ObsEvent>] {
+        &self.map_phases
+    }
 }
 
 /// Builds the fixed campaign test bed and runs the map phase once,
@@ -413,7 +440,7 @@ fn run_fault_phases(
             value: ObsEvent::begin("campaign", "program", 0),
         });
         let programmed = program_injector(engine, device, engine.now(), *dir, config);
-        engine.run_until(programmed);
+        run_phase_budgeted(engine, programmed);
         phases.push(Stamped {
             time: engine.now(),
             value: ObsEvent::end("campaign", "program", 0),
@@ -438,7 +465,8 @@ fn run_fault_phases(
             })),
         );
     }
-    engine.run_for(SimDuration::from_ms(5) * sends + SimDuration::from_ms(100));
+    let settle = engine.now() + SimDuration::from_ms(5) * sends + SimDuration::from_ms(100);
+    run_phase_budgeted(engine, settle);
     phases.push(Stamped {
         time: engine.now(),
         value: ObsEvent::end("campaign", "inject", sends),

@@ -32,7 +32,7 @@ use netfi_obs::event::sort_bundle;
 use netfi_obs::export::{chrome_trace, text_table};
 use netfi_obs::{DispatchProbe, EventKind, ObsEvent, Registry, Stamped};
 use netfi_sim::shard::{ShardSpec, ShardedEngine};
-use netfi_sim::{ComponentId, SimDuration, SimTime, Simulation};
+use netfi_sim::{ComponentId, RunBudget, RunOutcome, SimDuration, SimTime, Simulation};
 
 use crate::report::{registry_tables, Table};
 use crate::results::ScenarioError;
@@ -40,6 +40,27 @@ use crate::scenarios::udpcheck::MESSAGE;
 
 /// Ring capacity armed on every component recorder.
 pub(crate) const RING: usize = 512;
+
+/// Event budget for every campaign phase run. The healthy campaign
+/// delivers well under a million events end to end, so this cap is pure
+/// insurance: a fault that livelocks the simulated system (a corrupted
+/// control loop re-arming at the same instant forever) terminates as
+/// [`RunOutcome::BudgetExhausted`] instead of spinning the host. The
+/// drivers assert the budget was *not* the reason a healthy phase ended,
+/// so the golden hashes cannot silently pin a truncated run.
+pub(crate) const CAMPAIGN_EVENT_BUDGET: u64 = 20_000_000;
+
+/// Runs the executor to `deadline` under [`CAMPAIGN_EVENT_BUDGET`],
+/// asserting the phase drained or reached the deadline rather than
+/// exhausting the budget.
+pub(crate) fn run_phase_budgeted<M>(sim: &mut impl Simulation<M>, deadline: SimTime) {
+    let outcome = sim.run_budgeted(RunBudget::until(deadline).with_max_events(CAMPAIGN_EVENT_BUDGET));
+    assert_ne!(
+        outcome,
+        RunOutcome::BudgetExhausted,
+        "campaign phase exhausted its event budget before {deadline:?} — livelock?"
+    );
+}
 
 /// Everything an observed run produces.
 #[derive(Debug)]
@@ -131,7 +152,7 @@ pub(crate) fn drive_map_phase(sim: &mut impl Simulation<Ev>) -> Vec<Stamped<ObsE
         time: sim.now(),
         value: ObsEvent::begin("campaign", "map", 0),
     });
-    sim.run_until(SimTime::from_ms(2_500));
+    run_phase_budgeted(sim, SimTime::from_ms(2_500));
     phases.push(Stamped {
         time: sim.now(),
         value: ObsEvent::end("campaign", "map", 0),
@@ -170,7 +191,7 @@ fn drive_fault_phases(
     let program_at = sim.now();
     let programmed =
         crate::runner::program_injector(sim, device, program_at, DirSelect::B, &config);
-    sim.run_until(programmed);
+    run_phase_budgeted(sim, programmed);
     phase(
         sim.now(),
         ObsEvent::end("campaign", "program", 0),
@@ -196,7 +217,8 @@ fn drive_fault_phases(
             })),
         );
     }
-    sim.run_for(SimDuration::from_ms(5) * sends + SimDuration::from_ms(100));
+    let settle = sim.now() + SimDuration::from_ms(5) * sends + SimDuration::from_ms(100);
+    run_phase_budgeted(sim, settle);
     phase(
         sim.now(),
         ObsEvent::end("campaign", "inject", sends),
@@ -355,15 +377,11 @@ pub struct ShardedObserved {
     pub shards: usize,
     /// Conservative windows executed.
     pub rounds: u64,
-    /// Events that crossed a shard boundary through the mailbox.
+    /// Events that crossed a shard boundary through the mailbox. Every
+    /// one carries its sub-tick key from emission, so merged events order
+    /// exactly as the serial engine orders them — ties included (see
+    /// `netfi_sim::shard` and DESIGN.md §11).
     pub cross_events: u64,
-    /// Same-`(time, destination)` ties between a merged cross-shard event
-    /// and either a mailbox entry from a different source shard or an
-    /// intra-shard event emitted during the same window. For these events
-    /// byte-identity is established by the golden export hashes rather
-    /// than by construction (see `netfi_sim::shard` and DESIGN.md §11);
-    /// the count is worker-count-invariant.
-    pub cross_collisions: u64,
 }
 
 /// [`observed_campaign`], executed by a [`ShardedEngine`]: the switch, each
@@ -418,7 +436,6 @@ pub fn observed_campaign_sharded(seed: u64, workers: usize) -> Result<ShardedObs
         shards: sim.shard_count(),
         rounds: sim.rounds(),
         cross_events: sim.cross_events(),
-        cross_collisions: sim.cross_collisions(),
     })
 }
 
@@ -598,7 +615,6 @@ mod tests {
     #[test]
     fn sharded_campaign_matches_serial_byte_for_byte() {
         let serial = observed_campaign(11).unwrap();
-        let mut collisions = Vec::new();
         for workers in [1, 2] {
             let run = observed_campaign_sharded(11, workers).unwrap();
             assert_eq!(
@@ -613,16 +629,11 @@ mod tests {
             assert_eq!(run.shards, 4);
             assert!(run.rounds > 0);
             assert!(run.cross_events > 0);
-            collisions.push(run.cross_collisions);
         }
         // This topology has periodic symmetric ties (host 0 and host 2
-        // both hitting the switch on the same instant during mapping), so
-        // the collision monitor is non-zero — the export equality above is
-        // the proof the merge resolved them exactly as the serial engine
-        // did (DESIGN.md §11 explains why). The counter itself is part of
-        // the deterministic schedule, so it cannot vary with workers.
-        assert!(collisions[0] > 0);
-        assert!(collisions.iter().all(|&c| c == collisions[0]));
+        // both hitting the switch on the same instant during mapping);
+        // sub-tick keys order them identically in both executors, so the
+        // export equality above needs no per-tie oracle (DESIGN.md §11).
     }
 
     #[test]

@@ -2,9 +2,12 @@
 //!
 //! An [`Engine`] owns a set of components (network hosts, switches, the fault
 //! injector, traffic sources, …) and a time-ordered event queue. Events carry
-//! a domain-defined payload type `M`; delivery order is `(time, sequence)`
-//! where the sequence number is assigned at scheduling time, so runs are
-//! fully deterministic.
+//! a domain-defined payload type `M`; delivery order is `(time, key)` where
+//! the sub-tick key encodes *(source slot, per-source emission index)* — see
+//! `tick_key` — so same-time events order by who emitted them and in what
+//! order, a pure function of simulation state. Runs are fully deterministic,
+//! and the order is reproducible shard-locally by a
+//! [`crate::shard::ShardedEngine`] with no global coordination.
 
 // netfi-lint: deny(hot-path-alloc)
 //
@@ -19,6 +22,29 @@ use std::fmt;
 use crate::queue::TimingWheel;
 use crate::snapshot::Fork;
 use crate::time::{SimDuration, SimTime};
+
+/// Bits reserved for the per-source emission counter in a sub-tick key;
+/// the source slot occupies the bits above.
+pub(crate) const EMIT_BITS: u32 = 40;
+
+/// Packs a sub-tick ordering key from a source slot and that source's
+/// emission counter.
+///
+/// Slot `0` is the engine-level [`Engine::schedule`] stream; slot
+/// `id + 1` is component `id`'s [`Context::send`] stream. Counters
+/// strictly increase per source, so keys are globally unique, and the
+/// key of an emission depends only on *which component emitted it and
+/// how many it had emitted before* — not on how emissions from other
+/// sources interleave. That locality is what lets the sharded engine
+/// reproduce the serial same-instant delivery order without seeing the
+/// global emission sequence (see [`crate::shard`]).
+pub(crate) fn tick_key(src_slot: u64, counter: u64) -> u64 {
+    debug_assert!(
+        counter < (1u64 << EMIT_BITS),
+        "per-source emission counter overflow"
+    );
+    (src_slot << EMIT_BITS) | counter
+}
 
 /// Identifies a component registered with an [`Engine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -74,9 +100,12 @@ pub(crate) type Queued<M> = (ComponentId, M);
 
 /// A send that crossed a shard boundary during a conservative window.
 /// Captured in the emitting shard's outbox and merged into the destination
-/// shard's wheel at the window barrier (see [`crate::shard`]).
+/// shard's wheel at the window barrier (see [`crate::shard`]). It carries
+/// the sub-tick key assigned at emission, so the destination wheel orders
+/// it exactly as the serial engine's single wheel would.
 pub(crate) struct CrossSend<M> {
     pub(crate) time: SimTime,
+    pub(crate) key: u64,
     pub(crate) dst: ComponentId,
     pub(crate) payload: M,
 }
@@ -96,11 +125,6 @@ pub(crate) struct ShardRoute<'a, M> {
     pub(crate) window_last: SimTime,
     /// Captures cross-shard sends for the barrier merge.
     pub(crate) outbox: &'a mut Vec<CrossSend<M>>,
-    /// Records `(time, dst)` of intra-shard sends landing beyond the
-    /// window — the local half of a potential tie with a cross-shard
-    /// event merged at the barrier (see
-    /// `crate::shard::ShardedEngine::cross_collisions`).
-    pub(crate) window_sends: &'a mut Vec<(SimTime, ComponentId)>,
 }
 
 /// Scheduling context handed to a component while it handles an event.
@@ -112,7 +136,9 @@ pub(crate) struct ShardRoute<'a, M> {
 pub struct Context<'a, M> {
     now: SimTime,
     self_id: ComponentId,
-    seq: &'a mut u64,
+    /// The handling component's own emission counter — the low half of
+    /// every sub-tick key it mints (see [`tick_key`]).
+    emit: &'a mut u64,
     queue: &'a mut TimingWheel<Queued<M>>,
     components: u32,
     stop_requested: &'a mut bool,
@@ -150,8 +176,9 @@ impl<M> Context<'_, M> {
             "event addressed to unknown component {dst}"
         );
         let time = self.now + delay;
-        let seq = *self.seq;
-        *self.seq += 1;
+        let counter = *self.emit;
+        *self.emit += 1;
+        let key = tick_key(u64::from(self.self_id.0) + 1, counter);
         if let Some(route) = self.route.as_mut() {
             if route.affinity[dst.index()] != route.home {
                 // The conservative-window invariant: a cross-shard send may
@@ -162,17 +189,11 @@ impl<M> Context<'_, M> {
                     "cross-shard send to {dst} lands inside the conservative \
                      window; the affinity partition violates the lookahead bound"
                 );
-                route.outbox.push(CrossSend { time, dst, payload });
+                route.outbox.push(CrossSend { time, key, dst, payload });
                 return;
             }
-            if time > route.window_last {
-                // An intra-shard send beyond the window can tie on
-                // (time, dst) with a cross-shard event merged at the
-                // barrier; record it for the shard engine's tie monitor.
-                route.window_sends.push((time, dst));
-            }
         }
-        self.queue.push(time, seq, (dst, payload));
+        self.queue.push(time, key, (dst, payload));
     }
 
     /// Schedules `payload` for delivery back to the current component.
@@ -205,7 +226,7 @@ impl<'a, M> Context<'a, M> {
     pub(crate) fn for_shard(
         now: SimTime,
         self_id: ComponentId,
-        seq: &'a mut u64,
+        emit: &'a mut u64,
         queue: &'a mut TimingWheel<Queued<M>>,
         components: u32,
         stop_requested: &'a mut bool,
@@ -214,7 +235,7 @@ impl<'a, M> Context<'a, M> {
         Context {
             now,
             self_id,
-            seq,
+            emit,
             queue,
             components,
             stop_requested,
@@ -258,6 +279,52 @@ pub struct NullProbe;
 
 impl Probe for NullProbe {}
 
+/// Bounds for a budgeted run (see [`Engine::run_budgeted`]): a simulated
+/// deadline *and* a cap on delivered events. Both are pure functions of
+/// simulation state, so a budgeted run returns the same [`RunOutcome`] on
+/// the serial engine and on a [`crate::shard::ShardedEngine`] at any
+/// worker count (the sharded engine checks the event cap at window
+/// boundaries, so it may overrun `max_events` by at most one window's
+/// deliveries — deterministically).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunBudget {
+    /// Latest simulated instant to deliver events at (inclusive).
+    pub deadline: SimTime,
+    /// Maximum events to deliver in this call.
+    pub max_events: u64,
+}
+
+impl RunBudget {
+    /// A pure time bound: run to `deadline` with no event cap.
+    pub fn until(deadline: SimTime) -> RunBudget {
+        RunBudget {
+            deadline,
+            max_events: u64::MAX,
+        }
+    }
+
+    /// Caps the number of events delivered by this run.
+    #[must_use]
+    pub fn with_max_events(mut self, max_events: u64) -> RunBudget {
+        self.max_events = max_events;
+        self
+    }
+}
+
+/// Why a budgeted run returned (see [`Engine::run_budgeted`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The queue drained: nothing left to deliver anywhere.
+    Drained,
+    /// A component called [`Context::stop`].
+    Stopped,
+    /// Events remain, but none due at or before the deadline.
+    DeadlineReached,
+    /// The event cap ran out with the deadline not yet reached — the
+    /// signature of a livelock when the cap was sized generously.
+    BudgetExhausted,
+}
+
 /// The event-driven simulation engine.
 ///
 /// See the [crate-level documentation](crate) for a complete example. The
@@ -271,7 +338,14 @@ pub struct Engine<M, P: Probe = NullProbe> {
     /// binary heap had, at O(1) push/pop instead of O(log n) sifts.
     queue: TimingWheel<Queued<M>>,
     now: SimTime,
-    seq: u64,
+    /// Emission counter for the engine-level [`Engine::schedule`] stream
+    /// (sub-tick source slot 0).
+    external_seq: u64,
+    /// Per-component emission counters, parallel to `components` — the
+    /// low halves of the sub-tick keys each component mints. Carried
+    /// through snapshots and shard decomposition: resetting one would
+    /// re-issue keys already spent on queued events.
+    emit: Vec<u64>,
     events_processed: u64,
     stop_requested: bool,
     probe: P,
@@ -309,7 +383,9 @@ impl<M: 'static, P: Probe> Engine<M, P> {
             components: Vec::new(),
             queue: TimingWheel::new(),
             now: SimTime::ZERO,
-            seq: 0,
+            external_seq: 0,
+            // lint: allow(hot-path-alloc) one-time constructor; grows only in add_component
+            emit: Vec::new(),
             events_processed: 0,
             stop_requested: false,
             probe,
@@ -327,11 +403,22 @@ impl<M: 'static, P: Probe> Engine<M, P> {
     }
 
     /// Registers a component and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the component table would exceed the sub-tick key
+    /// scheme's source-slot capacity (2²⁴ − 2 components).
     #[allow(clippy::expect_used)]
     pub fn add_component(&mut self, component: Box<dyn Component<M>>) -> ComponentId {
-        // lint: allow(expect) >4 billion components is a harness bug, not a runtime state
+        // Slot `id + 1` must fit the 24 bits above the emission counter.
+        assert!(
+            self.components.len() < (1usize << (64 - EMIT_BITS)) - 1,
+            "too many components for the sub-tick key scheme"
+        );
+        // lint: allow(expect) the slot-capacity assert above already bounds the table
         let id = ComponentId(u32::try_from(self.components.len()).expect("too many components"));
         self.components.push(component);
+        self.emit.push(0);
         id
     }
 
@@ -358,9 +445,9 @@ impl<M: 'static, P: Probe> Engine<M, P> {
     pub fn schedule(&mut self, time: SimTime, dst: ComponentId, payload: M) {
         assert!(time >= self.now, "cannot schedule into the past");
         assert!(dst.index() < self.components.len(), "unknown component {dst}");
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(time, seq, (dst, payload));
+        let key = tick_key(0, self.external_seq);
+        self.external_seq += 1;
+        self.queue.push(time, key, (dst, payload));
     }
 
     /// Schedules `payload` for delivery to `dst` after `delay` from now.
@@ -377,7 +464,7 @@ impl<M: 'static, P: Probe> Engine<M, P> {
     /// One queue walk covers both the deadline check and the pop.
     #[inline]
     fn step_due(&mut self, deadline: SimTime) -> bool {
-        let Some((time, _seq, (dst, payload))) = self.queue.pop_due(deadline) else {
+        let Some((time, _key, (dst, payload))) = self.queue.pop_due(deadline) else {
             return false;
         };
         debug_assert!(time >= self.now);
@@ -385,14 +472,15 @@ impl<M: 'static, P: Probe> Engine<M, P> {
         self.events_processed += 1;
         self.probe.on_dispatch(self.now, dst, self.events_processed);
 
-        let seq_before = self.seq;
+        let idx = dst.index();
+        let emit_before = self.emit[idx];
         {
             let registered = u32::try_from(self.components.len()).unwrap_or(u32::MAX);
-            let component = &mut self.components[dst.index()];
+            let component = &mut self.components[idx];
             let mut ctx = Context {
                 now: self.now,
                 self_id: dst,
-                seq: &mut self.seq,
+                emit: &mut self.emit[idx],
                 queue: &mut self.queue,
                 components: registered,
                 stop_requested: &mut self.stop_requested,
@@ -400,7 +488,9 @@ impl<M: 'static, P: Probe> Engine<M, P> {
             };
             component.on_event(&mut ctx, payload);
         }
-        let emitted = (self.seq - seq_before) as usize;
+        // Every send a handler makes goes through its own counter, so
+        // the delta is exactly what this delivery emitted.
+        let emitted = (self.emit[idx] - emit_before) as usize;
         self.probe.on_deliver(self.now, dst, emitted);
         true
     }
@@ -415,10 +505,42 @@ impl<M: 'static, P: Probe> Engine<M, P> {
     /// or a component requests a stop. Events at exactly `deadline` are
     /// delivered; the engine clock never passes `deadline`.
     pub fn run_until(&mut self, deadline: SimTime) {
+        let _ = self.run_budgeted(RunBudget::until(deadline));
+    }
+
+    /// Runs under both a time bound and an event-count bound, and reports
+    /// which condition ended the run.
+    ///
+    /// The event budget is what makes fault-injection campaigns total: a
+    /// fault that livelocks the simulated system (e.g. a corrupted
+    /// control loop re-arming itself at the same instant forever) cannot
+    /// spin the host — the run returns [`RunOutcome::BudgetExhausted`]
+    /// after exactly `max_events` deliveries, a pure function of
+    /// simulation state. On the deadline/drain/stop paths the clock
+    /// behaves exactly like [`Engine::run_until`]; on budget exhaustion
+    /// the clock stays at the last delivered event.
+    pub fn run_budgeted(&mut self, budget: RunBudget) -> RunOutcome {
         self.stop_requested = false;
-        while !self.stop_requested && self.step_due(deadline) {}
-        if self.now < deadline && !self.stop_requested {
-            self.now = deadline;
+        let mut delivered = 0u64;
+        while !self.stop_requested {
+            if delivered >= budget.max_events {
+                return RunOutcome::BudgetExhausted;
+            }
+            if !self.step_due(budget.deadline) {
+                break;
+            }
+            delivered += 1;
+        }
+        if self.stop_requested {
+            return RunOutcome::Stopped;
+        }
+        if self.now < budget.deadline {
+            self.now = budget.deadline;
+        }
+        if self.queue.is_empty() {
+            RunOutcome::Drained
+        } else {
+            RunOutcome::DeadlineReached
         }
     }
 
@@ -465,6 +587,8 @@ impl<M: 'static, P: Probe> Engine<M, P> {
     pub(crate) fn into_shard_parts(self) -> ShardParts<M> {
         ShardParts {
             components: self.components,
+            emit: self.emit,
+            external_seq: self.external_seq,
             queue: self.queue,
             now: self.now,
             events_processed: self.events_processed,
@@ -490,7 +614,9 @@ impl<M: Fork + 'static, P: Probe + Clone> Engine<M, P> {
             components: self.components.iter().map(|c| c.fork()).collect(),
             queue: self.queue.fork(),
             now: self.now,
-            seq: self.seq,
+            external_seq: self.external_seq,
+            // lint: allow(hot-path-alloc) snapshot capture is campaign setup, not the event loop
+            emit: self.emit.clone(),
             events_processed: self.events_processed,
             // lint: allow(hot-path-alloc) snapshot capture is campaign setup, not the event loop
             probe: self.probe.clone(),
@@ -511,7 +637,8 @@ pub struct EngineSnapshot<M, P: Probe = NullProbe> {
     components: Vec<Box<dyn Component<M>>>,
     queue: TimingWheel<Queued<M>>,
     now: SimTime,
-    seq: u64,
+    external_seq: u64,
+    emit: Vec<u64>,
     events_processed: u64,
     probe: P,
 }
@@ -540,7 +667,9 @@ impl<M: Fork + 'static, P: Probe + Clone> EngineSnapshot<M, P> {
             components: self.components.iter().map(|c| c.fork()).collect(),
             queue: self.queue.fork(),
             now: self.now,
-            seq: self.seq,
+            external_seq: self.external_seq,
+            // lint: allow(hot-path-alloc) fork construction is campaign setup, not the event loop
+            emit: self.emit.clone(),
             events_processed: self.events_processed,
             stop_requested: false,
             // lint: allow(hot-path-alloc) fork construction is campaign setup, not the event loop
@@ -569,6 +698,10 @@ impl<M, P: Probe> EngineSnapshot<M, P> {
 /// What [`Engine::into_shard_parts`] yields (see [`crate::shard`]).
 pub(crate) struct ShardParts<M> {
     pub(crate) components: Vec<Box<dyn Component<M>>>,
+    /// Per-component emission counters, parallel to `components`.
+    pub(crate) emit: Vec<u64>,
+    /// The engine-level schedule stream's counter (source slot 0).
+    pub(crate) external_seq: u64,
     pub(crate) queue: TimingWheel<Queued<M>>,
     pub(crate) now: SimTime,
     pub(crate) events_processed: u64,
@@ -607,6 +740,13 @@ pub trait Simulation<M> {
     /// the clock never passes it), the queue drains, or a stop request.
     fn run_until(&mut self, deadline: SimTime);
 
+    /// Runs under a time bound *and* an event-count bound, reporting
+    /// which ended the run (see [`Engine::run_budgeted`]). Campaign
+    /// drivers use this instead of open-ended runs so a fault that
+    /// livelocks the simulated system terminates deterministically as
+    /// [`RunOutcome::BudgetExhausted`].
+    fn run_budgeted(&mut self, budget: RunBudget) -> RunOutcome;
+
     /// Schedules `payload` for delivery to `dst` after `delay` from now.
     fn schedule_after(&mut self, delay: SimDuration, dst: ComponentId, payload: M) {
         let time = self.now() + delay;
@@ -644,6 +784,9 @@ impl<M: 'static, P: Probe> Simulation<M> for Engine<M, P> {
     }
     fn run_until(&mut self, deadline: SimTime) {
         Engine::run_until(self, deadline);
+    }
+    fn run_budgeted(&mut self, budget: RunBudget) -> RunOutcome {
+        Engine::run_budgeted(self, budget)
     }
     fn component_as<T: 'static>(&self, id: ComponentId) -> Option<&T> {
         Engine::component_as(self, id)
@@ -908,6 +1051,106 @@ mod tests {
         assert!(mid_dispatches > 0);
         assert_eq!(f.probe().dispatches, e.probe().dispatches);
         assert_eq!(f.probe().emitted, e.probe().emitted);
+    }
+
+    /// Re-arms itself at the same instant forever: the canonical
+    /// livelock a budgeted run must terminate.
+    #[derive(Debug, Clone)]
+    struct Livelock;
+
+    impl Component<u32> for Livelock {
+        fn on_event(&mut self, ctx: &mut Context<'_, u32>, payload: u32) {
+            ctx.send_self(SimDuration::ZERO, payload);
+        }
+        fn as_any(&self) -> &dyn Any {
+            self
+        }
+        fn as_any_mut(&mut self) -> &mut dyn Any {
+            self
+        }
+        fn fork(&self) -> Box<dyn Component<u32>> {
+            Box::new(Livelock)
+        }
+    }
+
+    #[test]
+    fn budgeted_run_terminates_a_livelock() {
+        let mut e = Engine::new();
+        let a = e.add_component(Box::new(Livelock));
+        e.schedule(SimTime::from_ns(10), a, 1);
+        let outcome =
+            e.run_budgeted(RunBudget::until(SimTime::from_ms(1)).with_max_events(10_000));
+        assert_eq!(outcome, RunOutcome::BudgetExhausted);
+        assert_eq!(e.events_processed(), 10_000);
+        // The clock stays at the livelocked instant; it must not jump
+        // to the deadline as if the window had completed healthily.
+        assert_eq!(e.now(), SimTime::from_ns(10));
+    }
+
+    #[test]
+    fn budgeted_outcomes_distinguish_drain_deadline_and_stop() {
+        // Drained: the queue empties before the deadline.
+        let mut e = Engine::new();
+        let r = e.add_component(Box::new(Recorder::default()));
+        e.schedule(SimTime::from_ns(10), r, 1);
+        let budget = RunBudget::until(SimTime::from_ms(1)).with_max_events(100);
+        assert_eq!(e.run_budgeted(budget), RunOutcome::Drained);
+        assert_eq!(e.now(), SimTime::from_ms(1), "drain still advances to the deadline");
+
+        // DeadlineReached: an event remains beyond the deadline.
+        let mut e = Engine::new();
+        let r = e.add_component(Box::new(Recorder::default()));
+        e.schedule(SimTime::from_ms(2), r, 1);
+        assert_eq!(e.run_budgeted(budget), RunOutcome::DeadlineReached);
+        assert_eq!(e.pending_events(), 1);
+
+        // Stopped: a component requests a stop mid-run.
+        let mut e = Engine::new();
+        let a = e.add_component(Box::new(PingPong { peer: None, remaining: 0, bounces: 0 }));
+        e.component_as_mut::<PingPong>(a).unwrap().peer = Some(a);
+        e.schedule(SimTime::ZERO, a, 3);
+        assert_eq!(e.run_budgeted(budget), RunOutcome::Stopped);
+    }
+
+    #[test]
+    fn same_time_events_order_by_source_then_emission() {
+        // Two sources emit to the same destination at the same instant:
+        // delivery orders by (source slot, per-source index), not by the
+        // global interleave of the emissions.
+        #[derive(Debug, Clone)]
+        struct Burst {
+            dst: Option<ComponentId>,
+            base: u32,
+        }
+        impl Component<u32> for Burst {
+            fn on_event(&mut self, ctx: &mut Context<'_, u32>, _p: u32) {
+                if let Some(dst) = self.dst {
+                    ctx.send(dst, SimDuration::from_ns(10), self.base);
+                    ctx.send(dst, SimDuration::from_ns(10), self.base + 1);
+                }
+            }
+            fn as_any(&self) -> &dyn Any {
+                self
+            }
+            fn as_any_mut(&mut self) -> &mut dyn Any {
+                self
+            }
+            fn fork(&self) -> Box<dyn Component<u32>> {
+                Box::new(self.clone())
+            }
+        }
+        let mut e = Engine::new();
+        let r = e.add_component(Box::new(Recorder::default()));
+        let hi = e.add_component(Box::new(Burst { dst: Some(r), base: 100 }));
+        let lo = e.add_component(Box::new(Burst { dst: Some(r), base: 200 }));
+        // Deliver the later-registered source first: its emissions still
+        // sort *after* the earlier-registered source's at the tied instant.
+        e.schedule(SimTime::ZERO, lo, 0);
+        e.schedule(SimTime::ZERO, hi, 0);
+        e.run();
+        let rec = e.component_as::<Recorder>(r).unwrap();
+        let values: Vec<u32> = rec.seen.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, vec![100, 101, 200, 201]);
     }
 
     #[test]

@@ -71,7 +71,10 @@ pub mod snapshot;
 pub mod time;
 
 pub use bytes::SharedBytes;
-pub use engine::{Component, ComponentId, Context, Engine, EngineSnapshot, NullProbe, Probe, Simulation};
+pub use engine::{
+    Component, ComponentId, Context, Engine, EngineSnapshot, NullProbe, Probe, RunBudget,
+    RunOutcome, Simulation,
+};
 pub use queue::TimingWheel;
 pub use rng::DetRng;
 pub use shard::{ShardSpec, ShardedEngine};

@@ -18,32 +18,31 @@
 //!    event delivered in the window can cause a *cross-shard* event inside
 //!    it — shards cannot affect each other mid-window. An `assert!` in
 //!    `Context::send` enforces the bound on every cross-shard send.
-//! 3. **Deterministic mailbox merge.** Cross-shard sends are captured in
-//!    per-shard outboxes and merged at the window barrier in
-//!    `(time, src_shard, emit_order)` order; destination-local sequence
-//!    numbers are assigned in that merged order. The merge order is a pure
-//!    function of simulation state, so the observable event stream is
-//!    byte-identical for **any worker count** — workers only execute
-//!    pre-determined per-shard batches between barriers.
+//! 3. **Key-preserving mailbox merge.** Every send carries a *sub-tick
+//!    key* assigned at emission: `(source slot, per-source emission
+//!    index)` — see `engine::tick_key`. Cross-shard sends are captured in
+//!    per-shard outboxes with their keys and pushed into the destination
+//!    shard's wheel at the window barrier, key intact. No sequence
+//!    numbers are re-assigned anywhere, so the merge is pure placement
+//!    and its order is irrelevant.
 //!
-//! Equality with the serial engine holds for every per-component delivery
-//! sequence — and therefore for every export derived from component state
-//! — except when two events tie on the *same delivery time* at the *same
-//! destination* and at least one of them crossed a shard boundary. Two
-//! such cases exist: a mailbox event against another mailbox event from a
-//! *different* source shard (ordered `(src_shard, emit_order)` here,
-//! global emission order serially), and a mailbox event against an
-//! *intra-shard* event emitted during the same window (local seqs are
-//! assigned mid-window, merged seqs after it, so the sharded engine
-//! always delivers local-before-cross while the serial engine follows
-//! emission order). [`ShardedEngine::cross_collisions`] counts both kinds
-//! of candidate tie so harnesses know when the argument leans on the
-//! end-to-end oracle — the golden export hashes in
-//! `tests/determinism.rs` — rather than on construction alone. (Shard ids
-//! follow component registration order, which is also how symmetric tie
-//! chains resolve serially, so in practice ties merge identically; the
-//! hashes verify it.) DESIGN.md §11 has the full argument, including the
-//! designs that lost.
+//! Equality with the serial engine holds for *every* delivery, ties
+//! included. The argument is two short inductions. Per-source keys match:
+//! a component's emission counter is carried through decomposition and
+//! advanced only when the component handles an event, and by induction on
+//! delivery order each component handles the same event sequence in both
+//! executors, so its `k`-th emission gets the same key. Per-destination
+//! order matches: a destination wheel pops `(time, key)` ascending, the
+//! conservative windows guarantee every event due in a window is in the
+//! destination wheel before the window executes (cross-shard sends must
+//! land strictly beyond the emitting window, and are merged at the next
+//! barrier), and both executors therefore sort the same key set the same
+//! way. Same-instant ties that the old global-sequence scheme resolved by
+//! emission interleave — unreproducible shard-locally, and counted as
+//! `cross_collisions` through PR 6 — are now ordered by the key, a pure
+//! function of simulation state, so the tie classes are structurally
+//! impossible rather than merely counted. DESIGN.md §11 has the full
+//! argument, including the designs that lost.
 //!
 //! # Example
 //!
@@ -103,14 +102,17 @@
 //!     serial.component_as::<Counter>(a).unwrap().heard,
 //! );
 //! assert_eq!(sharded.component_as::<Counter>(b).unwrap().heard, 20);
-//! assert_eq!(sharded.cross_collisions(), 0);
+//! assert_eq!(sharded.cross_events(), 40);
 //! ```
 
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex, PoisonError};
 
-use crate::engine::{Component, ComponentId, Context, CrossSend, Probe, Queued, ShardRoute, Simulation};
+use crate::engine::{
+    tick_key, Component, ComponentId, Context, CrossSend, Probe, Queued, RunBudget, RunOutcome,
+    ShardRoute, Simulation,
+};
 use crate::queue::TimingWheel;
 use crate::time::{SimDuration, SimTime};
 
@@ -129,12 +131,13 @@ pub struct ShardSpec {
     pub workers: usize,
 }
 
-/// An event in flight between shards, tagged with its source shard. The
-/// mailbox vector is filled in `(src_shard, emit_order)` order and stably
-/// sorted by time, yielding the deterministic merge order.
+/// An event in flight between shards. Its sub-tick key was minted by the
+/// emitting component at send time, so the destination wheel orders it
+/// exactly as the serial engine's single wheel would — the mailbox needs
+/// no sorting and assigns nothing.
 struct Routed<M> {
     time: SimTime,
-    src: u16,
+    key: u64,
     dst: ComponentId,
     payload: M,
 }
@@ -145,18 +148,16 @@ struct Routed<M> {
 struct Shard<M, P: Probe> {
     home: u16,
     components: Vec<Box<dyn Component<M>>>,
+    /// Per-component emission counters, parallel to `components` — the
+    /// serial engine's counters carried through decomposition, so the
+    /// sub-tick keys minted here continue the serial sequences.
+    emit: Vec<u64>,
     wheel: TimingWheel<Queued<M>>,
-    seq: u64,
     now: SimTime,
     events: u64,
     stop: bool,
     probe: P,
     outbox: Vec<CrossSend<M>>,
-    /// `(time, dst)` of intra-shard sends from the last executed window
-    /// that land beyond it — the local candidates for a `(time, dst)` tie
-    /// with a merged cross-shard event (see
-    /// [`ShardedEngine::cross_collisions`]).
-    window_sends: Vec<(SimTime, ComponentId)>,
 }
 
 impl<M: 'static, P: Probe> Shard<M, P> {
@@ -165,22 +166,22 @@ impl<M: 'static, P: Probe> Shard<M, P> {
     /// shard's private wheel, with cross-shard sends diverted to the
     /// outbox by the routed [`Context`].
     fn run_window(&mut self, window_last: SimTime, affinity: &[u16], locs: &[u32], total: u32) {
-        self.window_sends.clear();
         while !self.stop {
-            let Some((time, _seq, (dst, payload))) = self.wheel.pop_due(window_last) else {
+            let Some((time, _key, (dst, payload))) = self.wheel.pop_due(window_last) else {
                 break;
             };
             debug_assert!(time >= self.now);
             self.now = time;
             self.events += 1;
             self.probe.on_dispatch(time, dst, self.events);
-            let seq_before = self.seq;
+            let loc = locs[dst.index()] as usize;
+            let emit_before = self.emit[loc];
             {
-                let component = &mut self.components[locs[dst.index()] as usize];
+                let component = &mut self.components[loc];
                 let mut ctx = Context::for_shard(
                     time,
                     dst,
-                    &mut self.seq,
+                    &mut self.emit[loc],
                     &mut self.wheel,
                     total,
                     &mut self.stop,
@@ -189,12 +190,11 @@ impl<M: 'static, P: Probe> Shard<M, P> {
                         home: self.home,
                         window_last,
                         outbox: &mut self.outbox,
-                        window_sends: &mut self.window_sends,
                     },
                 );
                 component.on_event(&mut ctx, payload);
             }
-            let emitted = (self.seq - seq_before) as usize;
+            let emitted = (self.emit[loc] - emit_before) as usize;
             self.probe.on_deliver(time, dst, emitted);
         }
     }
@@ -203,12 +203,6 @@ impl<M: 'static, P: Probe> Shard<M, P> {
     /// when empty) — the form the coordinator's min-reduction uses.
     fn next_due_ps(&mut self) -> u64 {
         self.wheel.peek_time().map_or(u64::MAX, |t| t.as_ps())
-    }
-
-    /// Whether an intra-shard send recorded during the last executed
-    /// window ties with a merged cross-shard event on `(time, dst)`.
-    fn ties_local(&self, time: SimTime, dst: ComponentId) -> bool {
-        self.window_sends.iter().any(|&(t, d)| t == time && d == dst)
     }
 }
 
@@ -229,9 +223,11 @@ pub struct ShardedEngine<M, P: Probe = crate::engine::NullProbe> {
     now: SimTime,
     /// Events the donor engine had already delivered at conversion.
     base_events: u64,
+    /// The donor's engine-level schedule counter (sub-tick source slot
+    /// 0), continued by [`Simulation::schedule`] on this engine.
+    external_seq: u64,
     rounds: u64,
     cross_events: u64,
-    cross_collisions: u64,
     stopped: bool,
 }
 
@@ -252,12 +248,12 @@ impl<M, P: Probe> fmt::Debug for ShardedEngine<M, P> {
 impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
     /// Decomposes a serially-built engine into shards.
     ///
-    /// Component ids, pending events and the clock all carry over: events
-    /// are re-routed to their destination shard in global `(time, seq)`
-    /// order, which preserves every per-destination delivery order. The
-    /// donor's probe is dropped; `probe_for` supplies one probe per shard
-    /// (merge them afterwards with e.g. `netfi-obs`'s merged dispatch
-    /// probe).
+    /// Component ids, pending events, emission counters and the clock all
+    /// carry over: events are re-routed to their destination shard with
+    /// their sub-tick keys intact, which preserves every per-destination
+    /// delivery order. The donor's probe is dropped; `probe_for` supplies
+    /// one probe per shard (merge them afterwards with e.g. `netfi-obs`'s
+    /// merged dispatch probe).
     ///
     /// # Panics
     ///
@@ -286,31 +282,31 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
             .map(|i| Shard {
                 home: i as u16,
                 components: Vec::new(),
+                emit: Vec::new(),
                 wheel: TimingWheel::new(),
-                seq: 0,
                 now: parts.now,
                 events: 0,
                 stop: false,
                 probe: probe_for(i),
                 outbox: Vec::new(),
-                window_sends: Vec::new(),
             })
             .collect();
         let mut locs = vec![0u32; n];
-        for (idx, component) in parts.components.into_iter().enumerate() {
+        for (idx, (component, emit)) in
+            parts.components.into_iter().zip(parts.emit).enumerate()
+        {
             let shard = &mut shards[spec.affinity[idx] as usize];
             locs[idx] = shard.components.len() as u32;
             shard.components.push(component);
+            shard.emit.push(emit);
         }
-        // Pending events re-route in global (time, seq) order, so each
-        // destination's relative order — the thing local seqs encode — is
-        // exactly what the serial engine would have delivered.
+        // Pending events keep the sub-tick keys they were emitted with;
+        // re-routing is pure placement, so each destination wheel holds
+        // exactly the ordered set the serial wheel would pop for it.
         let mut queue = parts.queue;
-        while let Some((time, _seq, (dst, payload))) = queue.pop() {
+        while let Some((time, key, (dst, payload))) = queue.pop() {
             let shard = &mut shards[spec.affinity[dst.index()] as usize];
-            let seq = shard.seq;
-            shard.seq += 1;
-            shard.wheel.push(time, seq, (dst, payload));
+            shard.wheel.push(time, key, (dst, payload));
         }
         ShardedEngine {
             shards,
@@ -321,9 +317,9 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
             components_total: n as u32,
             now: parts.now,
             base_events: parts.events_processed,
+            external_seq: parts.external_seq,
             rounds: 0,
             cross_events: 0,
-            cross_collisions: 0,
             stopped: false,
         }
     }
@@ -353,23 +349,6 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
         self.cross_events
     }
 
-    /// Merged events that tied on `(time, destination)` with an event from
-    /// another shard — the cases where the merge order is not *provably*
-    /// the serial engine's global emission order. Two kinds are counted:
-    /// mailbox entries tying with a mailbox entry from a *different*
-    /// source shard, and mailbox entries tying with an *intra-shard* event
-    /// emitted during the same window (which the sharded engine always
-    /// delivers first, whatever order the serial engine emitted the pair
-    /// in). A non-zero count does not mean divergence (symmetric flows
-    /// usually tie-break the same way both engines resolve them); it means
-    /// the byte-identity argument leans on the end-to-end export
-    /// comparison for those events. The count is a pure function of the
-    /// simulation, so it is identical for every worker count; see the
-    /// [module docs](self).
-    pub fn cross_collisions(&self) -> u64 {
-        self.cross_collisions
-    }
-
     /// The shard a component is assigned to.
     pub fn shard_of(&self, id: ComponentId) -> Option<usize> {
         self.affinity.get(id.index()).map(|&s| s as usize)
@@ -395,46 +374,20 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
         SimTime::from_ps(end.min(deadline.as_ps()))
     }
 
-    /// Stably sorts a mailbox by time — the vector arrives in
-    /// `(src_shard, emit_order)` order, so the result is the canonical
-    /// `(time, src_shard, emit_order)` merge order — and counts
-    /// same-`(time, dst)` entries from different source shards.
-    fn sort_and_count(mailbox: &mut [Routed<M>]) -> u64 {
-        mailbox.sort_by_key(|r| r.time);
-        let mut collisions = 0;
-        let mut i = 0;
-        while i < mailbox.len() {
-            let mut j = i + 1;
-            while j < mailbox.len() && mailbox[j].time == mailbox[i].time {
-                j += 1;
-            }
-            for a in i..j {
-                for b in a + 1..j {
-                    if mailbox[a].dst == mailbox[b].dst && mailbox[a].src != mailbox[b].src {
-                        collisions += 1;
-                    }
-                }
-            }
-            i = j;
-        }
-        collisions
-    }
-
-    /// Pushes merged mailbox entries into their destination shards,
-    /// assigning destination-local sequence numbers in merge order.
+    /// Pushes mailbox entries into their destination shards' wheels with
+    /// their emission-time keys intact — pure placement, order-free.
     fn distribute(shards: &mut [Shard<M, P>], affinity: &[u16], mailbox: &mut Vec<Routed<M>>) {
         for routed in mailbox.drain(..) {
             let shard = &mut shards[affinity[routed.dst.index()] as usize];
-            let seq = shard.seq;
-            shard.seq += 1;
-            shard.wheel.push(routed.time, seq, (routed.dst, routed.payload));
+            shard.wheel.push(routed.time, routed.key, (routed.dst, routed.payload));
         }
     }
 
     /// The inline executor: same rounds, no threads. `workers == 1` (or a
     /// single shard) takes this path; it is the reference the threaded
-    /// path must be indistinguishable from.
-    fn run_rounds_inline(&mut self, deadline: SimTime) {
+    /// path must be indistinguishable from. Returns whether the event
+    /// budget ended the run.
+    fn run_rounds_inline(&mut self, deadline: SimTime, max_events: u64) -> bool {
         let ShardedEngine {
             ref mut shards,
             ref affinity,
@@ -443,8 +396,17 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
             components_total,
             ..
         } = *self;
+        let start_events: u64 = shards.iter().map(|s| s.events).sum();
         let mut mailbox: Vec<Routed<M>> = Vec::new();
         loop {
+            // The budget is checked at round boundaries only, so the
+            // decision is a pure function of simulation state — the
+            // threaded executor evaluates the identical predicate at the
+            // identical boundaries.
+            let delivered: u64 = shards.iter().map(|s| s.events).sum::<u64>() - start_events;
+            if delivered >= max_events {
+                return true;
+            }
             let start_ps = shards.iter_mut().map(Shard::next_due_ps).min().unwrap_or(u64::MAX);
             if start_ps == u64::MAX || start_ps > deadline.as_ps() {
                 break;
@@ -455,23 +417,18 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
                 shard.run_window(window_last, affinity, locs, components_total);
             }
             for shard in shards.iter_mut() {
-                let home = shard.home;
-                for CrossSend { time, dst, payload } in shard.outbox.drain(..) {
-                    mailbox.push(Routed { time, src: home, dst, payload });
+                for CrossSend { time, key, dst, payload } in shard.outbox.drain(..) {
+                    mailbox.push(Routed { time, key, dst, payload });
                 }
             }
             self.cross_events += mailbox.len() as u64;
-            self.cross_collisions += Self::sort_and_count(&mut mailbox);
-            self.cross_collisions += mailbox
-                .iter()
-                .filter(|r| shards[affinity[r.dst.index()] as usize].ties_local(r.time, r.dst))
-                .count() as u64;
             Self::distribute(shards, affinity, &mut mailbox);
             if shards.iter().any(|s| s.stop) {
                 self.stopped = true;
                 break;
             }
         }
+        false
     }
 
     /// The threaded executor: shards are statically chunked over at most
@@ -480,7 +437,7 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
     /// opens windows between two barrier waits per round. Every decision
     /// is a function of simulation state gathered at barriers, so this
     /// path is byte-indistinguishable from [`Self::run_rounds_inline`].
-    fn run_rounds_threaded(&mut self, deadline: SimTime) {
+    fn run_rounds_threaded(&mut self, deadline: SimTime, max_events: u64) -> bool {
         let nshards = self.shards.len();
         let workers = self.workers.min(nshards);
         let chunk = nshards.div_ceil(workers);
@@ -507,7 +464,6 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
         let window_ps = AtomicU64::new(0);
         let exit = AtomicBool::new(false);
         let stop_flag = AtomicBool::new(false);
-        let local_ties = AtomicU64::new(0);
         // A component panic (e.g. the conservative-window assert) must
         // not strand the other threads at a barrier: the worker traps the
         // payload here, keeps pacing the barriers, and the coordinator
@@ -519,6 +475,14 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
             .iter_mut()
             .map(|s| AtomicU64::new(s.next_due_ps()))
             .collect();
+        // Per-shard delivery counts, published at each barrier B so the
+        // coordinator can evaluate the event budget at round boundaries.
+        let counts: Vec<AtomicU64> = self
+            .shards
+            .iter()
+            .map(|s| AtomicU64::new(s.events))
+            .collect();
+        let start_events: u64 = self.shards.iter().map(|s| s.events).sum();
         let inboxes: Vec<Mutex<Vec<Routed<M>>>> =
             (0..nshards).map(|_| Mutex::new(Vec::new())).collect();
         let outboxes: Vec<Mutex<Vec<CrossSend<M>>>> =
@@ -526,7 +490,7 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
 
         let mut rounds = 0u64;
         let mut cross_events = 0u64;
-        let mut cross_collisions = 0u64;
+        let mut budget_hit = false;
         let mut mailbox: Vec<Routed<M>> = Vec::new();
 
         // lint: allow(thread-spawn) conservative-window fan-out: workers only execute pre-determined per-shard batches between barriers; merge order is a pure function of simulation state, so the schedule cannot reach any output byte
@@ -536,10 +500,10 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
                 let window_ps = &window_ps;
                 let exit = &exit;
                 let stop_flag = &stop_flag;
-                let local_ties = &local_ties;
                 let panicked = &panicked;
                 let panic_payload = &panic_payload;
                 let mins = &mins;
+                let counts = &counts;
                 let inboxes = &inboxes;
                 let outboxes = &outboxes;
                 scope.spawn(move || {
@@ -564,15 +528,9 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
                                         .lock()
                                         .unwrap_or_else(PoisonError::into_inner);
                                     for routed in inbox.drain(..) {
-                                        // The previous window's local sends
-                                        // are still on record: count merge
-                                        // ties before assigning seqs.
-                                        if shard.ties_local(routed.time, routed.dst) {
-                                            local_ties.fetch_add(1, Ordering::AcqRel);
-                                        }
-                                        let seq = shard.seq;
-                                        shard.seq += 1;
-                                        shard.wheel.push(routed.time, seq, (routed.dst, routed.payload));
+                                        // Keys travel with the events; the
+                                        // merge assigns nothing.
+                                        shard.wheel.push(routed.time, routed.key, (routed.dst, routed.payload));
                                     }
                                 }
                                 shard.run_window(window_last, affinity, locs, components_total);
@@ -586,6 +544,7 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
                                     std::mem::swap(&mut *slot, &mut shard.outbox);
                                 }
                                 mins[sid].store(shard.next_due_ps(), Ordering::Release);
+                                counts[sid].store(shard.events, Ordering::Release);
                             }
                         }));
                         if let Err(payload) = round {
@@ -612,25 +571,35 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
                     barrier.wait(); // A: release workers into their exit.
                     break;
                 }
-                // Gather: outbox slots in shard order keep the mailbox in
-                // (src_shard, emit_order) order before the stable sort.
-                for (sid, slot) in outboxes.iter().enumerate() {
+                // Gather deposited outboxes. The mailbox order is
+                // irrelevant: every entry carries its emission-time key.
+                for slot in outboxes.iter() {
                     let mut deposited = slot.lock().unwrap_or_else(PoisonError::into_inner);
-                    for CrossSend { time, dst, payload } in deposited.drain(..) {
-                        mailbox.push(Routed { time, src: sid as u16, dst, payload });
+                    for CrossSend { time, key, dst, payload } in deposited.drain(..) {
+                        mailbox.push(Routed { time, key, dst, payload });
                     }
                 }
                 cross_events += mailbox.len() as u64;
-                cross_collisions += Self::sort_and_count(&mut mailbox);
                 let mut next_ps = mins
                     .iter()
                     .map(|m| m.load(Ordering::Acquire))
                     .min()
                     .unwrap_or(u64::MAX);
-                if let Some(first) = mailbox.first() {
-                    next_ps = next_ps.min(first.time.as_ps());
+                for routed in &mailbox {
+                    next_ps = next_ps.min(routed.time.as_ps());
                 }
-                if stop_flag.load(Ordering::Acquire) || next_ps > deadline.as_ps() {
+                // The same round-boundary budget predicate the inline
+                // executor evaluates, from the counts published at the
+                // last barrier B.
+                let delivered = counts
+                    .iter()
+                    .map(|c| c.load(Ordering::Acquire))
+                    .sum::<u64>()
+                    - start_events;
+                if delivered >= max_events {
+                    budget_hit = true;
+                }
+                if stop_flag.load(Ordering::Acquire) || budget_hit || next_ps > deadline.as_ps() {
                     exit.store(true, Ordering::Release);
                     barrier.wait(); // A: release workers into their exit.
                     break;
@@ -661,22 +630,13 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
         }
         self.rounds += rounds;
         self.cross_events += cross_events;
-        self.cross_collisions += cross_collisions + local_ties.load(Ordering::Acquire);
-        // Mailbox entries still in hand exited before any worker could
-        // drain them; count their local ties (the final window's records
-        // are still on the shards) exactly as a drain would have.
-        self.cross_collisions += mailbox
-            .iter()
-            .filter(|r| {
-                self.shards[self.affinity[r.dst.index()] as usize].ties_local(r.time, r.dst)
-            })
-            .count() as u64;
         self.stopped = stop_flag.load(Ordering::Acquire);
         // A stop can leave merged-but-undistributed mailbox entries (the
         // serial engine likewise leaves its queue populated on stop); park
-        // them in the destination wheels in the same merge order so
+        // them in the destination wheels (keys intact) so
         // `pending_events` and any later run see them.
         Self::distribute(&mut self.shards, &self.affinity, &mut mailbox);
+        budget_hit
     }
 }
 
@@ -700,28 +660,45 @@ impl<M: Send + 'static, P: Probe + Send> Simulation<M> for ShardedEngine<M, P> {
     fn schedule(&mut self, time: SimTime, dst: ComponentId, payload: M) {
         assert!(time >= self.now, "cannot schedule into the past");
         assert!(dst.index() < self.affinity.len(), "unknown component {dst}");
+        // Continue the donor engine's slot-0 schedule stream, so the
+        // serial engine's keys for the same stimulus are reproduced.
+        let key = tick_key(0, self.external_seq);
+        self.external_seq += 1;
         let shard = &mut self.shards[self.affinity[dst.index()] as usize];
-        let seq = shard.seq;
-        shard.seq += 1;
-        shard.wheel.push(time, seq, (dst, payload));
+        shard.wheel.push(time, key, (dst, payload));
     }
 
     fn run_until(&mut self, deadline: SimTime) {
+        let _ = self.run_budgeted(RunBudget::until(deadline));
+    }
+
+    fn run_budgeted(&mut self, budget: RunBudget) -> RunOutcome {
         self.stopped = false;
         for shard in &mut self.shards {
             shard.stop = false;
         }
-        if self.workers <= 1 || self.shards.len() <= 1 {
-            self.run_rounds_inline(deadline);
+        let budget_hit = if self.workers <= 1 || self.shards.len() <= 1 {
+            self.run_rounds_inline(budget.deadline, budget.max_events)
         } else {
-            self.run_rounds_threaded(deadline);
-        }
+            self.run_rounds_threaded(budget.deadline, budget.max_events)
+        };
         let max_now = self.shards.iter().map(|s| s.now).max().unwrap_or(self.now);
         if max_now > self.now {
             self.now = max_now;
         }
-        if self.now < deadline && !self.stopped {
-            self.now = deadline;
+        if self.stopped {
+            return RunOutcome::Stopped;
+        }
+        if budget_hit {
+            return RunOutcome::BudgetExhausted;
+        }
+        if self.now < budget.deadline {
+            self.now = budget.deadline;
+        }
+        if self.pending_events() == 0 {
+            RunOutcome::Drained
+        } else {
+            RunOutcome::DeadlineReached
         }
     }
 
@@ -827,7 +804,6 @@ mod tests {
             assert_eq!(logs(&ids, &sharded), want, "workers={workers}");
             assert_eq!(sharded.events_processed(), serial.events_processed());
             assert_eq!(sharded.now(), serial.now());
-            assert_eq!(sharded.cross_collisions(), 0);
             assert_eq!(sharded.cross_events(), 100);
             assert!(sharded.rounds() > 0);
         }
@@ -945,15 +921,15 @@ mod tests {
     }
 
     #[test]
-    fn same_window_local_tie_is_counted_and_worker_invariant() {
+    fn same_window_local_and_cross_tie_matches_serial() {
         // a (shard 0) and c (shard 1) both fire at t = 0 and send to
         // b (shard 1) with the same 100 ns delay: a's arrival crosses
-        // shards, c's stays local, and the two tie on (time, dst). The
-        // serial engine orders the pair by emission (a first); the
-        // sharded merge assigns local seqs during the window and merged
-        // seqs after it (c first) — exactly the residual case the tie
-        // monitor must flag. The sharded outcome itself is still
-        // identical for every worker count.
+        // shards, c's stays local, and the two tie on (time, dst). This
+        // was the residual tie class the pre-key merge could invert
+        // (local seqs were assigned mid-window, merged seqs after it).
+        // With sub-tick keys the pair orders by (source slot, emission
+        // index) in both executors: a registered before c, so a's event
+        // delivers first — serially and at every worker count.
         let relay = |delay| {
             Box::new(Relay {
                 peer: None,
@@ -978,8 +954,9 @@ mod tests {
         assert_eq!(
             serial.component_as::<Relay>(ids[1]).unwrap().log,
             vec![(t, 4), (t, 8)],
-            "serial order is emission order: a's event first"
+            "serial tie order is source order: a's event first"
         );
+        let want = logs(&ids, &serial);
         for workers in [1, 2] {
             let (engine, ids) = build();
             let spec = ShardSpec {
@@ -990,18 +967,52 @@ mod tests {
             let mut sharded = ShardedEngine::from_engine(engine, spec, |_| NullProbe);
             sharded.run_until(SimTime::from_ms(1));
             assert_eq!(sharded.cross_events(), 1, "workers={workers}");
+            assert_eq!(logs(&ids, &sharded), want, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn budgeted_run_is_worker_invariant_and_terminates() {
+        // A tight ring running far past the budget: every executor must
+        // report BudgetExhausted with the identical delivery count, since
+        // the budget is evaluated at deterministic round boundaries.
+        let delay = SimDuration::from_ns(25);
+        let deadline = SimTime::from_ms(10);
+        let budget = RunBudget::until(deadline).with_max_events(57);
+        let mut counts = Vec::new();
+        for workers in [1, 2, 4] {
+            let (engine, _) = ring(4, delay, 1_000_000);
+            let spec = ShardSpec {
+                affinity: vec![0, 1, 2, 3],
+                lookahead: delay,
+                workers,
+            };
+            let mut sharded = ShardedEngine::from_engine(engine, spec, |_| NullProbe);
             assert_eq!(
-                sharded.cross_collisions(),
-                1,
-                "the local-vs-merged tie must be counted (workers={workers})"
-            );
-            // The divergence the counter flags: local-before-cross.
-            assert_eq!(
-                sharded.component_as::<Relay>(ids[1]).unwrap().log,
-                vec![(t, 8), (t, 4)],
+                sharded.run_budgeted(budget),
+                RunOutcome::BudgetExhausted,
                 "workers={workers}"
             );
+            assert!(sharded.events_processed() >= 57, "workers={workers}");
+            counts.push((sharded.events_processed(), sharded.now(), sharded.rounds()));
         }
+        assert_eq!(counts[0], counts[1]);
+        assert_eq!(counts[0], counts[2]);
+
+        // Under the deadline with a generous budget, outcomes match the
+        // serial engine's.
+        let (engine, _) = ring(4, delay, 10);
+        let spec = ShardSpec {
+            affinity: vec![0, 1, 2, 3],
+            lookahead: delay,
+            workers: 2,
+        };
+        let mut sharded = ShardedEngine::from_engine(engine, spec, |_| NullProbe);
+        assert_eq!(
+            sharded.run_budgeted(RunBudget::until(deadline).with_max_events(1_000)),
+            RunOutcome::Drained
+        );
+        assert_eq!(sharded.now(), deadline);
     }
 
     #[test]

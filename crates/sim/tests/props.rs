@@ -451,7 +451,6 @@ fn sharded_engine_matches_serial_on_random_topologies() {
             assert_eq!(sharded.events_processed(), serial.events_processed());
             assert_eq!(sharded.now(), serial.now());
             assert_eq!(sharded.pending_events(), 0);
-            assert_eq!(sharded.cross_collisions(), 0, "construction is tie-free");
             for (i, id) in ids.iter().enumerate() {
                 let got = &sharded.component_as::<Relay>(*id).unwrap().seen;
                 assert_eq!(

@@ -109,6 +109,59 @@ if ! awk -v fork="$fork_wall" -v fresh="$fresh_wall" 'BEGIN {
     exit 1
 fi
 
+echo "== sampled injection campaign gate =="
+# The statistical sampler's two promises, hard-failed here. Determinism:
+# bench_injections itself asserts byte-identical campaigns at workers
+# 1/2/8, and the fingerprint must match the committed artifact exactly —
+# same seed, same points, same bytes, on any box. Throughput: the
+# sampled rate must sustain 0.9x the committed injections/sec, same
+# retry discipline as the engine gate.
+./target/release/bench_injections --points 2048 --seed 11 \
+    --out target/BENCH_injections.json
+echo "summary: target/BENCH_injections.json"
+cat target/BENCH_injections.json
+for key in injections_per_sec fingerprint \
+    masked corrupted_delivered detected_crc detected_timeout hang; do
+    grep -q "\"$key\"" target/BENCH_injections.json || {
+        echo "target/BENCH_injections.json is missing the \"$key\" key"
+        exit 1
+    }
+done
+committed_fp=$(extract BENCH_injections.json fingerprint)
+current_fp=$(extract target/BENCH_injections.json fingerprint)
+if [ "$committed_fp" != "$current_fp" ]; then
+    echo "DETERMINISM BREAK: campaign fingerprint $current_fp != committed $committed_fp"
+    echo "(if a change legitimately altered sampled behaviour, refresh BENCH_injections.json in this PR)"
+    exit 1
+fi
+committed_rate=$(extract BENCH_injections.json injections_per_sec)
+gate_ok=0
+for attempt in 1 2 3; do
+    current_rate=$(extract target/BENCH_injections.json injections_per_sec)
+    if awk -v c="$current_rate" -v b="$committed_rate" -v a="$attempt" 'BEGIN {
+        ratio = c / b
+        printf "attempt %s: committed %.0f inj/s, this run %.0f (%.2fx)\n", a, b, c, ratio
+        if (ratio > 1.1) {
+            print "note: >1.1x the committed number — refresh BENCH_injections.json in this PR"
+        }
+        exit !(ratio >= 0.9)
+    }'; then
+        gate_ok=1
+        break
+    fi
+    if [ "$attempt" -lt 3 ]; then
+        echo "below 0.9x — letting the machine settle, then retrying"
+        sleep 15
+        ./target/release/bench_injections --points 2048 --seed 11 \
+            --out target/BENCH_injections.json > /dev/null
+    fi
+done
+if [ "$gate_ok" -ne 1 ]; then
+    echo "REGRESSION: sampled injection throughput stayed below 0.9x the committed BENCH_injections.json"
+    echo "(if the machine is busy, re-run on an idle box before reverting anything)"
+    exit 1
+fi
+
 echo "== obs overhead gate =="
 ./target/release/bench_obs --sim-ms 2000 --samples 5 \
     --baseline target/BENCH_engine.json --min-ratio 0.8 \

@@ -17,6 +17,8 @@
 //! - [`nftape`] — the campaign management framework.
 //! - [`obs`] — deterministic observability: spans, metrics, flight
 //!   recording and failure-analysis exports.
+//! - [`sample`] — statistical fault-injection sampling: drawn injection
+//!   points, outcome taxonomy and coverage intervals.
 //!
 //! See the repository README for a quickstart and DESIGN.md for the system
 //! inventory.
@@ -31,4 +33,5 @@ pub use netfi_netstack as netstack;
 pub use netfi_nftape as nftape;
 pub use netfi_obs as obs;
 pub use netfi_phy as phy;
+pub use netfi_sample as sample;
 pub use netfi_sim as sim;

@@ -200,7 +200,7 @@ fn observed_exports_golden_hash() {
 #[test]
 fn sharded_observed_campaign_matches_serial_golden_hash() {
     use netfi::nftape::observed::observed_campaign_sharded;
-    let mut collisions = Vec::new();
+    let mut schedule = Vec::new();
     for workers in [1, 2, 4] {
         let run = observed_campaign_sharded(11, workers).unwrap();
         assert_eq!(
@@ -216,12 +216,12 @@ fn sharded_observed_campaign_matches_serial_golden_hash() {
         assert_eq!(run.shards, 4);
         assert!(run.rounds > 0);
         assert!(run.cross_events > 0);
-        collisions.push((run.rounds, run.cross_events, run.cross_collisions));
+        schedule.push((run.rounds, run.cross_events));
     }
-    // The window schedule, mailbox traffic and tie monitor are functions
-    // of the simulation alone — identical whatever the thread count.
-    assert_eq!(collisions[0], collisions[1]);
-    assert_eq!(collisions[0], collisions[2]);
+    // The window schedule and mailbox traffic are functions of the
+    // simulation alone — identical whatever the thread count.
+    assert_eq!(schedule[0], schedule[1]);
+    assert_eq!(schedule[0], schedule[2]);
 }
 
 /// The snapshot/fork seam's headline contract, pinned against the *same*
@@ -307,6 +307,42 @@ fn campaign_rows_identical_across_worker_counts() {
     assert_eq!(w1, w8);
     let text = format!("{w1:?}");
     assert_eq!(fnv1a(text.as_bytes()), fnv1a(format!("{w8:?}").as_bytes()));
+}
+
+/// The statistical sampler's contract: a 512-point sampled injection
+/// campaign — points drawn from per-index RNG substreams, each run as a
+/// fork of one warm donor snapshot, classified against a healthy
+/// baseline fork — produces byte-identical results at workers 1, 2
+/// and 8. The campaign fingerprint covers every drawn point, its
+/// evidence counters and its outcome class; the rendered coverage
+/// report (class histogram + Wilson 95% intervals) is compared
+/// byte-for-byte on top.
+#[test]
+fn sampled_campaign_identical_across_worker_counts() {
+    use netfi::sample::{run_sampled_campaign, OutcomeClass, SampleOptions};
+    let run = |workers: usize| {
+        run_sampled_campaign(&SampleOptions {
+            seed: 11,
+            points: 512,
+            workers,
+        })
+        .unwrap()
+    };
+    let w1 = run(1);
+    let w2 = run(2);
+    let w8 = run(8);
+    assert_eq!(w1.fingerprint(), w2.fingerprint());
+    assert_eq!(w1.fingerprint(), w8.fingerprint());
+    assert_eq!(w1.report().render(), w8.report().render());
+    assert_eq!(w1, w2);
+    assert_eq!(w1, w8);
+    // The taxonomy is fully rendered (zero-draw classes included) and
+    // the space is rich enough that several classes actually fire.
+    let report = w1.report();
+    assert_eq!(report.rows.len(), OutcomeClass::ALL.len());
+    let populated = report.rows.iter().filter(|r| r.count > 0).count();
+    assert!(populated >= 3, "degenerate sample: {}", report.render());
+    assert_eq!(report.n, 512);
 }
 
 /// Percentile extraction is exact wherever the log-bucketed histogram
