@@ -1,9 +1,11 @@
 //! Engine throughput benchmark: how many simulated events per second does
-//! the kernel sustain on the saturated three-node testbed, and how long
-//! does the paper's full campaign list take wall-clock?
+//! the kernel sustain on the saturated three-node testbed, how does that
+//! scale on generated leaf–spine fabrics from 10 to 1,000 hosts, and how
+//! long does the paper's full campaign list take wall-clock?
 //!
-//! Emits `BENCH_engine.json` (events/sec, ns/event, campaign wall time,
-//! serial and parallel) so the perf trajectory is tracked from PR 1 on.
+//! Emits `BENCH_engine.json` (events/sec, ns/event, the per-size fabric
+//! scaling curve with its determinism digests, campaign wall time, serial
+//! and parallel) so the perf trajectory is tracked from PR 1 on.
 //! Throughput is min-of-samples (see the comment in `main`); the median
 //! rides along in the JSON. If a previously committed
 //! `BENCH_engine.baseline.json` exists next to the output, the report
@@ -11,7 +13,8 @@
 //!
 //! ```text
 //! cargo run -p netfi-bench --release --bin bench_engine -- \
-//!     [--out BENCH_engine.json] [--sim-ms 2000] [--samples 5] [--campaigns 1]
+//!     [--out BENCH_engine.json] [--sim-ms 2000] [--samples 5] [--campaigns 1] \
+//!     [--fabric-sim-ms 0] [--fabric-samples 5]
 //! ```
 
 use netfi_bench::harness::{Bench, JsonObject};
@@ -20,6 +23,7 @@ use netfi_myrinet::addr::EthAddr;
 use netfi_netstack::{build_testbed, Host, Testbed, TestbedOptions, Workload};
 use netfi_nftape::campaign::{paper_campaigns, run_campaigns_with_workers};
 use netfi_nftape::runner::default_workers;
+use netfi_nftape::{build_fabric, fabric_digest, TopoOptions};
 use netfi_sim::{NullProbe, ShardSpec, ShardedEngine, SimDuration, SimTime, Simulation};
 use std::hint::black_box;
 use std::time::Instant;
@@ -89,11 +93,63 @@ fn run_saturated_testbed_sharded(sim_ms: u64, seed: u64, workers: usize) -> (u64
     (sim.events_processed(), sim.rounds(), sim.cross_events())
 }
 
+/// The fabric scaling curve's sizes, each with a default simulated span
+/// chosen so every size does comparable wall-clock work (event volume
+/// grows roughly linearly with host count at fixed span).
+const FABRIC_SIZES: [(usize, u64); 3] = [(10, 400), (100, 100), (1_000, 20)];
+
+/// One row of the fabric scaling curve, accumulated for the JSON report.
+struct FabricRow {
+    hosts: usize,
+    components: usize,
+    shards: usize,
+    sim_ms: u64,
+    events: u64,
+    digest: u64,
+    events_per_sec: f64,
+    ns_per_event: f64,
+    sharded_w1_events_per_sec: f64,
+    sharded_workers: usize,
+    sharded_events_per_sec: f64,
+    sharded_rounds: u64,
+    sharded_cross_events: u64,
+}
+
+/// Builds the sized fabric, runs it serially to `sim_ms`, and returns
+/// `(events_processed, fabric_digest)`.
+fn run_fabric_serial(hosts: usize, sim_ms: u64) -> (u64, u64) {
+    let options = TopoOptions::sized(hosts);
+    let mut fab = build_fabric(&options, |_, _| {}).unwrap();
+    fab.engine.run_until(SimTime::from_ms(sim_ms));
+    let switches: Vec<_> = fab.leaves.iter().chain(&fab.spines).copied().collect();
+    let digest = fabric_digest(&fab.engine, &fab.hosts, &switches);
+    (fab.engine.events_processed(), digest)
+}
+
+/// The same sized fabric under the sharded executor (affinity groups from
+/// the topology: one shard per leaf plus a spine shard). Returns
+/// `(events, digest, rounds, cross_shard_events)`.
+fn run_fabric_sharded(hosts: usize, sim_ms: u64, workers: usize) -> (u64, u64, u64, u64) {
+    let options = TopoOptions::sized(hosts);
+    let fab = build_fabric(&options, |_, _| {}).unwrap();
+    let spec = fab.shard_spec(workers);
+    let switches: Vec<_> = fab.leaves.iter().chain(&fab.spines).copied().collect();
+    let host_ids = fab.hosts;
+    let mut sim: ShardedEngine<_, NullProbe> =
+        ShardedEngine::from_engine(fab.engine, spec, |_| NullProbe);
+    sim.run_until(SimTime::from_ms(sim_ms));
+    let digest = fabric_digest(&sim, &host_ids, &switches);
+    (sim.events_processed(), digest, sim.rounds(), sim.cross_events())
+}
+
 fn main() {
     let out_path: String = arg("--out", "BENCH_engine.json".to_string());
     let sim_ms: u64 = arg("--sim-ms", 2_000);
     let samples: u32 = arg("--samples", 15);
     let campaigns: u32 = arg("--campaigns", 1);
+    let fabric_sim_ms: u64 = arg("--fabric-sim-ms", 0); // 0 = per-size defaults
+    let fabric_samples: u32 = arg("--fabric-samples", 5);
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
 
     // --- engine throughput on the saturated testbed ---
     //
@@ -147,6 +203,99 @@ fn main() {
         sharded_events_per_sec / events_per_sec
     );
 
+    // --- fabric scaling curve: 10 / 100 / 1,000 generated hosts ---
+    //
+    // Each size builds a leaf–spine fabric from `TopoOptions::sized`,
+    // runs the deterministic stride traffic serially, then re-runs it
+    // under the sharded executor at 1 worker and at min(cores, 4)
+    // workers. The fabric digest is the determinism oracle: serial and
+    // every sharded configuration must agree on all 64 bits, in-run, at
+    // every size — a silent divergence fails the bench before any number
+    // is reported. Timing stays min-of-samples, same argument as above.
+    let fabric_workers = cores.clamp(1, 4);
+    let mut fabric_rows: Vec<FabricRow> = Vec::new();
+    for &(n_hosts, default_ms) in &FABRIC_SIZES {
+        let fms = if fabric_sim_ms > 0 { fabric_sim_ms } else { default_ms };
+        let options = TopoOptions::sized(n_hosts);
+        let meta = build_fabric(&options, |_, _| {}).unwrap();
+        let components = meta.engine.component_count();
+        let shards = meta.shard_count();
+        drop(meta);
+
+        let (events, digest) = run_fabric_serial(n_hosts, fms);
+        let m = Bench::new(format!("engine/fabric_{n_hosts}h_{fms}ms"))
+            .samples(fabric_samples)
+            .warmup(1)
+            .run(|| black_box(run_fabric_serial(n_hosts, fms)));
+        println!("{}", m.report());
+        let wall_ns = m.min_sample_ns() as f64;
+        let events_per_sec = events as f64 / (wall_ns / 1e9);
+        let ns_per_event = wall_ns / events as f64;
+
+        let (ev1, dg1, rounds, cross) = run_fabric_sharded(n_hosts, fms, 1);
+        assert_eq!(
+            ev1, events,
+            "sharded (1 worker) event count diverged at {n_hosts} hosts"
+        );
+        assert_eq!(
+            dg1, digest,
+            "sharded (1 worker) digest diverged at {n_hosts} hosts"
+        );
+        let m1 = Bench::new(format!("engine/fabric_{n_hosts}h_{fms}ms_sharded_w1"))
+            .samples(fabric_samples)
+            .warmup(1)
+            .run(|| black_box(run_fabric_sharded(n_hosts, fms, 1)));
+        println!("{}", m1.report());
+        let w1_events_per_sec = events as f64 / (m1.min_sample_ns() as f64 / 1e9);
+
+        let sharded_events_per_sec = if fabric_workers > 1 {
+            let (evm, dgm, _, _) = run_fabric_sharded(n_hosts, fms, fabric_workers);
+            assert_eq!(
+                evm, events,
+                "sharded ({fabric_workers} workers) event count diverged at {n_hosts} hosts"
+            );
+            assert_eq!(
+                dgm, digest,
+                "sharded ({fabric_workers} workers) digest diverged at {n_hosts} hosts"
+            );
+            let mw = Bench::new(format!(
+                "engine/fabric_{n_hosts}h_{fms}ms_sharded_w{fabric_workers}"
+            ))
+            .samples(fabric_samples)
+            .warmup(1)
+            .run(|| black_box(run_fabric_sharded(n_hosts, fms, fabric_workers)));
+            println!("{}", mw.report());
+            events as f64 / (mw.min_sample_ns() as f64 / 1e9)
+        } else {
+            w1_events_per_sec
+        };
+
+        println!(
+            "fabric {n_hosts} hosts ({components} components, {shards} shards, {fms} ms): \
+             {events} events -> {events_per_sec:.0} ev/s serial, \
+             {w1_events_per_sec:.0} ev/s sharded w1, \
+             {sharded_events_per_sec:.0} ev/s sharded w{fabric_workers} \
+             ({:.2}x serial; digest {digest:016x})",
+            sharded_events_per_sec / events_per_sec
+        );
+
+        fabric_rows.push(FabricRow {
+            hosts: n_hosts,
+            components,
+            shards,
+            sim_ms: fms,
+            events,
+            digest,
+            events_per_sec,
+            ns_per_event,
+            sharded_w1_events_per_sec: w1_events_per_sec,
+            sharded_workers: fabric_workers,
+            sharded_events_per_sec,
+            sharded_rounds: rounds,
+            sharded_cross_events: cross,
+        });
+    }
+
     // --- campaign wall time (the paper's whole evaluation) ---
     //
     // Timed twice: serial (one worker) and fanned out one worker per
@@ -174,10 +323,7 @@ fn main() {
 
     let mut json = JsonObject::new()
         .str("bench", "engine")
-        .int(
-            "cores",
-            std::thread::available_parallelism().map_or(1, usize::from) as u64,
-        )
+        .int("cores", cores as u64)
         .str("workload", "saturated_3node_testbed")
         .int("sim_ms", sim_ms)
         .int("events", events)
@@ -192,6 +338,39 @@ fn main() {
         .int("campaign_workers", workers as u64)
         .num("campaign_wall_secs", campaign_secs)
         .num("campaign_serial_wall_secs", campaign_serial_secs);
+
+    // The scaling curve, one flat key block per size so shell tooling
+    // (scripts/check.sh's awk extractor) reads rows without a JSON
+    // parser. Digests are hex strings: u64 does not fit a JSON number.
+    for row in &fabric_rows {
+        let n = row.hosts;
+        json = json
+            .int(&format!("fabric_{n}_hosts"), n as u64)
+            .int(&format!("fabric_{n}_components"), row.components as u64)
+            .int(&format!("fabric_{n}_shards"), row.shards as u64)
+            .int(&format!("fabric_{n}_sim_ms"), row.sim_ms)
+            .int(&format!("fabric_{n}_events"), row.events)
+            .num(&format!("fabric_{n}_events_per_sec"), row.events_per_sec)
+            .num(&format!("fabric_{n}_ns_per_event"), row.ns_per_event)
+            .str(&format!("fabric_{n}_digest"), &format!("{:016x}", row.digest))
+            .num(
+                &format!("fabric_{n}_sharded_w1_events_per_sec"),
+                row.sharded_w1_events_per_sec,
+            )
+            .int(
+                &format!("fabric_{n}_sharded_workers"),
+                row.sharded_workers as u64,
+            )
+            .num(
+                &format!("fabric_{n}_sharded_events_per_sec"),
+                row.sharded_events_per_sec,
+            )
+            .int(&format!("fabric_{n}_sharded_rounds"), row.sharded_rounds)
+            .int(
+                &format!("fabric_{n}_sharded_cross_events"),
+                row.sharded_cross_events,
+            );
+    }
 
     // Compare against a committed baseline, if one is present.
     let baseline_path = std::path::Path::new(&out_path)

@@ -80,7 +80,28 @@ fn main() {
 
     let report = first.report();
     println!("{}", report.render());
+    // Per-dimension breakdowns — derived from the records, so already
+    // covered by the worker-invariance asserts above.
+    let dir_breakdown = first.direction_breakdown();
+    let swap_breakdown = first.control_swap_breakdown();
+    println!("{}", dir_breakdown.render());
+    println!("{}", swap_breakdown.render());
     let injections_per_sec = points as f64 / best_secs;
+
+    // The breakdowns nest as objects keyed by the campaign's stable cell
+    // keys (`dir_a`, `gap_to_idle`, ...), one integer field per outcome
+    // class, so downstream tooling reads cells without positional logic.
+    let nest = |breakdown: &netfi_sample::Breakdown| {
+        let mut outer = JsonObject::new();
+        for row in &breakdown.rows {
+            let mut cell = JsonObject::new();
+            for class in OutcomeClass::ALL {
+                cell = cell.int(class.label(), row.histogram[class.index()]);
+            }
+            outer = outer.raw(&row.key, cell.render());
+        }
+        outer.render()
+    };
 
     let mut json = JsonObject::new()
         .str("bench", "injections")
@@ -101,6 +122,9 @@ fn main() {
             .num(&format!("{}_lo", row.class.label()), row.low)
             .num(&format!("{}_hi", row.class.label()), row.high);
     }
+    json = json
+        .raw("dir_breakdown", nest(&dir_breakdown))
+        .raw("control_swap_breakdown", nest(&swap_breakdown));
     // The acceptance contract: every class of the taxonomy is present in
     // the report, zero-draw classes included.
     assert_eq!(report.rows.len(), OutcomeClass::ALL.len());

@@ -108,11 +108,14 @@ fn workspace_has_no_lint_violations() {
     // rule wants one allow per flagged line. Raised 35 -> 36 with the
     // statistical sampler: `sample`'s campaign driver fans points across
     // scoped workers behind one justified thread-spawn allow, mirroring
-    // nftape's. The ceiling sits exactly on the measured count; it can
-    // only move down, or up in the same commit that adds a justified
-    // (and exercised) allow.
+    // nftape's. Lowered 36 -> 33 with the component arena: fusing the
+    // engine's twin component/emission-counter `Vec`s into one slot
+    // table deleted their setup-path allows and needs only a single
+    // constructor allow of its own. The ceiling sits exactly on the
+    // measured count; it can only move down, or up in the same commit
+    // that adds a justified (and exercised) allow.
     assert!(
-        report.suppressions <= 36,
+        report.suppressions <= 33,
         "allow-comment suppressions grew to {} — review before raising the budget",
         report.suppressions
     );

@@ -34,6 +34,7 @@ pub mod results;
 pub mod runner;
 pub mod scenarios;
 pub mod serialize;
+pub mod topo;
 
 pub use campaign::{
     run_campaign, run_campaigns_parallel, run_campaigns_with_workers, CampaignSpec, FaultSpec,
@@ -49,3 +50,4 @@ pub use observed::{
 pub use report::{registry_tables, Table};
 pub use results::{RunResult, ScenarioError};
 pub use runner::{default_workers, worker_count};
+pub use topo::{build_fabric, build_fabric_probed, fabric_digest, Fabric, TopoOptions};

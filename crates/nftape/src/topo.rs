@@ -1,0 +1,484 @@
+//! Generated leaf–spine Myrinet fabrics: parameterized multi-switch
+//! topologies that scale the paper's 3-host test bed to 1,000+ hosts.
+//!
+//! [`build_fabric`] wires real [`Host`]s, [`Switch`]es and interface
+//! components into an [`Engine`] from three knobs — host count, leaf
+//! switch radix, spine count — plus link parameters. The layout is the
+//! classic two-tier fat tree: every leaf switch carries `radix − spines`
+//! hosts on its low ports and one uplink per spine on its high ports;
+//! every spine carries one port per leaf. 10 hosts at radix 8 is 2
+//! leaves; 1,000 hosts at radix 64 is 17 leaves, inside the 64-port
+//! switch cap and the `u8` switch-id space.
+//!
+//! **Routing at scale.** The paper's mapper recomputes every pairwise
+//! route each mapping round — O(N²) work that the 3-host test bed never
+//! notices and a 1,000-host fabric cannot afford (and real deployments
+//! precompute static routes for exactly this reason). Generated fabrics
+//! therefore disable mapping (`set_can_map(false)`) and install static
+//! source routes at build time — cross-leaf flows spread over the spines
+//! by source host (deterministic ECMP) — so traffic starts at t = 0 with
+//! no discovery phase and every trunk carries load.
+//!
+//! **Traffic.** Each host `i` runs one fixed-interval [`Workload::Sender`]
+//! to host `(i + hosts_per_leaf) mod hosts` — a deterministic stride
+//! pattern that forces every flow through a leaf→spine→leaf path (the
+//! stride skips exactly one leaf's worth of hosts), exercising trunk
+//! contention and STOP/GO flow control rather than staying switch-local.
+//!
+//! **Sharding.** The fabric derives its own affinity partition: one shard
+//! per leaf switch together with its hosts, and (when present) one extra
+//! shard holding every spine. The only cross-shard links are the
+//! leaf–spine trunks, so the conservative lookahead is the *trunk* link's
+//! propagation delay — which is why [`TopoOptions`] splits `host_link`
+//! from `trunk_link`: short host cables keep per-hop latency realistic
+//! while longer trunk runs (machine-room scale) buy the sharded executor
+//! a wide synchronization window.
+//!
+//! **Determinism oracle.** [`fabric_digest`] folds every host's and
+//! switch's end-of-run counters plus the engine clock and delivery count
+//! into one FNV-1a hash. The digest is a pure function of simulation
+//! state, so serial and sharded runs of the same fabric must produce the
+//! same 64 bits at any worker count — pinned in `tests/determinism.rs`
+//! for the 10- and 100-host fabrics and cross-checked in-run by
+//! `bench_engine` at 1,000 hosts.
+
+use netfi_myrinet::addr::{EthAddr, NodeAddress};
+use netfi_myrinet::event::{connect, ConnectError, Ev};
+use netfi_myrinet::interface::InterfaceConfig;
+use netfi_myrinet::mapper::Topology;
+use netfi_myrinet::packet::{route_to_host, route_to_switch};
+use netfi_myrinet::switch::{Switch, SwitchConfig};
+use netfi_netstack::{Host, HostCmd, HostConfig, Workload, SINK_PORT};
+use netfi_phy::Link;
+use netfi_sim::shard::ShardSpec;
+use netfi_sim::{
+    ComponentId, Engine, NullProbe, Probe, SimDuration, SimTime, Simulation,
+};
+
+/// Parameters for [`build_fabric`].
+#[derive(Debug, Clone)]
+pub struct TopoOptions {
+    /// Number of hosts.
+    pub hosts: usize,
+    /// Ports per leaf switch; `radix − spines` of them hold hosts.
+    pub radix: usize,
+    /// Spine switches (each needs one port per leaf, capped at 64
+    /// leaves). Ignored when one leaf suffices — a single-switch fabric
+    /// has no trunks.
+    pub spines: usize,
+    /// Host ↔ leaf link parameters (short server-room cables).
+    pub host_link: Link,
+    /// Leaf ↔ spine trunk parameters. Its propagation delay is the
+    /// fabric's conservative lookahead, so longer trunks mean wider
+    /// sharded windows.
+    pub trunk_link: Link,
+    /// Base RNG seed, decorrelated per host.
+    pub seed: u64,
+    /// Interval between each host's sends.
+    pub interval: SimDuration,
+    /// Payload bytes per datagram.
+    pub payload_len: usize,
+    /// Datagrams sent back-to-back per tick.
+    pub burst: usize,
+}
+
+impl Default for TopoOptions {
+    fn default() -> Self {
+        TopoOptions {
+            hosts: 10,
+            radix: 8,
+            spines: 2,
+            host_link: Link::myrinet_640(3.0),
+            // 100 m machine-room trunk: ~500 ns of propagation = the
+            // conservative window the sharded executor batches within.
+            trunk_link: Link::myrinet_640(100.0),
+            seed: 0x6661_6272_6963,
+            interval: SimDuration::from_us(500),
+            payload_len: 64,
+            burst: 1,
+        }
+    }
+}
+
+impl TopoOptions {
+    /// A sized preset: picks the smallest standard radix (8/16/64) that
+    /// carries `hosts` without exceeding 64 leaves, leaving the other
+    /// knobs at their defaults.
+    pub fn sized(hosts: usize) -> TopoOptions {
+        let radix = if hosts <= 48 {
+            8
+        } else if hosts <= 448 {
+            16
+        } else {
+            64
+        };
+        TopoOptions {
+            hosts,
+            radix,
+            ..TopoOptions::default()
+        }
+    }
+
+    /// Hosts carried per leaf switch under these options.
+    pub fn hosts_per_leaf(&self) -> usize {
+        self.radix - self.spines
+    }
+
+    /// Leaf switches needed for `hosts` under these options.
+    pub fn leaves(&self) -> usize {
+        self.hosts.div_ceil(self.hosts_per_leaf())
+    }
+}
+
+/// A generated fabric: the engine plus every handle a harness needs to
+/// drive it, shard it, and digest its end state.
+#[derive(Debug)]
+pub struct Fabric<P: Probe = NullProbe> {
+    /// The event engine, wired and ready to run (hosts start at t = 0).
+    pub engine: Engine<Ev, P>,
+    /// Host component ids, in host-index order.
+    pub hosts: Vec<ComponentId>,
+    /// Leaf switch ids, in leaf order.
+    pub leaves: Vec<ComponentId>,
+    /// Spine switch ids (empty for single-leaf fabrics).
+    pub spines: Vec<ComponentId>,
+    /// Host physical addresses, aligned with `hosts`.
+    pub eth: Vec<EthAddr>,
+    /// Shard id per component index: one shard per leaf (its switch and
+    /// hosts), plus one shard for all spines when trunks exist.
+    pub affinity: Vec<u16>,
+    /// The conservative window bound: the trunk link's propagation
+    /// delay, since trunks are the only cross-shard links.
+    pub lookahead: SimDuration,
+}
+
+impl<P: Probe> Fabric<P> {
+    /// Number of affinity groups the fabric partitions into.
+    pub fn shard_count(&self) -> usize {
+        self.affinity.iter().map(|&s| s as usize + 1).max().unwrap_or(1)
+    }
+
+    /// The topology-derived [`ShardSpec`] at a given worker count.
+    pub fn shard_spec(&self, workers: usize) -> ShardSpec {
+        ShardSpec {
+            affinity: self.affinity.clone(),
+            lookahead: self.lookahead,
+            workers,
+        }
+    }
+}
+
+/// Builds a leaf–spine fabric per `options` (see the [module docs](self)
+/// for the layout, routing and traffic model). `customize` runs once per
+/// host, after its workload and static routes are installed and before
+/// it is boxed into the engine.
+///
+/// # Errors
+///
+/// Returns [`ConnectError`] if wiring fails — impossible for components
+/// this function itself creates, but surfaced rather than panicking.
+///
+/// # Panics
+///
+/// Panics if the options are unsatisfiable: zero hosts, a radix that
+/// leaves no host ports, more than 64 leaves (the spine port space), or
+/// more than 255 switches (the `u8` switch-id space).
+pub fn build_fabric(
+    options: &TopoOptions,
+    customize: impl FnMut(usize, &mut Host),
+) -> Result<Fabric, ConnectError> {
+    build_fabric_probed(options, NullProbe, customize)
+}
+
+/// [`build_fabric`], with an observation [`Probe`] installed on the
+/// engine. Observation never feeds back into the simulation, so a probed
+/// fabric follows the exact trajectory of an unprobed one.
+///
+/// # Errors
+///
+/// Returns [`ConnectError`] if wiring fails (see [`build_fabric`]).
+///
+/// # Panics
+///
+/// Panics on unsatisfiable options (see [`build_fabric`]).
+pub fn build_fabric_probed<P: Probe>(
+    options: &TopoOptions,
+    probe: P,
+    mut customize: impl FnMut(usize, &mut Host),
+) -> Result<Fabric<P>, ConnectError> {
+    assert!(options.hosts > 0, "a fabric needs at least one host");
+    assert!(
+        options.spines < options.radix,
+        "radix must leave at least one host port per leaf"
+    );
+    assert!(options.radix <= 64, "switch ports are capped at 64");
+    let hosts_per_leaf = options.hosts_per_leaf();
+    let leaves = options.leaves();
+    // One leaf needs no uplinks: degenerate to a single-switch fabric.
+    let spines = if leaves > 1 { options.spines } else { 0 };
+    assert!(
+        leaves <= 64,
+        "spine switches are capped at 64 ports (one per leaf)"
+    );
+    assert!(leaves + spines <= u8::MAX as usize, "switch ids are u8");
+
+    // Ground-truth switch fabric: leaves 0..L, spines L..L+S. Leaf l's
+    // uplink to spine s leaves on port (radix − spines + s) and lands on
+    // spine port l.
+    let mut switch_ports: Vec<u8> = vec![options.radix as u8; leaves];
+    switch_ports.extend(std::iter::repeat_n(leaves as u8, spines));
+    let mut trunks = Vec::new();
+    for l in 0..leaves {
+        for s in 0..spines {
+            let leaf_port = (options.radix - spines + s) as u8;
+            trunks.push(((l as u8, leaf_port), ((leaves + s) as u8, l as u8)));
+        }
+    }
+    let topo = Topology {
+        switch_ports,
+        trunks: trunks.clone(),
+    };
+
+    let mut engine: Engine<Ev, P> = Engine::with_probe(probe);
+    let mut affinity: Vec<u16> = Vec::new();
+    // The spine shard (if any) comes after the per-leaf shards.
+    let spine_shard = leaves as u16;
+
+    let leaf_ids: Vec<ComponentId> = (0..leaves)
+        .map(|l| {
+            affinity.push(l as u16);
+            engine.add_component(Box::new(Switch::new(
+                format!("leaf{l}"),
+                options.radix,
+                SwitchConfig::default(),
+            )))
+        })
+        .collect();
+    let spine_ids: Vec<ComponentId> = (0..spines)
+        .map(|s| {
+            affinity.push(spine_shard);
+            engine.add_component(Box::new(Switch::new(
+                format!("spine{s}"),
+                leaves,
+                SwitchConfig::default(),
+            )))
+        })
+        .collect();
+    for ((leaf, leaf_port), (spine, spine_port)) in trunks {
+        connect::<Switch, Switch, _>(
+            &mut engine,
+            (leaf_ids[leaf as usize], leaf_port),
+            (spine_ids[spine as usize - leaves], spine_port),
+            &options.trunk_link,
+        )?;
+    }
+
+    // The attachment of host i: its leaf's low ports, in host order.
+    let attachment = |i: usize| ((i / hosts_per_leaf) as u8, (i % hosts_per_leaf) as u8);
+    let mac = |i: usize| EthAddr::myricom(i as u32 + 1);
+    let mut host_ids = Vec::new();
+    let mut eth = Vec::new();
+    for i in 0..options.hosts {
+        let (leaf, port) = attachment(i);
+        let iface = InterfaceConfig::new(
+            NodeAddress(100 + i as u64),
+            mac(i),
+            (leaf, port),
+            topo.clone(),
+        );
+        let mut host = Host::new(HostConfig::fast(
+            iface,
+            options.seed.wrapping_add(i as u64),
+        ));
+        // Static routing: mapping's per-round O(N²) route recomputation
+        // is the test bed's luxury, not the fabric's (module docs).
+        // Cross-leaf routes spread over the spines by source host
+        // (deterministic ECMP), so every trunk carries traffic instead
+        // of the BFS-first spine carrying it all.
+        host.nic_mut().set_can_map(false);
+        let peer = (i + hosts_per_leaf) % options.hosts;
+        if peer != i {
+            let (leaf_to, port_to) = attachment(peer);
+            let route = if leaf == leaf_to {
+                vec![route_to_host(port_to)]
+            } else {
+                let s = i % spines;
+                let uplink = (options.radix - spines + s) as u8;
+                vec![
+                    route_to_switch(uplink),
+                    route_to_switch(leaf_to),
+                    route_to_host(port_to),
+                ]
+            };
+            host.nic_mut().install_route(mac(peer), route);
+            host.add_workload(Workload::Sender {
+                dest: mac(peer),
+                interval: options.interval,
+                payload_len: options.payload_len,
+                forbidden: vec![],
+                burst: options.burst,
+            });
+        }
+        customize(i, &mut host);
+        affinity.push(leaf as u16);
+        let h = engine.add_component(Box::new(host));
+        connect::<Host, Switch, _>(
+            &mut engine,
+            (h, 0),
+            (leaf_ids[leaf as usize], port),
+            &options.host_link,
+        )?;
+        engine.schedule(SimTime::ZERO, h, Ev::App(Box::new(HostCmd::Start)));
+        host_ids.push(h);
+        eth.push(mac(i));
+    }
+
+    Ok(Fabric {
+        engine,
+        hosts: host_ids,
+        leaves: leaf_ids,
+        spines: spine_ids,
+        eth,
+        affinity,
+        lookahead: options.trunk_link.propagation_delay(),
+    })
+}
+
+/// Folds a fabric run's end state into one FNV-1a hash: the engine clock
+/// and delivery count, then every host's sink deliveries, sender count,
+/// UDP counters and NIC counters, then every switch's forwarding
+/// counters, all in component order. Serial and sharded runs of the same
+/// fabric must agree on all 64 bits at any worker count — this is the
+/// scaling benchmark's determinism oracle.
+pub fn fabric_digest(
+    sim: &impl Simulation<Ev>,
+    hosts: &[ComponentId],
+    switches: &[ComponentId],
+) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(&sim.events_processed().to_le_bytes());
+    eat(&sim.now().as_ps().to_le_bytes());
+    for &id in hosts {
+        match sim.component_as::<Host>(id) {
+            Some(host) => {
+                eat(&host.rx_count(SINK_PORT).to_le_bytes());
+                eat(&host.sender_sent().to_le_bytes());
+                // Debug renderings of plain counter structs: stable,
+                // field-complete, and allocation is fine post-run.
+                eat(format!("{:?}", host.udp_stats()).as_bytes());
+                eat(format!("{:?}", host.nic().stats()).as_bytes());
+            }
+            None => eat(b"missing-host"),
+        }
+    }
+    for &id in switches {
+        match sim.component_as::<Switch>(id) {
+            Some(switch) => eat(format!("{:?}", switch.stats()).as_bytes()),
+            None => eat(b"missing-switch"),
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netfi_sim::shard::ShardedEngine;
+
+    #[test]
+    fn sized_presets_fit_the_switch_limits() {
+        for hosts in [1, 10, 48, 100, 448, 1000] {
+            let o = TopoOptions::sized(hosts);
+            assert!(o.leaves() <= 64, "hosts={hosts}");
+            assert!(o.hosts_per_leaf() >= 1, "hosts={hosts}");
+        }
+        assert_eq!(TopoOptions::sized(10).leaves(), 2);
+        assert_eq!(TopoOptions::sized(100).leaves(), 8);
+        assert_eq!(TopoOptions::sized(1000).leaves(), 17);
+    }
+
+    #[test]
+    fn fabric_carries_stride_traffic_without_mapping() {
+        let options = TopoOptions::sized(10);
+        let mut fabric = build_fabric(&options, |_, _| {}).unwrap();
+        fabric.engine.run_until(SimTime::from_ms(20));
+        // Every host's stride peer heard from it, with mapping disabled.
+        for (i, &id) in fabric.hosts.iter().enumerate() {
+            let host = fabric.engine.component_as::<Host>(id).unwrap();
+            assert!(!host.nic().is_mapper(), "host {i} must not map");
+            assert!(host.rx_count(SINK_PORT) > 10, "host {i} heard nothing");
+            assert!(host.sender_sent() > 10, "host {i} sent nothing");
+        }
+        // The stride crosses leaves, so the spines forwarded traffic.
+        for &id in &fabric.spines {
+            let sw = fabric.engine.component_as::<Switch>(id).unwrap();
+            assert!(sw.stats().forwarded > 0, "idle spine");
+        }
+    }
+
+    #[test]
+    fn affinity_groups_leaves_with_their_hosts() {
+        let options = TopoOptions::sized(10);
+        let fabric = build_fabric(&options, |_, _| {}).unwrap();
+        // 2 leaves + 1 spine shard.
+        assert_eq!(fabric.shard_count(), 3);
+        for (i, &id) in fabric.hosts.iter().enumerate() {
+            let leaf = i / options.hosts_per_leaf();
+            assert_eq!(fabric.affinity[id.index()], leaf as u16, "host {i}");
+            assert_eq!(
+                fabric.affinity[fabric.leaves[leaf].index()],
+                leaf as u16
+            );
+        }
+        for &id in &fabric.spines {
+            assert_eq!(fabric.affinity[id.index()], fabric.leaves.len() as u16);
+        }
+    }
+
+    #[test]
+    fn sharded_fabric_matches_serial_digest() {
+        let options = TopoOptions::sized(10);
+        let deadline = SimTime::from_ms(10);
+
+        let mut serial = build_fabric(&options, |_, _| {}).unwrap();
+        serial.engine.run_until(deadline);
+        let want = fabric_digest(&serial.engine, &serial.hosts, &serial.leaves);
+
+        for workers in [1, 2] {
+            let fabric = build_fabric(&options, |_, _| {}).unwrap();
+            let hosts = fabric.hosts.clone();
+            let leaves = fabric.leaves.clone();
+            let spec = fabric.shard_spec(workers);
+            let mut sharded =
+                ShardedEngine::from_engine(fabric.engine, spec, |_| NullProbe);
+            sharded.run_until(deadline);
+            assert_eq!(
+                fabric_digest(&sharded, &hosts, &leaves),
+                want,
+                "workers={workers}"
+            );
+            assert!(sharded.cross_events() > 0, "stride traffic must cross shards");
+        }
+    }
+
+    #[test]
+    fn single_leaf_fabric_degenerates_cleanly() {
+        let options = TopoOptions {
+            hosts: 4,
+            radix: 8,
+            ..TopoOptions::default()
+        };
+        let mut fabric = build_fabric(&options, |_, _| {}).unwrap();
+        assert!(fabric.spines.is_empty());
+        assert_eq!(fabric.shard_count(), 1);
+        fabric.engine.run_until(SimTime::from_ms(5));
+        let host = fabric.engine.component_as::<Host>(fabric.hosts[0]).unwrap();
+        assert!(host.sender_sent() > 0);
+    }
+}

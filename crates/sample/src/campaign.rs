@@ -36,9 +36,11 @@ use netfi_nftape::scenarios::udpcheck::MESSAGE;
 use netfi_obs::DispatchProbe;
 use netfi_sim::{ComponentId, Engine, RunBudget, RunOutcome, SimDuration, SimTime};
 
+use netfi_core::command::DirSelect;
+
 use crate::classify::{classify, OutcomeClass, RunEvidence};
-use crate::space::{draw_point, CorruptKind, InjectionPoint, Plane};
-use crate::stats::CoverageReport;
+use crate::space::{draw_point, CorruptKind, InjectionPoint, Plane, CONTROL_SWAPS};
+use crate::stats::{Breakdown, BreakdownRow, CoverageReport};
 
 /// Campaign datagrams streamed per point — enough for the trigger to see
 /// repeated copies of every window, few enough to keep a point cheap.
@@ -113,6 +115,54 @@ impl SampledCampaign {
     /// The coverage report: all five classes with Wilson 95% intervals.
     pub fn report(&self) -> CoverageReport {
         CoverageReport::from_histogram(self.histogram())
+    }
+
+    /// The outcome × direction breakdown: the class histogram split by
+    /// the drawn link direction. Draws select exactly A or B (never
+    /// both), so two cells cover the dimension.
+    pub fn direction_breakdown(&self) -> Breakdown {
+        let mut rows = vec![
+            BreakdownRow {
+                key: "dir_a".to_string(),
+                histogram: [0; 5],
+            },
+            BreakdownRow {
+                key: "dir_b".to_string(),
+                histogram: [0; 5],
+            },
+        ];
+        for r in &self.records {
+            let cell = if r.point.dir == DirSelect::A { 0 } else { 1 };
+            rows[cell].histogram[r.class.index()] += 1;
+        }
+        Breakdown {
+            dimension: "outcome x direction",
+            rows,
+        }
+    }
+
+    /// The outcome × control-swap breakdown: control-plane draws split
+    /// by their [`CONTROL_SWAPS`] row (the paper's Table 4), one cell
+    /// per swap in that fixed order. Data-plane draws are not counted —
+    /// the dimension only exists on the control plane.
+    pub fn control_swap_breakdown(&self) -> Breakdown {
+        let mut rows: Vec<BreakdownRow> = CONTROL_SWAPS
+            .iter()
+            .map(|(from, to)| BreakdownRow {
+                key: format!("{from:?}_to_{to:?}").to_lowercase(),
+                histogram: [0; 5],
+            })
+            .collect();
+        for r in &self.records {
+            if matches!(r.point.plane, Plane::Control) {
+                let cell = r.point.control_swap % CONTROL_SWAPS.len();
+                rows[cell].histogram[r.class.index()] += 1;
+            }
+        }
+        Breakdown {
+            dimension: "outcome x control swap",
+            rows,
+        }
     }
 
     /// FNV-1a fingerprint over the seed, the baseline, every record and
@@ -551,6 +601,29 @@ mod tests {
             .filter(|&&c| c > 0)
             .count();
         assert!(distinct >= 2, "histogram {:?}", campaigns[0].histogram());
+        // The per-dimension breakdowns reconcile with the histogram and
+        // are as worker-invariant as the records they derive from.
+        let dirs = campaigns[0].direction_breakdown();
+        let dir_total: u64 = dirs.rows.iter().flat_map(|r| r.histogram).sum();
+        assert_eq!(dir_total, campaigns[0].records.len() as u64);
+        for (i, class_total) in campaigns[0].histogram().into_iter().enumerate() {
+            let split: u64 = dirs.rows.iter().map(|r| r.histogram[i]).sum();
+            assert_eq!(split, class_total, "class {i}");
+        }
+        let swaps = campaigns[0].control_swap_breakdown();
+        assert_eq!(swaps.rows.len(), CONTROL_SWAPS.len());
+        let swap_total: u64 = swaps.rows.iter().flat_map(|r| r.histogram).sum();
+        let control_draws = campaigns[0]
+            .records
+            .iter()
+            .filter(|r| matches!(r.point.plane, Plane::Control))
+            .count() as u64;
+        assert_eq!(swap_total, control_draws);
+        assert_eq!(dirs.render(), campaigns[1].direction_breakdown().render());
+        assert_eq!(
+            swaps.render(),
+            campaigns[2].control_swap_breakdown().render()
+        );
     }
 
     #[test]

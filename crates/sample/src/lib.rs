@@ -37,4 +37,4 @@ pub use campaign::{
 };
 pub use classify::{classify, OutcomeClass, RunEvidence};
 pub use space::{draw_point, window_count, CorruptKind, InjectionPoint, Plane, CONTROL_SWAPS};
-pub use stats::{wilson_interval, CoverageReport, CoverageRow, Z95};
+pub use stats::{wilson_interval, Breakdown, BreakdownRow, CoverageReport, CoverageRow, Z95};

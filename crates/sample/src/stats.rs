@@ -103,6 +103,58 @@ impl CoverageReport {
     }
 }
 
+/// One cell of a per-dimension breakdown: a stable key naming the cell
+/// (e.g. `dir_a`, `gap_to_idle`) and its outcome histogram, indexed by
+/// [`OutcomeClass::index`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BreakdownRow {
+    /// Stable snake_case cell key — reused verbatim as a JSON key in
+    /// `BENCH_injections.json`, so it may never change spelling.
+    pub key: String,
+    /// Outcome counts for draws landing in this cell.
+    pub histogram: [u64; 5],
+}
+
+/// A coverage breakdown along one drawn axis: the outcome histogram
+/// split per cell (per direction, per control-swap row, ...). Cells are
+/// fixed by the dimension, not by the draw — zero-draw cells render too,
+/// same argument as the zero-draw classes in [`CoverageReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Breakdown {
+    /// Human-readable dimension name for the table header.
+    pub dimension: &'static str,
+    /// One row per cell, in the dimension's fixed order.
+    pub rows: Vec<BreakdownRow>,
+}
+
+impl Breakdown {
+    /// Deterministic fixed-width text table: one line per cell, one
+    /// column per outcome class (counts right-aligned under the class
+    /// labels), plus a per-cell total.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("{} breakdown\n", self.dimension));
+        out.push_str("cell                  total");
+        for class in OutcomeClass::ALL {
+            out.push_str(&format!("  {}", class.label()));
+        }
+        out.push('\n');
+        for row in &self.rows {
+            let total: u64 = row.histogram.iter().sum();
+            out.push_str(&format!("{:<20} {:>6}", row.key, total));
+            for class in OutcomeClass::ALL {
+                out.push_str(&format!(
+                    "  {:>width$}",
+                    row.histogram[class.index()],
+                    width = class.label().len()
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,5 +215,35 @@ mod tests {
         let a = CoverageReport::from_histogram([7, 1, 3, 2, 0]).render();
         let b = CoverageReport::from_histogram([7, 1, 3, 2, 0]).render();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn breakdown_renders_every_cell_and_class_column() {
+        let breakdown = Breakdown {
+            dimension: "outcome x direction",
+            rows: vec![
+                BreakdownRow {
+                    key: "dir_a".to_string(),
+                    histogram: [3, 0, 2, 1, 0],
+                },
+                BreakdownRow {
+                    key: "dir_b".to_string(),
+                    histogram: [0, 0, 0, 0, 0],
+                },
+            ],
+        };
+        let text = breakdown.render();
+        assert!(text.starts_with("outcome x direction breakdown\n"));
+        for class in OutcomeClass::ALL {
+            assert!(text.contains(class.label()), "missing {}", class.label());
+        }
+        // Zero-draw cells still render, with a zero total.
+        let dir_b = text.lines().find(|l| l.starts_with("dir_b")).unwrap();
+        assert!(dir_b.contains(" 0"));
+        // The per-cell total is the histogram sum.
+        let dir_a = text.lines().find(|l| l.starts_with("dir_a")).unwrap();
+        assert!(dir_a.contains(" 6"), "line: {dir_a}");
+        // Byte-stable: two renders agree.
+        assert_eq!(text, breakdown.render());
     }
 }

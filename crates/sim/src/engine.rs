@@ -19,6 +19,7 @@
 use std::any::Any;
 use std::fmt;
 
+use crate::arena::ComponentArena;
 use crate::queue::TimingWheel;
 use crate::snapshot::Fork;
 use crate::time::{SimDuration, SimTime};
@@ -332,7 +333,13 @@ pub enum RunOutcome {
 /// [`NullProbe`] (no observation, no overhead), so existing
 /// `Engine<M>`-typed code is unaffected.
 pub struct Engine<M, P: Probe = NullProbe> {
-    components: Vec<Box<dyn Component<M>>>,
+    /// The component table: one dense slot per component co-locating the
+    /// component with its emission counter (the low half of the sub-tick
+    /// keys it mints), so a delivery's counter read-modify-write and its
+    /// vtable jump share a cache line (see [`crate::arena`]). Counters
+    /// are carried through snapshots and shard decomposition: resetting
+    /// one would re-issue keys already spent on queued events.
+    components: ComponentArena<M>,
     /// The event queue: a bucketed timing wheel (see [`crate::queue`])
     /// that preserves the exact `(time, seq)` delivery order the old
     /// binary heap had, at O(1) push/pop instead of O(log n) sifts.
@@ -341,11 +348,6 @@ pub struct Engine<M, P: Probe = NullProbe> {
     /// Emission counter for the engine-level [`Engine::schedule`] stream
     /// (sub-tick source slot 0).
     external_seq: u64,
-    /// Per-component emission counters, parallel to `components` — the
-    /// low halves of the sub-tick keys each component mints. Carried
-    /// through snapshots and shard decomposition: resetting one would
-    /// re-issue keys already spent on queued events.
-    emit: Vec<u64>,
     events_processed: u64,
     stop_requested: bool,
     probe: P,
@@ -379,13 +381,10 @@ impl<M: 'static, P: Probe> Engine<M, P> {
     /// Creates an empty engine at time zero observed by `probe`.
     pub fn with_probe(probe: P) -> Self {
         Engine {
-            // lint: allow(hot-path-alloc) one-time constructor; the component table starts at capacity 0
-            components: Vec::new(),
+            components: ComponentArena::new(),
             queue: TimingWheel::new(),
             now: SimTime::ZERO,
             external_seq: 0,
-            // lint: allow(hot-path-alloc) one-time constructor; grows only in add_component
-            emit: Vec::new(),
             events_processed: 0,
             stop_requested: false,
             probe,
@@ -418,7 +417,6 @@ impl<M: 'static, P: Probe> Engine<M, P> {
         // lint: allow(expect) the slot-capacity assert above already bounds the table
         let id = ComponentId(u32::try_from(self.components.len()).expect("too many components"));
         self.components.push(component);
-        self.emit.push(0);
         id
     }
 
@@ -473,24 +471,27 @@ impl<M: 'static, P: Probe> Engine<M, P> {
         self.probe.on_dispatch(self.now, dst, self.events_processed);
 
         let idx = dst.index();
-        let emit_before = self.emit[idx];
-        {
-            let registered = u32::try_from(self.components.len()).unwrap_or(u32::MAX);
-            let component = &mut self.components[idx];
+        let registered = u32::try_from(self.components.len()).unwrap_or(u32::MAX);
+        // One slot borrow covers the counter and the component: the
+        // context takes `&mut slot.emit`, the handler call takes
+        // `&mut slot.component` — disjoint fields of one dense record.
+        let emitted = {
+            let slot = self.components.slot_mut(idx);
+            let emit_before = slot.emit;
             let mut ctx = Context {
                 now: self.now,
                 self_id: dst,
-                emit: &mut self.emit[idx],
+                emit: &mut slot.emit,
                 queue: &mut self.queue,
                 components: registered,
                 stop_requested: &mut self.stop_requested,
                 route: None,
             };
-            component.on_event(&mut ctx, payload);
-        }
-        // Every send a handler makes goes through its own counter, so
-        // the delta is exactly what this delivery emitted.
-        let emitted = (self.emit[idx] - emit_before) as usize;
+            slot.component.on_event(&mut ctx, payload);
+            // Every send a handler makes goes through its own counter,
+            // so the delta is exactly what this delivery emitted.
+            (slot.emit - emit_before) as usize
+        };
         self.probe.on_deliver(self.now, dst, emitted);
         true
     }
@@ -554,7 +555,7 @@ impl<M: 'static, P: Probe> Engine<M, P> {
     ///
     /// Returns `None` if `id` is stale/unknown.
     pub fn component(&self, id: ComponentId) -> Option<&dyn Component<M>> {
-        self.components.get(id.index()).map(|b| b.as_ref())
+        self.components.get(id.index())
     }
 
     /// Downcasts a component to its concrete type.
@@ -587,7 +588,6 @@ impl<M: 'static, P: Probe> Engine<M, P> {
     pub(crate) fn into_shard_parts(self) -> ShardParts<M> {
         ShardParts {
             components: self.components,
-            emit: self.emit,
             external_seq: self.external_seq,
             queue: self.queue,
             now: self.now,
@@ -611,12 +611,10 @@ impl<M: Fork + 'static, P: Probe + Clone> Engine<M, P> {
     /// export hashes in `tests/determinism.rs`).
     pub fn snapshot(&self) -> EngineSnapshot<M, P> {
         EngineSnapshot {
-            components: self.components.iter().map(|c| c.fork()).collect(),
+            components: self.components.fork(),
             queue: self.queue.fork(),
             now: self.now,
             external_seq: self.external_seq,
-            // lint: allow(hot-path-alloc) snapshot capture is campaign setup, not the event loop
-            emit: self.emit.clone(),
             events_processed: self.events_processed,
             // lint: allow(hot-path-alloc) snapshot capture is campaign setup, not the event loop
             probe: self.probe.clone(),
@@ -634,11 +632,10 @@ impl<M: Fork + 'static, P: Probe + Clone> Engine<M, P> {
 /// reference back to the donor engine: the donor may keep running — or be
 /// dropped — without affecting any fork taken later.
 pub struct EngineSnapshot<M, P: Probe = NullProbe> {
-    components: Vec<Box<dyn Component<M>>>,
+    components: ComponentArena<M>,
     queue: TimingWheel<Queued<M>>,
     now: SimTime,
     external_seq: u64,
-    emit: Vec<u64>,
     events_processed: u64,
     probe: P,
 }
@@ -664,12 +661,10 @@ impl<M: Fork + 'static, P: Probe + Clone> EngineSnapshot<M, P> {
     /// until the caller perturbs it (a failure spec, new stimulus).
     pub fn fork(&self) -> Engine<M, P> {
         Engine {
-            components: self.components.iter().map(|c| c.fork()).collect(),
+            components: self.components.fork(),
             queue: self.queue.fork(),
             now: self.now,
             external_seq: self.external_seq,
-            // lint: allow(hot-path-alloc) fork construction is campaign setup, not the event loop
-            emit: self.emit.clone(),
             events_processed: self.events_processed,
             stop_requested: false,
             // lint: allow(hot-path-alloc) fork construction is campaign setup, not the event loop
@@ -697,9 +692,9 @@ impl<M, P: Probe> EngineSnapshot<M, P> {
 
 /// What [`Engine::into_shard_parts`] yields (see [`crate::shard`]).
 pub(crate) struct ShardParts<M> {
-    pub(crate) components: Vec<Box<dyn Component<M>>>,
-    /// Per-component emission counters, parallel to `components`.
-    pub(crate) emit: Vec<u64>,
+    /// The donor's dense slot table: each slot carries a component and
+    /// its emission counter (see [`crate::arena`]).
+    pub(crate) components: ComponentArena<M>,
     /// The engine-level schedule stream's counter (source slot 0).
     pub(crate) external_seq: u64,
     pub(crate) queue: TimingWheel<Queued<M>>,

@@ -61,6 +61,7 @@
 #![warn(missing_debug_implementations)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
+pub(crate) mod arena;
 pub mod bytes;
 pub mod engine;
 pub mod metrics;

@@ -109,9 +109,10 @@ use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Barrier, Mutex, PoisonError};
 
+use crate::arena::ComponentArena;
 use crate::engine::{
-    tick_key, Component, ComponentId, Context, CrossSend, Probe, Queued, RunBudget, RunOutcome,
-    ShardRoute, Simulation,
+    tick_key, ComponentId, Context, CrossSend, Probe, Queued, RunBudget, RunOutcome, ShardRoute,
+    Simulation,
 };
 use crate::queue::TimingWheel;
 use crate::time::{SimDuration, SimTime};
@@ -147,11 +148,11 @@ struct Routed<M> {
 /// serial engine's.
 struct Shard<M, P: Probe> {
     home: u16,
-    components: Vec<Box<dyn Component<M>>>,
-    /// Per-component emission counters, parallel to `components` — the
-    /// serial engine's counters carried through decomposition, so the
-    /// sub-tick keys minted here continue the serial sequences.
-    emit: Vec<u64>,
+    /// The shard's slice of the donor's dense slot table: each slot
+    /// carries a component and its emission counter, re-homed intact by
+    /// the decomposition so the sub-tick keys minted here continue the
+    /// serial sequences (see [`crate::arena`]).
+    arena: ComponentArena<M>,
     wheel: TimingWheel<Queued<M>>,
     now: SimTime,
     events: u64,
@@ -175,13 +176,16 @@ impl<M: 'static, P: Probe> Shard<M, P> {
             self.events += 1;
             self.probe.on_dispatch(time, dst, self.events);
             let loc = locs[dst.index()] as usize;
-            let emit_before = self.emit[loc];
-            {
-                let component = &mut self.components[loc];
+            // Split one slot borrow across its fields, exactly like the
+            // serial dispatch loop: the context takes `&mut slot.emit`,
+            // the handler call takes `&mut slot.component`.
+            let emitted = {
+                let slot = self.arena.slot_mut(loc);
+                let emit_before = slot.emit;
                 let mut ctx = Context::for_shard(
                     time,
                     dst,
-                    &mut self.emit[loc],
+                    &mut slot.emit,
                     &mut self.wheel,
                     total,
                     &mut self.stop,
@@ -192,9 +196,9 @@ impl<M: 'static, P: Probe> Shard<M, P> {
                         outbox: &mut self.outbox,
                     },
                 );
-                component.on_event(&mut ctx, payload);
-            }
-            let emitted = (self.emit[loc] - emit_before) as usize;
+                slot.component.on_event(&mut ctx, payload);
+                (slot.emit - emit_before) as usize
+            };
             self.probe.on_deliver(time, dst, emitted);
         }
     }
@@ -281,8 +285,7 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
         let mut shards: Vec<Shard<M, P>> = (0..nshards)
             .map(|i| Shard {
                 home: i as u16,
-                components: Vec::new(),
-                emit: Vec::new(),
+                arena: ComponentArena::new(),
                 wheel: TimingWheel::new(),
                 now: parts.now,
                 events: 0,
@@ -292,13 +295,11 @@ impl<M: Send + 'static, P: Probe + Send> ShardedEngine<M, P> {
             })
             .collect();
         let mut locs = vec![0u32; n];
-        for (idx, (component, emit)) in
-            parts.components.into_iter().zip(parts.emit).enumerate()
-        {
+        for (idx, slot) in parts.components.into_slots().into_iter().enumerate() {
             let shard = &mut shards[spec.affinity[idx] as usize];
-            locs[idx] = shard.components.len() as u32;
-            shard.components.push(component);
-            shard.emit.push(emit);
+            locs[idx] = shard.arena.len() as u32;
+            // Slots move whole: each component keeps its emission counter.
+            shard.arena.push_slot(slot);
         }
         // Pending events keep the sub-tick keys they were emitted with;
         // re-routing is pure placement, so each destination wheel holds
@@ -707,7 +708,7 @@ impl<M: Send + 'static, P: Probe + Send> Simulation<M> for ShardedEngine<M, P> {
         let loc = *self.locs.get(id.index())? as usize;
         self.shards
             .get(shard)?
-            .components
+            .arena
             .get(loc)?
             .as_any()
             .downcast_ref::<T>()
@@ -718,7 +719,7 @@ impl<M: Send + 'static, P: Probe + Send> Simulation<M> for ShardedEngine<M, P> {
         let loc = *self.locs.get(id.index())? as usize;
         self.shards
             .get_mut(shard)?
-            .components
+            .arena
             .get_mut(loc)?
             .as_any_mut()
             .downcast_mut::<T>()
@@ -729,7 +730,7 @@ impl<M: Send + 'static, P: Probe + Send> Simulation<M> for ShardedEngine<M, P> {
 mod tests {
     use super::*;
     use crate::engine::NullProbe;
-    use crate::Engine;
+    use crate::{Component, Engine};
     use std::any::Any;
 
     /// Relays a countdown to its peer with a fixed delay, recording every

@@ -86,6 +86,44 @@ if [ "$gate_ok" -ne 1 ]; then
     exit 1
 fi
 
+echo "== fabric scaling gate =="
+# The scaling curve's schema: every committed size must carry its full
+# key block (throughput, digest, shard count, both sharded rates). The
+# digests themselves are cross-checked in-run by bench_engine (serial vs
+# sharded at every size) and pinned for 10/100 hosts in
+# tests/determinism.rs, so presence is what's validated here.
+for n in 10 100 1000; do
+    for key in fabric_${n}_hosts fabric_${n}_shards fabric_${n}_events \
+        fabric_${n}_events_per_sec fabric_${n}_ns_per_event fabric_${n}_digest \
+        fabric_${n}_sharded_w1_events_per_sec fabric_${n}_sharded_events_per_sec; do
+        grep -q "\"$key\"" target/BENCH_engine.json || {
+            echo "target/BENCH_engine.json is missing the \"$key\" key"
+            exit 1
+        }
+    done
+done
+# With real cores to spread windows on, the sharded executor must not
+# lose to serial at the 1,000-host size (it already wins on one core
+# there — per-shard locality — so this is a conservative floor). On a
+# single-core runner the comparison measures nothing but round
+# overhead; the gate stays dormant.
+cores=$(extract target/BENCH_engine.json cores)
+fabric_serial=$(extract target/BENCH_engine.json fabric_1000_events_per_sec)
+fabric_sharded=$(extract target/BENCH_engine.json fabric_1000_sharded_events_per_sec)
+if [ "$cores" -ge 2 ]; then
+    if ! awk -v s="$fabric_serial" -v p="$fabric_sharded" 'BEGIN {
+        printf "fabric 1000 hosts: serial %.0f ev/s, sharded %.0f ev/s (%.2fx)\n", s, p, p / s
+        exit !(p >= s)
+    }'; then
+        echo "REGRESSION: sharded fabric ran slower than serial on a ${cores}-core runner"
+        exit 1
+    fi
+else
+    awk -v s="$fabric_serial" -v p="$fabric_sharded" 'BEGIN {
+        printf "fabric 1000 hosts: serial %.0f ev/s, sharded %.0f ev/s (%.2fx) — single core, gate dormant\n", s, p, p / s
+    }'
+fi
+
 echo "== campaign bench (serial vs parallel, determinism cross-check) =="
 ./target/release/bench_campaign --suite-seeds 2 \
     --out target/BENCH_campaign.json
@@ -121,7 +159,8 @@ echo "== sampled injection campaign gate =="
 echo "summary: target/BENCH_injections.json"
 cat target/BENCH_injections.json
 for key in injections_per_sec fingerprint \
-    masked corrupted_delivered detected_crc detected_timeout hang; do
+    masked corrupted_delivered detected_crc detected_timeout hang \
+    dir_breakdown control_swap_breakdown dir_a dir_b gap_to_idle; do
     grep -q "\"$key\"" target/BENCH_injections.json || {
         echo "target/BENCH_injections.json is missing the \"$key\" key"
         exit 1

@@ -224,6 +224,61 @@ fn sharded_observed_campaign_matches_serial_golden_hash() {
     assert_eq!(schedule[0], schedule[2]);
 }
 
+/// The generated-fabric determinism oracle, pinned. A 10-host and a
+/// 100-host leaf–spine fabric (`nftape::topo`, stride traffic, static
+/// ECMP routes) each carry a committed 64-bit `fabric_digest` — engine
+/// clock, delivery count, every host's sink/sender/UDP/NIC counters,
+/// every switch's forwarding counters. The serial engine and the sharded
+/// engine at workers 1, 2 and 4 must all land on that exact digest: the
+/// topology-derived affinity groups (one shard per leaf plus a spine
+/// shard, trunk-delay lookahead) may not perturb a single byte. The
+/// 1,000-host size is covered by `bench_engine`'s in-run cross-check —
+/// too heavy for a debug-mode tier-1 test.
+#[test]
+fn fabric_digests_identical_across_worker_counts() {
+    use netfi::nftape::{build_fabric, fabric_digest, TopoOptions};
+    use netfi::sim::{NullProbe, ShardedEngine, Simulation};
+
+    fn digest_at(hosts: usize, sim_ms: u64, workers: Option<usize>) -> u64 {
+        let options = TopoOptions::sized(hosts);
+        let fab = build_fabric(&options, |_, _| {}).unwrap();
+        let switches: Vec<_> = fab.leaves.iter().chain(&fab.spines).copied().collect();
+        match workers {
+            None => {
+                let mut engine = fab.engine;
+                engine.run_until(SimTime::from_ms(sim_ms));
+                fabric_digest(&engine, &fab.hosts, &switches)
+            }
+            Some(w) => {
+                let spec = fab.shard_spec(w);
+                let host_ids = fab.hosts;
+                let mut sim: ShardedEngine<_, NullProbe> =
+                    ShardedEngine::from_engine(fab.engine, spec, |_| NullProbe);
+                sim.run_until(SimTime::from_ms(sim_ms));
+                fabric_digest(&sim, &host_ids, &switches)
+            }
+        }
+    }
+
+    for (hosts, sim_ms, golden) in [
+        (10, 10, 0x8A12_0E12_4707_0A3A_u64),
+        (100, 5, 0x9E72_FF68_5C85_30ED_u64),
+    ] {
+        assert_eq!(
+            digest_at(hosts, sim_ms, None),
+            golden,
+            "serial digest moved: {hosts} hosts @ {sim_ms} ms"
+        );
+        for w in [1, 2, 4] {
+            assert_eq!(
+                digest_at(hosts, sim_ms, Some(w)),
+                golden,
+                "sharded digest diverged: {hosts} hosts @ {sim_ms} ms, workers={w}"
+            );
+        }
+    }
+}
+
 /// The snapshot/fork seam's headline contract, pinned against the *same*
 /// golden hashes as the fresh campaign above: warming a donor engine
 /// through the map phase, capturing it with `Engine::snapshot`, and
