@@ -1,0 +1,121 @@
+//! Detection-latency study: φ-accrual detectors vs injected faults.
+//!
+//! Runs the `netfi-nftape` detection campaign — heartbeats over a
+//! generated leaf–spine fabric, faults (power-offs, link and trunk
+//! severs, injector corruption) applied to forks of one warm donor — at
+//! several worker counts, asserting the campaign result is byte-identical
+//! across all of them. Reports detection latency percentiles per
+//! suspicion threshold, false-positive counts (with the healthy baseline
+//! broken out), the fabric's static SPOF analysis, and the mean
+//! prediction-vs-outcome agreement the SPOF model earns.
+//!
+//! Emits `BENCH_detect.json`, which `scripts/check.sh` gates against the
+//! committed baseline (exact fingerprint match — the campaign is fully
+//! deterministic, so any drift is a real behavior change).
+//!
+//! ```text
+//! cargo run -p netfi-bench --release --bin bench_detect -- \
+//!     [--hosts 100] [--workers N] [--out BENCH_detect.json]
+//! ```
+
+use netfi_bench::arg;
+use netfi_bench::harness::JsonObject;
+use netfi_detect::analyze;
+use netfi_nftape::detection::{detect_specs, fabric_graph, run_detection, DetectOptions};
+use netfi_nftape::runner::worker_count;
+use netfi_obs::exact_percentiles;
+use std::time::Instant;
+
+fn main() {
+    let out_path: String = arg("--out", "BENCH_detect.json".to_string());
+    let hosts: usize = arg("--hosts", 100);
+    let requested: usize = arg("--workers", 0);
+    let widest = worker_count((requested > 0).then_some(requested));
+
+    let options = DetectOptions::sized(hosts);
+    let specs = detect_specs(&options);
+
+    // Worker sweep: 1/2/4 pin the invariance contract, plus the
+    // requested width. The headline wall time is the best pass.
+    let mut sweep = vec![1usize, 2, 4, widest];
+    sweep.sort_unstable();
+    sweep.dedup();
+
+    let mut results = Vec::new();
+    let mut best_secs = f64::MAX;
+    for &workers in &sweep {
+        let start = Instant::now();
+        let result = run_detection(&options, &specs, workers).expect("detection campaign");
+        let secs = start.elapsed().as_secs_f64();
+        println!(
+            "detection campaign ({} scenarios, {hosts} hosts), {workers} workers: {secs:.2} s, fingerprint {:#018x}",
+            specs.len(),
+            result.fingerprint()
+        );
+        best_secs = best_secs.min(secs);
+        results.push(result);
+    }
+    let first = &results[0];
+    for (result, &workers) in results.iter().zip(&sweep).skip(1) {
+        assert_eq!(
+            result.fingerprint(),
+            first.fingerprint(),
+            "worker count {workers} changed the campaign fingerprint"
+        );
+        assert_eq!(
+            result.render(),
+            first.render(),
+            "worker count {workers} changed the report bytes"
+        );
+        assert_eq!(result, first, "worker count {workers} changed a run");
+    }
+    println!("{}", first.render());
+
+    let report = analyze(&fabric_graph(&options.topo));
+    let mut json = JsonObject::new()
+        .str("bench", "detect")
+        .int(
+            "cores",
+            std::thread::available_parallelism().map_or(1, usize::from) as u64,
+        )
+        .int("workers", widest as u64)
+        .int("hosts", hosts as u64)
+        .int("scenarios", specs.len() as u64)
+        .num("wall_secs", best_secs)
+        .str("fingerprint", &format!("{:#018x}", first.fingerprint()));
+    for (t, threshold) in first.thresholds.iter().enumerate() {
+        let theta = u64::from(threshold.raw()) >> 16;
+        let mut samples = first.latency_samples(t);
+        let p = exact_percentiles(&mut samples);
+        let baseline_fp = first
+            .runs
+            .iter()
+            .find(|r| r.spec == "healthy")
+            .and_then(|r| r.outcomes.get(t))
+            .map_or(0, |o| o.false_alarm_pairs.len() as u64);
+        json = json
+            .int(&format!("theta{theta}_samples"), samples.len() as u64)
+            .int(&format!("theta{theta}_p50_us"), p.p50)
+            .int(&format!("theta{theta}_p95_us"), p.p95)
+            .int(&format!("theta{theta}_p99_us"), p.p99)
+            .int(&format!("theta{theta}_missed"), first.missed_total(t))
+            .int(
+                &format!("theta{theta}_false_alarms"),
+                first.false_alarm_total(t),
+            )
+            .int(&format!("theta{theta}_baseline_false_alarms"), baseline_fp);
+    }
+    json = json
+        .int("agreement_permille", first.mean_agreement_permille())
+        .int("spof_count", report.spofs.len() as u64)
+        .int("diameter", u64::from(report.diameter))
+        .int("redundancy_milli", u64::from(report.redundancy_milli))
+        .int("health", u64::from(report.health));
+
+    let rendered = json.render();
+    std::fs::write(&out_path, format!("{rendered}\n")).expect("write BENCH json");
+    println!(
+        "wrote {out_path} (agreement {} permille)",
+        first.mean_agreement_permille()
+    );
+}

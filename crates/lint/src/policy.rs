@@ -66,6 +66,13 @@ pub fn policy_for(crate_name: &str) -> Policy {
         // exception — the scoped fan-out workers in its campaign driver —
         // carries an allow-comment at the spawn site, same as nftape's.
         "sample" => Policy::STRICT,
+        // The failure-analysis layer is the strictest customer of all:
+        // φ-accrual suspicion is computed in SimTime fixed-point exactly
+        // so that detection verdicts are byte-identical across worker
+        // counts, and the SPOF analytics promise one deterministic report
+        // per graph. A wall clock, a float-keyed ordering or an unordered
+        // map anywhere in `detect` would dissolve that argument.
+        "detect" => Policy::STRICT,
         // The lint binary reads argv and walks the filesystem; it stays
         // panic-free.
         "lint" => Policy {
@@ -123,6 +130,15 @@ mod tests {
         // The sampler's fingerprint is a pure function of (seed, points);
         // its scoped fan-out is an allow-comment, not a policy hole.
         assert_eq!(policy_for("sample"), Policy::STRICT);
+    }
+
+    #[test]
+    fn detect_is_fully_strict() {
+        // Suspicion values order detection verdicts; if they were floats
+        // or fed by a wall clock, the campaign fingerprint could not be a
+        // pure function of the spec list. The policy table says so
+        // explicitly rather than relying on the unknown-crate default.
+        assert_eq!(policy_for("detect"), Policy::STRICT);
     }
 
     #[test]

@@ -34,8 +34,8 @@ fn workspace_has_no_lint_violations() {
     // panic-freedom) scope of the policy table, and this pins that the
     // scope is real — the walker actually visits its sources.
     for name in [
-        "bench", "core", "fc", "lint", "myrinet", "netstack", "nftape", "obs", "phy", "sample",
-        "sim", "netfi",
+        "bench", "core", "detect", "fc", "lint", "myrinet", "netstack", "nftape", "obs", "phy",
+        "sample", "sim", "netfi",
     ] {
         assert!(
             report.crates.iter().any(|c| c == name),
@@ -111,11 +111,14 @@ fn workspace_has_no_lint_violations() {
     // nftape's. Lowered 36 -> 33 with the component arena: fusing the
     // engine's twin component/emission-counter `Vec`s into one slot
     // table deleted their setup-path allows and needs only a single
-    // constructor allow of its own. The ceiling sits exactly on the
-    // measured count; it can only move down, or up in the same commit
-    // that adds a justified (and exercised) allow.
+    // constructor allow of its own. Raised 33 -> 34 with the detection
+    // campaign: `nftape::detection` fans scenario forks across scoped
+    // workers behind one justified thread-spawn allow, the same recipe
+    // (and the same single comment) as the chaos grid's. The ceiling sits
+    // exactly on the measured count; it can only move down, or up in the
+    // same commit that adds a justified (and exercised) allow.
     assert!(
-        report.suppressions <= 33,
+        report.suppressions <= 34,
         "allow-comment suppressions grew to {} — review before raising the budget",
         report.suppressions
     );

@@ -18,7 +18,7 @@ use netfi_myrinet::egress::{split_timer_kind, timer_class, timer_kind};
 use netfi_myrinet::event::{Attach, Ev, PortPeer};
 use netfi_myrinet::interface::{Delivery, HostInterface, InterfaceConfig};
 use netfi_sim::metrics::Summary;
-use netfi_obs::{FlightRecorder, Recorder, Sink};
+use netfi_obs::{FlightRecorder, Recorder, Sink, Stamped};
 use netfi_sim::{Component, Context, DetRng, SharedBytes, SimDuration, SimTime};
 
 use crate::udp::{payload_avoiding, payload_avoiding_into, UdpDatagram, UdpError};
@@ -306,6 +306,12 @@ impl Host {
     /// The most recent deliveries (bounded).
     pub fn recent_datagrams(&self) -> impl Iterator<Item = &(EthAddr, UdpDatagram)> {
         self.recent.iter().map(|r| &r.value)
+    }
+
+    /// The most recent deliveries with their arrival times (bounded) —
+    /// the failure-detection layer reads inter-arrival gaps from here.
+    pub fn recent_arrivals(&self) -> impl Iterator<Item = &Stamped<(EthAddr, UdpDatagram)>> {
+        self.recent.iter()
     }
 
     /// The report of the `i`-th workload (ping-pong / flood).

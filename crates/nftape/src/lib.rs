@@ -17,6 +17,10 @@
 //!   `Engine::snapshot` and forked per declarative [`grid::FailureSpec`]
 //!   (nodes powered off, links severed, injector programs), amortizing
 //!   the campaign warm-up across every scenario.
+//! - [`detection`]: the failure-*analysis* loop — φ-accrual suspicion
+//!   monitors (`netfi-detect`) judged against injected faults on forks of
+//!   a warm generated fabric, scored by detection latency, false-positive
+//!   rate, and agreement with the SPOF topology prediction.
 //! - [`scenarios`]: one prebuilt scenario per table/figure of the paper's
 //!   evaluation — Table 2 (latency), Table 4 (control symbols), the STOP
 //!   and GAP throughput experiments, packet-type corruption, physical-
@@ -27,6 +31,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub mod campaign;
+pub mod detection;
 pub mod grid;
 pub mod observed;
 pub mod report;
@@ -38,6 +43,10 @@ pub mod topo;
 
 pub use campaign::{
     run_campaign, run_campaigns_parallel, run_campaigns_with_workers, CampaignSpec, FaultSpec,
+};
+pub use detection::{
+    detect_specs, fabric_graph, predicted_pairs, run_detection, warm_detect, DetectFault,
+    DetectOptions, DetectResult, DetectRun, DetectSpec, ThresholdOutcome, WarmedDetect,
 };
 pub use grid::{
     fork_grid, fresh_grid, fresh_run, grid_specs, warm_campaign, FailureSpec, GridResult, GridRun,

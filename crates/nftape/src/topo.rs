@@ -42,6 +42,7 @@
 //! for the 10- and 100-host fabrics and cross-checked in-run by
 //! `bench_engine` at 1,000 hosts.
 
+use netfi_core::InjectorDevice;
 use netfi_myrinet::addr::{EthAddr, NodeAddress};
 use netfi_myrinet::event::{connect, ConnectError, Ev};
 use netfi_myrinet::interface::InterfaceConfig;
@@ -80,6 +81,11 @@ pub struct TopoOptions {
     pub payload_len: usize,
     /// Datagrams sent back-to-back per tick.
     pub burst: usize,
+    /// Splice an [`InjectorDevice`] into this host's link to its leaf
+    /// (direction A = host → leaf). `None` leaves the fabric untouched —
+    /// component order, and therefore every pinned fabric digest, is
+    /// unchanged unless a host is intercepted.
+    pub intercept_host: Option<usize>,
 }
 
 impl Default for TopoOptions {
@@ -96,6 +102,7 @@ impl Default for TopoOptions {
             interval: SimDuration::from_us(500),
             payload_len: 64,
             burst: 1,
+            intercept_host: None,
         }
     }
 }
@@ -144,6 +151,8 @@ pub struct Fabric<P: Probe = NullProbe> {
     pub spines: Vec<ComponentId>,
     /// Host physical addresses, aligned with `hosts`.
     pub eth: Vec<EthAddr>,
+    /// The spliced injector device, when `intercept_host` asked for one.
+    pub injector: Option<ComponentId>,
     /// Shard id per component index: one shard per leaf (its switch and
     /// hosts), plus one shard for all spines when trunks exist.
     pub affinity: Vec<u16>,
@@ -278,6 +287,7 @@ pub fn build_fabric_probed<P: Probe>(
     let mac = |i: usize| EthAddr::myricom(i as u32 + 1);
     let mut host_ids = Vec::new();
     let mut eth = Vec::new();
+    let mut injector = None;
     for i in 0..options.hosts {
         let (leaf, port) = attachment(i);
         let iface = InterfaceConfig::new(
@@ -322,12 +332,31 @@ pub fn build_fabric_probed<P: Probe>(
         customize(i, &mut host);
         affinity.push(leaf as u16);
         let h = engine.add_component(Box::new(host));
-        connect::<Host, Switch, _>(
-            &mut engine,
-            (h, 0),
-            (leaf_ids[leaf as usize], port),
-            &options.host_link,
-        )?;
+        if options.intercept_host == Some(i) {
+            // Splice the injector into this host's access link, exactly
+            // like the test bed does (net.rs): direction A is host →
+            // leaf on ports 0 → 1. The device lives in the host's leaf
+            // shard — both its links are host-link length, so the trunk
+            // lookahead argument is untouched.
+            let dev = engine
+                .add_component(Box::new(InjectorDevice::with_name(format!("fi-host{i}"))));
+            affinity.push(leaf as u16);
+            connect::<Host, InjectorDevice, _>(&mut engine, (h, 0), (dev, 0), &options.host_link)?;
+            connect::<InjectorDevice, Switch, _>(
+                &mut engine,
+                (dev, 1),
+                (leaf_ids[leaf as usize], port),
+                &options.host_link,
+            )?;
+            injector = Some(dev);
+        } else {
+            connect::<Host, Switch, _>(
+                &mut engine,
+                (h, 0),
+                (leaf_ids[leaf as usize], port),
+                &options.host_link,
+            )?;
+        }
         engine.schedule(SimTime::ZERO, h, Ev::App(Box::new(HostCmd::Start)));
         host_ids.push(h);
         eth.push(mac(i));
@@ -339,6 +368,7 @@ pub fn build_fabric_probed<P: Probe>(
         leaves: leaf_ids,
         spines: spine_ids,
         eth,
+        injector,
         affinity,
         lookahead: options.trunk_link.propagation_delay(),
     })
@@ -465,6 +495,36 @@ mod tests {
             );
             assert!(sharded.cross_events() > 0, "stride traffic must cross shards");
         }
+    }
+
+    #[test]
+    fn intercepted_fabric_splices_an_injector() {
+        let options = TopoOptions {
+            intercept_host: Some(1),
+            ..TopoOptions::sized(10)
+        };
+        let mut fabric = build_fabric(&options, |_, _| {}).unwrap();
+        let dev = fabric.injector.expect("injector spliced");
+        // The device shares host 1's leaf shard, so the trunk-lookahead
+        // sharding argument is untouched.
+        assert_eq!(fabric.affinity[dev.index()], 0);
+        fabric.engine.run_until(SimTime::from_ms(10));
+        // Host 1's stride traffic flows through the spliced device and
+        // still reaches its peer.
+        let host = fabric
+            .engine
+            .component_as::<Host>(fabric.hosts[1])
+            .unwrap();
+        assert!(host.sender_sent() > 0);
+        let peer = (1 + options.hosts_per_leaf()) % options.hosts;
+        let peer_host = fabric
+            .engine
+            .component_as::<Host>(fabric.hosts[peer])
+            .unwrap();
+        assert!(peer_host.rx_count(SINK_PORT) > 0, "peer heard nothing");
+        // An unintercepted build reports no injector.
+        let plain = build_fabric(&TopoOptions::sized(10), |_, _| {}).unwrap();
+        assert!(plain.injector.is_none());
     }
 
     #[test]

@@ -49,6 +49,27 @@ impl fmt::Display for Percentiles {
     }
 }
 
+/// Exact nearest-rank percentiles over a raw sample set (sorts in place).
+///
+/// The log-bucketed [`LogHistogram`] is compact but interpolates between a
+/// bucket's extremes; when the full sample set is small enough to hold —
+/// per-threshold detection latencies, for example — sorting and indexing
+/// is both exact and pure integer arithmetic, so reports built from it are
+/// byte-stable with no rounding mode in sight.
+pub fn exact_percentiles(samples: &mut [u64]) -> Percentiles {
+    if samples.is_empty() {
+        return Percentiles::default();
+    }
+    samples.sort_unstable();
+    let n = samples.len();
+    let pick = |p: usize| samples[(n * p).div_ceil(100).clamp(1, n) - 1];
+    Percentiles {
+        p50: pick(50),
+        p95: pick(95),
+        p99: pick(99),
+    }
+}
+
 /// A log₂-bucketed histogram of `u64` samples.
 ///
 /// # Example
@@ -324,6 +345,25 @@ mod tests {
             h.record(v);
         }
         assert_eq!(h.mean(), 4.0);
+    }
+
+    #[test]
+    fn exact_percentiles_are_nearest_rank() {
+        let mut samples: Vec<u64> = (1..=100).rev().collect();
+        let p = exact_percentiles(&mut samples);
+        assert_eq!(p, Percentiles { p50: 50, p95: 95, p99: 99 });
+        // Sorted in place.
+        assert_eq!(samples[0], 1);
+        // Small sets: nearest rank, never out of bounds.
+        let mut one = [7u64];
+        assert_eq!(
+            exact_percentiles(&mut one),
+            Percentiles { p50: 7, p95: 7, p99: 7 }
+        );
+        let mut two = [10u64, 20];
+        let p = exact_percentiles(&mut two);
+        assert_eq!(p, Percentiles { p50: 10, p95: 20, p99: 20 });
+        assert_eq!(exact_percentiles(&mut []), Percentiles::default());
     }
 
     #[test]

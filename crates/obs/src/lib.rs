@@ -51,7 +51,7 @@ pub mod sink;
 
 pub use event::{EventKind, ObsEvent, Stamped};
 pub use flight::FlightRecorder;
-pub use hist::{LogHistogram, Percentiles};
+pub use hist::{exact_percentiles, LogHistogram, Percentiles};
 pub use probe::DispatchProbe;
 pub use record::Recorder;
 pub use registry::Registry;

@@ -201,6 +201,36 @@ if [ "$gate_ok" -ne 1 ]; then
     exit 1
 fi
 
+echo "== detection campaign gate =="
+# The failure-analysis layer's promise, hard-failed here. bench_detect
+# itself asserts the campaign is byte-identical at workers 1/2/4 (plus
+# the widest count the box offers); on top of that the fingerprint must
+# match the committed artifact exactly — the φ-accrual math is SimTime
+# fixed-point and the fault schedule is seeded, so the same spec list
+# produces the same bytes on any machine. No throughput ratchet: the
+# campaign is latency-study machinery, not a speed benchmark.
+./target/release/bench_detect --hosts 100 \
+    --out target/BENCH_detect.json
+echo "summary: target/BENCH_detect.json"
+cat target/BENCH_detect.json
+for key in fingerprint scenarios agreement_permille \
+    theta2_samples theta2_p50_us theta2_missed theta2_false_alarms \
+    theta2_baseline_false_alarms \
+    theta5_p50_us theta5_false_alarms theta8_p50_us theta8_false_alarms \
+    spof_count diameter redundancy_milli health; do
+    grep -q "\"$key\"" target/BENCH_detect.json || {
+        echo "target/BENCH_detect.json is missing the \"$key\" key"
+        exit 1
+    }
+done
+committed_fp=$(extract BENCH_detect.json fingerprint)
+current_fp=$(extract target/BENCH_detect.json fingerprint)
+if [ "$committed_fp" != "$current_fp" ]; then
+    echo "DETERMINISM BREAK: detection fingerprint $current_fp != committed $committed_fp"
+    echo "(if a change legitimately altered detection behaviour, refresh BENCH_detect.json in this PR)"
+    exit 1
+fi
+
 echo "== obs overhead gate =="
 ./target/release/bench_obs --sim-ms 2000 --samples 5 \
     --baseline target/BENCH_engine.json --min-ratio 0.8 \

@@ -19,6 +19,8 @@
 //!   recording and failure-analysis exports.
 //! - [`sample`] — statistical fault-injection sampling: drawn injection
 //!   points, outcome taxonomy and coverage intervals.
+//! - [`detect`] — failure *analysis*: φ-accrual failure detectors over
+//!   heartbeat streams and SPOF topology analytics over generated fabrics.
 //!
 //! See the repository README for a quickstart and DESIGN.md for the system
 //! inventory.
@@ -27,6 +29,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 pub use netfi_core as injector;
+pub use netfi_detect as detect;
 pub use netfi_fc as fc;
 pub use netfi_myrinet as myrinet;
 pub use netfi_netstack as netstack;

@@ -400,6 +400,54 @@ fn sampled_campaign_identical_across_worker_counts() {
     assert_eq!(report.n, 512);
 }
 
+/// The detection campaign's contract, pinned: φ-accrual suspicion
+/// monitors fed by heartbeats over a 10-host generated fabric, faults
+/// (power-off, link/trunk severs, injector corruption) applied to forks
+/// of one warm donor. The campaign fingerprint covers every suspicion
+/// verdict, latency sample and rendered registry table; it must be
+/// byte-identical at workers 1, 2 and 4 and must match the committed
+/// golden. If a change legitimately alters detection behaviour, update
+/// the constant in the same commit and say why (`BENCH_detect.json`
+/// carries the matching 100-host fingerprint, gated by check.sh).
+#[test]
+fn detection_campaign_golden_fingerprint_across_worker_counts() {
+    use netfi::detect::Phi;
+    use netfi::nftape::detection::{detect_specs, run_detection, DetectOptions};
+    use netfi::nftape::TopoOptions;
+
+    let options = DetectOptions {
+        topo: TopoOptions {
+            intercept_host: Some(1),
+            interval: SimDuration::from_ms(2),
+            ..TopoOptions::sized(10)
+        },
+        window: 8,
+        heartbeat: SimDuration::from_ms(5),
+        stagger: SimDuration::from_us(50),
+        poll: SimDuration::from_ms(1),
+        warm: SimDuration::from_ms(100),
+        margin: SimDuration::from_ms(20),
+        tail: SimDuration::from_ms(200),
+        thresholds: vec![Phi::from_int(2), Phi::from_int(5), Phi::from_int(8)],
+        reference: 1,
+        poll_event_budget: 5_000_000,
+    };
+    let specs = detect_specs(&options);
+    let w1 = run_detection(&options, &specs, 1).unwrap();
+    for workers in [2, 4] {
+        let w = run_detection(&options, &specs, workers).unwrap();
+        assert_eq!(w.fingerprint(), w1.fingerprint(), "workers={workers}");
+        assert_eq!(w.render(), w1.render(), "workers={workers}");
+        assert_eq!(w, w1, "workers={workers}");
+    }
+    assert_eq!(
+        w1.fingerprint(),
+        0x1000_121D_01AF_A971,
+        "detection fingerprint moved: {:#018x}",
+        w1.fingerprint()
+    );
+}
+
 /// Percentile extraction is exact wherever the log-bucketed histogram
 /// holds full resolution: single-sample buckets and per-bucket-uniform
 /// distributions interpolate back to the exact rank value.
